@@ -1,0 +1,83 @@
+"""E9 — Corollary 5.9: TJA^MSO define the regular tree languages.
+
+Round-trip check at benchmark scale: tree-jumping automata are
+compiled to bottom-up automata (via the MSO acceptance sentence — the
+Lemma 5.8 route in this code base) and the two must agree on every
+tree of a bounded universe.  The measured series is the compile time
+and resulting automaton size per TJA shape.
+"""
+
+import pytest
+
+from conftest import report, wall_time
+
+from repro.automata import encode_tree, universal_nta
+from repro.automata.enumerate import enumerate_trees
+from repro.mso import And, Child, Eq, Lab, clear_compile_cache, proper_ancestor
+from repro.walking import TJA, tja_to_bta
+
+SIGMA = ("a", "b")
+
+
+def jump_to_descendant():
+    return TJA(
+        states={"q0", "qf"},
+        transitions=[
+            ("q0", Eq("x", "x"), And(proper_ancestor("x", "y"), Lab("b", "y")), "qf")
+        ],
+        initial="q0",
+        finals={"qf"},
+    )
+
+
+def walker():
+    return TJA(
+        states={"q0", "qf"},
+        transitions=[
+            ("q0", Eq("x", "x"), Child("x", "y"), "q0"),
+            ("q0", Lab("b", "x"), Eq("x", "y"), "qf"),
+        ],
+        initial="q0",
+        finals={"qf"},
+    )
+
+
+class TestCorollary59:
+    @pytest.mark.parametrize(
+        "name,factory", [("descendant-jump", jump_to_descendant), ("walker", walker)]
+    )
+    def test_round_trip_equivalence(self, benchmark_or_timer, name, factory):
+        tja = factory()
+        clear_compile_cache()
+        bta, seconds = wall_time(tja_to_bta, tja, SIGMA)
+        agreements = 0
+        for t in enumerate_trees(universal_nta(set(SIGMA), allow_text=False), 5):
+            assert bta.accepts(encode_tree(t)) == tja.accepts(t), t
+            agreements += 1
+        report(
+            "E9: TJA -> regular round trip (%s)" % name,
+            [
+                ("TJA size", tja.size),
+                ("BTA states", len(bta.states)),
+                ("compile seconds", "%.2f" % seconds),
+                ("trees compared", agreements),
+            ],
+        )
+        benchmark_or_timer(lambda: tja_to_bta(tja, SIGMA))
+
+    def test_membership_per_tree_cost(self, benchmark_or_timer):
+        # Per-tree TJA membership is a configuration-graph search; the
+        # compiled automaton answers in linear time — report both.
+        tja = jump_to_descendant()
+        bta = tja_to_bta(tja, SIGMA)
+        from repro.trees import parse_tree
+
+        t = parse_tree("a(a(a(b) a) a(a a(b)))")
+        _v1, direct = wall_time(tja.accepts, t)
+        encoded = encode_tree(t)
+        _v2, compiled = wall_time(bta.accepts, encoded)
+        report(
+            "E9: membership cost (13-node tree)",
+            [("TJA search", "%.5f s" % direct), ("compiled BTA", "%.6f s" % compiled)],
+        )
+        benchmark_or_timer(lambda: tja.accepts(t))

@@ -1,0 +1,162 @@
+"""E12 — The §4 vs §5 crossover: one transformation, two formalisms.
+
+Expresses the *same* transformation (the select-and-delete core of
+Example 4.2, over an abridged recipe schema) both as a top-down uniform
+transducer and as a DTL^XPath program, and decides text-preservation
+with the Section 4 PTIME pipeline and the Section 5 automata pipeline
+respectively.  The regenerated series is the paper's tractability
+landscape in one table: who wins, by what factor — the expected shape
+is PTIME winning by orders of magnitude, with identical verdicts.
+
+(The schema is abridged to four labels because the §5 pipeline is
+EXPTIME-for-real: the full eleven-label recipes DTD exhausts memory —
+see EXPERIMENTS.md "practical envelope".)
+"""
+
+import pytest
+
+from conftest import report, wall_time
+
+from repro import is_text_preserving
+from repro.core import Call, DTLTransducer, TopDownTransducer
+from repro.mso import clear_compile_cache
+from repro.schema import DTD, dtd_to_nta
+
+
+def abridged_dtd() -> DTD:
+    return DTD(
+        content={
+            "recipes": "recipe*",
+            "recipe": "description . comments",
+            "description": "text",
+            "comments": "text*",
+        },
+        start={"recipes"},
+    )
+
+
+def select_topdown() -> TopDownTransducer:
+    """Keep descriptions, drop comments — Example 4.2's core."""
+    return TopDownTransducer(
+        states={"q0", "qsel", "q"},
+        rules={
+            ("q0", "recipes"): "recipes(q0)",
+            ("q0", "recipe"): "recipe(qsel)",
+            ("qsel", "description"): "description(q)",
+            ("q", "text"): "text",
+        },
+        initial="q0",
+    )
+
+
+def select_dtl() -> DTLTransducer:
+    """The same transformation in DTL^XPath (the §5.1 embedding,
+    states merged where patterns already discriminate)."""
+    return DTLTransducer(
+        states={"q0", "q"},
+        sigma_rules=[
+            ("q0", "recipes", ("recipes", [Call("q0", "down")])),
+            ("q0", "recipe", ("recipe", [Call("q0", "down")])),
+            ("q0", "description", ("description", [Call("q", "down")])),
+        ],
+        text_states={"q"},
+        initial="q0",
+    )
+
+
+class TestCrossover:
+    def test_same_verdict_different_cost(self, benchmark_or_timer):
+        dtd = abridged_dtd()
+        schema = dtd_to_nta(dtd)
+        topdown = select_topdown()
+        dtl = select_dtl()
+
+        # The two formalisms implement the same transformation.
+        from repro.trees import parse_tree
+
+        document = parse_tree(
+            'recipes(recipe(description("d1") comments("c1" "c2"))'
+            ' recipe(description("d2") comments))'
+        )
+        assert dtl(document) == topdown(document)
+
+        verdict_fast, ptime_seconds = wall_time(is_text_preserving, topdown, schema)
+        clear_compile_cache()
+        verdict_slow, mso_seconds = wall_time(is_text_preserving, dtl, schema)
+        assert verdict_fast == verdict_slow == True  # noqa: E712
+        factor = mso_seconds / max(ptime_seconds, 1e-6)
+        report(
+            "E12: §4 vs §5 on the same transformation",
+            [
+                ("top-down (Theorem 4.11, PTIME)", "%.4f s" % ptime_seconds),
+                ("DTL^XPath (Theorem 5.18 pipeline)", "%.2f s" % mso_seconds),
+                ("factor", "%.0fx" % factor),
+                ("verdicts agree", True),
+            ],
+        )
+        # Who wins: the PTIME pipeline, by a large factor.
+        assert factor > 10
+        benchmark_or_timer(lambda: is_text_preserving(topdown, schema))
+
+    def test_crossover_on_violating_instance(self, benchmark_or_timer):
+        """Same comparison on a *buggy* shared transformation (the
+        b-before-a swap of Figure 3, right), over the three-label
+        schema r(a("x") b("y")): both pipelines find the violation,
+        the PTIME one much faster."""
+        from repro.automata import TEXT, nta_from_rules
+
+        schema = nta_from_rules(
+            alphabet={"r", "a", "b"},
+            rules={
+                ("q0", "r"): "qa qb",
+                ("qa", "a"): "qt",
+                ("qb", "b"): "qt",
+                ("qt", TEXT): "eps",
+            },
+            initial="q0",
+        )
+        swapped_topdown = TopDownTransducer(
+            states={"q0", "qa", "qb", "qt"},
+            rules={
+                ("q0", "r"): "r(qb qa)",
+                ("qa", "a"): "a(qt)",
+                ("qb", "b"): "b(qt)",
+                ("qt", "text"): "text",
+            },
+            initial="q0",
+        )
+        swapped_dtl = DTLTransducer(
+            states={"q0", "q"},
+            sigma_rules=[
+                (
+                    "q0",
+                    "r",
+                    (
+                        "r",
+                        [
+                            ("b", [Call("q", "down[b]/down")]),
+                            ("a", [Call("q", "down[a]/down")]),
+                        ],
+                    ),
+                )
+            ],
+            text_states={"q"},
+            initial="q0",
+        )
+        from repro.trees import parse_tree
+
+        document = parse_tree('r(a("x") b("y"))')
+        assert swapped_dtl(document) == swapped_topdown(document)
+
+        v1, fast = wall_time(is_text_preserving, swapped_topdown, schema)
+        clear_compile_cache()
+        v2, slow = wall_time(is_text_preserving, swapped_dtl, schema)
+        assert v1 == v2 == False  # noqa: E712
+        report(
+            "E12: violating instance, both pipelines",
+            [
+                ("top-down", "%s in %.4f s" % (v1, fast)),
+                ("DTL^XPath", "%s in %.2f s" % (v2, slow)),
+            ],
+        )
+        benchmark_or_timer(lambda: is_text_preserving(swapped_topdown, schema))

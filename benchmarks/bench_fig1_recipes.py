@@ -1,0 +1,71 @@
+"""E1 — Figure 1 + Example 2.3: the recipes document and its DTD.
+
+Regenerates the running example: builds the Figure 1 text tree,
+validates it against the Example 2.3 DTD, and reports the quantities
+the paper's Section 2 narrates (ancestor path of the ``positive`` node,
+the text content ordering).  The benchmark measures validation and
+text-content extraction throughput on documents scaled to ``n``
+recipes.
+"""
+
+import pytest
+
+from conftest import report
+
+from repro.paper import example23_dtd, figure1_tree
+from repro.trees import Tree, anc_str, text_values, tree
+from repro.schema import dtd_to_nta
+
+
+def scaled_recipes(n: int) -> Tree:
+    base = figure1_tree()
+    recipes = list(base.children) * max(1, n // 2)
+    return tree("recipes", recipes[:n])
+
+
+class TestFigure1:
+    def test_document_matches_paper(self, benchmark_or_timer):
+        document = figure1_tree()
+        dtd = example23_dtd()
+        elapsed = benchmark_or_timer(lambda: dtd.is_valid(document))
+        assert dtd.is_valid(document)
+        positive = next(
+            n for n in document.nodes() if not document.is_text_at(n)
+            and document.label_at(n) == "positive"
+        )
+        assert anc_str(document, positive) == (
+            "recipes",
+            "recipe",
+            "comments",
+            "positive",
+        )
+        values = text_values(document)
+        assert values[0].startswith("This is the best chocolate mousse")
+        report(
+            "E1: Figure 1 document",
+            [
+                ("nodes", document.size),
+                ("text nodes", len(values)),
+                ("valid w.r.t. Example 2.3 DTD", True),
+                ("DTD reduced", example23_dtd().is_reduced()),
+                ("validation seconds", "%.5f" % elapsed),
+            ],
+        )
+
+    @pytest.mark.parametrize("n", [2, 8, 32])
+    def test_validation_scales(self, benchmark_or_timer, n):
+        document = scaled_recipes(n)
+        dtd = example23_dtd()
+        elapsed = benchmark_or_timer(lambda: dtd.is_valid(document))
+        assert dtd.is_valid(document)
+        report(
+            "E1: validation at %d recipes" % n,
+            [("nodes", document.size), ("seconds", "%.5f" % elapsed)],
+        )
+
+    def test_nta_agrees_with_dtd(self, benchmark_or_timer):
+        document = scaled_recipes(8)
+        nta = dtd_to_nta(example23_dtd())
+        elapsed = benchmark_or_timer(lambda: nta.accepts(document))
+        assert nta.accepts(document)
+        report("E1: NTA membership (8 recipes)", [("seconds", "%.5f" % elapsed)])

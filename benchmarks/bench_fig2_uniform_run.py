@@ -1,0 +1,49 @@
+"""E2 — Figure 2 / Example 4.2: the uniform transducer run.
+
+Regenerates the transformation of Figure 2 (Example 4.2 applied to the
+Figure 1 document) and measures transduction throughput on documents
+scaled to ``n`` recipes.  The shape assertion: output equals the
+paper's Figure 2 tree, and transduction time grows linearly with
+document size.
+"""
+
+import pytest
+
+from conftest import report
+
+from repro.paper import example42_transducer, figure1_tree, figure2_output
+from repro.trees import text_values, tree
+
+
+def scaled(n):
+    base = figure1_tree()
+    return tree("recipes", (list(base.children) * ((n + 1) // 2))[:n])
+
+
+class TestFigure2:
+    def test_exact_figure2_output(self, benchmark_or_timer):
+        transducer = example42_transducer()
+        document = figure1_tree()
+        elapsed = benchmark_or_timer(lambda: transducer(document))
+        output = transducer(document)
+        assert output == figure2_output()
+        report(
+            "E2: Figure 2 regenerated",
+            [
+                ("input nodes", document.size),
+                ("output nodes", output.size),
+                ("text kept", len(text_values(output))),
+                ("text dropped (comments)", len(text_values(document)) - len(text_values(output))),
+                ("seconds", "%.5f" % elapsed),
+            ],
+        )
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_throughput_scales_linearly(self, benchmark_or_timer, n):
+        transducer = example42_transducer()
+        document = scaled(n)
+        elapsed = benchmark_or_timer(lambda: transducer(document))
+        report(
+            "E2: transduction at %d recipes" % n,
+            [("input nodes", document.size), ("seconds", "%.5f" % elapsed)],
+        )

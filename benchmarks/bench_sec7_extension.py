@@ -1,0 +1,78 @@
+"""E11 — Section 7 extension: protected labels.
+
+The paper's closing remark: the same technique decides the stronger
+property "text-preserving AND no text deleted below a node labelled
+``instructions``", at no change in complexity.  This bench regenerates
+precisely that check for Example 4.2 over the recipes DTD (positive
+for ``instructions``, negative for ``comments``), reports witness
+paths, and measures that adding protection leaves the decision in the
+same cost regime as E5.
+"""
+
+import pytest
+
+from conftest import report, wall_time
+
+from repro.core import is_text_preserving
+from repro.core.safety import (
+    deletes_protected_text,
+    is_text_preserving_with_protection,
+    protected_violation_path,
+)
+from repro.paper import example23_dtd, example42_transducer
+from repro.schema import dtd_to_nta
+
+
+class TestSection7Extension:
+    def test_running_example_protection(self, benchmark_or_timer):
+        schema = dtd_to_nta(example23_dtd())
+        transducer = example42_transducer()
+
+        base, base_seconds = wall_time(is_text_preserving, transducer, schema)
+        protected, protected_seconds = wall_time(
+            is_text_preserving_with_protection, transducer, schema, {"instructions"}
+        )
+        rejected, rejected_seconds = wall_time(
+            is_text_preserving_with_protection, transducer, schema, {"comments"}
+        )
+        witness_path = protected_violation_path(transducer, schema, "comments")
+        assert base and protected and not rejected
+        assert witness_path is not None and "comments" in witness_path
+        report(
+            "E11: §7 extension on the running example",
+            [
+                ("text-preserving", "%s (%.3f s)" % (base, base_seconds)),
+                (
+                    "+ protect instructions",
+                    "%s (%.3f s)" % (protected, protected_seconds),
+                ),
+                ("+ protect comments", "%s (%.3f s)" % (rejected, rejected_seconds)),
+                ("violation path", " / ".join(witness_path)),
+            ],
+        )
+        # Same complexity regime: protection costs at most a small
+        # constant factor over the plain decision.
+        assert protected_seconds < max(base_seconds, 0.001) * 2000
+        benchmark_or_timer(
+            lambda: is_text_preserving_with_protection(
+                transducer, schema, {"instructions"}
+            )
+        )
+
+    def test_per_label_matrix(self, benchmark_or_timer):
+        schema = dtd_to_nta(example23_dtd())
+        transducer = example42_transducer()
+        rows = []
+        for label in sorted(schema.alphabet):
+            deletes = deletes_protected_text(transducer, schema, label)
+            rows.append((label, "deletes" if deletes else "keeps"))
+        report("E11: deletion matrix per protected label", rows)
+        # Everything under comments is deleted; the selected trio is kept.
+        matrix = dict(rows)
+        assert matrix["comments"] == "deletes"
+        assert matrix["positive"] == "deletes"
+        assert matrix["instructions"] == "keeps"
+        assert matrix["description"] == "keeps"
+        benchmark_or_timer(
+            lambda: deletes_protected_text(transducer, schema, "comments")
+        )

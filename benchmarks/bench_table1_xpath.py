@@ -1,0 +1,94 @@
+"""E4 — Table 1: Core XPath semantics.
+
+Exercises every rule of Table 1 on the recipes document (each row of
+the table is asserted by example) and measures evaluator throughput for
+the axis, closure, composition, union, and filter constructs on
+documents scaled to ``n`` recipes — the series reported is evaluation
+time per construct.
+"""
+
+import pytest
+
+from conftest import report
+
+from repro.paper import figure1_tree
+from repro.trees import tree
+from repro.xpath import XPathEvaluator, parse_node_expr, parse_path_expr
+
+
+def scaled(n):
+    base = figure1_tree()
+    return tree("recipes", (list(base.children) * ((n + 1) // 2))[:n])
+
+
+TABLE1_ROWS = [
+    ("R (child)", "down", "path"),
+    ("R (parent)", "up", "path"),
+    ("R (next-sibling)", "right", "path"),
+    ("R (previous-sibling)", "left", "path"),
+    ("R*", "down*", "path"),
+    ("self", "self", "path"),
+    ("alpha/beta", "down/down", "path"),
+    ("alpha ∪ beta", "down | right", "path"),
+    ("alpha[phi]", "down[recipe]", "path"),
+    ("sigma", "recipe", "node"),
+    ("<alpha>", "<down[comments]>", "node"),
+    ("true", "true", "node"),
+    ("not phi", "not recipe", "node"),
+    ("phi and psi", "recipe and <down>", "node"),
+]
+
+
+class TestTable1:
+    def test_every_rule_nonvacuous(self, benchmark_or_timer):
+        document = figure1_tree()
+        evaluator = XPathEvaluator(document)
+
+        def run_all():
+            counts = []
+            for name, source, kind in TABLE1_ROWS:
+                if kind == "path":
+                    counts.append((name, len(evaluator.pairs(parse_path_expr(source)))))
+                else:
+                    counts.append((name, len(evaluator.satisfying(parse_node_expr(source)))))
+            return counts
+
+        elapsed = benchmark_or_timer(run_all)
+        counts = run_all()
+        # Each construct denotes something non-trivial on Figure 1.
+        for name, count in counts:
+            assert count > 0, name
+        report(
+            "E4: Table 1 rule coverage on Figure 1",
+            counts + [("seconds (suite)", "%.5f" % elapsed)],
+        )
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_closure_evaluation_scales(self, benchmark_or_timer, n):
+        document = scaled(n)
+        expression = parse_path_expr("down*[comment]")
+
+        def evaluate():
+            return len(XPathEvaluator(document).pairs(expression))
+
+        elapsed = benchmark_or_timer(evaluate)
+        report(
+            "E4: down*[comment] at %d recipes" % n,
+            [("nodes", document.size), ("pairs", evaluate()), ("seconds", "%.5f" % elapsed)],
+        )
+
+    def test_example_515_pattern_cost(self, benchmark_or_timer):
+        document = scaled(16)
+        pattern = parse_node_expr(
+            "recipe and <down[comments]/down[positive]/down[comment]"
+            "/right[comment]/right[comment]>"
+        )
+
+        def evaluate():
+            return len(XPathEvaluator(document).satisfying(pattern))
+
+        elapsed = benchmark_or_timer(evaluate)
+        report(
+            "E4: Example 5.15 pattern at 16 recipes",
+            [("matches", evaluate()), ("seconds", "%.5f" % elapsed)],
+        )

@@ -1,0 +1,100 @@
+"""E6 — Theorem 3.3: the characterization, validated at scale.
+
+Sweeps reproducible random (transducer, schema) pairs and checks, for
+every instance, that
+
+* the PTIME decision procedures agree with the bounded semantic oracle
+  on copying / rearranging / text-preservation, and
+* Theorem 3.3 holds pointwise: a value-unique tree violates
+  text-preservation iff the transduction copies or rearranges on it.
+
+The reported series is the verdict distribution over the sweep — the
+"table" this experiment regenerates is the (preserving / copying /
+rearranging / both) contingency counts.
+"""
+
+import random
+
+import pytest
+
+from conftest import report
+
+from repro.core import (
+    bounded_oracle,
+    is_copying,
+    is_rearranging,
+    is_text_preserving,
+    theorem_3_3_holds,
+)
+from repro.automata.enumerate import enumerate_trees
+from repro.workloads import random_schema, random_topdown
+
+N_INSTANCES = 25
+
+
+class TestCharacterizationSweep:
+    def test_sweep_agreement(self, benchmark_or_timer):
+        tally = {"preserving": 0, "copying": 0, "rearranging": 0, "both": 0, "skipped": 0}
+        checked = 0
+        rng = random.Random(2011)
+        for _ in range(N_INSTANCES):
+            transducer = random_topdown(rng)
+            schema = random_schema(rng)
+            if schema.is_empty():
+                tally["skipped"] += 1
+                continue
+            copying = is_copying(transducer, schema)
+            rearranging = is_rearranging(transducer, schema)
+            preserving = is_text_preserving(transducer, schema)
+            assert preserving == (not copying and not rearranging)
+            oracle = bounded_oracle(lambda t: transducer.apply(t), schema, max_size=5)
+            # Oracle findings are sound for the decision procedures.
+            if oracle.copying:
+                assert copying
+            if oracle.rearranging:
+                assert rearranging
+            if not oracle.text_preserving:
+                assert not preserving
+            if preserving:
+                assert oracle.text_preserving
+            checked += 1
+            if copying and rearranging:
+                tally["both"] += 1
+            elif copying:
+                tally["copying"] += 1
+            elif rearranging:
+                tally["rearranging"] += 1
+            else:
+                tally["preserving"] += 1
+        assert checked >= N_INSTANCES // 2
+        report(
+            "E6: Theorem 3.3 sweep over %d random instances" % N_INSTANCES,
+            sorted(tally.items()),
+        )
+        # Time one representative instance for the benchmark table.
+        rng2 = random.Random(2011)
+        transducer = random_topdown(rng2)
+        schema = random_schema(rng2)
+        benchmark_or_timer(lambda: is_text_preserving(transducer, schema))
+
+    def test_pointwise_theorem_33(self, benchmark_or_timer):
+        rng = random.Random(33)
+        violations = 0
+        trees_checked = 0
+        for _ in range(8):
+            transducer = random_topdown(rng)
+            schema = random_schema(rng)
+            if schema.is_empty():
+                continue
+            for t in enumerate_trees(schema, 5, max_count=40):
+                trees_checked += 1
+                assert theorem_3_3_holds(lambda s: transducer.apply(s), t)
+        assert trees_checked > 0
+        report(
+            "E6: pointwise Theorem 3.3",
+            [("trees checked", trees_checked), ("violations", violations)],
+        )
+        from repro.trees import parse_tree
+
+        sample = parse_tree('a(b("v") "w")')
+        benchmark_or_timer(lambda: theorem_3_3_holds(lambda s: s, sample))

@@ -1,0 +1,118 @@
+"""E5 — Theorem 4.11: the PTIME decision for top-down transducers.
+
+Measures the text-preservation decision time against the transducer /
+schema size parameter ``n`` for the depth (chain) and width families,
+and fits a polynomial-degree estimate to the growth: the paper's claim
+is that the decision is polynomial, so the fitted log-log slope must
+stay small and, in particular, wildly below the exponential families of
+E7/E8.
+
+Includes the A1/A2 ablations called out in DESIGN.md: path-automaton
+product vs pre-intersected construction, and worklist-vs-naive
+emptiness (measured through the trim toggle).
+"""
+
+import math
+
+import pytest
+
+from conftest import report
+
+from repro.core import is_text_preserving
+from repro.core.topdown_analysis import copying_nfa, path_automaton
+from repro.workloads import chain_instance, wide_instance
+
+SIZES = [2, 4, 8, 16, 32]
+#: The wide family's rearranging automaton is cubic in n; keep its
+#: largest point moderate so the suite stays snappy.
+WIDE_SIZES = [2, 4, 8, 12, 16]
+
+
+def fitted_slope(xs, ys):
+    """Least-squares slope of log(y) vs log(x), ignoring zero times."""
+    points = [(math.log(x), math.log(y)) for x, y in zip(xs, ys) if y > 0]
+    n = len(points)
+    if n < 2:
+        return 0.0
+    mean_x = sum(p[0] for p in points) / n
+    mean_y = sum(p[1] for p in points) / n
+    num = sum((p[0] - mean_x) * (p[1] - mean_y) for p in points)
+    den = sum((p[0] - mean_x) ** 2 for p in points)
+    return num / den if den else 0.0
+
+
+class TestPtimeScaling:
+    @pytest.mark.parametrize("family,make", [("chain", chain_instance), ("wide", wide_instance)])
+    def test_decision_scales_polynomially(self, benchmark_or_timer, family, make):
+        rows = []
+        times = []
+        sizes = SIZES if family == "chain" else WIDE_SIZES
+        for n in sizes:
+            transducer, schema = make(n)
+            from conftest import wall_time
+
+            verdict, seconds = wall_time(is_text_preserving, transducer, schema)
+            assert verdict  # both families are text-preserving
+            rows.append((n, transducer.size, schema.size, "%.4f" % seconds))
+            times.append(max(seconds, 1e-6))
+        slope = fitted_slope(sizes, times)
+        rows.append(("log-log slope", "", "", "%.2f" % slope))
+        report(
+            "E5: PTIME decision scaling (%s family)" % family,
+            rows,
+            header=("n", "|T|", "|N|", "seconds"),
+        )
+        # Polynomial: the slope is a small constant (degree), far from
+        # the doubling-per-step growth of the EXPTIME family (E7).
+        assert slope < 6.0
+        benchmark_or_timer(lambda: is_text_preserving(*make(8)))
+
+    def test_path_automata_linear(self, benchmark_or_timer):
+        rows = []
+        for n in SIZES:
+            transducer, schema = chain_instance(n)
+            nfa = path_automaton(schema)
+            rows.append((n, schema.size, nfa.size))
+            assert nfa.size <= 12 * schema.size + 20  # Lemma 4.8: polynomial
+        report("E5: path automaton size vs schema size", rows, header=("n", "|N|", "|A_N|"))
+        benchmark_or_timer(lambda: path_automaton(chain_instance(16)[1]))
+
+    def test_ablation_product_order(self, benchmark_or_timer):
+        """A1: building M over the trimmed schema path automaton vs the
+        raw one (the product construction of Lemma 4.9)."""
+        from conftest import wall_time
+
+        transducer, schema = wide_instance(16)
+        _m, direct = wall_time(copying_nfa, transducer, schema)
+
+        def pretrimmed():
+            trimmed = schema.trim()
+            return copying_nfa(transducer, trimmed)
+
+        _m2, trimmed_first = wall_time(pretrimmed)
+        report(
+            "E5/A1 ablation: copying product construction",
+            [
+                ("direct", "%.4f s" % direct),
+                ("schema pre-trimmed", "%.4f s" % trimmed_first),
+            ],
+        )
+        benchmark_or_timer(lambda: copying_nfa(transducer, schema))
+
+    def test_ablation_emptiness(self, benchmark_or_timer):
+        """A2: emptiness via the inhabited-state fixpoint on the raw
+        product vs after trimming."""
+        from conftest import wall_time
+        from repro.automata import intersect_nta
+        from repro.core.topdown_analysis import rearranging_nta
+
+        transducer, schema = wide_instance(12)
+        universe = set(schema.alphabet) | set(transducer.alphabet)
+        product = intersect_nta(rearranging_nta(transducer, universe), schema)
+        _r1, raw = wall_time(product.is_empty)
+        _r2, after_trim = wall_time(lambda: product.trim().is_empty())
+        report(
+            "E5/A2 ablation: emptiness on the witness product",
+            [("raw fixpoint", "%.4f s" % raw), ("trim+fixpoint", "%.4f s" % after_trim)],
+        )
+        benchmark_or_timer(product.is_empty)

@@ -1,0 +1,88 @@
+"""E7 — Theorem 5.18: DTL^XPath decision cost (the EXPTIME side).
+
+The decision for DTL^XPath is EXPTIME-complete; this bench measures the
+decision cost on the counting-filter family (Example 5.15's "at least
+``n`` following siblings" pattern scaled up) and reports the growth
+series next to the PTIME top-down baseline on a matched workload.
+
+Expected shape (and asserted): the DTL^XPath cost grows sharply with
+``n`` while the top-down baseline on documents of the same schema stays
+flat — the tractability frontier of the paper's §1 table (PTIME for
+top-down vs EXPTIME for DTL^XPath).
+"""
+
+import pytest
+
+from conftest import report, wall_time
+
+from repro import is_text_preserving
+from repro.core import TopDownTransducer
+from repro.mso import clear_compile_cache
+from repro.workloads import counting_filter_dtl, counting_schema
+
+NS = [0, 1, 2]
+
+
+def topdown_baseline():
+    """The top-down analogue: keep sections wholesale (no counting —
+    uniform transducers cannot count siblings, which is the point)."""
+    return TopDownTransducer(
+        states={"q0", "q"},
+        rules={
+            ("q0", "doc"): "doc(q0)",
+            ("q0", "sec"): "sec(q)",
+            ("q", "head"): "head(q)",
+            ("q", "par"): "par(q)",
+            ("q", "text"): "text",
+        },
+        initial="q0",
+    )
+
+
+class TestExptimeFamily:
+    def test_growth_series(self, benchmark_or_timer):
+        schema = counting_schema()
+        rows = []
+        times = []
+        for n in NS:
+            clear_compile_cache()
+            transducer = counting_filter_dtl(n)
+            verdict, seconds = wall_time(is_text_preserving, transducer, schema)
+            assert verdict  # filtering whole sections preserves text
+            rows.append((n, transducer.size, "%.2f" % seconds))
+            times.append(seconds)
+        _b, baseline_seconds = wall_time(is_text_preserving, topdown_baseline(), schema)
+        rows.append(("top-down baseline", topdown_baseline().size, "%.4f" % baseline_seconds))
+        report(
+            "E7: DTL^XPath decision vs filter length n",
+            rows,
+            header=("n", "|T|", "seconds"),
+        )
+        # Shape: the XPath decision is orders of magnitude costlier than
+        # the PTIME baseline, and grows with n.
+        assert times[-1] > baseline_seconds * 10
+        assert times[-1] >= times[0]
+        benchmark_or_timer(lambda: is_text_preserving(counting_filter_dtl(0), schema))
+
+    def test_negation_blowup(self, benchmark_or_timer):
+        """Negated filters force determinizations: measure the cost of
+        one pattern-compile step with and without negation."""
+        from repro.mso import compile_mso
+        from repro.xpath import parse_node_expr
+        from repro.xpath.to_mso import node_expr_to_mso
+
+        sigma = ("doc", "sec", "head", "par")
+        plain = node_expr_to_mso(parse_node_expr("sec and <down[par]>"), "x")
+        negated = node_expr_to_mso(parse_node_expr("sec and not <down[par]/right[par]>"), "x")
+        clear_compile_cache()
+        p1, t_plain = wall_time(compile_mso, plain, sigma)
+        clear_compile_cache()
+        p2, t_negated = wall_time(compile_mso, negated, sigma)
+        report(
+            "E7: pattern compilation, plain vs negated",
+            [
+                ("plain", "%d states" % len(p1.bta.states), "%.3f s" % t_plain),
+                ("negated", "%d states" % len(p2.bta.states), "%.3f s" % t_negated),
+            ],
+        )
+        benchmark_or_timer(lambda: compile_mso(plain, sigma))

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one artifact of the paper (figure,
+table, example, or complexity claim) per the experiment index in
+DESIGN.md, printing the series it measures so the harness output can be
+compared against EXPERIMENTS.md.
+"""
+
+import time
+
+import pytest
+
+
+def report(title, rows, header=None):
+    """Print a small aligned table into the benchmark log."""
+    print("\n=== %s ===" % title)
+    if header:
+        print("  " + " | ".join(str(h) for h in header))
+    for row in rows:
+        print("  " + " | ".join(str(c) for c in row))
+
+
+def wall_time(fn, *args, **kwargs):
+    """Run once, returning (result, seconds)."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@pytest.fixture
+def benchmark_or_timer(benchmark):
+    """Run a thunk under pytest-benchmark when it is active, otherwise
+    once with a wall-clock timer; returns the measured seconds either
+    way, so the bench files double as plain tests."""
+
+    def run(fn):
+        if benchmark.enabled:
+            benchmark.pedantic(fn, rounds=1, iterations=1)
+            return benchmark.stats.stats.mean
+        _result, seconds = wall_time(fn)
+        return seconds
+
+    return run

@@ -1,0 +1,56 @@
+"""A tour of the command-line interface on the running example.
+
+Drives ``python -m repro`` programmatically over the artifact files in
+``examples/files/``: validate the Figure 1 document, transform it,
+statically check the good and the buggy transducer, and export the
+maximal safe sub-schema of the buggy one as JSON.
+
+Run:  python examples/cli_tour.py
+"""
+
+import os
+import tempfile
+
+from repro.cli import main
+from repro.paper import figure1_tree
+from repro.trees import tree_to_xml
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FILES = os.path.join(HERE, "files")
+
+
+def run(args) -> int:
+    print("\n$ python -m repro " + " ".join(args))
+    code = main(args)
+    print("(exit %d)" % code)
+    return code
+
+
+def main_tour() -> None:
+    schema = os.path.join(FILES, "recipes.schema")
+    select = os.path.join(FILES, "select.tdx")
+    swapper = os.path.join(FILES, "swap_comments.tdx")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        document = os.path.join(tmp, "figure1.xml")
+        with open(document, "w", encoding="utf-8") as handle:
+            handle.write(tree_to_xml(figure1_tree()))
+
+        assert run(["validate", schema, document]) == 0
+        assert run(["transform", select, document]) == 0
+        assert run(["check", select, schema]) == 0
+        assert run(["check", select, schema, "--protect", "comments"]) == 1
+        assert run(["check", swapper, schema]) == 1
+
+        safe_json = os.path.join(tmp, "safe.json")
+        assert run(["subschema", swapper, schema, "--output", safe_json]) == 0
+        from repro.automata.io import nta_from_json
+
+        with open(safe_json, encoding="utf-8") as handle:
+            reloaded = nta_from_json(handle.read())
+        print("\nreloaded safe sub-schema accepts the empty recipe list:",
+              reloaded.accepts(__import__("repro").parse_tree("recipes")))
+
+
+if __name__ == "__main__":
+    main_tour()

@@ -1,0 +1,76 @@
+"""Quickstart: the paper's running example, end to end.
+
+Builds the recipes document of Figure 1, validates it against the DTD
+of Example 2.3, runs the Example 4.2 transducer (select descriptions,
+ingredients, instructions; drop comments), and verifies — both on this
+document and *statically, for every document the schema admits* — that
+the transformation is text-preserving.  Then it breaks the transducer
+on purpose and shows the analyzer catching it with a counter-example.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    TopDownTransducer,
+    counter_example,
+    is_subsequence,
+    is_text_preserving,
+    text_values,
+    tree_to_xml,
+)
+from repro.paper import example23_dtd, example42_transducer, figure1_tree
+
+
+def main() -> None:
+    document = figure1_tree()
+    dtd = example23_dtd()
+
+    print("=== The recipes document (Figure 1) as XML ===")
+    print(tree_to_xml(document))
+    print("valid w.r.t. the Example 2.3 DTD:", dtd.is_valid(document))
+
+    transducer = example42_transducer()
+    output = transducer(document)
+    print("\n=== After the Example 4.2 transformation (Figure 2) ===")
+    print(tree_to_xml(output))
+
+    print("input text :", " | ".join(text_values(document)[:4]), "...")
+    print("output text:", " | ".join(text_values(output)[:4]), "...")
+    print(
+        "output text is a subsequence of the input text:",
+        is_subsequence(text_values(output), text_values(document)),
+    )
+
+    # The static guarantee: text-preserving over *every* valid document.
+    print(
+        "\nstatically text-preserving over the whole DTD:",
+        is_text_preserving(transducer, dtd),
+    )
+
+    # Now a buggy variant that emits the ingredients twice.
+    buggy = TopDownTransducer(
+        states={"q0", "qsel", "q"},
+        rules={
+            ("q0", "recipes"): "recipes(q0)",
+            ("q0", "recipe"): "recipe(qsel qsel)",  # <- duplicated!
+            ("qsel", "description"): "description(q)",
+            ("qsel", "ingredients"): "ingredients(q)",
+            ("qsel", "instructions"): "instructions(q)",
+            ("q", "item"): "q",
+            ("q", "br"): "br(q)",
+            ("q", "text"): "text",
+        },
+        initial="q0",
+    )
+    print("\nbuggy variant text-preserving:", is_text_preserving(buggy, dtd))
+    witness = counter_example(buggy, dtd)
+    assert witness is not None
+    print("smallest counter-example document:")
+    print(tree_to_xml(witness))
+    duplicated = text_values(buggy(witness))
+    print("its text after the buggy transformation:", duplicated)
+    assert not is_subsequence(duplicated, text_values(witness))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Schema safety audit: carving out the safe part of a schema (§7).
+
+Given a transformation that is *not* text-preserving over the whole
+schema, the Section 7 construction computes the **maximal sub-schema**
+on which it is — the exact regular language of documents the
+transformation handles safely.  This example audits a forum-export
+transformation that reorders pinned posts, computes the safe
+sub-language, and additionally demands (the §7 extension) that no text
+below ``quote`` nodes is ever deleted.
+
+Run:  python examples/schema_safety_audit.py
+"""
+
+from repro import (
+    DTD,
+    TopDownTransducer,
+    counter_example,
+    deletes_protected_text,
+    is_text_preserving,
+    is_text_preserving_with_protection,
+    maximal_safe_subschema,
+    tree_to_xml,
+)
+from repro.automata.enumerate import enumerate_trees
+from repro.schema import dtd_to_nta
+from repro.trees import parse_tree
+
+
+def forum_dtd() -> DTD:
+    """A thread has an optional pinned post, regular posts, and a
+    footer; posts may contain quotes."""
+    return DTD(
+        content={
+            "thread": "pinned? post* footer",
+            "pinned": "text",
+            "post": "(text + quote)*",
+            "quote": "text",
+            "footer": "text",
+        },
+        start={"thread"},
+    )
+
+
+def export() -> TopDownTransducer:
+    """The export stage: renders posts first and the pinned message
+    last ("sticky footer" layout) and strips quote mark-up, dropping
+    quoted text entirely."""
+    return TopDownTransducer(
+        states={"q0", "qpost", "qpin", "q"},
+        rules={
+            ("q0", "thread"): "thread(qpost qpin)",
+            ("qpost", "post"): "post(q)",
+            ("qpost", "footer"): "footer(q)",
+            ("qpin", "pinned"): "pinned(q)",
+            # quotes are dropped: no rule for (q, quote)
+            ("q", "text"): "text",
+        },
+        initial="q0",
+    )
+
+
+def main() -> None:
+    dtd = forum_dtd()
+    schema = dtd_to_nta(dtd)
+    stage = export()
+
+    print("text-preserving over the full schema:", is_text_preserving(stage, schema))
+    witness = counter_example(stage, schema)
+    assert witness is not None
+    print("\nsmallest unsafe document (pinned text jumps behind the posts):")
+    print(tree_to_xml(witness))
+
+    safe = maximal_safe_subschema(stage, schema)
+    print("maximal safe sub-schema is empty:", safe.is_empty())
+    print("the export is text-preserving on it:", is_text_preserving(stage, safe))
+
+    print("\nsmallest documents in the safe sub-schema:")
+    for t in enumerate_trees(safe, 5, max_count=5):
+        print("  ", t)
+    # A document with a pinned post next to body text is out.
+    risky = parse_tree('thread(pinned("read me first") post("hello") footer("f"))')
+    print("document with pinned+post stays out:", not safe.accepts(risky))
+
+    print("\n=== §7 extension: protecting quoted text ===")
+    print("deletes text below quote:", deletes_protected_text(stage, schema, "quote"))
+    print(
+        "text-preserving AND quote-protected:",
+        is_text_preserving_with_protection(stage, schema, {"quote"}),
+    )
+    guarded = maximal_safe_subschema(stage, schema, protected_labels={"quote"})
+    print("safe+protected sub-schema is empty:", guarded.is_empty())
+    for t in enumerate_trees(guarded, 5, max_count=5):
+        print("  ", t)
+    quoted = parse_tree('thread(post(quote("nested wisdom")) footer("f"))')
+    print("document with a quote stays out:", not guarded.accepts(quoted))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+``pip install -e .`` requires the ``wheel`` package for PEP 517
+editable installs; on fully offline machines without it, use::
+
+    python setup.py develop
+
+which achieves the same editable install with plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

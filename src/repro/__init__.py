@@ -1,0 +1,117 @@
+"""repro — text-preserving XML transformations (PODS 2011 reproduction).
+
+A library for *text-centric* XML processing: decide whether an
+XSLT-style transformation can ever copy or reorder the text of a
+document, extract concrete counter-examples, and compute the largest
+sub-schema on which a transformation is safe.
+
+Quick tour::
+
+    from repro import (
+        parse_tree, DTD, TopDownTransducer, is_text_preserving,
+    )
+
+    schema = DTD({"note": "body", "body": "text"}, start={"note"})
+    keep_body = TopDownTransducer(
+        states={"q0", "q"},
+        rules={("q0", "note"): "note(q)", ("q", "body"): "q", ("q", "text"): "text"},
+        initial="q0",
+    )
+    assert is_text_preserving(keep_body, schema)
+
+See README.md for the architecture and DESIGN.md for the paper map.
+"""
+
+from .analysis import (
+    counter_example,
+    deletes_protected_text,
+    is_copying,
+    is_rearranging,
+    is_text_preserving,
+    is_text_preserving_with_protection,
+    maximal_safe_subschema,
+)
+from .automata import (
+    BTA,
+    NTA,
+    TEXT,
+    complement_nta,
+    intersect_nta,
+    nta_from_rules,
+    union_nta,
+    universal_nta,
+)
+from .core.dtl import Call, DTLError, DTLTransducer, DeterminismError, NonTerminationError
+from .core.dtl_mso import MSOBinary, MSOUnary
+from .core.dtl_xpath import XPathBinary, XPathUnary, xpath_call
+from .core.oracle import bounded_oracle
+from .core.topdown import TopDownTransducer
+from .schema import DTD, dtd_to_nta
+from .trees import (
+    Tree,
+    hedge,
+    is_subsequence,
+    make_value_unique,
+    parse_tree,
+    serialize_tree,
+    text,
+    text_content,
+    text_values,
+    tree,
+    tree_to_xml,
+    xml_to_tree,
+)
+from .xpath import parse_node_expr, parse_path_expr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # trees
+    "Tree",
+    "tree",
+    "text",
+    "hedge",
+    "parse_tree",
+    "serialize_tree",
+    "text_content",
+    "text_values",
+    "is_subsequence",
+    "make_value_unique",
+    "tree_to_xml",
+    "xml_to_tree",
+    # schemas and automata
+    "DTD",
+    "dtd_to_nta",
+    "NTA",
+    "BTA",
+    "TEXT",
+    "nta_from_rules",
+    "universal_nta",
+    "intersect_nta",
+    "union_nta",
+    "complement_nta",
+    # transducers
+    "TopDownTransducer",
+    "DTLTransducer",
+    "Call",
+    "xpath_call",
+    "XPathUnary",
+    "XPathBinary",
+    "MSOUnary",
+    "MSOBinary",
+    "DTLError",
+    "DeterminismError",
+    "NonTerminationError",
+    "parse_node_expr",
+    "parse_path_expr",
+    # decisions
+    "is_text_preserving",
+    "is_copying",
+    "is_rearranging",
+    "counter_example",
+    "maximal_safe_subschema",
+    "deletes_protected_text",
+    "is_text_preserving_with_protection",
+    "bounded_oracle",
+    "__version__",
+]

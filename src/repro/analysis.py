@@ -1,0 +1,130 @@
+"""The front-door API: one set of verbs over both transducer families
+and both schema formalisms.
+
+``schema`` arguments accept a :class:`~repro.schema.dtd.DTD` or an
+:class:`~repro.automata.nta.NTA`; ``transducer`` arguments accept a
+:class:`~repro.core.topdown.TopDownTransducer` (decided by the PTIME
+Section 4 pipeline) or a :class:`~repro.core.dtl.DTLTransducer`
+(decided by the Section 5 MSO pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from .automata.nta import NTA
+from .core.dtl import DTLTransducer
+from .core.dtl_analysis import (
+    counter_example_dtl,
+    is_copying_dtl,
+    is_rearranging_dtl,
+    is_text_preserving_dtl,
+)
+from .core.safety import (
+    deletes_protected_text as _deletes_protected_text,
+)
+from .core.safety import (
+    is_text_preserving_with_protection as _preserving_with_protection,
+)
+from .core.safety import maximal_safe_subschema as _maximal_safe_subschema
+from .core.topdown import TopDownTransducer
+from .core.topdown_analysis import (
+    counter_example as _counter_example_topdown,
+)
+from .core.topdown_analysis import (
+    is_copying as _is_copying_topdown,
+)
+from .core.topdown_analysis import (
+    is_rearranging as _is_rearranging_topdown,
+)
+from .core.topdown_analysis import (
+    is_text_preserving as _is_text_preserving_topdown,
+)
+from .schema.dtd import DTD, dtd_to_nta
+from .trees.tree import Tree
+
+__all__ = [
+    "is_text_preserving",
+    "is_copying",
+    "is_rearranging",
+    "counter_example",
+    "maximal_safe_subschema",
+    "deletes_protected_text",
+    "is_text_preserving_with_protection",
+]
+
+Transducer = Union[TopDownTransducer, DTLTransducer]
+Schema = Union[DTD, NTA]
+
+
+def _as_nta(schema: Schema) -> NTA:
+    if isinstance(schema, DTD):
+        return dtd_to_nta(schema)
+    if isinstance(schema, NTA):
+        return schema
+    raise TypeError("schema must be a DTD or an NTA, got %r" % (schema,))
+
+
+def is_text_preserving(transducer: Transducer, schema: Schema) -> bool:
+    """Decide whether the transducer is text-preserving over the schema
+    (Theorem 4.11 for top-down transducers; Theorems 5.12/5.18 for
+    DTL)."""
+    nta = _as_nta(schema)
+    if isinstance(transducer, TopDownTransducer):
+        return _is_text_preserving_topdown(transducer, nta)
+    if isinstance(transducer, DTLTransducer):
+        return is_text_preserving_dtl(transducer, nta)
+    raise TypeError("unsupported transducer %r" % (transducer,))
+
+
+def is_copying(transducer: Transducer, schema: Schema) -> bool:
+    """Decide the copying half of the Theorem 3.3 characterization."""
+    nta = _as_nta(schema)
+    if isinstance(transducer, TopDownTransducer):
+        return _is_copying_topdown(transducer, nta)
+    if isinstance(transducer, DTLTransducer):
+        return is_copying_dtl(transducer, nta)
+    raise TypeError("unsupported transducer %r" % (transducer,))
+
+
+def is_rearranging(transducer: Transducer, schema: Schema) -> bool:
+    """Decide the rearranging half of the Theorem 3.3 characterization."""
+    nta = _as_nta(schema)
+    if isinstance(transducer, TopDownTransducer):
+        return _is_rearranging_topdown(transducer, nta)
+    if isinstance(transducer, DTLTransducer):
+        return is_rearranging_dtl(transducer, nta)
+    raise TypeError("unsupported transducer %r" % (transducer,))
+
+
+def counter_example(transducer: Transducer, schema: Schema) -> Optional[Tree]:
+    """A smallest value-unique schema tree witnessing a violation, or
+    ``None`` when the transducer is text-preserving."""
+    nta = _as_nta(schema)
+    if isinstance(transducer, TopDownTransducer):
+        return _counter_example_topdown(transducer, nta)
+    if isinstance(transducer, DTLTransducer):
+        return counter_example_dtl(transducer, nta)
+    raise TypeError("unsupported transducer %r" % (transducer,))
+
+
+def maximal_safe_subschema(
+    transducer: Transducer, schema: Schema, protected_labels: Iterable[str] = ()
+) -> NTA:
+    """Section 7: the largest sub-schema on which the transformation is
+    text-preserving (and protects the given labels)."""
+    return _maximal_safe_subschema(transducer, _as_nta(schema), protected_labels)
+
+
+def deletes_protected_text(transducer: Transducer, schema: Schema, label: str) -> bool:
+    """Section 7 extension: whether some schema tree loses a text value
+    below a ``label``-node."""
+    return _deletes_protected_text(transducer, _as_nta(schema), label)
+
+
+def is_text_preserving_with_protection(
+    transducer: Transducer, schema: Schema, protected_labels: Iterable[str]
+) -> bool:
+    """Section 7 extension: text-preserving and deletion-free below all
+    protected labels."""
+    return _preserving_with_protection(transducer, _as_nta(schema), protected_labels)

@@ -1,0 +1,43 @@
+"""Tree automata: unranked NTAs, binary BTAs, and the FCNS bridge."""
+
+from .bta import BTA, BTree, bleaf, intersect_bta, union_bta
+from .build import label_universe_nta, nta_from_rules, universal_nta
+from .io import nta_from_json, nta_to_dot, nta_to_json, transducer_to_dot
+from .fcns import (
+    bta_to_nta,
+    complement_nta,
+    decode_tree,
+    encode_hedge,
+    encode_tree,
+    nta_to_bta,
+    nta_witness_not_in,
+    valid_encoding_bta,
+)
+from .nta import NTA, TEXT, intersect_nta, union_nta
+
+__all__ = [
+    "NTA",
+    "TEXT",
+    "intersect_nta",
+    "union_nta",
+    "BTA",
+    "BTree",
+    "bleaf",
+    "intersect_bta",
+    "union_bta",
+    "encode_tree",
+    "encode_hedge",
+    "decode_tree",
+    "nta_to_bta",
+    "bta_to_nta",
+    "complement_nta",
+    "nta_witness_not_in",
+    "valid_encoding_bta",
+    "nta_from_rules",
+    "universal_nta",
+    "label_universe_nta",
+    "nta_to_json",
+    "nta_from_json",
+    "nta_to_dot",
+    "transducer_to_dot",
+]

@@ -1,0 +1,713 @@
+"""Bottom-up nondeterministic binary tree automata (BTAs).
+
+These are the workhorse behind everything that needs complementation
+or logic: unranked regular tree languages are handled through their
+first-child/next-sibling encodings (:mod:`repro.automata.fcns`), on
+which BTAs enjoy the classical closure properties with simple
+constructions — product, disjoint-union, subset-construction
+determinization (hence complement), relabelling in both directions
+(hence MSO projection/cylindrification), and emptiness with witnesses.
+
+A binary tree (:class:`BTree`) is a node with a label and two optional
+children; the absent child is "nil".  A BTA assigns states bottom-up:
+``leaf_states`` may be assumed at every nil position, and a node
+labelled ``a`` whose children evaluated to ``(q_left, q_right)`` may
+take any state in ``transitions[a][(q_left, q_right)]``.  The tree is
+accepted when the root can take a state in ``finals``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+__all__ = ["BTree", "BTA", "intersect_bta", "union_bta", "bleaf"]
+
+State = Hashable
+Label = Hashable
+
+
+class BTree:
+    """An immutable binary tree; ``None`` children are nil."""
+
+    __slots__ = ("label", "left", "right", "_hash", "_size")
+
+    def __init__(
+        self, label: Label, left: Optional["BTree"] = None, right: Optional["BTree"] = None
+    ) -> None:
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        size = 1
+        if left is not None:
+            size += left.size
+        if right is not None:
+            size += right.size
+        object.__setattr__(self, "_size", size)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("BTree objects are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, BTree):
+            return NotImplemented
+        return (
+            self.label == other.label
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.label, self.left, self.right))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __repr__(self) -> str:
+        if self.left is None and self.right is None:
+            return "BTree(%r)" % (self.label,)
+        return "BTree(%r, %r, %r)" % (self.label, self.left, self.right)
+
+    @property
+    def size(self) -> int:
+        """Number of (non-nil) nodes."""
+        return self._size
+
+    def nodes(self) -> Iterator[Tuple[Tuple[int, ...], "BTree"]]:
+        """Yield ``(path, subtree)`` pairs; paths are 0/1 sequences."""
+        stack: List[Tuple[Tuple[int, ...], BTree]] = [((), self)]
+        while stack:
+            path, node = stack.pop()
+            yield path, node
+            if node.right is not None:
+                stack.append((path + (1,), node.right))
+            if node.left is not None:
+                stack.append((path + (0,), node.left))
+
+    def relabel(self, fn: Callable[[Label], Label]) -> "BTree":
+        """Apply ``fn`` to every label."""
+        left = self.left.relabel(fn) if self.left is not None else None
+        right = self.right.relabel(fn) if self.right is not None else None
+        return BTree(fn(self.label), left, right)
+
+
+def bleaf(label: Label) -> BTree:
+    """A binary leaf (both children nil)."""
+    return BTree(label)
+
+
+class BTA:
+    """A bottom-up nondeterministic binary tree automaton.
+
+    Parameters
+    ----------
+    states:
+        State set.
+    alphabet:
+        Label alphabet.
+    leaf_states:
+        States assignable to nil positions.
+    transitions:
+        Mapping ``label -> {(q_left, q_right): set_of_targets}``.
+    finals:
+        Accepting root states.
+    """
+
+    __slots__ = ("states", "alphabet", "leaf_states", "finals", "_rules", "_inhabited", "_classes")
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Label],
+        leaf_states: Iterable[State],
+        transitions: Dict[Label, Dict[Tuple[State, State], Set[State]]],
+        finals: Iterable[State],
+    ) -> None:
+        self.states: FrozenSet[State] = frozenset(states)
+        self.alphabet: FrozenSet[Label] = frozenset(alphabet)
+        self.leaf_states: FrozenSet[State] = frozenset(leaf_states)
+        self.finals: FrozenSet[State] = frozenset(finals)
+        # Labels frequently share one table object (class-grouped
+        # constructions); freeze each distinct object once.
+        frozen_by_id: Dict[int, Dict[Tuple[State, State], FrozenSet[State]]] = {}
+        self._rules: Dict[Label, Dict[Tuple[State, State], FrozenSet[State]]] = {}
+        for label, by_pair in transitions.items():
+            frozen = frozen_by_id.get(id(by_pair))
+            if frozen is None:
+                frozen = {pair: frozenset(targets) for pair, targets in by_pair.items()}
+                frozen_by_id[id(by_pair)] = frozen
+            self._rules[label] = frozen
+        self._inhabited: Optional[FrozenSet[State]] = None
+        self._classes = None
+        if not self.leaf_states <= self.states:
+            raise ValueError("leaf states must be states")
+        if not self.finals <= self.states:
+            raise ValueError("final states must be states")
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """States plus transition entries (a rough complexity measure)."""
+        return len(self.states) + sum(
+            len(targets) for by_pair in self._rules.values() for targets in by_pair.values()
+        )
+
+    def __repr__(self) -> str:
+        return "BTA(states=%d, alphabet=%d, rules=%d)" % (
+            len(self.states),
+            len(self.alphabet),
+            sum(len(b) for b in self._rules.values()),
+        )
+
+    def rules(self) -> Iterator[Tuple[Label, State, State, State]]:
+        """Yield ``(label, q_left, q_right, target)`` quadruples."""
+        for label, by_pair in self._rules.items():
+            for (q_left, q_right), targets in by_pair.items():
+                for target in targets:
+                    yield (label, q_left, q_right, target)
+
+    def targets(self, label: Label, q_left: State, q_right: State) -> FrozenSet[State]:
+        """The target set ``Delta_label(q_left, q_right)``."""
+        return self._rules.get(label, {}).get((q_left, q_right), frozenset())
+
+    # -- membership --------------------------------------------------------
+
+    def eval_states(self, t: Optional[BTree]) -> FrozenSet[State]:
+        """The set of states the subtree can evaluate to (nil gives
+        ``leaf_states``)."""
+        if t is None:
+            return self.leaf_states
+        memo: Dict[BTree, FrozenSet[State]] = {}
+        return self._eval(t, memo)
+
+    def _eval(self, t: BTree, memo: Dict[BTree, FrozenSet[State]]) -> FrozenSet[State]:
+        cached = memo.get(t)
+        if cached is not None:
+            return cached
+        left = self._eval(t.left, memo) if t.left is not None else self.leaf_states
+        right = self._eval(t.right, memo) if t.right is not None else self.leaf_states
+        result: Set[State] = set()
+        by_pair = self._rules.get(t.label, {})
+        if len(left) * len(right) <= len(by_pair):
+            for q_left in left:
+                for q_right in right:
+                    result |= by_pair.get((q_left, q_right), frozenset())
+        else:
+            for (q_left, q_right), targets in by_pair.items():
+                if q_left in left and q_right in right:
+                    result |= targets
+        out = frozenset(result)
+        memo[t] = out
+        return out
+
+    def accepts(self, t: BTree) -> bool:
+        """Whether ``t`` is accepted."""
+        return bool(self.eval_states(t) & self.finals)
+
+    # -- emptiness / witness --------------------------------------------------
+
+    def inhabited_states(self) -> FrozenSet[State]:
+        """States reachable bottom-up from nil (emptiness fixpoint;
+        runs once per distinct transition table)."""
+        if self._inhabited is not None:
+            return self._inhabited
+        inhabited: Set[State] = set(self.leaf_states)
+        tables = [table for _labels, table in self.label_classes()]
+        changed = True
+        while changed:
+            changed = False
+            for by_pair in tables:
+                for (q_left, q_right), targets in by_pair.items():
+                    if q_left in inhabited and q_right in inhabited:
+                        fresh = targets - inhabited
+                        if fresh:
+                            inhabited |= fresh
+                            changed = True
+        self._inhabited = frozenset(inhabited)
+        return self._inhabited
+
+    def is_empty(self) -> bool:
+        """Whether the accepted language is empty."""
+        return not (self.inhabited_states() & self.finals)
+
+    def witness(self) -> Optional[BTree]:
+        """A smallest accepted binary tree, or ``None`` when empty.
+
+        A Dijkstra pass computes, per state, the smallest subtree *or
+        nil* evaluating to it (nil costs 0 at leaf states); the witness
+        is then the cheapest rule application landing in a final state
+        — acceptance needs an actual root node, so a final state's nil
+        derivation alone does not accept.
+        """
+        best: Dict[State, Optional[BTree]] = {q: None for q in self.leaf_states}
+        cost: Dict[State, int] = {q: 0 for q in self.leaf_states}
+        heap: List[Tuple[int, int, State]] = []
+        counter = itertools.count()
+        for q in self.leaf_states:
+            heapq.heappush(heap, (0, next(counter), q))
+        settled: Set[State] = set()
+        while heap:
+            _c, _tie, state = heapq.heappop(heap)
+            if state in settled:
+                continue
+            settled.add(state)
+            for label, by_pair in self._rules.items():
+                for (q_left, q_right), targets in by_pair.items():
+                    if q_left not in settled or q_right not in settled:
+                        continue
+                    if state not in (q_left, q_right):
+                        continue
+                    new_cost = 1 + cost[q_left] + cost[q_right]
+                    for target in targets:
+                        if target in settled:
+                            continue
+                        if target not in cost or new_cost < cost[target]:
+                            cost[target] = new_cost
+                            best[target] = BTree(label, best[q_left], best[q_right])
+                            heapq.heappush(heap, (new_cost, next(counter), target))
+        champion: Optional[BTree] = None
+        for label, by_pair in self._rules.items():
+            for (q_left, q_right), targets in by_pair.items():
+                if q_left not in settled or q_right not in settled:
+                    continue
+                if not (targets & self.finals):
+                    continue
+                candidate_cost = 1 + cost[q_left] + cost[q_right]
+                if champion is None or candidate_cost < champion.size:
+                    champion = BTree(label, best[q_left], best[q_right])
+        return champion
+
+    # -- label classes -----------------------------------------------------------
+
+    def label_classes(self) -> List[Tuple[Tuple[Label, ...], Dict[Tuple[State, State], FrozenSet[State]]]]:
+        """Group alphabet labels by identical transition tables.
+
+        Marked alphabets (MSO compilation) contain many labels whose
+        behaviour coincides; the expensive constructions below iterate
+        per *class* instead of per label, which routinely shrinks the
+        work by the number of mark combinations.
+        """
+        if self._classes is not None:
+            return self._classes
+        # Fast path: group by table object identity (constructions built
+        # per class share the object), then merge identical contents.
+        empty: Dict[Tuple[State, State], FrozenSet[State]] = {}
+        by_object: Dict[int, List[Label]] = {}
+        object_table: Dict[int, Dict[Tuple[State, State], FrozenSet[State]]] = {}
+        for label in self.alphabet:
+            table = self._rules.get(label, empty)
+            by_object.setdefault(id(table), []).append(label)
+            object_table[id(table)] = table
+        groups: Dict[FrozenSet, List[Label]] = {}
+        tables: Dict[FrozenSet, Dict[Tuple[State, State], FrozenSet[State]]] = {}
+        for object_id, labels in by_object.items():
+            table = object_table[object_id]
+            key = frozenset(table.items())
+            groups.setdefault(key, []).extend(labels)
+            tables[key] = table
+        self._classes = [(tuple(labels), tables[key]) for key, labels in groups.items()]
+        return self._classes
+
+    # -- trimming ----------------------------------------------------------------
+
+    def trim(self) -> "BTA":
+        """Keep only states that occur in some accepting evaluation
+        (class-grouped: the fixpoint and the rebuild run once per
+        distinct transition table)."""
+        inhabited = self.inhabited_states()
+        classes = self.label_classes()
+        useful: Set[State] = set(self.finals & inhabited)
+        changed = True
+        while changed:
+            changed = False
+            for _labels, by_pair in classes:
+                for (q_left, q_right), targets in by_pair.items():
+                    if q_left not in inhabited or q_right not in inhabited:
+                        continue
+                    if {q_left, q_right} <= useful:
+                        continue
+                    if targets & useful:
+                        useful.add(q_left)
+                        useful.add(q_right)
+                        changed = True
+        transitions: Dict[Label, Dict[Tuple[State, State], Set[State]]] = {}
+        for labels, by_pair in classes:
+            new_table: Dict[Tuple[State, State], Set[State]] = {}
+            for (q_left, q_right), targets in by_pair.items():
+                if q_left not in useful or q_right not in useful:
+                    continue
+                kept = {t for t in targets if t in useful}
+                if kept:
+                    new_table[(q_left, q_right)] = kept
+            if new_table:
+                for label in labels:
+                    transitions[label] = new_table
+        return BTA(
+            useful or {"__dead__"},
+            self.alphabet,
+            self.leaf_states & useful,
+            transitions,
+            self.finals & useful,
+        )
+
+    # -- determinization / complement -----------------------------------------------
+
+    def determinize(self) -> "BTA":
+        """Subset construction.  The result is deterministic and
+        complete over its reachable subset-states (every label and pair
+        of reachable states has exactly one target), so complement is a
+        final-flip."""
+        nil = frozenset(self.leaf_states)
+        classes = self.label_classes()
+        subsets: Set[FrozenSet[State]] = {nil}
+        class_transitions: List[Dict[Tuple[State, State], Set[State]]] = [
+            {} for _ in classes
+        ]
+        known_pairs: Set[Tuple[FrozenSet[State], FrozenSet[State], int]] = set()
+        changed = True
+        while changed:
+            changed = False
+            snapshot = list(subsets)
+            for q_left in snapshot:
+                for q_right in snapshot:
+                    for index, (_labels, table) in enumerate(classes):
+                        key = (q_left, q_right, index)
+                        if key in known_pairs:
+                            continue
+                        known_pairs.add(key)
+                        target = _subset_target_table(table, q_left, q_right)
+                        class_transitions[index][(q_left, q_right)] = {target}
+                        if target not in subsets:
+                            subsets.add(target)
+                            changed = True
+        transitions: Dict[Label, Dict[Tuple[State, State], Set[State]]] = {}
+        for index, (labels, _table) in enumerate(classes):
+            for label in labels:
+                transitions[label] = class_transitions[index]
+        finals = {s for s in subsets if s & self.finals}
+        return BTA(subsets, self.alphabet, {nil}, transitions, finals)
+
+    def _subset_target(
+        self, label: Label, left: FrozenSet[State], right: FrozenSet[State]
+    ) -> FrozenSet[State]:
+        return _subset_target_table(self._rules.get(label, {}), left, right)
+
+    def complement(self) -> "BTA":
+        """BTA for the complement language over the same alphabet."""
+        det = minimize_dbta(self.determinize())
+        return BTA(
+            det.states,
+            det.alphabet,
+            det.leaf_states,
+            det._rules,
+            det.states - det.finals,
+        )
+
+    def is_deterministic(self) -> bool:
+        """Whether every (label, pair) has at most one target and nil
+        has exactly one state."""
+        if len(self.leaf_states) != 1:
+            return False
+        return all(
+            len(targets) <= 1
+            for by_pair in self._rules.values()
+            for targets in by_pair.values()
+        )
+
+    # -- relabelling ----------------------------------------------------------
+
+    def image(self, fn: Callable[[Label], Label]) -> "BTA":
+        """BTA for ``{fn(t) : t accepted}`` (projection; may add
+        nondeterminism)."""
+        transitions: Dict[Label, Dict[Tuple[State, State], Set[State]]] = {}
+        for label, by_pair in self._rules.items():
+            bucket = transitions.setdefault(fn(label), {})
+            for pair, targets in by_pair.items():
+                bucket.setdefault(pair, set()).update(targets)
+        return BTA(
+            self.states,
+            {fn(a) for a in self.alphabet},
+            self.leaf_states,
+            transitions,
+            self.finals,
+        )
+
+    def preimage(self, fn: Callable[[Label], Label], new_alphabet: Iterable[Label]) -> "BTA":
+        """BTA over ``new_alphabet`` for ``{t : fn(t) accepted}``
+        (cylindrification).  Labels with a common image share one table
+        object, keeping the class structure visible downstream."""
+        transitions: Dict[Label, Dict[Tuple[State, State], Set[State]]] = {}
+        copies: Dict[Label, Dict[Tuple[State, State], Set[State]]] = {}
+        for label in new_alphabet:
+            source_label = fn(label)
+            source = self._rules.get(source_label)
+            if not source:
+                continue
+            copy = copies.get(source_label)
+            if copy is None:
+                copy = {pair: set(ts) for pair, ts in source.items()}
+                copies[source_label] = copy
+            transitions[label] = copy
+        return BTA(self.states, new_alphabet, self.leaf_states, transitions, self.finals)
+
+    def rename_states(self, prefix: str) -> "BTA":
+        """An isomorphic copy with states ``(prefix, i)``."""
+        names = {q: (prefix, i) for i, q in enumerate(sorted(self.states, key=repr))}
+        transitions: Dict[Label, Dict[Tuple[State, State], Set[State]]] = {}
+        for label, by_pair in self._rules.items():
+            transitions[label] = {
+                (names[l], names[r]): {names[t] for t in targets}
+                for (l, r), targets in by_pair.items()
+            }
+        return BTA(
+            names.values(),
+            self.alphabet,
+            {names[q] for q in self.leaf_states},
+            transitions,
+            {names[q] for q in self.finals},
+        )
+
+    def restrict_alphabet(self, alphabet: Iterable[Label]) -> "BTA":
+        """Drop transitions whose label is outside ``alphabet``."""
+        keep = frozenset(alphabet)
+        transitions = {
+            label: {pair: set(ts) for pair, ts in by_pair.items()}
+            for label, by_pair in self._rules.items()
+            if label in keep
+        }
+        return BTA(self.states, keep, self.leaf_states, transitions, self.finals)
+
+
+def _subset_target_table(
+    by_pair: Dict[Tuple[State, State], FrozenSet[State]],
+    left: FrozenSet[State],
+    right: FrozenSet[State],
+) -> FrozenSet[State]:
+    result: Set[State] = set()
+    if len(left) * len(right) <= len(by_pair):
+        for q_left in left:
+            for q_right in right:
+                result |= by_pair.get((q_left, q_right), frozenset())
+    else:
+        for (q_left, q_right), targets in by_pair.items():
+            if q_left in left and q_right in right:
+                result |= targets
+    return frozenset(result)
+
+
+# -- boolean combinations --------------------------------------------------------
+
+
+def intersect_bta(left: BTA, right: BTA) -> BTA:
+    """Product BTA for the intersection.  Both inputs should share an
+    alphabet; labels only in one side yield no transitions (empty
+    intersection there).
+
+    The fixpoint runs once per *pair of label classes* (labels with
+    identical tables on both sides share their product table), which is
+    what makes marked-alphabet products affordable.
+    """
+    alphabet = left.alphabet | right.alphabet
+    leaf = set(itertools.product(left.leaf_states, right.leaf_states))
+
+    # Group labels by the pair (left class, right class).
+    left_class_of: Dict[Label, int] = {}
+    left_tables: List[Dict[Tuple[State, State], FrozenSet[State]]] = []
+    for index, (labels, table) in enumerate(left.label_classes()):
+        left_tables.append(table)
+        for label in labels:
+            left_class_of[label] = index
+    right_class_of: Dict[Label, int] = {}
+    right_tables: List[Dict[Tuple[State, State], FrozenSet[State]]] = []
+    for index, (labels, table) in enumerate(right.label_classes()):
+        right_tables.append(table)
+        for label in labels:
+            right_class_of[label] = index
+
+    pair_labels: Dict[Tuple[int, int], List[Label]] = {}
+    for label in alphabet:
+        l_class = left_class_of.get(label)
+        r_class = right_class_of.get(label)
+        if l_class is None or r_class is None:
+            continue
+        if not left_tables[l_class] or not right_tables[r_class]:
+            continue
+        pair_labels.setdefault((l_class, r_class), []).append(label)
+
+    # Index the rules of each participating class by the first and the
+    # second component of their child pair separately, so a newly
+    # discovered product state only triggers the rule combinations it
+    # can actually enable (as left child with left-child rules, as
+    # right child with right-child rules).
+    def _position_indices(table):
+        by_first: Dict[State, List] = {}
+        by_second: Dict[State, List] = {}
+        for pair, targets in table.items():
+            by_first.setdefault(pair[0], []).append((pair, targets))
+            by_second.setdefault(pair[1], []).append((pair, targets))
+        return by_first, by_second
+
+    l_indices: Dict[int, Tuple[Dict, Dict]] = {}
+    r_indices: Dict[int, Tuple[Dict, Dict]] = {}
+    for (l_class, r_class) in pair_labels:
+        if l_class not in l_indices:
+            l_indices[l_class] = _position_indices(left_tables[l_class])
+        if r_class not in r_indices:
+            r_indices[r_class] = _position_indices(right_tables[r_class])
+
+    states: Set[Tuple[State, State]] = set(leaf)
+    buckets: Dict[Tuple[int, int], Dict[Tuple[State, State], Set[State]]] = {
+        key: {} for key in pair_labels
+    }
+    work: List[Tuple[State, State]] = list(leaf)
+    while work:
+        new_state = work.pop()
+        new_l, new_r = new_state
+        for (l_class, r_class), bucket in buckets.items():
+            l_first, l_second = l_indices[l_class]
+            r_first, r_second = r_indices[r_class]
+            for position in (0, 1):
+                l_candidates = (l_first if position == 0 else l_second).get(new_l, ())
+                if not l_candidates:
+                    continue
+                r_candidates = (r_first if position == 0 else r_second).get(new_r, ())
+                if not r_candidates:
+                    continue
+                for (l1, l2), l_targets in l_candidates:
+                    for (r1, r2), r_targets in r_candidates:
+                        # The popped state fills `position`; the other
+                        # child pair must already be available.
+                        if position == 0:
+                            if (l2, r2) not in states:
+                                continue
+                        else:
+                            if (l1, r1) not in states:
+                                continue
+                        pair_key = ((l1, r1), (l2, r2))
+                        targets = bucket.setdefault(pair_key, set())
+                        for lt in l_targets:
+                            for rt in r_targets:
+                                combo = (lt, rt)
+                                if combo not in targets:
+                                    targets.add(combo)
+                                    if combo not in states:
+                                        states.add(combo)
+                                        work.append(combo)
+    transitions: Dict[Label, Dict[Tuple[State, State], Set[State]]] = {}
+    for key, labels in pair_labels.items():
+        for label in labels:
+            transitions[label] = buckets[key]
+    finals = {
+        (l, r) for (l, r) in states if l in left.finals and r in right.finals
+    }
+    return BTA(states, alphabet, leaf, transitions, finals)
+
+
+def minimize_dbta(det: BTA) -> BTA:
+    """Myhill–Nerode minimization of a *deterministic, complete* BTA.
+
+    Partition refinement: two states are distinguishable when plugging
+    them into the same one-step context (label plus sibling state on
+    either side) yields states in different blocks.  The input must be
+    deterministic (one nil state, at most one target per transition);
+    completeness over reachable contexts is what :meth:`BTA.determinize`
+    guarantees.
+    """
+    if not det.is_deterministic():
+        raise ValueError("minimize_dbta needs a deterministic BTA")
+    states = sorted(det.states, key=repr)
+    finals = det.finals
+
+    # Initial partition: final vs non-final.
+    block_of: Dict[State, int] = {q: (1 if q in finals else 0) for q in states}
+    # Unwrap the (deterministic) singleton target sets once.
+    unwrapped = [
+        {pair: next(iter(targets)) for pair, targets in table.items() if targets}
+        for _labels, table in det.label_classes()
+    ]
+    changed = True
+    while changed:
+        changed = False
+        signature: Dict[State, Tuple] = {}
+        for q in states:
+            sig: List[Tuple] = [block_of[q]]
+            for table in unwrapped:
+                # Context signature: behaviour with every other state as
+                # the sibling, in both positions (once per label class).
+                for other in states:
+                    t1 = table.get((q, other))
+                    t2 = table.get((other, q))
+                    sig.append(
+                        (
+                            block_of[t1] if t1 is not None else -1,
+                            block_of[t2] if t2 is not None else -1,
+                        )
+                    )
+            signature[q] = tuple(sig)
+        # Re-block by signature; signatures embed the old block id, so
+        # the new partition always refines the old one — stop when the
+        # block count is stable.
+        sig_to_block: Dict[Tuple, int] = {}
+        new_block_of: Dict[State, int] = {}
+        for q in states:
+            block = sig_to_block.setdefault(signature[q], len(sig_to_block))
+            new_block_of[q] = block
+        changed = len(sig_to_block) != len(set(block_of.values()))
+        block_of = new_block_of
+
+    representative: Dict[int, State] = {}
+    for q in states:
+        representative.setdefault(block_of[q], q)
+    transitions: Dict[Label, Dict[Tuple[State, State], Set[State]]] = {}
+    for label, by_pair in det._rules.items():
+        bucket = transitions.setdefault(label, {})
+        for (q_left, q_right), targets in by_pair.items():
+            if not targets:
+                continue
+            target = next(iter(targets))
+            key = (block_of[q_left], block_of[q_right])
+            bucket[key] = {block_of[target]}
+    blocks = set(block_of.values())
+    return BTA(
+        blocks,
+        det.alphabet,
+        {block_of[q] for q in det.leaf_states},
+        transitions,
+        {block_of[q] for q in det.finals},
+    )
+
+
+def union_bta(left: BTA, right: BTA) -> BTA:
+    """Disjoint-union BTA for the union (runs stay in one component)."""
+    left = left.rename_states("L")
+    right = right.rename_states("R")
+    transitions: Dict[Label, Dict[Tuple[State, State], Set[State]]] = {}
+    for source in (left, right):
+        for label, by_pair in source._rules.items():
+            bucket = transitions.setdefault(label, {})
+            for pair, targets in by_pair.items():
+                bucket.setdefault(pair, set()).update(targets)
+    return BTA(
+        set(left.states) | set(right.states),
+        left.alphabet | right.alphabet,
+        set(left.leaf_states) | set(right.leaf_states),
+        transitions,
+        set(left.finals) | set(right.finals),
+    )

@@ -1,0 +1,86 @@
+"""Convenience builders for tree automata.
+
+The horizontal languages of an :class:`~repro.automata.nta.NTA` are
+NFAs over the automaton's *state set*; writing them by hand is tedious.
+:func:`nta_from_rules` lets tests, examples, and the schema compiler
+specify them as regular expressions over state names::
+
+    nta_from_rules(
+        alphabet={"recipes", "recipe"},
+        rules={
+            ("q0", "recipes"): "qr*",
+            ("qr", "recipe"): "eps",
+        },
+        initial="q0",
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Set, Tuple, Union
+
+from ..strings.nfa import NFA
+from ..strings.regex import Regex, parse_regex
+from .nta import NTA, TEXT
+
+__all__ = ["nta_from_rules", "universal_nta", "label_universe_nta"]
+
+State = Hashable
+
+
+def nta_from_rules(
+    alphabet: Iterable[str],
+    rules: Mapping[Tuple[str, str], Union[str, Regex, NFA]],
+    initial: str,
+) -> NTA:
+    """Build an NTA from ``(state, symbol) -> horizontal language`` rules.
+
+    Horizontal languages may be given as regex source strings (symbols
+    are state names), parsed :class:`~repro.strings.regex.Regex` ASTs,
+    or readymade NFAs.  The state set is inferred from rule keys and
+    regex symbols; ``initial`` is added if missing.
+    """
+    states: Set[str] = {initial}
+    compiled: Dict[Tuple[str, str], NFA] = {}
+    for (state, symbol), language in rules.items():
+        states.add(state)
+        if isinstance(language, str):
+            language = parse_regex(language)
+        if isinstance(language, Regex):
+            states |= set(language.symbols())
+            nfa = language.to_nfa()
+        elif isinstance(language, NFA):
+            states |= {a for a in language.alphabet}
+            nfa = language
+        else:
+            raise TypeError("unsupported horizontal language spec: %r" % (language,))
+        compiled[(state, symbol)] = nfa
+    return NTA(states, alphabet, compiled, initial)
+
+
+def universal_nta(alphabet: Iterable[str], allow_text: bool = True) -> NTA:
+    """The NTA accepting *every* text tree over ``alphabet``."""
+    sigma = set(alphabet)
+    q = "q"
+    rules: Dict[Tuple[str, str], NFA] = {}
+    star = parse_regex("q*").to_nfa()
+    for symbol in sigma:
+        rules[(q, symbol)] = star
+    if allow_text:
+        rules[(q, TEXT)] = parse_regex("eps").to_nfa()
+    return NTA({q}, sigma, rules, q)
+
+
+def label_universe_nta(alphabet: Iterable[str], root_labels: Iterable[str]) -> NTA:
+    """All text trees over ``alphabet`` whose root label is in
+    ``root_labels`` (a common schema shell in tests)."""
+    sigma = set(alphabet)
+    rules: Dict[Tuple[str, str], NFA] = {}
+    star = parse_regex("q*").to_nfa()
+    eps = parse_regex("eps").to_nfa()
+    for symbol in sigma:
+        rules[("q", symbol)] = star
+        if symbol in set(root_labels):
+            rules[("q0", symbol)] = star
+    rules[("q", TEXT)] = eps
+    return NTA({"q0", "q"}, sigma, rules, "q0")

@@ -1,0 +1,263 @@
+"""First-child/next-sibling encoding and NTA ↔ BTA conversions.
+
+The classical bijection between unranked hedges over ``Sigma`` and
+binary trees: the empty hedge encodes as nil, and the hedge
+``a(h1) h2`` encodes as a binary node labelled ``a`` whose left child
+encodes ``h1`` (the children) and whose right child encodes ``h2`` (the
+following siblings).  Text nodes are encoded with the placeholder label
+:data:`~repro.automata.nta.TEXT`, matching the paper's ``L_text`` view
+of a tree language.
+
+The conversions preserve the language through the encoding:
+
+* :func:`nta_to_bta` is polynomial — the BTA nondeterministically
+  guesses the NTA run; its states are pairs (horizontal automaton,
+  automaton state).
+* :func:`bta_to_nta` is polynomial as well — NTA states are pairs
+  (label, BTA state of the children hedge), and each horizontal
+  language simulates the BTA's fold over the sibling chain.
+
+Together with :meth:`BTA.complement` these give complementation of
+unranked regular tree languages, which powers the Section 5 decision
+procedures and the Section 7 maximal-sub-schema construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..strings.nfa import NFA
+from ..trees.tree import Hedge, Tree
+from .bta import BTA, BTree
+from .nta import NTA, TEXT
+
+__all__ = [
+    "encode_tree",
+    "encode_hedge",
+    "decode_tree",
+    "nta_to_bta",
+    "bta_to_nta",
+    "complement_nta",
+    "nta_witness_not_in",
+]
+
+State = Hashable
+
+#: Key of the virtual root horizontal automaton in :func:`nta_to_bta`.
+_ROOT = "__root__"
+
+
+def _binary_label(t: Tree) -> str:
+    return TEXT if t.is_text else t.label
+
+
+def encode_hedge(h: Sequence[Tree]) -> Optional[BTree]:
+    """Encode a hedge as a binary tree (nil for the empty hedge)."""
+    result: Optional[BTree] = None
+    for t in reversed(h):
+        result = BTree(_binary_label(t), encode_hedge(t.children), result)
+    return result
+
+
+def encode_tree(t: Tree) -> BTree:
+    """Encode a single tree; text nodes become :data:`TEXT` leaves."""
+    encoded = encode_hedge((t,))
+    assert encoded is not None
+    return encoded
+
+
+def decode_hedge(b: Optional[BTree], text_values: Optional[itertools.count] = None) -> Hedge:
+    """Decode a binary tree back to a hedge.
+
+    Leaves labelled :data:`TEXT` become text nodes; since the encoding
+    dropped the concrete values, fresh values ``txt0, txt1, ...`` are
+    invented (any choice is equivalent for languages closed under
+    Text-substitutions).
+    """
+    if text_values is None:
+        text_values = itertools.count()
+    trees: List[Tree] = []
+    node = b
+    while node is not None:
+        children = decode_hedge(node.left, text_values)
+        if node.label == TEXT:
+            if children:
+                raise ValueError("text label %r with children in encoded tree" % (node.label,))
+            trees.append(Tree("txt%d" % next(text_values), is_text=True))
+        else:
+            trees.append(Tree(str(node.label), children))
+        node = node.right
+    return tuple(trees)
+
+
+def decode_tree(b: BTree) -> Tree:
+    """Decode a binary tree that encodes a single unranked tree."""
+    hedge = decode_hedge(b)
+    if len(hedge) != 1:
+        raise ValueError("binary tree encodes a hedge of %d trees, not 1" % len(hedge))
+    return hedge[0]
+
+
+def nta_to_bta(nta: NTA) -> BTA:
+    """A BTA accepting exactly the encodings of ``L(nta)``.
+
+    BTA states are pairs ``(key, p)`` where ``key`` identifies a
+    horizontal NFA (one per NTA transition, plus a virtual root
+    automaton accepting only the word ``q0``) and ``p`` is a state of
+    that NFA.  A state ``(key, p)`` at a binary position encoding a
+    hedge ``h`` asserts: the key's NFA can read the root-state word of
+    ``h`` from ``p`` to acceptance, with consistent runs on the
+    subtrees.
+    """
+    horizontals: Dict[Hashable, NFA] = {}
+    for (q, symbol), nfa in nta.delta.items():
+        horizontals[("h", q, symbol)] = nfa.without_epsilon()
+    root_nfa = NFA([0, 1], nta.states, [(0, nta.initial, 1)], 0, {1})
+    horizontals[_ROOT] = root_nfa
+
+    states: Set[Tuple[Hashable, State]] = set()
+    leaf_states: Set[Tuple[Hashable, State]] = set()
+    for key, nfa in horizontals.items():
+        for p in nfa.states:
+            states.add((key, p))
+            if p in nfa.finals:
+                leaf_states.add((key, p))
+
+    alphabet = set(nta.alphabet) | {TEXT}
+    transitions: Dict[str, Dict[Tuple[State, State], Set[State]]] = {}
+    for label in alphabet:
+        bucket: Dict[Tuple[State, State], Set[State]] = {}
+        # The left child must certify the children hedge with the
+        # horizontal automaton of some (q, label), started at its
+        # initial state.
+        for (q, symbol), _nfa in nta.delta.items():
+            if symbol != label:
+                continue
+            left_key = ("h", q, symbol)
+            left_state = (left_key, horizontals[left_key].initial)
+            # Reading symbol q in any horizontal automaton advances the
+            # parent's hedge by one position.
+            for key, nfa in horizontals.items():
+                for p in nfa.states:
+                    for p_next in nfa.step(p, q):
+                        bucket.setdefault((left_state, (key, p_next)), set()).add((key, p))
+        if bucket:
+            transitions[label] = bucket
+    finals = {(_ROOT, root_nfa.initial)}
+    return BTA(states, alphabet, leaf_states, transitions, finals)
+
+
+def bta_to_nta(bta: BTA, alphabet: Optional[Sequence[str]] = None) -> NTA:
+    """An NTA accepting exactly the unranked trees whose encodings are
+    in ``L(bta)``.
+
+    ``alphabet`` defaults to the BTA's labels minus :data:`TEXT`.
+    NTA states are pairs ``(label, s)`` — the node's label plus the BTA
+    state of the encoding of its children hedge — and a fresh root
+    state.  The horizontal language of ``(a, s)`` simulates the BTA's
+    right-to-left fold over the sibling chain, read left to right.
+    """
+    sigma = frozenset(alphabet) if alphabet is not None else (bta.alphabet - {TEXT})
+    all_labels = set(sigma) | ({TEXT} if TEXT in bta.alphabet else set())
+
+    node_states = [(a, s) for a in all_labels for s in bta.states]
+    root = ("__q0__",)
+    states: Set[State] = set(node_states) | {root}
+
+    # Shared transition structure of the horizontal NFAs: from fold
+    # state u, reading child (b, s'), move to u' whenever
+    # u in Delta_b(s', u').
+    edges: List[Tuple[State, State, State]] = []
+    for label, q_left, q_right, target in bta.rules():
+        # target = Delta_label(q_left, q_right): q_left is the child's own
+        # children-hedge state, q_right the fold state of the rest.
+        edges.append((target, (label, q_left), q_right))
+
+    delta: Dict[Tuple[State, str], NFA] = {}
+    nfa_states = set(bta.states)
+    nfa_finals = set(bta.leaf_states)
+    base_nfa: Optional[NFA] = None
+    if bta.states:
+        any_state = next(iter(bta.states))
+        base_nfa = NFA(nfa_states, node_states, edges, any_state, nfa_finals)
+    for a in sigma:
+        for s in bta.states:
+            assert base_nfa is not None
+            delta[((a, s), a)] = base_nfa.with_initial(s)
+    if TEXT in all_labels:
+        empty_word_nfa = NFA([0], node_states, [], 0, [0])
+        nothing_nfa = NFA([0], node_states, [], 0, [])
+        for s in bta.states:
+            if s in bta.leaf_states:
+                delta[((TEXT, s), TEXT)] = empty_word_nfa
+            else:
+                delta[((TEXT, s), TEXT)] = nothing_nfa
+
+    # Root: label a, children-hedge state s is valid when folding the
+    # one-tree hedge accepts: exists u_nil in leaf states with
+    # Delta_a(s, u_nil) intersecting finals.
+    for a in all_labels:
+        valid_starts: Set[State] = set()
+        for label, q_left, q_right, target in bta.rules():
+            if label == a and q_right in bta.leaf_states and target in bta.finals:
+                valid_starts.add(q_left)
+        if not valid_starts:
+            continue
+        if a == TEXT:
+            good = valid_starts & bta.leaf_states
+            if good:
+                delta[(root, TEXT)] = NFA([0], node_states, [], 0, [0])
+            continue
+        fresh = ("__init__",)
+        union_edges: List[Tuple[State, State, State]] = list(edges)
+        union_edges += [(fresh, None, s) for s in valid_starts]  # epsilon branches
+        delta[(root, a)] = NFA(
+            nfa_states | {fresh}, node_states, union_edges, fresh, nfa_finals
+        )
+    return NTA(states, sigma, delta, root)
+
+
+def valid_encoding_bta(alphabet: Sequence[str]) -> BTA:
+    """The BTA of *valid* tree encodings over ``alphabet`` ∪ {text}:
+    binary trees whose root has a nil right child (single-tree hedges)
+    and whose :data:`TEXT` nodes have nil left children (text nodes are
+    leaves)."""
+    nil, ok_last, ok_more = "nil", "ok-rnil", "ok-rsome"
+    labels = set(alphabet) | {TEXT}
+    transitions: Dict[str, Dict[Tuple[State, State], Set[State]]] = {}
+    for label in labels:
+        bucket: Dict[Tuple[State, State], Set[State]] = {}
+        lefts = (nil,) if label == TEXT else (nil, ok_last, ok_more)
+        for left in lefts:
+            for right, result in ((nil, ok_last), (ok_last, ok_more), (ok_more, ok_more)):
+                bucket[(left, right)] = {result}
+        transitions[label] = bucket
+    return BTA([nil, ok_last, ok_more], labels, [nil], transitions, [ok_last])
+
+
+def _complement_bta_of(nta: NTA) -> BTA:
+    """BTA for ``{enc(t) : t a text tree over the NTA's alphabet, t not in L(nta)}``."""
+    from .bta import intersect_bta
+
+    bta = nta_to_bta(nta)
+    comp = bta.complement()
+    valid = valid_encoding_bta(sorted(nta.alphabet))
+    return intersect_bta(comp, valid).trim()
+
+
+def complement_nta(nta: NTA) -> NTA:
+    """The NTA for the complement of ``L(nta)`` relative to all text
+    trees over the same alphabet (exponential via determinization on the
+    binary encoding)."""
+    return bta_to_nta(_complement_bta_of(nta), sorted(nta.alphabet))
+
+
+def nta_witness_not_in(nta: NTA) -> Optional[Tree]:
+    """A smallest tree over the NTA's alphabet *not* accepted, or
+    ``None`` when the automaton accepts every text tree over its
+    alphabet."""
+    witness = _complement_bta_of(nta).witness()
+    if witness is None:
+        return None
+    return decode_tree(witness)

@@ -1,0 +1,173 @@
+"""Serialization and visualization of automata and transducers.
+
+Two interchange features a downstream user needs from an analysis
+library:
+
+* **JSON round-trips** for NTAs (and DTDs via their content models) —
+  the maximal-safe-sub-schema construction (§7) produces an NTA a build
+  pipeline will want to persist and reload (the CLI's ``subschema
+  --output`` uses this);
+* **Graphviz DOT export** for NTAs and top-down transducers —
+  states/rules as a browsable graph for debugging and documentation.
+
+States are arbitrary hashable objects in memory; serialization names
+them ``s0, s1, ...`` deterministically and stores horizontal languages
+as explicit NFAs (states, transitions, initial, finals).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Hashable, List, Tuple
+
+from ..strings.nfa import EPSILON, NFA
+from .nta import NTA
+
+# NOTE: transducer classes are imported lazily inside transducer_to_dot
+# to keep the automata package import-cycle free (core depends on
+# automata, not the other way round).
+
+__all__ = ["nta_to_json", "nta_from_json", "nta_to_dot", "transducer_to_dot"]
+
+
+def _state_names(states) -> Dict[Hashable, str]:
+    ordered = sorted(states, key=repr)
+    return {state: "s%d" % index for index, state in enumerate(ordered)}
+
+
+def _nfa_to_obj(nfa: NFA, symbol_names: Dict[Hashable, str]) -> dict:
+    local = _state_names(nfa.states)
+    transitions: List[List[str]] = []
+    for source, symbol, target in nfa.transitions():
+        encoded = None if symbol is EPSILON else symbol_names[symbol]
+        transitions.append([local[source], encoded, local[target]])
+    return {
+        "states": sorted(local.values()),
+        "initial": local[nfa.initial],
+        "finals": sorted(local[f] for f in nfa.finals),
+        "transitions": sorted(transitions, key=repr),
+    }
+
+
+def _nfa_from_obj(obj: dict) -> NFA:
+    transitions = [
+        (source, None if symbol is None else symbol, target)
+        for source, symbol, target in obj["transitions"]
+    ]
+    symbols = {symbol for _s, symbol, _t in transitions if symbol is not None}
+    return NFA(obj["states"], symbols, transitions, obj["initial"], obj["finals"])
+
+
+def nta_to_json(nta: NTA, indent: int = 2) -> str:
+    """Serialize an NTA as JSON (deterministic field and state order)."""
+    names = _state_names(nta.states)
+    rules = []
+    for (state, symbol), horizontal in sorted(nta.delta.items(), key=repr):
+        rules.append(
+            {
+                "state": names[state],
+                "symbol": symbol,
+                "horizontal": _nfa_to_obj(horizontal, names),
+            }
+        )
+    payload = {
+        "format": "repro-nta",
+        "version": 1,
+        "alphabet": sorted(nta.alphabet),
+        "states": sorted(names.values()),
+        "initial": names[nta.initial],
+        "rules": rules,
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def nta_from_json(source: str) -> NTA:
+    """Reload an NTA serialized by :func:`nta_to_json`."""
+    payload = json.loads(source)
+    if payload.get("format") != "repro-nta":
+        raise ValueError("not a repro-nta JSON document")
+    if payload.get("version") != 1:
+        raise ValueError("unsupported repro-nta version %r" % payload.get("version"))
+    delta: Dict[Tuple[str, str], NFA] = {}
+    for rule in payload["rules"]:
+        delta[(rule["state"], rule["symbol"])] = _nfa_from_obj(rule["horizontal"])
+    return NTA(payload["states"], payload["alphabet"], delta, payload["initial"])
+
+
+def _dot_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def nta_to_dot(nta: NTA, name: str = "nta") -> str:
+    """A Graphviz digraph: NTA states as nodes, one edge per
+    ``(state, symbol)`` rule into each state appearing in its
+    horizontal language (edge label = the symbol)."""
+    names = _state_names(nta.states)
+    lines = ["digraph %s {" % name, "  rankdir=TB;", '  node [shape=ellipse, fontsize=10];']
+    for state, label in sorted(names.items(), key=lambda kv: kv[1]):
+        shape = "doublecircle" if state == nta.initial else "ellipse"
+        lines.append(
+            '  %s [label="%s", shape=%s];' % (label, _dot_escape(repr(state)), shape)
+        )
+    seen = set()
+    for (state, symbol), horizontal in sorted(nta.delta.items(), key=repr):
+        for _source, edge_symbol, _target in horizontal.transitions():
+            if edge_symbol is EPSILON or edge_symbol not in names:
+                continue
+            key = (names[state], symbol, names[edge_symbol])
+            if key in seen:
+                continue
+            seen.add(key)
+            lines.append(
+                '  %s -> %s [label="%s"];'
+                % (names[state], names[edge_symbol], _dot_escape(str(symbol)))
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _rhs_text(items) -> str:
+    from ..core.topdown import StateCall
+
+    parts = []
+    for item in items:
+        if isinstance(item, StateCall):
+            parts.append(item.state)
+        else:
+            inner = _rhs_text(item.children)
+            parts.append("%s(%s)" % (item.label, inner) if inner else item.label)
+    return " ".join(parts)
+
+
+def transducer_to_dot(transducer, name: str = "transducer") -> str:
+    """A Graphviz digraph of a top-down transducer: one node per state,
+    edges for state calls, edge labels ``symbol -> rhs``."""
+    from ..core.topdown import StateCall
+
+    lines = ["digraph %s {" % name, "  rankdir=LR;", "  node [shape=circle, fontsize=10];"]
+    for state in sorted(transducer.states):
+        shape = "doublecircle" if state == transducer.initial else "circle"
+        extra = ' peripheries=2' if state in transducer.text_states else ""
+        lines.append('  "%s" [shape=%s%s];' % (_dot_escape(state), shape, extra))
+    for (state, symbol), rhs in sorted(transducer.rules.items(), key=repr):
+        targets = set()
+        stack = list(rhs)
+        while stack:
+            item = stack.pop()
+            if isinstance(item, StateCall):
+                targets.add(item.state)
+            else:
+                stack.extend(item.children)
+        label = "%s -> %s" % (symbol, _rhs_text(rhs))
+        if not targets:
+            lines.append(
+                '  "%s" -> "%s" [label="%s", style=dotted];'
+                % (_dot_escape(state), _dot_escape(state), _dot_escape(label))
+            )
+        for target in sorted(targets):
+            lines.append(
+                '  "%s" -> "%s" [label="%s"];'
+                % (_dot_escape(state), _dot_escape(target), _dot_escape(label))
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,266 @@
+"""Command-line interface: validate, transform, and check documents.
+
+File formats (deliberately line-oriented and diff-friendly):
+
+**Schema files** (``.dtd`` text form) — one content model per line,
+``start`` naming the root labels, ``#`` comments::
+
+    start recipes
+    recipes -> recipe*
+    recipe  -> description . ingredients . instructions . comments
+    description -> text
+
+**Transducer files** (``.tdx``) — top-down uniform transducers in the
+paper's rule syntax; states are declared implicitly by use::
+
+    initial q0
+    rule q0 recipes -> recipes(q0)
+    rule q0 recipe  -> recipe(qsel)
+    rule qsel description -> description(q)
+    text q
+
+Commands::
+
+    python -m repro validate  SCHEMA DOCUMENT.xml
+    python -m repro transform TRANSDUCER DOCUMENT.xml
+    python -m repro check     TRANSDUCER SCHEMA [--protect LABEL ...]
+    python -m repro subschema TRANSDUCER SCHEMA [--protect LABEL ...]
+
+``check`` prints the verdict (copying / rearranging / protected-label
+deletions) and, when unsafe, the smallest counter-example document as
+XML; its exit status is 0 iff the transformation is safe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .analysis import (
+    counter_example,
+    deletes_protected_text,
+    is_copying,
+    is_rearranging,
+    maximal_safe_subschema,
+)
+from .core.topdown import TopDownTransducer
+from .schema.dtd import DTD
+from .trees.parser import serialize_tree
+from .trees.xmlio import tree_to_xml, xml_to_tree
+
+__all__ = ["main", "load_schema", "load_transducer", "CliError"]
+
+
+class CliError(ValueError):
+    """Raised for malformed input files; printed without a traceback."""
+
+
+def load_schema(path: str) -> DTD:
+    """Parse the line-oriented schema format into a DTD."""
+    content: Dict[str, str] = {}
+    start: Set[str] = set()
+    with open(path, encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if line.startswith("start"):
+                labels = line[len("start"):].split()
+                if not labels:
+                    raise CliError("%s:%d: 'start' needs at least one label" % (path, number))
+                start.update(labels)
+                continue
+            if "->" not in line:
+                raise CliError("%s:%d: expected 'label -> content-model'" % (path, number))
+            label, model = (part.strip() for part in line.split("->", 1))
+            if not label or " " in label:
+                raise CliError("%s:%d: bad label %r" % (path, number, label))
+            if label in content:
+                raise CliError("%s:%d: duplicate content model for %r" % (path, number, label))
+            content[label] = model
+    if not start:
+        raise CliError("%s: missing 'start' line" % path)
+    try:
+        return DTD(content=content, start=start)
+    except ValueError as error:
+        raise CliError("%s: %s" % (path, error)) from None
+
+
+def load_transducer(path: str) -> TopDownTransducer:
+    """Parse the transducer format into a top-down transducer."""
+    initial: Optional[str] = None
+    rules: Dict[Tuple[str, str], str] = {}
+    states: Set[str] = set()
+    pending: List[Tuple[int, str, str, str]] = []
+    with open(path, encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            keyword = parts[0]
+            rest = parts[1] if len(parts) > 1 else ""
+            if keyword == "initial":
+                if initial is not None:
+                    raise CliError("%s:%d: duplicate 'initial'" % (path, number))
+                initial = rest.strip()
+                states.add(initial)
+            elif keyword == "text":
+                for state in rest.split():
+                    states.add(state)
+                    rules[(state, "text")] = "text"
+            elif keyword == "rule":
+                if "->" not in rest:
+                    raise CliError("%s:%d: expected 'rule STATE LABEL -> rhs'" % (path, number))
+                head, rhs = (part.strip() for part in rest.split("->", 1))
+                head_parts = head.split()
+                if len(head_parts) != 2:
+                    raise CliError("%s:%d: expected 'rule STATE LABEL -> rhs'" % (path, number))
+                state, label = head_parts
+                states.add(state)
+                pending.append((number, state, label, rhs))
+            else:
+                raise CliError("%s:%d: unknown keyword %r" % (path, number, keyword))
+    if initial is None:
+        raise CliError("%s: missing 'initial' line" % path)
+    for number, state, label, rhs in pending:
+        if (state, label) in rules:
+            raise CliError("%s:%d: duplicate rule for (%s, %s)" % (path, number, state, label))
+        rules[(state, label)] = rhs
+    try:
+        return TopDownTransducer(states=states, rules=rules, initial=initial)
+    except ValueError as error:
+        raise CliError("%s: %s" % (path, error)) from None
+
+
+def _load_document(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return xml_to_tree(handle.read())
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    dtd = load_schema(args.schema)
+    document = _load_document(args.document)
+    reason = dtd.invalidity_reason(document)
+    if reason is None:
+        print("valid")
+        return 0
+    print("invalid: %s" % reason)
+    return 1
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    transducer = load_transducer(args.transducer)
+    document = _load_document(args.document)
+    result = transducer.apply(document)
+    if len(result) == 1:
+        sys.stdout.write(tree_to_xml(result[0]))
+    else:
+        print("<!-- transduction produced a hedge of %d trees -->" % len(result))
+        for t in result:
+            sys.stdout.write(tree_to_xml(t))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    transducer = load_transducer(args.transducer)
+    dtd = load_schema(args.schema)
+    copying = is_copying(transducer, dtd)
+    rearranging = is_rearranging(transducer, dtd)
+    print("copying over the schema:     %s" % ("YES" if copying else "no"))
+    print("rearranging over the schema: %s" % ("YES" if rearranging else "no"))
+    safe = not copying and not rearranging
+    print("text-preserving:             %s" % ("yes" if safe else "NO"))
+    if not safe:
+        witness = counter_example(transducer, dtd)
+        if witness is not None:
+            print("smallest counter-example document:")
+            sys.stdout.write(tree_to_xml(witness))
+    for label in args.protect or ():
+        deletes = deletes_protected_text(transducer, dtd, label)
+        print(
+            "text below <%s>:             %s"
+            % (label, "DELETED on some document" if deletes else "always kept")
+        )
+        safe = safe and not deletes
+    return 0 if safe else 1
+
+
+def _cmd_subschema(args: argparse.Namespace) -> int:
+    transducer = load_transducer(args.transducer)
+    dtd = load_schema(args.schema)
+    safe = maximal_safe_subschema(transducer, dtd, protected_labels=args.protect or ())
+    if args.output:
+        from .automata.io import nta_to_json
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(nta_to_json(safe))
+        print("wrote %s" % args.output)
+    if safe.is_empty():
+        print("the maximal safe sub-schema is EMPTY")
+        return 1
+    print(
+        "maximal safe sub-schema: NTA with %d states (size %d)"
+        % (len(safe.states), safe.size)
+    )
+    witness = safe.witness()
+    if witness is not None:
+        print("smallest safe document: %s" % serialize_tree(witness))
+    from .automata.enumerate import enumerate_trees
+
+    shown = 0
+    for t in enumerate_trees(safe, 8, max_count=args.examples):
+        print("  %s" % serialize_tree(t))
+        shown += 1
+    if not shown:
+        print("  (no members within 8 nodes)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Text-preserving XML transformation analysis (PODS 2011).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate", help="validate a document against a schema")
+    validate.add_argument("schema")
+    validate.add_argument("document")
+    validate.set_defaults(func=_cmd_validate)
+
+    transform = sub.add_parser("transform", help="apply a transducer to a document")
+    transform.add_argument("transducer")
+    transform.add_argument("document")
+    transform.set_defaults(func=_cmd_transform)
+
+    check = sub.add_parser("check", help="decide text-preservation over a schema")
+    check.add_argument("transducer")
+    check.add_argument("schema")
+    check.add_argument("--protect", action="append", metavar="LABEL")
+    check.set_defaults(func=_cmd_check)
+
+    subschema = sub.add_parser("subschema", help="compute the maximal safe sub-schema")
+    subschema.add_argument("transducer")
+    subschema.add_argument("schema")
+    subschema.add_argument("--protect", action="append", metavar="LABEL")
+    subschema.add_argument("--examples", type=int, default=5)
+    subschema.add_argument(
+        "--output", metavar="FILE.json", help="write the sub-schema NTA as JSON"
+    )
+    subschema.set_defaults(func=_cmd_subschema)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CliError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2

@@ -1,0 +1,215 @@
+"""Semantic notions of Section 3: admissibility, copying, rearranging,
+and the Theorem 3.3 characterization.
+
+These are *semantic* (black-box) definitions on transductions, used to
+cross-validate the syntactic decision procedures of Sections 4 and 5.
+A transduction here is any callable from trees to trees or hedges.
+
+Definitions implemented:
+
+* ``text-preserving`` (Definition 2.2): ``text-content(T(t))`` is a
+  subsequence of ``text-content(t)``;
+* ``copying`` / ``rearranging`` (Definition 3.1), evaluated on
+  value-unique trees;
+* ``Text-independent`` / ``Text-functional`` / ``admissible``
+  (Definition 3.2) — verified on bounded substitution samples, which is
+  the best a black-box check can do;
+* :func:`theorem_3_3_holds` — empirical verification that
+  text-preserving ⟺ neither copying nor rearranging, on a given tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..trees.navigation import is_subsequence, text_nodes, text_values
+from ..trees.substitution import (
+    apply_substitution,
+    canonical_substitution,
+    is_value_unique,
+    make_value_unique,
+)
+from ..trees.tree import Hedge, Node, Tree
+
+__all__ = [
+    "Transduction",
+    "output_text_values",
+    "is_text_preserving_on",
+    "is_copying_on",
+    "is_rearranging_on",
+    "is_text_independent_on",
+    "is_text_functional_on",
+    "is_admissible_on",
+    "theorem_3_3_holds",
+    "rearranged_pair",
+]
+
+#: A transduction: trees to trees or hedges.
+Transduction = Callable[[Tree], Union[Tree, Hedge]]
+
+
+def output_text_values(result: Union[Tree, Hedge]) -> Tuple[str, ...]:
+    """Text values of a transduction result (tree or hedge) in document
+    order."""
+    if isinstance(result, Tree):
+        return text_values(result)
+    values: List[str] = []
+    for t in result:
+        values.extend(text_values(t))
+    return tuple(values)
+
+
+def _output_text_nodes(result: Union[Tree, Hedge]) -> List[Tuple[int, Node]]:
+    """Addresses of text nodes in a result, tagged by tree index so
+    hedges are covered too."""
+    if isinstance(result, Tree):
+        return [(0, node) for node in text_nodes(result)]
+    out: List[Tuple[int, Node]] = []
+    for index, t in enumerate(result):
+        out.extend((index, node) for node in text_nodes(t))
+    return out
+
+
+def is_text_preserving_on(transduction: Transduction, t: Tree) -> bool:
+    """Definition 2.2, on a single tree."""
+    return is_subsequence(output_text_values(transduction(t)), text_values(t))
+
+
+def is_copying_on(transduction: Transduction, t: Tree) -> bool:
+    """Definition 3.1 (copying), evaluated on the value-unique version
+    of ``t``: the output carries some Text-value twice."""
+    unique = make_value_unique(t)
+    out = output_text_values(transduction(unique))
+    return len(out) != len(set(out))
+
+
+def rearranged_pair(
+    transduction: Transduction, t: Tree
+) -> Optional[Tuple[str, str]]:
+    """A pair ``(gamma1, gamma2)`` witnessing rearranging on the
+    value-unique version of ``t`` (Definition 3.1), or ``None``.
+
+    ``gamma1 gamma2`` is a subsequence of the input content while
+    ``gamma2 gamma1`` is a subsequence of the output content.
+    """
+    unique = make_value_unique(t)
+    inputs = text_values(unique)
+    position = {value: index for index, value in enumerate(inputs)}
+    out = output_text_values(transduction(unique))
+    # For each value, the earliest output occurrence; a pair (a, b) with
+    # a before b in the input and b before a in the output rearranges.
+    first_out: Dict[str, int] = {}
+    for index, value in enumerate(out):
+        first_out.setdefault(value, index)
+    placed = [v for v in out if v in position]
+    for i in range(len(placed)):
+        for j in range(i + 1, len(placed)):
+            later, earlier = placed[i], placed[j]
+            if later == earlier:
+                continue
+            if position[earlier] < position[later]:
+                # earlier precedes later in the input, but later has an
+                # output occurrence before this occurrence of earlier.
+                return (earlier, later)
+    return None
+
+
+def is_rearranging_on(transduction: Transduction, t: Tree) -> bool:
+    """Definition 3.1 (rearranging) on a single tree."""
+    return rearranged_pair(transduction, t) is not None
+
+
+# ---------------------------------------------------------------------------
+# Admissibility (Definition 3.2), on bounded substitution samples
+# ---------------------------------------------------------------------------
+
+
+def _substitution_samples(t: Tree, rounds: int) -> Iterable[Dict[Node, str]]:
+    """A deterministic battery of Text-substitutions for ``t``: all-same
+    values, value-unique, reversed-unique, and a few mixed patterns."""
+    nodes = list(text_nodes(t))
+    yield {node: "g" for node in nodes}
+    yield {node: "u%d" % i for i, node in enumerate(nodes)}
+    yield {node: "u%d" % (len(nodes) - i) for i, node in enumerate(nodes)}
+    for round_index in range(rounds):
+        yield {
+            node: "m%d" % ((i + round_index) % max(1, (round_index + 2)))
+            for i, node in enumerate(nodes)
+        }
+
+
+def is_text_independent_on(
+    transduction: Transduction, t: Tree, rounds: int = 3
+) -> bool:
+    """Bounded check of Text-independence: canonical substitutions of
+    the outputs agree across a battery of input substitutions."""
+    reference = _canonical_result(transduction(t))
+    for mapping in _substitution_samples(t, rounds):
+        candidate = _canonical_result(transduction(apply_substitution(t, mapping)))
+        if candidate != reference:
+            return False
+    return True
+
+
+def _canonical_result(result: Union[Tree, Hedge]) -> Tuple[Tree, ...]:
+    if isinstance(result, Tree):
+        result = (result,)
+    return tuple(canonical_substitution(t) for t in result)
+
+
+def is_text_functional_on(
+    transduction: Transduction, t: Tree, rounds: int = 3
+) -> bool:
+    """Bounded check of Text-functionality: output values at each output
+    text node track a fixed input text node across substitutions.
+
+    The witness function ``f`` is derived from the value-unique run and
+    then validated against the substitution battery.
+    """
+    unique = make_value_unique(t)
+    value_to_node = {unique.subtree(node).label: node for node in text_nodes(unique)}
+    if not is_value_unique(unique):  # pragma: no cover - make_value_unique guarantees it
+        raise AssertionError("make_value_unique failed")
+    base_out = transduction(unique)
+    f: Dict[Tuple[int, Node], Node] = {}
+    for index, out_node in _output_text_nodes(base_out):
+        value = (base_out if isinstance(base_out, Tree) else base_out[index]).subtree(
+            out_node
+        ).label
+        if value not in value_to_node:
+            return False  # invented a Text-value: not Text-functional
+        f[(index, out_node)] = value_to_node[value]
+    for mapping in _substitution_samples(unique, rounds):
+        substituted = apply_substitution(unique, mapping)
+        out = transduction(substituted)
+        out_nodes = _output_text_nodes(out)
+        if set(out_nodes) != set(_output_text_nodes(base_out)):
+            return False  # shape changed: cannot compare (also not admissible)
+        for index, out_node in out_nodes:
+            expected = substituted.subtree(f[(index, out_node)]).label
+            actual = (out if isinstance(out, Tree) else out[index]).subtree(out_node).label
+            if actual != expected:
+                return False
+    return True
+
+
+def is_admissible_on(transduction: Transduction, t: Tree, rounds: int = 3) -> bool:
+    """Bounded check of Definition 3.2 on a single tree."""
+    return is_text_independent_on(transduction, t, rounds) and is_text_functional_on(
+        transduction, t, rounds
+    )
+
+
+def theorem_3_3_holds(transduction: Transduction, t: Tree) -> bool:
+    """Empirically verify Theorem 3.3 on ``t``: the transduction is
+    text-preserving on the value-unique version of ``t`` iff it is
+    neither copying nor rearranging there.
+
+    (For admissible transductions the value-unique check extends to all
+    substitutions of ``t`` — that is the content of the theorem.)
+    """
+    unique = make_value_unique(t)
+    preserving = is_text_preserving_on(transduction, unique)
+    bad = is_copying_on(transduction, t) or is_rearranging_on(transduction, t)
+    return preserving == (not bad)

@@ -1,0 +1,378 @@
+"""DTL transducers (paper, Definition 5.1) with pluggable patterns.
+
+DTL is the paper's abstraction of XSLT: rules ``(q, phi) -> h`` fire at
+a node satisfying the unary pattern ``phi``; the right-hand side ``h``
+is a hedge over the output alphabet whose leaves may carry *calls*
+``(q', alpha)`` — the call is replaced by configurations ``(q', u)``
+for every node ``u`` selected by the binary pattern ``alpha`` from the
+current node, in document order.  Rules ``(q, text) -> text`` copy text
+values.
+
+Patterns are pluggable: anything exposing the small protocol below
+works; :mod:`repro.core.dtl_xpath` and :mod:`repro.core.dtl_mso`
+provide Core XPath and MSO instantiations (yielding the paper's
+DTL^XPath and DTL^MSO), and raw
+:class:`~repro.xpath.ast.NodeExpr`/:class:`~repro.xpath.ast.PathExpr`
+objects are wrapped automatically.
+
+Determinism (the paper requires non-overlapping unary patterns per
+state) is checked *dynamically* during evaluation and *statically* for
+the pattern languages where satisfiability is decidable (see
+:func:`repro.core.dtl_analysis.check_determinism`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..trees.tree import Hedge, Node, Tree
+
+__all__ = [
+    "Call",
+    "DTLTransducer",
+    "DTLError",
+    "NonTerminationError",
+    "DeterminismError",
+    "UnaryPattern",
+    "BinaryPattern",
+    "EvaluationContext",
+]
+
+
+class DTLError(Exception):
+    """Base class for DTL evaluation errors."""
+
+
+class NonTerminationError(DTLError):
+    """Raised when the rewriting exceeds the step budget — the
+    transduction is (very likely) undefined on this input."""
+
+
+class DeterminismError(DTLError):
+    """Raised when two rules of the same state match one node."""
+
+
+class UnaryPattern:
+    """Protocol: unary patterns.
+
+    Implementations provide ``holds(ctx, node) -> bool`` (``ctx`` is an
+    :class:`EvaluationContext` for one tree) and ``to_mso(x) ->
+    Formula`` for the decision procedures.
+    """
+
+    def holds(self, ctx: "EvaluationContext", node: Node) -> bool:
+        raise NotImplementedError
+
+    def to_mso(self, x: str):
+        raise NotImplementedError
+
+
+class BinaryPattern:
+    """Protocol: binary patterns.
+
+    ``select(ctx, node)`` returns the selected targets in document
+    order; ``to_mso(x, y)`` the defining MSO formula.
+    """
+
+    def select(self, ctx: "EvaluationContext", node: Node) -> Tuple[Node, ...]:
+        raise NotImplementedError
+
+    def to_mso(self, x: str, y: str):
+        raise NotImplementedError
+
+
+class EvaluationContext:
+    """Per-tree evaluation caches shared by all patterns of one run."""
+
+    def __init__(self, t: Tree) -> None:
+        self.tree = t
+        self._caches: Dict[str, object] = {}
+
+    def cache(self, key: str, factory) -> object:
+        value = self._caches.get(key)
+        if value is None:
+            value = factory()
+            self._caches[key] = value
+        return value
+
+
+class Call:
+    """A call leaf ``(state, alpha)`` in a rule's right-hand side."""
+
+    __slots__ = ("state", "pattern")
+
+    def __init__(self, state: str, pattern: object) -> None:
+        self.state = state
+        self.pattern = pattern
+
+    def __repr__(self) -> str:
+        return "Call(%r, %s)" % (self.state, self.pattern)
+
+
+#: Normalized rhs items: output nodes carry a label and children.
+class _OutNode:
+    __slots__ = ("label", "children")
+
+    def __init__(self, label: str, children: Tuple[object, ...]) -> None:
+        self.label = label
+        self.children = children
+
+
+def _wrap_unary(pattern: object) -> UnaryPattern:
+    if isinstance(pattern, UnaryPattern):
+        return pattern
+    from ..xpath.ast import NodeExpr
+    from ..xpath.parser import parse_node_expr
+
+    if isinstance(pattern, str):
+        pattern = parse_node_expr(pattern)
+    if isinstance(pattern, NodeExpr):
+        from .dtl_xpath import XPathUnary
+
+        return XPathUnary(pattern)
+    raise TypeError("cannot use %r as a unary pattern" % (pattern,))
+
+
+def _wrap_binary(pattern: object) -> BinaryPattern:
+    if isinstance(pattern, BinaryPattern):
+        return pattern
+    from ..xpath.ast import PathExpr
+    from ..xpath.parser import parse_path_expr
+
+    if isinstance(pattern, str):
+        pattern = parse_path_expr(pattern)
+    if isinstance(pattern, PathExpr):
+        from .dtl_xpath import XPathBinary
+
+        return XPathBinary(pattern)
+    raise TypeError("cannot use %r as a binary pattern" % (pattern,))
+
+
+def _normalize_rhs(rhs: object) -> Tuple[object, ...]:
+    """Normalize a user-written rhs into a hedge of ``_OutNode``/``Call``.
+
+    Accepted forms: a :class:`Call`; a pair ``(label, children)``; a
+    bare label string (leaf output node); or a list of these (a hedge).
+    """
+    if isinstance(rhs, list):
+        items: List[object] = []
+        for item in rhs:
+            items.extend(_normalize_rhs(item))
+        return tuple(items)
+    if isinstance(rhs, Call):
+        return (Call(rhs.state, _wrap_binary(rhs.pattern)),)
+    if isinstance(rhs, str):
+        return (_OutNode(rhs, ()),)
+    if isinstance(rhs, tuple) and len(rhs) == 2 and isinstance(rhs[0], str):
+        label, children = rhs
+        return (_OutNode(label, _normalize_rhs(children)),)
+    raise TypeError("cannot interpret rhs item %r" % (rhs,))
+
+
+def _rhs_calls(items: Sequence[object]):
+    for item in items:
+        if isinstance(item, Call):
+            yield item
+        else:
+            yield from _rhs_calls(item.children)  # type: ignore[union-attr]
+
+
+def _rhs_size(items: Sequence[object]) -> int:
+    total = 0
+    for item in items:
+        if isinstance(item, Call):
+            total += 1
+        else:
+            total += 1 + _rhs_size(item.children)  # type: ignore[union-attr]
+    return total
+
+
+class DTLTransducer:
+    """A DTL transducer (paper, Definition 5.1).
+
+    Parameters
+    ----------
+    states:
+        The state set ``Q``.
+    sigma_rules:
+        Iterable of ``(state, unary_pattern, rhs)`` triples.  The rhs
+        grammar: ``Call(q, binary_pattern)``, ``(label, [items])``, a
+        bare label string, or a list of items (a hedge).  Initial-state
+        rules must be a single output-labelled tree (the paper's
+        technical restriction guaranteeing tree output).
+    text_states:
+        The states ``q`` with a rule ``(q, text) -> text``.
+    initial:
+        The initial state ``q0``.
+    max_steps:
+        Rewriting budget before :class:`NonTerminationError`.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        sigma_rules: Iterable[Tuple[str, object, object]],
+        text_states: Iterable[str],
+        initial: str,
+        max_steps: int = 100000,
+    ) -> None:
+        self.states = frozenset(states)
+        self.initial = initial
+        self.text_states = frozenset(text_states)
+        self.max_steps = max_steps
+        if initial not in self.states:
+            raise ValueError("initial state %r not among states" % (initial,))
+        if not self.text_states <= self.states:
+            raise ValueError("text states must be states")
+        self.rules: List[Tuple[str, UnaryPattern, Tuple[object, ...]]] = []
+        for state, pattern, rhs in sigma_rules:
+            if state not in self.states:
+                raise ValueError("rule for unknown state %r" % (state,))
+            normalized = _normalize_rhs(rhs)
+            for call in _rhs_calls(normalized):
+                if call.state not in self.states:
+                    raise ValueError("rhs calls unknown state %r" % (call.state,))
+            if state == initial:
+                if len(normalized) != 1 or isinstance(normalized[0], Call):
+                    raise ValueError(
+                        "initial-state rules must produce a single output-rooted tree"
+                    )
+            self.rules.append((state, _wrap_unary(pattern), normalized))
+
+    # -- introspection -----------------------------------------------------
+
+    def rules_for(self, state: str):
+        """The ``(pattern, rhs)`` pairs of ``state``."""
+        return [(p, h) for (s, p, h) in self.rules if s == state]
+
+    @property
+    def size(self) -> int:
+        """States plus total rhs sizes (pattern sizes not included)."""
+        return len(self.states) + sum(_rhs_size(rhs) for (_s, _p, rhs) in self.rules)
+
+    def __repr__(self) -> str:
+        return "DTLTransducer(states=%d, rules=%d)" % (len(self.states), len(self.rules))
+
+    # -- semantics ------------------------------------------------------------
+
+    def transform(self, t: Tree) -> Tree:
+        """``T(t)``; raises :class:`DTLError` when undefined or the
+        result is not a single tree."""
+        result = self.apply(t)
+        if len(result) != 1:
+            raise DTLError(
+                "transduction produced a hedge of %d trees at the root" % len(result)
+            )
+        return result[0]
+
+    def __call__(self, t: Tree) -> Tree:
+        return self.transform(t)
+
+    def apply(self, t: Tree) -> Hedge:
+        """The transduction as a hedge (empty when no initial rule
+        fires at the root)."""
+        ctx = EvaluationContext(t)
+        budget = [self.max_steps]
+        try:
+            return self._rewrite_config(self.initial, (1,), ctx, budget)
+        except RecursionError:
+            # A configuration chain deeper than the Python stack means a
+            # cyclic step relation: the rewriting has no normal form.
+            raise NonTerminationError(
+                "rewriting recursion exceeded the interpreter stack; "
+                "the transduction is likely undefined"
+            ) from None
+
+    def _rewrite_config(
+        self, state: str, node: Node, ctx: EvaluationContext, budget: List[int]
+    ) -> Hedge:
+        if budget[0] <= 0:
+            raise NonTerminationError(
+                "rewriting exceeded %d steps; the transduction is likely undefined"
+                % self.max_steps
+            )
+        budget[0] -= 1
+        t = ctx.tree
+        if t.is_text_at(node):
+            if state in self.text_states:
+                return (Tree(t.label_at(node), is_text=True),)
+            return ()
+        matching = [
+            (pattern, rhs)
+            for (s, pattern, rhs) in self.rules
+            if s == state and pattern.holds(ctx, node)
+        ]
+        if len(matching) > 1:
+            raise DeterminismError(
+                "state %r has %d matching rules at node %r" % (state, len(matching), node)
+            )
+        if not matching:
+            return ()
+        _pattern, rhs = matching[0]
+        return self._instantiate(rhs, node, ctx, budget)
+
+    def _instantiate(
+        self, items: Sequence[object], node: Node, ctx: EvaluationContext, budget: List[int]
+    ) -> Hedge:
+        out: List[Tree] = []
+        for item in items:
+            if isinstance(item, Call):
+                for target in item.pattern.select(ctx, node):
+                    out.extend(self._rewrite_config(item.state, target, ctx, budget))
+            else:
+                out.append(
+                    Tree(item.label, self._instantiate(item.children, node, ctx, budget))
+                )
+        return tuple(out)
+
+    # -- step relation (Section 5.2) ---------------------------------------------
+
+    def config_steps(
+        self, ctx: EvaluationContext, state: str, node: Node
+    ) -> List[Tuple[str, Node]]:
+        """The configurations ``(q', v')`` with ``(state, node) ~>
+        (q', v')`` in one rewriting step, with multiplicity, in output
+        order (the ``~>`` relation of Section 5.2)."""
+        t = ctx.tree
+        if t.is_text_at(node):
+            return []
+        matching = [
+            (pattern, rhs)
+            for (s, pattern, rhs) in self.rules
+            if s == state and pattern.holds(ctx, node)
+        ]
+        if not matching:
+            return []
+        _pattern, rhs = matching[0]
+        successors: List[Tuple[str, Node]] = []
+        for call in _rhs_calls(rhs):
+            for target in call.pattern.select(ctx, node):
+                successors.append((call.state, target))
+        return successors
+
+    def text_path_runs(self, t: Tree, limit: int = 10000):
+        """All text path runs of the transducer over ``t`` (Section
+        5.2): sequences of configurations from ``(q0, root)`` to a
+        text node whose state copies text.  ``limit`` bounds the search.
+
+        Yields tuples of ``(state, node)`` pairs.
+        """
+        ctx = EvaluationContext(t)
+        produced = 0
+        expansions = 0
+        work: List[Tuple[Tuple[str, Node], ...]] = [((self.initial, (1,)),)]
+        while work and produced < limit and expansions < limit * 10:
+            expansions += 1
+            run = work.pop()
+            state, node = run[-1]
+            if t.is_text_at(node):
+                if state in self.text_states:
+                    produced += 1
+                    yield run
+                continue
+            for successor in self.config_steps(ctx, state, node):
+                # Guard against cyclic step relations: drop runs that
+                # revisit a configuration.
+                if successor in run:
+                    continue
+                work.append(run + (successor,))

@@ -1,0 +1,411 @@
+"""Deciding text-preservation for DTL transducers (paper, §5.2-5.4).
+
+The Section 5.3 construction, realized through the MSO → tree-automata
+pipeline: the trees on which a DTL transducer copies (Lemma 5.4) or
+rearranges (Lemma 5.5) form a regular language, obtained by compiling
+one MSO sentence per property:
+
+* the one-step relation between configurations,
+  ``step_{q,q'}(x, y)``, is the disjunction over rules ``(q, phi) -> h``
+  and calls ``(q', alpha)`` in ``h`` of ``phi(x) ∧ alpha(x, y)``
+  (guarded to element nodes);
+* configuration reachability ``(q, x) ~>* (q', y)`` is the standard
+  second-order closure with one set variable per state — this replaces
+  the paper's tree-jumping automata ``A^{q,q'}_T`` (their languages are
+  exactly these formulas', cf. Lemma 5.8/Corollary 5.9);
+* the copying and rearranging sentences quantify the paper's markers
+  ``•, •1, •2, ◦ (◦1, ◦2)`` existentially and assemble the conditions
+  of Lemmas 5.4/5.5 around the reachability formulas.
+
+For DTL^XPath the patterns are translated into MSO first (Core XPath ⊆
+MSO); see DESIGN.md on how this substitutes the paper's
+EXPTIME-optimal 2ATWA route while preserving the observable blow-up.
+
+Deciding over a schema intersects the sentence automaton with the
+schema automaton; witnesses come out of the product's emptiness check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..automata.bta import BTA, intersect_bta
+from ..automata.fcns import decode_tree, nta_to_bta
+from ..automata.nta import NTA, TEXT
+from ..mso.ast import (
+    And,
+    Child,
+    Eq,
+    ExistsFO,
+    ExistsSO,
+    Formula,
+    In,
+    Lab,
+    Not,
+    Or,
+    Sibling,
+)
+from ..mso.compile import compile_mso, encode_marked
+from ..mso.relations import doc_before as _doc_before
+from ..mso.relations import is_root as _root
+from ..trees.substitution import make_value_unique
+from ..trees.tree import Tree
+from .dtl import Call, DTLTransducer, _rhs_calls
+
+__all__ = [
+    "step_formula",
+    "reach_formula",
+    "copying_sentence",
+    "rearranging_sentence",
+    "analysis_alphabet",
+    "is_copying_dtl",
+    "is_rearranging_dtl",
+    "is_text_preserving_dtl",
+    "counter_example_dtl",
+    "counter_example_bta",
+    "check_determinism",
+]
+
+
+def _or_all(formulas: Sequence[Formula]) -> Optional[Formula]:
+    if not formulas:
+        return None
+    result = formulas[0]
+    for f in formulas[1:]:
+        result = Or(result, f)
+    return result
+
+
+def _and_all(formulas: Sequence[Formula]) -> Formula:
+    result = formulas[0]
+    for f in formulas[1:]:
+        result = And(result, f)
+    return result
+
+
+def _formula_labels(formula: Formula) -> Set[str]:
+    labels: Set[str] = set()
+    stack = [formula]
+    while stack:
+        f = stack.pop()
+        if isinstance(f, Lab):
+            labels.add(f.label)
+        for attr in ("inner", "left", "right"):
+            child = getattr(f, attr, None)
+            if isinstance(child, Formula):
+                stack.append(child)
+    return labels - {TEXT}
+
+
+def _not_text(x: str) -> Formula:
+    return Not(Lab(TEXT, x))
+
+
+def _rules_of(transducer: DTLTransducer, state: str):
+    return [(p, rhs) for (s, p, rhs) in transducer.rules if s == state]
+
+
+def step_formula(transducer: DTLTransducer, q: str, q_next: str, x: str, y: str) -> Optional[Formula]:
+    """The one-step relation ``(q, x) ~> (q_next, y)``, or ``None`` when
+    no rule of ``q`` ever calls ``q_next``."""
+    disjuncts: List[Formula] = []
+    for pattern, rhs in _rules_of(transducer, q):
+        for call in _rhs_calls(rhs):
+            if call.state != q_next:
+                continue
+            disjuncts.append(
+                And(_not_text(x), And(pattern.to_mso(x), call.pattern.to_mso(x, y)))
+            )
+    return _or_all(disjuncts)
+
+
+def reach_formula(transducer: DTLTransducer, q: str, q_target: str, x: str, y: str) -> Formula:
+    """``(q, x) ~>* (q_target, y)``: the second-order closure over the
+    configuration graph, one set variable per transducer state."""
+    states = sorted(transducer.states)
+    set_var = {state: "RS_%s_SET" % state for state in states}
+    a, b = "ra__", "rb__"
+    violations: List[Formula] = []
+    for p in states:
+        for p_next in states:
+            step = step_formula(transducer, p, p_next, a, b)
+            if step is None:
+                continue
+            violations.append(
+                And(In(a, set_var[p]), And(step, Not(In(b, set_var[p_next]))))
+            )
+    if violations:
+        closed: Formula = Not(ExistsFO(a, ExistsFO(b, _or_all(violations))))
+    else:
+        closed = Eq(x, x)  # no steps at all: every family is closed
+    body = And(In(x, set_var[q]), And(closed, Not(In(y, set_var[q_target]))))
+    quantified: Formula = body
+    for state in states:
+        quantified = ExistsSO(set_var[state], quantified)
+    return Not(quantified)
+
+
+
+
+def _reach_text(transducer: DTLTransducer, q: str, x: str, z: str) -> Optional[Formula]:
+    """The run from ``(q, x)`` reaches a configuration ``(q_t, z)`` with
+    ``z`` a text node whose value is copied (``q_t`` a text state)."""
+    disjuncts = [
+        And(reach_formula(transducer, q, q_text, x, z), Lab(TEXT, z))
+        for q_text in sorted(transducer.text_states)
+    ]
+    return _or_all(disjuncts)
+
+
+def _base(transducer: DTLTransducer, q: str, w: str) -> Formula:
+    """``(q, w)`` is a reachable configuration: reach from the root."""
+    r = "rr__"
+    return ExistsFO(r, And(_root(r), reach_formula(transducer, transducer.initial, q, r, w)))
+
+
+def _call_pairs(rhs) -> List[Tuple[int, Call]]:
+    return list(enumerate(_rhs_calls(rhs)))
+
+
+def _joint_reach_text_same(
+    transducer: DTLTransducer, q1: str, q2: str, w1: str, w2: str
+) -> Optional[Formula]:
+    """∃z: both runs (from ``q1`` at ``w1`` and ``q2`` at ``w2``) copy
+    the *same* text node — ``z`` quantified innermost so the automaton
+    products run over the smallest marked alphabet."""
+    z = "mz__"
+    reach_1 = _reach_text(transducer, q1, w1, z)
+    reach_2 = _reach_text(transducer, q2, w2, z)
+    if reach_1 is None or reach_2 is None:
+        return None
+    return ExistsFO(z, And(reach_1, reach_2))
+
+
+def _joint_reach_text_ordered(
+    transducer: DTLTransducer, q1: str, q2: str, w1: str, w2: str
+) -> Optional[Formula]:
+    """∃z1∃z2: the ``q1``-run (from ``w1``) copies the document-earlier
+    text node, the ``q2``-run (from ``w2``) the later one."""
+    z1, z2 = "mz1__", "mz2__"
+    reach_1 = _reach_text(transducer, q1, w1, z1)
+    reach_2 = _reach_text(transducer, q2, w2, z2)
+    if reach_1 is None or reach_2 is None:
+        return None
+    inner = _and_all([reach_1, reach_2, _doc_before(z1, z2)])
+    return ExistsFO(z1, ExistsFO(z2, inner))
+
+
+def copying_sentence(transducer: DTLTransducer) -> Optional[Formula]:
+    """The MSO sentence of Lemma 5.4: some tree makes the transducer
+    copy.  ``None`` when no rule shape can ever copy (e.g. no text
+    states)."""
+    w, w1, w2 = "mw__", "mw1__", "mw2__"
+    disjuncts: List[Formula] = []
+    for q in sorted(transducer.states):
+        for pattern, rhs in _rules_of(transducer, q):
+            calls = _call_pairs(rhs)
+            for i, call_1 in calls:
+                for j, call_2 in calls:
+                    joint = _joint_reach_text_same(
+                        transducer, call_1.state, call_2.state, w1, w2
+                    )
+                    if joint is None:
+                        continue
+                    inner_parts = [
+                        call_1.pattern.to_mso(w, w1),
+                        call_2.pattern.to_mso(w, w2),
+                        joint,
+                    ]
+                    cases: List[Formula] = []
+                    if call_1.state != call_2.state:
+                        # Lemma 5.4 / A^copy_1a: distinct next states.
+                        cases.append(_and_all(inner_parts))
+                    if i <= j:
+                        # A^copy_1b: distinct next nodes (any occurrence
+                        # pair, including the same call twice).
+                        cases.append(_and_all(inner_parts + [Not(Eq(w1, w2))]))
+                    if i < j and call_1.state == call_2.state:
+                        # A^copy_2: doubling — two occurrences of the
+                        # same state select the same node.
+                        cases.append(_and_all(inner_parts + [Eq(w1, w2)]))
+                    if not cases:
+                        continue
+                    inner = _or_all(cases)
+                    disjuncts.append(
+                        _and_all(
+                            [
+                                _base(transducer, q, w),
+                                _not_text(w),
+                                pattern.to_mso(w),
+                                ExistsFO(w1, ExistsFO(w2, inner)),
+                            ]
+                        )
+                    )
+    union = _or_all(disjuncts)
+    if union is None:
+        return None
+    return ExistsFO(w, union)
+
+
+def rearranging_sentence(transducer: DTLTransducer) -> Optional[Formula]:
+    """The MSO sentence of Lemma 5.5: some tree makes the transducer
+    rearrange (markers quantified innermost-first to keep the compiled
+    marked alphabets small)."""
+    w, w1, w2 = "mw__", "mw1__", "mw2__"
+    disjuncts: List[Formula] = []
+    for q in sorted(transducer.states):
+        for pattern, rhs in _rules_of(transducer, q):
+            calls = _call_pairs(rhs)
+            for i, call_earlier in calls:  # the call reaching the *later* text
+                for j, call_later in calls:  # the call reaching the *earlier* text
+                    if j < i:
+                        continue
+                    joint = _joint_reach_text_ordered(
+                        transducer, call_later.state, call_earlier.state, w1, w2
+                    )
+                    if joint is None:
+                        continue
+                    inner_parts = [
+                        call_later.pattern.to_mso(w, w1),
+                        call_earlier.pattern.to_mso(w, w2),
+                        joint,
+                    ]
+                    if i < j:
+                        # Lemma 5.5(1): the call continuing to the later
+                        # text node occurs strictly earlier in the rhs.
+                        inner = _and_all(inner_parts)
+                    else:
+                        # Lemma 5.5(2): one call, two targets, the
+                        # later-text target selected first.
+                        inner = _and_all(inner_parts + [_doc_before(w2, w1)])
+                    disjuncts.append(
+                        _and_all(
+                            [
+                                _base(transducer, q, w),
+                                _not_text(w),
+                                pattern.to_mso(w),
+                                ExistsFO(w1, ExistsFO(w2, inner)),
+                            ]
+                        )
+                    )
+    union = _or_all(disjuncts)
+    if union is None:
+        return None
+    return ExistsFO(w, union)
+
+
+def analysis_alphabet(transducer: DTLTransducer, nta: Optional[NTA] = None) -> Tuple[str, ...]:
+    """The label alphabet the sentences are compiled over: schema labels
+    plus every label mentioned by the transducer's patterns."""
+    labels: Set[str] = set() if nta is None else set(nta.alphabet)
+    for _state, pattern, rhs in transducer.rules:
+        labels |= _formula_labels(pattern.to_mso("x"))
+        for call in _rhs_calls(rhs):
+            labels |= _formula_labels(call.pattern.to_mso("x", "y"))
+    return tuple(sorted(labels))
+
+
+def _sentence_bta(sentence: Optional[Formula], sigma: Tuple[str, ...]) -> Optional[BTA]:
+    if sentence is None:
+        return None
+    pattern = compile_mso(sentence, sigma)
+    return pattern.bta
+
+
+def _restricted(sentence: Optional[Formula], transducer: DTLTransducer, nta: NTA) -> Optional[BTA]:
+    sigma = analysis_alphabet(transducer, nta)
+    bta = _sentence_bta(sentence, sigma)
+    if bta is None:
+        return None
+    # Align alphabets: drop the (empty) mark component, then intersect
+    # with the schema automaton.
+    plain = bta.image(lambda lab: lab[0])
+    schema = nta_to_bta(nta)
+    return intersect_bta(plain, schema).trim()
+
+
+def is_copying_dtl(transducer: DTLTransducer, nta: NTA) -> bool:
+    """Lemma 5.4 + §5.3: whether the transducer copies over ``L(nta)``."""
+    product = _restricted(copying_sentence(transducer), transducer, nta)
+    return product is not None and not product.is_empty()
+
+
+def is_rearranging_dtl(transducer: DTLTransducer, nta: NTA) -> bool:
+    """Lemma 5.5 + §5.3: whether the transducer rearranges over ``L(nta)``."""
+    product = _restricted(rearranging_sentence(transducer), transducer, nta)
+    return product is not None and not product.is_empty()
+
+
+def is_text_preserving_dtl(transducer: DTLTransducer, nta: NTA) -> bool:
+    """Theorems 5.12/5.18: whether the DTL transducer is text-preserving
+    over ``L(nta)`` (Theorem 3.3 reduces this to not-copying and
+    not-rearranging)."""
+    return not is_copying_dtl(transducer, nta) and not is_rearranging_dtl(transducer, nta)
+
+
+def counter_example_bta(transducer: DTLTransducer, nta: NTA) -> BTA:
+    """The counter-example language (Section 7) as a BTA on encodings:
+    schema trees on which the transducer copies or rearranges."""
+    from ..automata.bta import union_bta
+
+    parts: List[BTA] = []
+    for sentence in (copying_sentence(transducer), rearranging_sentence(transducer)):
+        product = _restricted(sentence, transducer, nta)
+        if product is not None:
+            parts.append(product)
+    if not parts:
+        # No text-copying rule at all: the empty language.
+        return BTA({"q"}, {TEXT}, set(), {}, set())
+    result = parts[0]
+    for part in parts[1:]:
+        result = union_bta(result, part)
+    return result
+
+
+def counter_example_dtl(transducer: DTLTransducer, nta: NTA) -> Optional[Tree]:
+    """A smallest value-unique schema tree on which the transducer is
+    not text-preserving, or ``None`` when it is text-preserving."""
+    witness = counter_example_bta(transducer, nta).witness()
+    if witness is None:
+        return None
+    return make_value_unique(decode_tree(witness))
+
+
+def check_determinism(transducer: DTLTransducer, nta: Optional[NTA] = None) -> List[Tuple[str, int, int]]:
+    """Statically check the paper's determinism requirement: no two
+    rules of one state match the same node (of any tree, or of a schema
+    tree when ``nta`` is given).
+
+    Returns the offending ``(state, rule_index_1, rule_index_2)``
+    triples (empty list = deterministic).
+    """
+    sigma = analysis_alphabet(transducer, nta)
+    schema = nta_to_bta(nta) if nta is not None else None
+    conflicts: List[Tuple[str, int, int]] = []
+    by_state: Dict[str, List[Tuple[int, object]]] = {}
+    for index, (state, pattern, _rhs) in enumerate(transducer.rules):
+        by_state.setdefault(state, []).append((index, pattern))
+    x = "dx__"
+    for state, patterns in by_state.items():
+        for a in range(len(patterns)):
+            for b in range(a + 1, len(patterns)):
+                index_a, pattern_a = patterns[a]
+                index_b, pattern_b = patterns[b]
+                overlap = ExistsFO(
+                    x,
+                    _and_all(
+                        [
+                            _not_text(x),
+                            pattern_a.to_mso(x),  # type: ignore[attr-defined]
+                            pattern_b.to_mso(x),  # type: ignore[attr-defined]
+                        ]
+                    ),
+                )
+                bta = _sentence_bta(overlap, sigma)
+                assert bta is not None
+                plain = bta.image(lambda lab: lab[0])
+                if schema is not None:
+                    plain = intersect_bta(plain, schema)
+                if not plain.is_empty():
+                    conflicts.append((state, index_a, index_b))
+    return conflicts

@@ -1,0 +1,153 @@
+"""DTL^MSO: DTL instantiated with MSO-definable patterns (paper, §5.3).
+
+An MSO pattern carries its formula and the designated free variables.
+Evaluation strategy:
+
+* with an explicit ``sigma`` the pattern compiles to a tree automaton
+  once (:mod:`repro.mso.compile`) and each query is a linear-time
+  automaton run on the marked encoding;
+* without ``sigma`` it falls back to the direct model-theoretic
+  evaluator — exponential in set-quantifier depth, fine for small
+  example documents.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..mso.ast import Formula, free_variables, substitute_free
+from ..mso.compile import CompiledPattern, compile_mso
+from ..mso.eval import MSOEvaluator
+from ..trees.tree import Node
+from .dtl import BinaryPattern, DTLTransducer, EvaluationContext, UnaryPattern
+
+__all__ = ["MSOUnary", "MSOBinary", "dtl_mso"]
+
+
+def _direct(ctx: EvaluationContext) -> MSOEvaluator:
+    return ctx.cache("mso", lambda: MSOEvaluator(ctx.tree))  # type: ignore[return-value]
+
+
+class MSOUnary(UnaryPattern):
+    """A unary pattern ``phi(x)`` given by an MSO formula."""
+
+    __slots__ = ("formula", "var", "sigma", "_compiled")
+
+    def __init__(self, formula: Formula, var: str, sigma: Optional[Iterable[str]] = None) -> None:
+        free = free_variables(formula)
+        if set(free) != {var}:
+            raise ValueError(
+                "unary pattern must have exactly the free variable %r, got %r"
+                % (var, sorted(free))
+            )
+        self.formula = formula
+        self.var = var
+        self.sigma = tuple(sorted(sigma)) if sigma is not None else None
+        self._compiled: Optional[CompiledPattern] = None
+
+    def _pattern(self) -> CompiledPattern:
+        if self._compiled is None:
+            assert self.sigma is not None
+            self._compiled = compile_mso(self.formula, self.sigma)
+        return self._compiled
+
+    def holds(self, ctx: EvaluationContext, node: Node) -> bool:
+        if self.sigma is not None:
+            return self._pattern().holds(ctx.tree, {self.var: node})
+        return _direct(ctx).holds(self.formula, {self.var: node})
+
+    def to_mso(self, x: str):
+        return substitute_free(self.formula, {self.var: x})
+
+    def __repr__(self) -> str:
+        return "MSOUnary(%s)" % self.formula
+
+
+class MSOBinary(BinaryPattern):
+    """A binary pattern ``alpha(x, y)`` given by an MSO formula."""
+
+    __slots__ = ("formula", "source_var", "target_var", "sigma", "_compiled")
+
+    def __init__(
+        self,
+        formula: Formula,
+        source_var: str,
+        target_var: str,
+        sigma: Optional[Iterable[str]] = None,
+    ) -> None:
+        free = free_variables(formula)
+        if set(free) != {source_var, target_var} or source_var == target_var:
+            raise ValueError(
+                "binary pattern must have exactly the free variables %r and %r, got %r"
+                % (source_var, target_var, sorted(free))
+            )
+        self.formula = formula
+        self.source_var = source_var
+        self.target_var = target_var
+        self.sigma = tuple(sorted(sigma)) if sigma is not None else None
+        self._compiled: Optional[CompiledPattern] = None
+
+    def _pattern(self) -> CompiledPattern:
+        if self._compiled is None:
+            assert self.sigma is not None
+            self._compiled = compile_mso(self.formula, self.sigma)
+        return self._compiled
+
+    def select(self, ctx: EvaluationContext, node: Node) -> Tuple[Node, ...]:
+        t = ctx.tree
+        if self.sigma is not None:
+            pattern = self._pattern()
+            return tuple(
+                v
+                for v in t.nodes()
+                if pattern.holds(t, {self.source_var: node, self.target_var: v})
+            )
+        evaluator = _direct(ctx)
+        return tuple(
+            v
+            for v in t.nodes()
+            if evaluator.holds(
+                self.formula, {self.source_var: node, self.target_var: v}
+            )
+        )
+
+    def to_mso(self, x: str, y: str):
+        return substitute_free(self.formula, {self.source_var: x, self.target_var: y})
+
+    def __repr__(self) -> str:
+        return "MSOBinary(%s)" % self.formula
+
+
+def dtl_mso(
+    states,
+    rules,
+    text_states,
+    initial,
+    sigma: Optional[Iterable[str]] = None,
+    max_steps: int = 100000,
+) -> DTLTransducer:
+    """Build a DTL^MSO transducer.
+
+    ``rules`` is an iterable of ``(state, (formula, var), rhs)``
+    triples; rhs calls may use ``Call(q, (formula, x, y))``.
+    ``sigma`` switches pattern evaluation to compiled automata.
+    """
+    from .dtl import Call
+
+    def wrap_rhs(rhs):
+        if isinstance(rhs, list):
+            return [wrap_rhs(item) for item in rhs]
+        if isinstance(rhs, Call) and isinstance(rhs.pattern, tuple):
+            formula, x, y = rhs.pattern
+            return Call(rhs.state, MSOBinary(formula, x, y, sigma))
+        if isinstance(rhs, tuple) and len(rhs) == 2 and isinstance(rhs[0], str):
+            return (rhs[0], wrap_rhs(rhs[1]))
+        return rhs
+
+    prepared = []
+    for state, pattern, rhs in rules:
+        if isinstance(pattern, tuple):
+            formula, var = pattern
+            pattern = MSOUnary(formula, var, sigma)
+        prepared.append((state, pattern, wrap_rhs(rhs)))
+    return DTLTransducer(states, prepared, text_states, initial, max_steps)

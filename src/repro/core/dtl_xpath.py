@@ -1,0 +1,96 @@
+"""DTL^XPath: DTL instantiated with Core XPath patterns (paper, §5.4).
+
+The adapters evaluate via the Table-1 evaluator (cached per tree) and
+translate to MSO for the decision procedures (Core XPath ⊆ MSO).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..trees.tree import Node
+from ..xpath.ast import NodeExpr, PathExpr
+from ..xpath.evaluator import XPathEvaluator
+from ..xpath.parser import parse_node_expr, parse_path_expr
+from ..xpath.to_mso import node_expr_to_mso, path_expr_to_mso
+from .dtl import BinaryPattern, Call, DTLTransducer, EvaluationContext, UnaryPattern
+
+__all__ = ["XPathUnary", "XPathBinary", "dtl_xpath", "xpath_call"]
+
+
+def _evaluator(ctx: EvaluationContext) -> XPathEvaluator:
+    return ctx.cache("xpath", lambda: XPathEvaluator(ctx.tree))  # type: ignore[return-value]
+
+
+class XPathUnary(UnaryPattern):
+    """A unary pattern given by a Core XPath node expression."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: NodeExpr) -> None:
+        self.expr = expr
+
+    def holds(self, ctx: EvaluationContext, node: Node) -> bool:
+        return _evaluator(ctx).holds(self.expr, node)
+
+    def to_mso(self, x: str):
+        return node_expr_to_mso(self.expr, x)
+
+    def __repr__(self) -> str:
+        return "XPathUnary(%s)" % self.expr
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+class XPathBinary(BinaryPattern):
+    """A binary pattern given by a Core XPath path expression."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: PathExpr) -> None:
+        self.expr = expr
+
+    def select(self, ctx: EvaluationContext, node: Node) -> Tuple[Node, ...]:
+        return _evaluator(ctx).select(self.expr, node)
+
+    def to_mso(self, x: str, y: str):
+        return path_expr_to_mso(self.expr, x, y)
+
+    def __repr__(self) -> str:
+        return "XPathBinary(%s)" % self.expr
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+def xpath_call(state: str, path: str) -> Call:
+    """A rhs call ``(state, alpha)`` with ``alpha`` parsed from Core
+    XPath concrete syntax."""
+    return Call(state, XPathBinary(parse_path_expr(path)))
+
+
+def dtl_xpath(states, rules, text_states, initial, max_steps: int = 100000) -> DTLTransducer:
+    """Build a DTL^XPath transducer from concrete syntax.
+
+    ``rules`` is an iterable of ``(state, node_expr_source, rhs)``
+    where rhs items may use :func:`xpath_call` or plain
+    ``Call(state, path_source)`` with a string pattern.
+    """
+    prepared = []
+    for state, pattern, rhs in rules:
+        if isinstance(pattern, str):
+            pattern = parse_node_expr(pattern)
+        prepared.append((state, XPathUnary(pattern) if isinstance(pattern, NodeExpr) else pattern, _parse_string_calls(rhs)))
+    return DTLTransducer(states, prepared, text_states, initial, max_steps)
+
+
+def _parse_string_calls(rhs):
+    """Allow ``Call(q, "down")`` with a string path in rule syntax."""
+    if isinstance(rhs, list):
+        return [_parse_string_calls(item) for item in rhs]
+    if isinstance(rhs, Call) and isinstance(rhs.pattern, str):
+        return Call(rhs.state, XPathBinary(parse_path_expr(rhs.pattern)))
+    if isinstance(rhs, tuple) and len(rhs) == 2 and isinstance(rhs[0], str):
+        return (rhs[0], _parse_string_calls(rhs[1]))
+    return rhs

@@ -1,0 +1,91 @@
+"""Brute-force bounded oracle for text-preservation.
+
+Enumerates the schema language up to a size bound, runs the
+transduction on (value-unique versions of) every member, and applies
+the semantic definitions of Section 3 directly.  The oracle is
+complete only up to the bound, but the decision procedures it
+cross-validates construct small witnesses, so disagreement within the
+bound would expose a bug in either side.  Every decision-procedure test
+in this repository is backed by an oracle comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..automata.enumerate import enumerate_trees
+from ..automata.nta import NTA
+from ..trees.substitution import make_value_unique
+from ..trees.tree import Tree
+from .characterization import (
+    Transduction,
+    is_copying_on,
+    is_rearranging_on,
+    is_text_preserving_on,
+)
+
+__all__ = ["BoundedVerdict", "bounded_oracle", "oracle_counter_example"]
+
+
+@dataclass(frozen=True)
+class BoundedVerdict:
+    """Result of a bounded brute-force check.
+
+    ``copying`` / ``rearranging`` / ``text_preserving`` describe the
+    behaviour over all enumerated trees; ``witness`` is a value-unique
+    tree violating text-preservation when one exists within the bound;
+    ``trees_checked`` reports the enumeration effort.
+    """
+
+    copying: bool
+    rearranging: bool
+    text_preserving: bool
+    witness: Optional[Tree]
+    trees_checked: int
+
+
+def bounded_oracle(
+    transduction: Transduction,
+    nta: NTA,
+    max_size: int = 8,
+    max_count: Optional[int] = 4000,
+) -> BoundedVerdict:
+    """Check the Section 3 semantic properties of ``transduction`` over
+    all members of ``L(nta)`` with at most ``max_size`` nodes."""
+    copying = False
+    rearranging = False
+    witness: Optional[Tree] = None
+    checked = 0
+    for t in enumerate_trees(nta, max_size, max_count):
+        checked += 1
+        if not copying and is_copying_on(transduction, t):
+            copying = True
+        if not rearranging and is_rearranging_on(transduction, t):
+            rearranging = True
+        if witness is None:
+            unique = make_value_unique(t)
+            if not is_text_preserving_on(transduction, unique):
+                witness = unique
+    return BoundedVerdict(
+        copying=copying,
+        rearranging=rearranging,
+        text_preserving=witness is None,
+        witness=witness,
+        trees_checked=checked,
+    )
+
+
+def oracle_counter_example(
+    transduction: Transduction,
+    nta: NTA,
+    max_size: int = 8,
+    max_count: Optional[int] = 4000,
+) -> Optional[Tree]:
+    """The first (smallest) value-unique tree in the bounded enumeration
+    on which the transduction is not text-preserving."""
+    for t in enumerate_trees(nta, max_size, max_count):
+        unique = make_value_unique(t)
+        if not is_text_preserving_on(transduction, unique):
+            return unique
+    return None

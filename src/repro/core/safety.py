@@ -1,0 +1,251 @@
+"""Section 7: maximal safe sub-schemas and stronger properties.
+
+The proof technique of Sections 4-5 shows that the trees on which a
+transducer is *not* text-preserving form a regular language (the
+counter-example language).  Regular languages are closed under
+complement, so the *largest sub-language of the schema on which the
+transducer is text-preserving* is again regular and computable:
+
+    safe(T, N)  =  L(N) ∖ counter_examples(T, N).
+
+The module handles both transducer families (top-down uniform and DTL)
+and also implements the paper's closing extension: requiring, on top of
+text-preservation, that no text value below a node with a *protected
+label* is ever deleted.  For top-down transducers the protection test
+runs on path automata (a containment of word languages); for DTL it is
+one more MSO sentence.  Either way the violating trees are regular, so
+protection folds into the same maximal-sub-schema construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..automata.bta import BTA, intersect_bta, union_bta
+from ..automata.fcns import bta_to_nta, decode_tree, nta_to_bta, valid_encoding_bta
+from ..automata.nta import NTA, TEXT
+from ..mso.ast import And, ExistsFO, Formula, Lab, Not, Or
+from ..mso.compile import compile_mso
+from ..mso.relations import is_root, proper_ancestor
+from ..strings.dfa import determinize
+from ..strings.nfa import NFA, product_nfa
+from ..trees.substitution import make_value_unique
+from ..trees.tree import Tree
+from .dtl import DTLTransducer
+from .dtl_analysis import analysis_alphabet, counter_example_bta, reach_formula
+from .topdown import TopDownTransducer
+from .topdown_analysis import (
+    counter_example_nta,
+    path_automaton,
+    transducer_path_automaton,
+)
+
+__all__ = [
+    "maximal_safe_subschema",
+    "protection_violation_nta",
+    "deletes_protected_text",
+    "protected_violation_path",
+    "is_text_preserving_with_protection",
+    "path_marked_nta",
+]
+
+Transducer = Union[TopDownTransducer, DTLTransducer]
+
+
+def _counter_example_bta_any(transducer: Transducer, nta: NTA) -> BTA:
+    """The counter-example language of either transducer family, as a
+    BTA over plain labels."""
+    if isinstance(transducer, TopDownTransducer):
+        return nta_to_bta(counter_example_nta(transducer, nta))
+    return counter_example_bta(transducer, nta)
+
+
+def maximal_safe_subschema(
+    transducer: Transducer,
+    nta: NTA,
+    protected_labels: Iterable[str] = (),
+) -> NTA:
+    """The largest sub-language of ``L(nta)`` on which the transducer is
+    text-preserving — and, when ``protected_labels`` is nonempty, never
+    deletes text below a node carrying one of those labels.
+
+    Exponential in the worst case (one complementation), as expected:
+    the result is ``L(N) ∖ (counter-examples ∪ protection violations)``.
+    """
+    alphabet = tuple(sorted(set(nta.alphabet)))
+    bad = _counter_example_bta_any(transducer, nta)
+    for label in sorted(set(protected_labels)):
+        violations = protection_violation_nta(transducer, nta, label)
+        bad = union_bta(bad, nta_to_bta(violations))
+    # Complement relative to valid single-tree encodings over the
+    # schema's alphabet, then restrict to the schema.
+    complement = bad.restrict_alphabet(set(alphabet) | {TEXT}).complement()
+    valid = valid_encoding_bta(alphabet)
+    safe = intersect_bta(intersect_bta(complement, valid), nta_to_bta(nta)).trim()
+    return bta_to_nta(safe, alphabet)
+
+
+# ---------------------------------------------------------------------------
+# Protected labels (§7 extension)
+# ---------------------------------------------------------------------------
+
+
+def _protected_paths_nfa(alphabet: Sequence[str], label: str) -> NFA:
+    """Text paths passing through ``label`` as a proper ancestor:
+    ``Sigma* label Sigma* text``."""
+    transitions: List[Tuple[int, str, int]] = []
+    for a in alphabet:
+        transitions.append((0, a, 0))
+        transitions.append((1, a, 1))
+    transitions.append((0, label, 1))
+    transitions.append((1, TEXT, 2))
+    return NFA({0, 1, 2}, set(alphabet) | {TEXT}, transitions, 0, {2})
+
+
+def _complement_nfa(nfa: NFA, alphabet: Set[str]) -> NFA:
+    return determinize(nfa.without_epsilon(), alphabet=frozenset(alphabet)).complement().to_nfa()
+
+
+def path_marked_nta(nfa: NFA, alphabet: Iterable[str]) -> NTA:
+    """An NTA accepting the trees containing a root-to-text-node path
+    whose ancestor word (labels plus the final ``text``) is accepted by
+    ``nfa``.
+
+    This is the reusable skeleton behind the Lemma 4.10-style witness
+    automata: a guessed marked path simulating a word automaton, with
+    wildcard subtrees elsewhere.
+    """
+    alphabet = set(alphabet)
+    nfa = nfa.without_epsilon()
+    wildcard = ("d",)
+    eps_nfa = NFA([0], [], [], 0, [0])
+
+    def pattern(target) -> NFA:
+        transitions = [(0, wildcard, 0), (0, target, 1), (1, wildcard, 1)]
+        return NFA([0, 1], {wildcard, target}, transitions, 0, {1})
+
+    delta = {}
+    delta[(wildcard, TEXT)] = eps_nfa
+    for a in alphabet:
+        delta[(wildcard, a)] = NFA([0], {wildcard}, [(0, wildcard, 0)], 0, [0])
+
+    states = {wildcard}
+    for p in nfa.states:
+        state = ("p", p)
+        states.add(state)
+        # Reading the node's element label advances the word automaton.
+        for a in alphabet:
+            targets = nfa.step(p, a)
+            if not targets:
+                continue
+            from ..strings.nfa import union_nfa
+
+            parts = [pattern(("p", target)) for target in targets]
+            combined = parts[0]
+            for part in parts[1:]:
+                combined = union_nfa(combined, part)
+            delta[(state, a)] = combined
+        # A text node ends the path; the final "text" symbol must lead
+        # the word automaton to acceptance.
+        if nfa.step(p, TEXT) & nfa.finals:
+            delta[(state, TEXT)] = eps_nfa
+    return NTA(states, alphabet, delta, ("p", nfa.initial))
+
+
+def protection_violation_nta(
+    transducer: Transducer, nta: NTA, label: str
+) -> NTA:
+    """The trees of the label universe on which some text value below a
+    ``label``-node is deleted by the transducer.
+
+    (Not yet intersected with the schema — compose with
+    :func:`repro.automata.nta.intersect_nta` or use
+    :func:`maximal_safe_subschema` / :func:`deletes_protected_text`.)
+    """
+    alphabet = sorted(set(nta.alphabet) | {label})
+    if isinstance(transducer, TopDownTransducer):
+        protected = _protected_paths_nfa(alphabet, label)
+        kept = transducer_path_automaton(transducer)
+        deleted = _complement_nfa(kept, set(alphabet) | {TEXT})
+        violating_paths = product_nfa(protected, deleted)
+        return path_marked_nta(violating_paths, alphabet)
+    sentence = _dtl_protection_sentence(transducer, label)
+    sigma = tuple(sorted(set(analysis_alphabet(transducer, nta)) | {label}))
+    pattern = compile_mso(sentence, sigma)
+    plain = pattern.bta.image(lambda lab: lab[0])
+    return bta_to_nta(plain.trim(), alphabet)
+
+
+def _dtl_protection_sentence(transducer: DTLTransducer, label: str) -> Formula:
+    """∃ text node z below a ``label``-node whose value no run copies."""
+    x, z, r = "px__", "pz__", "pr__"
+    copied_parts = [
+        ExistsFO(
+            r,
+            And(is_root(r), reach_formula(transducer, transducer.initial, q_text, r, z)),
+        )
+        for q_text in sorted(transducer.text_states)
+    ]
+    if copied_parts:
+        copied: Formula = copied_parts[0]
+        for part in copied_parts[1:]:
+            copied = Or(copied, part)
+        not_copied: Formula = Not(copied)
+    else:
+        not_copied = Lab(TEXT, z)  # nothing is ever copied
+    return ExistsFO(
+        x,
+        ExistsFO(
+            z,
+            And(
+                Lab(label, x),
+                And(proper_ancestor(x, z), And(Lab(TEXT, z), not_copied)),
+            ),
+        ),
+    )
+
+
+def deletes_protected_text(transducer: Transducer, nta: NTA, label: str) -> bool:
+    """Whether some schema tree has a deleted text value below a
+    ``label``-node."""
+    from ..automata.nta import intersect_nta
+
+    return not intersect_nta(protection_violation_nta(transducer, nta, label), nta).is_empty()
+
+
+def protected_violation_path(
+    transducer: TopDownTransducer, nta: NTA, label: str
+) -> Optional[Tuple[str, ...]]:
+    """For top-down transducers: a witness text path (ending in
+    ``text``) below ``label`` that the transducer deletes on some schema
+    tree, or ``None``."""
+    alphabet = sorted(set(nta.alphabet) | {label})
+    protected = _protected_paths_nfa(alphabet, label)
+    kept = transducer_path_automaton(transducer)
+    deleted = _complement_nfa(kept, set(alphabet) | {TEXT})
+    schema_paths = path_automaton(nta)
+    word = product_nfa(product_nfa(protected, deleted), schema_paths).shortest_word()
+    if word is None:
+        return None
+    return tuple(str(symbol) for symbol in word)
+
+
+def is_text_preserving_with_protection(
+    transducer: Transducer, nta: NTA, protected_labels: Iterable[str]
+) -> bool:
+    """The §7 combined property: text-preserving over ``L(nta)`` and no
+    deletion below any protected label."""
+    if isinstance(transducer, TopDownTransducer):
+        from .topdown_analysis import is_text_preserving
+
+        preserving = is_text_preserving(transducer, nta)
+    else:
+        from .dtl_analysis import is_text_preserving_dtl
+
+        preserving = is_text_preserving_dtl(transducer, nta)
+    if not preserving:
+        return False
+    return all(
+        not deletes_protected_text(transducer, nta, label)
+        for label in set(protected_labels)
+    )

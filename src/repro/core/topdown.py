@@ -1,0 +1,353 @@
+"""Top-down uniform tree transducers (paper, Definition 4.1).
+
+A transducer ``T = (Q, Sigma ∪ {text}, q0, R)`` rewrites a tree top
+down: a rule ``(q, a) -> h`` replaces a node labelled ``a`` processed
+in state ``q`` by the hedge ``h``, whose state-labelled leaves recurse
+on *all* children of the node ("uniform": every occurrence of a state
+processes the full child sequence).  Rules ``(q, text) -> text`` copy
+the text value of a text leaf; without such a rule the value is
+dropped.
+
+Right-hand sides are hedges over the output alphabet with
+:class:`StateCall` leaves.  They can be written in an extended term
+syntax where identifiers that name states become state calls::
+
+    TopDownTransducer(
+        states={"q0", "qsel", "q"},
+        rules={
+            ("q0", "recipes"): "recipes(q0)",
+            ("q0", "recipe"): "recipe(qsel)",
+            ("qsel", "description"): "description(q)",
+            ("q", "text"): "text",
+        },
+        initial="q0",
+    )
+
+is Example 4.2 (abridged).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple, Union
+
+from ..trees.parser import TreeSyntaxError, parse_hedge
+from ..trees.tree import Hedge, Tree
+
+__all__ = ["TopDownTransducer", "StateCall", "OutputNode", "RuleHedge"]
+
+#: The keyword used on both sides of text rules.
+_TEXT = "text"
+
+
+class StateCall:
+    """A state-labelled leaf in a rule's right-hand side."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: str) -> None:
+        self.state = state
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StateCall) and other.state == self.state
+
+    def __hash__(self) -> int:
+        return hash(("StateCall", self.state))
+
+    def __repr__(self) -> str:
+        return "StateCall(%r)" % self.state
+
+    @property
+    def size(self) -> int:
+        return 1
+
+
+class OutputNode:
+    """A ``Sigma``-labelled node in a rule's right-hand side."""
+
+    __slots__ = ("label", "children")
+
+    def __init__(self, label: str, children: Iterable[Union["OutputNode", StateCall]] = ()) -> None:
+        self.label = label
+        self.children: Tuple[Union[OutputNode, StateCall], ...] = tuple(children)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, OutputNode)
+            and other.label == self.label
+            and other.children == self.children
+        )
+
+    def __hash__(self) -> int:
+        return hash(("OutputNode", self.label, self.children))
+
+    def __repr__(self) -> str:
+        if not self.children:
+            return "OutputNode(%r)" % self.label
+        return "OutputNode(%r, %r)" % (self.label, list(self.children))
+
+    @property
+    def size(self) -> int:
+        return 1 + sum(child.size for child in self.children)
+
+
+#: A rule right-hand side: a hedge of output items.
+RuleHedge = Tuple[Union[OutputNode, StateCall], ...]
+
+
+def _parse_rhs(source: str, states: FrozenSet[str]) -> RuleHedge:
+    """Parse a right-hand side, turning leaves named after states into
+    state calls."""
+    hedge = parse_hedge(source)
+
+    def convert(t: Tree) -> Union[OutputNode, StateCall]:
+        if t.is_text:
+            raise TreeSyntaxError(
+                "rule right-hand sides contain no Text-values (got %r)" % t.label
+            )
+        if t.label in states:
+            if t.children:
+                raise TreeSyntaxError("state %r cannot have children in a rhs" % t.label)
+            return StateCall(t.label)
+        return OutputNode(t.label, [convert(c) for c in t.children])
+
+    return tuple(convert(t) for t in hedge)
+
+
+def _rhs_states(h: RuleHedge) -> Iterator[str]:
+    for item in h:
+        if isinstance(item, StateCall):
+            yield item.state
+        else:
+            yield from _rhs_states(item.children)
+
+
+def _rhs_frontier(h: RuleHedge) -> Iterator[Union[str, StateCall]]:
+    """Frontier of a rhs hedge: labels and state calls at leaves, in order."""
+    for item in h:
+        if isinstance(item, StateCall):
+            yield item
+        elif not item.children:
+            yield item.label
+        else:
+            yield from _rhs_frontier(item.children)
+
+
+def _rhs_labels(h: RuleHedge) -> Iterator[str]:
+    for item in h:
+        if isinstance(item, OutputNode):
+            yield item.label
+            yield from _rhs_labels(item.children)
+
+
+class TopDownTransducer:
+    """A top-down uniform tree transducer (paper, Definition 4.1).
+
+    Parameters
+    ----------
+    states:
+        The state set ``Q``.
+    rules:
+        Mapping ``(state, symbol) -> rhs``.  For ``symbol == "text"``
+        the rhs must be the literal string ``"text"`` (copy the value);
+        otherwise the rhs is a hedge given as a term-syntax string or a
+        :data:`RuleHedge`.
+    initial:
+        The initial state ``q0``.  Its rules must be single trees whose
+        root is a ``Sigma``-label, so output is always a tree.
+    """
+
+    __slots__ = ("states", "initial", "rules", "text_states", "alphabet")
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        rules: Mapping[Tuple[str, str], Union[str, RuleHedge]],
+        initial: str,
+    ) -> None:
+        self.states: FrozenSet[str] = frozenset(states)
+        if initial not in self.states:
+            raise ValueError("initial state %r not among states" % (initial,))
+        self.initial = initial
+        self.rules: Dict[Tuple[str, str], RuleHedge] = {}
+        self.text_states: Set[str] = set()
+        alphabet: Set[str] = set()
+        for (state, symbol), rhs in rules.items():
+            if state not in self.states:
+                raise ValueError("rule for unknown state %r" % (state,))
+            if symbol == _TEXT:
+                if rhs != _TEXT:
+                    raise ValueError(
+                        "the rhs of a (q, text) rule must be the keyword 'text', got %r" % (rhs,)
+                    )
+                self.text_states.add(state)
+                continue
+            if isinstance(rhs, str):
+                rhs = _parse_rhs(rhs, self.states)
+            else:
+                rhs = tuple(rhs)
+            unknown = set(_rhs_states(rhs)) - self.states
+            if unknown:
+                raise ValueError("rhs of (%r, %r) uses unknown states %r" % (state, symbol, unknown))
+            if state == initial:
+                if len(rhs) != 1 or not isinstance(rhs[0], OutputNode):
+                    raise ValueError(
+                        "initial-state rules must produce a single Sigma-rooted tree"
+                    )
+            self.rules[(state, symbol)] = rhs
+            alphabet.add(symbol)
+            alphabet.update(_rhs_labels(rhs))
+        self.alphabet: FrozenSet[str] = frozenset(alphabet)
+
+    # -- introspection ----------------------------------------------------
+
+    def rhs(self, state: str, symbol: str) -> Optional[RuleHedge]:
+        """The rule right-hand side for ``(state, symbol)``, if any."""
+        return self.rules.get((state, symbol))
+
+    def copies_text_in(self, state: str) -> bool:
+        """Whether ``(state, text) -> text`` is a rule."""
+        return state in self.text_states
+
+    @property
+    def size(self) -> int:
+        """The paper's ``|T| = |Q| + |R|``."""
+        return (
+            len(self.states)
+            + sum(sum(item.size for item in rhs) for rhs in self.rules.values())
+            + len(self.text_states)
+        )
+
+    def __repr__(self) -> str:
+        return "TopDownTransducer(states=%d, rules=%d)" % (
+            len(self.states),
+            len(self.rules) + len(self.text_states),
+        )
+
+    # -- semantics -----------------------------------------------------------
+
+    def apply_state(self, state: str, t: Tree) -> Hedge:
+        """The translation ``T^q(t)`` (Definition 4.1, items (i)-(iii))."""
+        if t.is_text:
+            if state in self.text_states:
+                return (t,)
+            return ()
+        rhs = self.rules.get((state, t.label))
+        if rhs is None:
+            return ()
+        return self._instantiate(rhs, t.children)
+
+    def apply_hedge(self, state: str, h: Hedge) -> Hedge:
+        """``T^q`` extended to hedges: concatenation of the per-tree
+        translations."""
+        out: List[Tree] = []
+        for t in h:
+            out.extend(self.apply_state(state, t))
+        return tuple(out)
+
+    def _instantiate(self, rhs: RuleHedge, children: Hedge) -> Hedge:
+        out: List[Tree] = []
+        for item in rhs:
+            if isinstance(item, StateCall):
+                out.extend(self.apply_hedge(item.state, children))
+            else:
+                out.append(Tree(item.label, self._instantiate(item.children, children)))
+        return tuple(out)
+
+    def apply(self, t: Tree) -> Hedge:
+        """The transformation ``T(t) = T^{q0}(t)`` as a hedge."""
+        return self.apply_state(self.initial, t)
+
+    def transform(self, t: Tree) -> Tree:
+        """``T(t)`` as a tree.
+
+        Raises :class:`ValueError` when the result is not a single tree
+        (which can only happen if no initial rule applied at the root).
+        """
+        result = self.apply(t)
+        if len(result) != 1:
+            raise ValueError(
+                "transduction produced a hedge of %d trees; no initial rule matched the root?"
+                % len(result)
+            )
+        return result[0]
+
+    def __call__(self, t: Tree) -> Tree:
+        return self.transform(t)
+
+    # -- reduction ---------------------------------------------------------------
+
+    def reachable_states(self) -> FrozenSet[str]:
+        """States reachable from ``q0`` through rule right-hand sides."""
+        seen: Set[str] = {self.initial}
+        stack = [self.initial]
+        while stack:
+            state = stack.pop()
+            for (source, _symbol), rhs in self.rules.items():
+                if source != state:
+                    continue
+                for target in _rhs_states(rhs):
+                    if target not in seen:
+                        seen.add(target)
+                        stack.append(target)
+        return frozenset(seen)
+
+    def is_reduced(self) -> bool:
+        """Whether all states are reachable and no rule has an empty
+        rhs (such rules are useless: an absent rule behaves the same)."""
+        if any(not rhs for rhs in self.rules.values()):
+            return False
+        return self.reachable_states() == self.states
+
+    def reduce(self) -> "TopDownTransducer":
+        """An equivalent reduced transducer (drop unreachable states and
+        useless rules)."""
+        reachable = self.reachable_states()
+        rules: Dict[Tuple[str, str], Union[str, RuleHedge]] = {}
+        for (state, symbol), rhs in self.rules.items():
+            if state in reachable and rhs:
+                rules[(state, symbol)] = rhs
+        for state in self.text_states & reachable:
+            rules[(state, _TEXT)] = _TEXT
+        return TopDownTransducer(reachable, rules, self.initial)
+
+    # -- path runs (Section 4.2) ------------------------------------------------
+
+    def path_runs(self, labels: Tuple[str, ...]) -> Iterator[Tuple[str, ...]]:
+        """All path runs of the transducer on the text path
+        ``labels . gamma`` (Lemma 4.5): sequences ``q1 .. qn q_{n+1}``
+        with ``q1 = q0``, each ``q_{i+1}`` occurring at a leaf of
+        ``rhs(q_i, a_i)``, and ``(q_{n+1}, text) -> text`` a rule.
+
+        ``labels`` is the ``Sigma``-part of the text path.
+        """
+        def extend(prefix: Tuple[str, ...], index: int) -> Iterator[Tuple[str, ...]]:
+            state = prefix[-1]
+            if index == len(labels):
+                if state in self.text_states:
+                    yield prefix
+                return
+            rhs = self.rules.get((state, labels[index]))
+            if rhs is None:
+                return
+            for target in set(_rhs_states(rhs)):
+                yield from extend(prefix + (target,), index + 1)
+
+        yield from extend((self.initial,), 0)
+
+    def rhs_state_multiplicity(self, state: str, symbol: str, target: str) -> int:
+        """How many leaves of ``rhs(state, symbol)`` carry ``target``
+        (condition (2) of Lemma 4.5 asks for >= 2)."""
+        rhs = self.rules.get((state, symbol))
+        if rhs is None:
+            return 0
+        return sum(1 for q in _rhs_states(rhs) if q == target)
+
+    def rhs_frontier_states(self, state: str, symbol: str) -> Tuple[str, ...]:
+        """The state calls on the frontier of ``rhs(state, symbol)``,
+        in document order (used by the rearranging test, Lemma 4.6)."""
+        rhs = self.rules.get((state, symbol))
+        if rhs is None:
+            return ()
+        return tuple(
+            item.state for item in _rhs_frontier(rhs) if isinstance(item, StateCall)
+        )

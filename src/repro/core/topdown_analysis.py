@@ -1,0 +1,422 @@
+"""Deciding text-preservation for top-down transducers (paper, §4.2-4.3).
+
+The pipeline follows the paper exactly:
+
+* :func:`path_automaton` — Lemma 4.8(1): an NFA for the text-path
+  language of ``L(N)`` (all ``anc-str`` strings of text nodes in trees
+  of the schema), built in polynomial time.
+* :func:`transducer_path_automaton` — Lemma 4.8(2): an NFA for the text
+  paths on which the transducer has a path run.
+* :func:`copying_nfa` — the product automaton ``M`` of Lemma 4.9:
+  simulates the schema path automaton and two copies of the transducer
+  path automaton, accepting iff a text path witnesses copying
+  (two distinct path runs, or a doubling rule on a path run).
+* :func:`copying_nta` / :func:`rearranging_nta` — NTAs accepting the
+  trees on which ``T`` copies / rearranges (the automaton ``M`` of
+  Lemma 4.10 and its copying analogue).  Their intersections with the
+  schema give PTIME decisions *and* concrete counter-example trees,
+  and their union is the regular language of counter-examples that
+  Section 7 builds on.
+* :func:`is_text_preserving` — Theorem 4.11.
+
+Everything here is polynomial in ``|T| + |N|``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..automata.nta import NTA, TEXT, intersect_nta, union_nta
+from ..strings.nfa import EPSILON, NFA
+from ..trees.substitution import make_value_unique
+from ..trees.tree import Tree
+from .topdown import TopDownTransducer
+
+__all__ = [
+    "path_automaton",
+    "transducer_path_automaton",
+    "copying_nfa",
+    "copying_nta",
+    "rearranging_nta",
+    "counter_example_nta",
+    "is_copying",
+    "is_rearranging",
+    "is_text_preserving",
+    "copying_witness_path",
+    "counter_example",
+]
+
+State = Hashable
+
+#: The accepting sink of path automata (reached on reading ``text``).
+_ACC = ("acc",)
+
+
+def _useful_child_states(nta: NTA, state: State, symbol: str) -> Set[State]:
+    """States occurring in some horizontal word over inhabited states
+    for ``delta(state, symbol)`` — the possible child states inside a
+    completable tree."""
+    horizontal = nta.delta.get((state, symbol))
+    if horizontal is None:
+        return set()
+    inhabited = nta.inhabited_states()
+    from ..automata.nta import _symbols_on_useful_paths
+
+    return set(_symbols_on_useful_paths(horizontal, inhabited))
+
+
+def path_automaton(nta: NTA) -> NFA:
+    """Lemma 4.8(1): an NFA accepting the text-path language of ``L(nta)``.
+
+    Words have the shape ``a1 ... an text``; the NFA's states are the
+    NTA's states plus an accepting sink, and reading a label moves to a
+    possible child state within a completable accepted tree.
+    """
+    transitions: List[Tuple[State, str, State]] = []
+    inhabited = nta.inhabited_states()
+    if nta.initial not in inhabited:
+        return NFA({nta.initial, _ACC}, set(nta.alphabet) | {TEXT}, [], nta.initial, {_ACC})
+    for (state, symbol), _horizontal in nta.delta.items():
+        if state not in inhabited:
+            continue
+        if symbol == TEXT:
+            if nta.allows_empty(state, TEXT):
+                transitions.append((state, TEXT, _ACC))
+            continue
+        for child in _useful_child_states(nta, state, symbol):
+            transitions.append((state, symbol, child))
+    states = set(inhabited) | {_ACC, nta.initial}
+    return NFA(states, set(nta.alphabet) | {TEXT}, transitions, nta.initial, {_ACC})
+
+
+def transducer_path_automaton(transducer: TopDownTransducer) -> NFA:
+    """Lemma 4.8(2): an NFA accepting the text paths on which the
+    transducer has a path run (ending with a value-copying text rule)."""
+    if not isinstance(transducer, TopDownTransducer):
+        raise TypeError(
+            "this is the Section 4 (top-down) pipeline; for DTL transducers "
+            "use repro.is_text_preserving or repro.core.dtl_analysis"
+        )
+    transitions: List[Tuple[State, str, State]] = []
+    for (state, symbol), _rhs in transducer.rules.items():
+        for target in set(transducer.rhs_frontier_states(state, symbol)):
+            transitions.append((state, symbol, target))
+    for state in transducer.text_states:
+        transitions.append((state, TEXT, _ACC))
+    states = set(transducer.states) | {_ACC}
+    alphabet = set(transducer.alphabet) | {TEXT}
+    return NFA(states, alphabet, transitions, transducer.initial, {_ACC})
+
+
+# ---------------------------------------------------------------------------
+# Copying (Lemmas 4.5 and 4.9)
+# ---------------------------------------------------------------------------
+
+
+def _pair_steps(
+    transducer: TopDownTransducer, q1: str, q2: str, symbol: str, flag: int
+) -> Iterable[Tuple[str, str, int]]:
+    """Successor state pairs for the two simulated path runs.
+
+    ``flag`` is 1 once the runs have diverged or a doubling rule was
+    used; the invariant ``flag == 0  =>  q1 == q2`` is maintained.
+    """
+    targets1 = set(transducer.rhs_frontier_states(q1, symbol))
+    targets2 = set(transducer.rhs_frontier_states(q2, symbol))
+    for t1 in targets1:
+        for t2 in targets2:
+            if flag == 1:
+                yield (t1, t2, 1)
+            elif t1 != t2:
+                yield (t1, t2, 1)  # the runs diverge here: two distinct runs
+            else:
+                doubled = transducer.rhs_state_multiplicity(q1, symbol, t1) >= 2
+                yield (t1, t2, 1 if doubled else 0)
+
+
+def copying_nfa(transducer: TopDownTransducer, nta: NTA) -> NFA:
+    """Lemma 4.9's automaton ``M``: accepts the text paths of ``L(nta)``
+    witnessing that the transducer copies.
+
+    ``M`` runs the schema path automaton and two copies of the
+    transducer path automaton in lockstep; it accepts when the two runs
+    end in value-copying rules after having diverged, or after some
+    rule on the shared prefix offered the next state twice.
+    """
+    schema = path_automaton(nta)
+    alphabet = set(nta.alphabet) | {TEXT}
+    initial = (schema.initial, transducer.initial, transducer.initial, 0)
+    states: Set[State] = {initial, _ACC}
+    transitions: List[Tuple[State, str, State]] = []
+    stack: List[Tuple[State, str, str, int]] = [initial]
+    seen: Set[State] = {initial}
+    while stack:
+        current = stack.pop()
+        s_n, q1, q2, flag = current
+        for symbol in schema.symbols_from(s_n):
+            if symbol == TEXT:
+                if flag == 1 and q1 in transducer.text_states and q2 in transducer.text_states:
+                    transitions.append((current, TEXT, _ACC))
+                continue
+            schema_targets = schema.step(s_n, symbol)
+            if not schema_targets:
+                continue
+            for t1, t2, new_flag in _pair_steps(transducer, q1, q2, symbol, flag):
+                for s_target in schema_targets:
+                    nxt = (s_target, t1, t2, new_flag)
+                    transitions.append((current, symbol, nxt))
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        states.add(nxt)
+                        stack.append(nxt)
+    return NFA(states, alphabet, transitions, initial, {_ACC})
+
+
+def is_copying(transducer: TopDownTransducer, nta: NTA) -> bool:
+    """Lemma 4.9: PTIME test whether the transducer copies over ``L(nta)``."""
+    return not copying_nfa(transducer, nta).is_empty()
+
+
+def copying_witness_path(
+    transducer: TopDownTransducer, nta: NTA
+) -> Optional[Tuple[str, ...]]:
+    """A text path witnessing copying (labels ending in ``text``), or
+    ``None`` when the transducer does not copy over ``L(nta)``."""
+    word = copying_nfa(transducer, nta).shortest_word()
+    if word is None:
+        return None
+    return tuple(str(symbol) for symbol in word)
+
+
+# ---------------------------------------------------------------------------
+# Counter-example tree languages (Lemma 4.10 and the copying analogue)
+# ---------------------------------------------------------------------------
+
+_D = ("d",)  # "don't care" state of the witness NTAs
+
+
+def _pattern_nfa(states_before_after: Sequence[State], wildcard: State) -> NFA:
+    """NFA for ``wildcard* s1 wildcard* s2 ... wildcard*`` — the shape of
+    all horizontal languages in the witness automata."""
+    n = len(states_before_after)
+    transitions: List[Tuple[State, State, State]] = []
+    for i in range(n + 1):
+        transitions.append((i, wildcard, i))
+    for i, symbol in enumerate(states_before_after):
+        transitions.append((i, symbol, i + 1))
+    return NFA(range(n + 1), set(states_before_after) | {wildcard}, transitions, 0, {n})
+
+
+def _union_patterns(patterns: List[NFA], wildcard: State) -> Optional[NFA]:
+    if not patterns:
+        return None
+    from ..strings.nfa import union_nfa
+
+    result = patterns[0]
+    for nfa in patterns[1:]:
+        result = union_nfa(result, nfa)
+    return result
+
+
+def copying_nta(
+    transducer: TopDownTransducer, alphabet: Optional[Iterable[str]] = None
+) -> NTA:
+    """An NTA accepting exactly the trees on which the transducer copies
+    (operational condition of Lemma 4.5).
+
+    States: ``(q1, q2, flag)`` pairs simulating two path runs down the
+    marked path (flag 1 once distinct or doubled), plus a wildcard
+    state for the rest of the tree.  Polynomial in ``|T|``.
+
+    ``alphabet`` is the label universe of the trees considered (pass the
+    schema's alphabet union the transducer's when intersecting).
+    """
+    alphabet = set(alphabet) if alphabet is not None else set(transducer.alphabet)
+    alphabet |= set(transducer.alphabet)
+    pair_states: Set[State] = set()
+    delta: Dict[Tuple[State, str], NFA] = {}
+
+    eps_nfa = NFA([0], [], [], 0, [0])
+    delta[(_D, TEXT)] = eps_nfa
+    for symbol in alphabet:
+        delta[(_D, symbol)] = _pattern_nfa([], _D)
+
+    initial = (transducer.initial, transducer.initial, 0)
+    work: List[Tuple[str, str, int]] = [initial]
+    seen: Set[Tuple[str, str, int]] = {initial}
+    while work:
+        q1, q2, flag = work.pop()
+        pair_states.add((q1, q2, flag))
+        if flag == 1 and q1 in transducer.text_states and q2 in transducer.text_states:
+            delta[((q1, q2, flag), TEXT)] = eps_nfa
+        for symbol in alphabet:
+            patterns: List[NFA] = []
+            for t1, t2, new_flag in _pair_steps(transducer, q1, q2, symbol, flag):
+                target = (t1, t2, new_flag)
+                patterns.append(_pattern_nfa([target], _D))
+                if target not in seen:
+                    seen.add(target)
+                    work.append(target)
+            combined = _union_patterns(patterns, _D)
+            if combined is not None:
+                delta[((q1, q2, flag), symbol)] = combined
+    states = pair_states | {_D, initial}
+    return NTA(states, alphabet, delta, initial)
+
+
+def rearranging_nta(
+    transducer: TopDownTransducer, alphabet: Optional[Iterable[str]] = None
+) -> NTA:
+    """Lemma 4.10's automaton ``M``: an NTA accepting exactly the trees
+    on which the transducer rearranges (condition of Lemma 4.6).
+
+    State shapes (all polynomially many):
+
+    * ``("s", q)`` — on the shared path, runs still agree in state ``q``;
+    * ``("p", q1, q2)`` — on the shared path after the order violation
+      (the run that will reach the *right* leaf ``v2`` got an earlier
+      output slot than the run reaching the *left* leaf ``v1``);
+    * ``("f", q)`` — inside the split subtree: some text path run from
+      ``q`` must end at a text leaf below;
+    * the wildcard ``d``.
+    """
+    alphabet = set(alphabet) if alphabet is not None else set(transducer.alphabet)
+    alphabet |= set(transducer.alphabet)
+    delta: Dict[Tuple[State, str], NFA] = {}
+    states: Set[State] = {_D}
+    eps_nfa = NFA([0], [], [], 0, [0])
+    delta[(_D, TEXT)] = eps_nfa
+    for symbol in alphabet:
+        delta[(_D, symbol)] = _pattern_nfa([], _D)
+
+    # f-states: reach a copied text value somewhere below.
+    f_needed: Set[str] = set()
+
+    def f_state(q: str) -> State:
+        f_needed.add(q)
+        return ("f", q)
+
+    # p-states: continue together, or split at the lca.
+    p_needed: Set[Tuple[str, str]] = set()
+
+    def p_state(q1: str, q2: str) -> State:
+        p_needed.add((q1, q2))
+        return ("p", q1, q2)
+
+    # s-states: agreement prefix.
+    s_needed: Set[str] = set()
+
+    def s_state(q: str) -> State:
+        s_needed.add(q)
+        return ("s", q)
+
+    initial = s_state(transducer.initial)
+
+    # Build rules lazily until no new states appear.
+    done_s: Set[str] = set()
+    done_p: Set[Tuple[str, str]] = set()
+    done_f: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for q in list(s_needed - done_s):
+            done_s.add(q)
+            changed = True
+            for symbol in alphabet:
+                frontier = transducer.rhs_frontier_states(q, symbol)
+                if not frontier:
+                    continue
+                patterns: List[NFA] = []
+                for q_next in set(frontier):
+                    patterns.append(_pattern_nfa([s_state(q_next)], _D))
+                # Order violation: q2' strictly before q1' among the
+                # frontier state occurrences (as a subsequence q2'.q1').
+                # Two sub-cases: the violation happens strictly above the
+                # lca (continue together in a p-state), or at the lca
+                # itself (split immediately: the run for the *left* leaf
+                # v1 continues in an earlier child than the run for v2).
+                seen_pairs = set()
+                for j1 in range(len(frontier)):
+                    for j2 in range(j1 + 1, len(frontier)):
+                        q2_next, q1_next = frontier[j1], frontier[j2]
+                        if (q1_next, q2_next) in seen_pairs:
+                            continue
+                        seen_pairs.add((q1_next, q2_next))
+                        patterns.append(_pattern_nfa([p_state(q1_next, q2_next)], _D))
+                        patterns.append(
+                            _pattern_nfa([f_state(q1_next), f_state(q2_next)], _D)
+                        )
+                delta[(s_state(q), symbol)] = _union_patterns(patterns, _D)
+        for (q1, q2) in list(p_needed - done_p):
+            done_p.add((q1, q2))
+            changed = True
+            for symbol in alphabet:
+                targets1 = set(transducer.rhs_frontier_states(q1, symbol))
+                targets2 = set(transducer.rhs_frontier_states(q2, symbol))
+                patterns = []
+                for t1 in targets1:
+                    for t2 in targets2:
+                        # continue together toward the lca
+                        patterns.append(_pattern_nfa([p_state(t1, t2)], _D))
+                        # or split here: v1 into an earlier child than v2
+                        patterns.append(_pattern_nfa([f_state(t1), f_state(t2)], _D))
+                combined = _union_patterns(patterns, _D)
+                if combined is not None:
+                    delta[(("p", q1, q2), symbol)] = combined
+        for q in list(f_needed - done_f):
+            done_f.add(q)
+            changed = True
+            if q in transducer.text_states:
+                delta[(("f", q), TEXT)] = eps_nfa
+            for symbol in alphabet:
+                patterns = []
+                for q_next in set(transducer.rhs_frontier_states(q, symbol)):
+                    patterns.append(_pattern_nfa([f_state(q_next)], _D))
+                combined = _union_patterns(patterns, _D)
+                if combined is not None:
+                    delta[(("f", q), symbol)] = combined
+
+    states |= {("s", q) for q in done_s}
+    states |= {("p", q1, q2) for (q1, q2) in done_p}
+    states |= {("f", q) for q in done_f}
+    return NTA(states, alphabet, delta, initial)
+
+
+def is_rearranging(transducer: TopDownTransducer, nta: NTA) -> bool:
+    """Lemma 4.10: PTIME test whether the transducer rearranges over
+    ``L(nta)``."""
+    universe = set(nta.alphabet) | set(transducer.alphabet)
+    return not intersect_nta(rearranging_nta(transducer, universe), nta).is_empty()
+
+
+def counter_example_nta(transducer: TopDownTransducer, nta: NTA) -> NTA:
+    """The regular language of counter-examples (Section 7): trees of
+    ``L(nta)`` on which the transducer copies or rearranges — i.e., is
+    not text-preserving (Theorem 3.3)."""
+    universe = set(nta.alphabet) | set(transducer.alphabet)
+    bad = union_nta(
+        copying_nta(transducer, universe), rearranging_nta(transducer, universe)
+    )
+    return intersect_nta(bad, nta)
+
+
+def is_text_preserving(transducer: TopDownTransducer, nta: NTA) -> bool:
+    """Theorem 4.11: PTIME decision whether the (admissible) top-down
+    transducer is text-preserving over ``L(nta)``."""
+    return not is_copying(transducer, nta) and not is_rearranging(transducer, nta)
+
+
+def counter_example(transducer: TopDownTransducer, nta: NTA) -> Optional[Tree]:
+    """A smallest value-unique tree of ``L(nta)`` on which the
+    transducer is not text-preserving, or ``None`` when it is
+    text-preserving.
+
+    The witness is made value-unique, so
+    ``text_values(T(t))`` is concretely not a subsequence of
+    ``text_values(t)``.
+    """
+    witness = counter_example_nta(transducer, nta).witness()
+    if witness is None:
+        return None
+    return make_value_unique(witness)

@@ -1,0 +1,387 @@
+"""Typechecking top-down uniform transducers against output DTDs.
+
+Section 6 of the paper contrasts its tractability result against the
+*typechecking* problem ([13, 14, 15]): given an input schema ``Sin``,
+an output schema ``Sout``, and a transducer ``T``, does ``T(t) ∈ Sout``
+hold for every ``t ∈ Sin``?  Typechecking top-down uniform transducers
+is EXPTIME-complete, while deciding text-preservation is PTIME — the
+paper's headline separation.  This module implements typechecking (for
+output schemas given as DTDs) so the separation can be *measured*
+(benchmark E13).
+
+Construction — the classical inverse-type computation, specialized to
+DTDs:
+
+The *summary* of an output hedge ``h`` w.r.t. the output DTD abstracts
+everything its context can observe:
+
+* per content model ``M_sigma``, the transition function induced on
+  ``M_sigma`` by the root-label word of ``h``;
+* a one-token abstraction of the root-label word itself (empty / a
+  single label / "many") — needed at the top to check the root is one
+  allowed start label;
+* a flag: every node of ``h`` satisfies its content model.
+
+Summaries form a monoid under hedge concatenation.  For a fixed input
+tree, the vector ``q ↦ summary(T^q(t))`` is computed bottom-up; the
+*set of reachable vectors* over all input trees is a fixpoint whose
+states are exponential in the DTD — that is the EXPTIME construction.
+The result is a deterministic unranked tree automaton over input trees;
+typechecking is the emptiness of its complement intersected with
+``Sin``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..automata.nta import NTA, TEXT, intersect_nta
+from ..schema.dtd import DTD
+from ..strings.dfa import DFA, determinize
+from ..strings.nfa import NFA
+from ..trees.tree import Tree
+from .topdown import OutputNode, RuleHedge, StateCall, TopDownTransducer
+
+__all__ = [
+    "Summary",
+    "hedge_summary",
+    "output_valid",
+    "typechecks",
+    "typecheck_counter_example",
+    "inverse_type_nta",
+]
+
+#: The sequence abstraction tokens.
+_EMPTY = "()"
+_MANY = "(many)"
+
+#: Preprocessed output types, keyed by DTD identity (DTDs are
+#: immutable once constructed; preprocessing determinizes every content
+#: model, which is worth reusing across per-tree checks).
+_OUTPUT_TYPE_CACHE: Dict[int, "_OutputType"] = {}
+
+
+def _output_type(dtd: DTD) -> "_OutputType":
+    cached = _OUTPUT_TYPE_CACHE.get(id(dtd))
+    if cached is None or cached.dtd is not dtd:
+        cached = _OutputType(dtd)
+        _OUTPUT_TYPE_CACHE[id(dtd)] = cached
+    return cached
+
+
+#: Placeholder consumed by content DFAs for output labels the DTD does
+#: not know (the node itself is invalid; the word containing it can
+#: never be accepted because no content model mentions the symbol).
+_UNKNOWN = "__unknown_label__"
+
+
+class _OutputType:
+    """Preprocessed output DTD: complete content-model DFAs."""
+
+    def __init__(self, dtd: DTD) -> None:
+        self.dtd = dtd
+        self.labels: Tuple[str, ...] = tuple(sorted(dtd.alphabet))
+        alphabet = frozenset(set(self.labels) | {TEXT, _UNKNOWN})
+        self.dfas: Dict[str, DFA] = {
+            label: determinize(dtd.content_model(label).without_epsilon(), alphabet=alphabet)
+            for label in self.labels
+        }
+        # Canonical state indexing per DFA for compact summaries.
+        self.state_index: Dict[str, Dict[object, int]] = {}
+        self.states_of: Dict[str, List[object]] = {}
+        for label, dfa in self.dfas.items():
+            ordered = sorted(dfa.states, key=repr)
+            self.states_of[label] = ordered
+            self.state_index[label] = {state: i for i, state in enumerate(ordered)}
+
+    def identity_maps(self) -> Tuple[Tuple[int, ...], ...]:
+        return tuple(
+            tuple(range(len(self.states_of[label]))) for label in self.labels
+        )
+
+    def step_maps(self, symbol: str) -> Tuple[Tuple[int, ...], ...]:
+        """The per-DFA transition functions of a single symbol (labels
+        outside the DTD behave like the reject placeholder)."""
+        if symbol != TEXT and symbol not in self.dtd.alphabet:
+            symbol = _UNKNOWN
+        maps: List[Tuple[int, ...]] = []
+        for label in self.labels:
+            dfa = self.dfas[label]
+            index = self.state_index[label]
+            maps.append(
+                tuple(index[dfa.step(state, symbol)] for state in self.states_of[label])
+            )
+        return tuple(maps)
+
+    def accepts_word_maps(self, label: str, maps: Tuple[Tuple[int, ...], ...]) -> bool:
+        """Whether the word inducing ``maps`` is in ``d(label)``."""
+        position = self.labels.index(label)
+        dfa = self.dfas[label]
+        index = self.state_index[label]
+        ordered = self.states_of[label]
+        reached = ordered[maps[position][index[dfa.initial]]]
+        return reached in dfa.finals
+
+
+#: A hedge summary: (per-DFA maps, sequence abstraction, all-valid flag).
+Summary = Tuple[Tuple[Tuple[int, ...], ...], str, bool]
+
+
+def _unit(out: _OutputType) -> Summary:
+    return (out.identity_maps(), _EMPTY, True)
+
+
+def _compose_maps(
+    first: Tuple[Tuple[int, ...], ...], second: Tuple[Tuple[int, ...], ...]
+) -> Tuple[Tuple[int, ...], ...]:
+    # Reading `first` then `second`: apply first, then second.
+    return tuple(
+        tuple(second_map[value] for value in first_map)
+        for first_map, second_map in zip(first, second)
+    )
+
+
+def _concat(out: _OutputType, left: Summary, right: Summary) -> Summary:
+    maps = _compose_maps(left[0], right[0])
+    if left[1] == _EMPTY:
+        abstraction = right[1]
+    elif right[1] == _EMPTY:
+        abstraction = left[1]
+    else:
+        abstraction = _MANY
+    return (maps, abstraction, left[2] and right[2])
+
+
+def _single_tree(out: _OutputType, label: str, inner: Summary) -> Summary:
+    """Summary of the one-tree hedge ``label(inner-hedge)``."""
+    known = label in out.dtd.alphabet
+    ok = known and inner[2] and out.accepts_word_maps(label, inner[0])
+    return (out.step_maps(label), label, ok)
+
+
+def _text_summary(out: _OutputType) -> Summary:
+    return (out.step_maps(TEXT), TEXT, True)
+
+
+class _Evaluator:
+    """Computes transducer-state → summary vectors bottom-up."""
+
+    def __init__(self, transducer: TopDownTransducer, out: _OutputType) -> None:
+        self.transducer = transducer
+        self.out = out
+        self.states: Tuple[str, ...] = tuple(sorted(transducer.states))
+
+    def text_vector(self) -> Tuple[Summary, ...]:
+        return tuple(
+            _text_summary(self.out)
+            if state in self.transducer.text_states
+            else _unit(self.out)
+            for state in self.states
+        )
+
+    def combine(
+        self, symbol: str, child_products: Dict[str, Summary]
+    ) -> Tuple[Summary, ...]:
+        """The vector of a node labelled ``symbol`` whose children's
+        concatenated summaries (per transducer state) are
+        ``child_products``."""
+        vector: List[Summary] = []
+        for state in self.states:
+            rhs = self.transducer.rhs(state, symbol)
+            if rhs is None:
+                vector.append(_unit(self.out))
+            else:
+                vector.append(self._eval_rhs(rhs, child_products))
+        return tuple(vector)
+
+    def _eval_rhs(self, items: Sequence[object], products: Dict[str, Summary]) -> Summary:
+        result = _unit(self.out)
+        for item in items:
+            if isinstance(item, StateCall):
+                result = _concat(self.out, result, products[item.state])
+            else:
+                inner = self._eval_rhs(item.children, products)  # type: ignore[union-attr]
+                result = _concat(
+                    self.out, result, _single_tree(self.out, item.label, inner)
+                )
+        return result
+
+    def vector_of_tree(self, t: Tree) -> Tuple[Summary, ...]:
+        if t.is_text:
+            return self.text_vector()
+        products = {state: _unit(self.out) for state in self.states}
+        for child in t.children:
+            child_vector = self.vector_of_tree(child)
+            for index, state in enumerate(self.states):
+                products[state] = _concat(self.out, products[state], child_vector[index])
+        return self.combine(t.label, products)
+
+    def root_ok(self, vector: Tuple[Summary, ...]) -> bool:
+        """Whether a root with this vector produces a valid output tree."""
+        q0 = self.states.index(self.transducer.initial)
+        _maps, abstraction, ok = vector[q0]
+        return ok and abstraction in self.out.dtd.start
+
+
+def hedge_summary(transducer: TopDownTransducer, output_dtd: DTD, t: Tree) -> Summary:
+    """The summary of ``T(t)`` (as a hedge) w.r.t. the output DTD —
+    the per-tree building block of the inverse-type construction."""
+    out = _output_type(output_dtd)
+    evaluator = _Evaluator(transducer, out)
+    vector = evaluator.vector_of_tree(t)
+    return vector[evaluator.states.index(transducer.initial)]
+
+
+def output_valid(transducer: TopDownTransducer, output_dtd: DTD, t: Tree) -> bool:
+    """Whether ``T(t)`` is a single tree valid w.r.t. the output DTD —
+    decided through summaries (cross-checked in tests against running
+    the transducer and validating directly)."""
+    out = _output_type(output_dtd)
+    evaluator = _Evaluator(transducer, out)
+    return evaluator.root_ok(evaluator.vector_of_tree(t))
+
+
+def inverse_type_nta(
+    transducer: TopDownTransducer,
+    output_dtd: DTD,
+    input_alphabet: Iterable[str],
+    accept_valid: bool = False,
+) -> NTA:
+    """The inverse-type automaton: an NTA over input trees accepting
+    exactly those on which the output is *invalid* (or valid, with
+    ``accept_valid``).
+
+    States are the reachable summary vectors (exponentially many in the
+    worst case — the EXPTIME construction); horizontal languages are
+    DFAs computing the running product of child summaries.
+    """
+    out = _output_type(output_dtd)
+    evaluator = _Evaluator(transducer, out)
+    sigma = tuple(sorted(set(input_alphabet)))
+
+    unit_product = tuple(_unit(out) for _ in evaluator.states)
+    text_vector = evaluator.text_vector()
+
+    # Discover reachable vectors and reachable running products with a
+    # worklist: each (product, vector) pair and each (symbol, product)
+    # pair is processed exactly once.
+    vectors: Set[Tuple[Summary, ...]] = {text_vector}
+    products: Set[Tuple[Summary, ...]] = {unit_product}
+    transitions_h: Dict[Tuple[Tuple[Summary, ...], Tuple[Summary, ...]], Tuple[Summary, ...]] = {}
+    results: Dict[Tuple[str, Tuple[Summary, ...]], Tuple[Summary, ...]] = {}
+    n_states = len(evaluator.states)
+    work_products: List[Tuple[Summary, ...]] = [unit_product]
+    work_vectors: List[Tuple[Summary, ...]] = [text_vector]
+
+    def found_product(candidate: Tuple[Summary, ...]) -> None:
+        if candidate not in products:
+            products.add(candidate)
+            work_products.append(candidate)
+
+    def found_vector(candidate: Tuple[Summary, ...]) -> None:
+        if candidate not in vectors:
+            vectors.add(candidate)
+            work_vectors.append(candidate)
+
+    def pair(product: Tuple[Summary, ...], vector: Tuple[Summary, ...]) -> None:
+        key = (product, vector)
+        if key in transitions_h:
+            return
+        combined = tuple(
+            _concat(out, product[i], vector[i]) for i in range(n_states)
+        )
+        transitions_h[key] = combined
+        found_product(combined)
+
+    while work_products or work_vectors:
+        if work_products:
+            product = work_products.pop()
+            for vector in list(vectors):
+                pair(product, vector)
+            for symbol in sigma:
+                key2 = (symbol, product)
+                if key2 not in results:
+                    as_dict = dict(zip(evaluator.states, product))
+                    vector = evaluator.combine(symbol, as_dict)
+                    results[key2] = vector
+                    found_vector(vector)
+        else:
+            vector = work_vectors.pop()
+            for product in list(products):
+                pair(product, vector)
+
+    # Name the states compactly.
+    vector_name = {vector: ("v", i) for i, vector in enumerate(sorted(vectors, key=repr))}
+    product_name = {product: ("h", i) for i, product in enumerate(sorted(products, key=repr))}
+
+    delta: Dict[Tuple[object, str], NFA] = {}
+    # One shared horizontal transition structure (a DFA over vector
+    # symbols with product states); per-rule automata differ only in
+    # their final-state sets and share it structurally.
+    h_states = list(product_name.values())
+    h_edges = [
+        (product_name[product], vector_name[vector], product_name[target])
+        for (product, vector), target in transitions_h.items()
+    ]
+    base_h = NFA(h_states, list(vector_name.values()), h_edges, product_name[unit_product], [])
+
+    for symbol in sigma:
+        # Group the products by the vector they yield under `symbol`.
+        finals_of_vector: Dict[Tuple[Summary, ...], Set[object]] = {}
+        for product in products:
+            vector = results[(symbol, product)]
+            finals_of_vector.setdefault(vector, set()).add(product_name[product])
+        for vector, finals in finals_of_vector.items():
+            delta[(vector_name[vector], symbol)] = base_h.with_finals(finals)
+    eps_nfa = NFA([0], [], [], 0, [0])
+    delta[(vector_name[text_vector], TEXT)] = eps_nfa
+
+    # Root: a fresh initial state accepting trees whose root vector is
+    # (in)valid.  The NTA needs one initial state: add q_root whose
+    # horizontal languages mirror those of the qualifying vectors.
+    root_vectors = [
+        vector
+        for vector in vectors
+        if evaluator.root_ok(vector) == accept_valid
+    ]
+    states: Set[object] = set(vector_name.values()) | {("root",)}
+    from ..strings.nfa import union_nfa
+
+    for symbol in sigma:
+        parts = [
+            delta[(vector_name[vector], symbol)]
+            for vector in root_vectors
+            if (vector_name[vector], symbol) in delta
+        ]
+        if not parts:
+            continue
+        combined_nfa = parts[0]
+        for part in parts[1:]:
+            combined_nfa = union_nfa(combined_nfa, part)
+        delta[(("root",), symbol)] = combined_nfa
+    if text_vector in root_vectors:
+        delta[(("root",), TEXT)] = eps_nfa
+    return NTA(states, sigma, delta, ("root",))
+
+
+def typechecks(
+    transducer: TopDownTransducer, input_schema: NTA, output_dtd: DTD
+) -> bool:
+    """Whether ``T(t)`` is valid w.r.t. the output DTD for *every*
+    ``t ∈ L(input_schema)`` (EXPTIME in general)."""
+    bad = inverse_type_nta(
+        transducer, output_dtd, input_schema.alphabet, accept_valid=False
+    )
+    return intersect_nta(bad, input_schema).is_empty()
+
+
+def typecheck_counter_example(
+    transducer: TopDownTransducer, input_schema: NTA, output_dtd: DTD
+) -> Optional[Tree]:
+    """A smallest input tree whose output violates the output DTD, or
+    ``None`` when the transducer typechecks."""
+    bad = inverse_type_nta(
+        transducer, output_dtd, input_schema.alphabet, accept_valid=False
+    )
+    return intersect_nta(bad, input_schema).witness()

@@ -1,0 +1,395 @@
+"""Monadic second-order logic over unranked trees (paper, §5.3).
+
+Vocabulary: ``E(x, y)`` (child), ``x < y`` (same parent, ``x`` before
+``y`` — the *following sibling* order), ``lab_sigma(x)`` for each label
+(``lab_text`` tests text nodes), first-order equality, and set
+membership ``x in X``.  Connectives: negation, conjunction,
+disjunction, first- and second-order existential quantification
+(universals are derived).
+
+First-order variables are written in lowercase by convention, set
+variables in uppercase, but the distinction is structural: it is
+derived from quantifier use and atom positions, and validated by
+:func:`variable_kinds`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Tuple
+
+__all__ = [
+    "Formula",
+    "Lab",
+    "Child",
+    "Sibling",
+    "Eq",
+    "In",
+    "Not",
+    "And",
+    "Or",
+    "ExistsFO",
+    "ExistsSO",
+    "forall_fo",
+    "forall_so",
+    "implies",
+    "free_variables",
+    "variable_kinds",
+    "rename_variable",
+    "substitute_free",
+    "FO",
+    "SO",
+]
+
+#: Variable kinds.
+FO = "fo"
+SO = "so"
+
+
+class Formula:
+    """Base class of MSO formulas.
+
+    Formulas are immutable value objects; hashes are cached on first
+    use (instances keep a ``__dict__`` for exactly this purpose, large
+    compiled sentences are hashed constantly by the compile cache).
+    """
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(self) is not type(other):
+            return False
+        if hash(self) != hash(other):
+            return False
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((type(self).__name__, self._key()))
+            self.__dict__["_hash"] = cached
+        return cached
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "Formula(%s)" % self
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+class Lab(Formula):
+    """``lab_sigma(x)`` — ``x`` carries label ``sigma``.
+
+    ``lab_text(x)`` (label ``"text"``) tests whether ``x`` is a text
+    node, matching the ``L_text`` view of trees.
+    """
+
+    __slots__ = ("label", "var")
+
+    def __init__(self, label: str, var: str) -> None:
+        self.label = label
+        self.var = var
+
+    def _key(self) -> Tuple:
+        return (self.label, self.var)
+
+    def __str__(self) -> str:
+        return "lab_%s(%s)" % (self.label, self.var)
+
+
+class Child(Formula):
+    """``E(x, y)`` — ``y`` is a child of ``x``."""
+
+    __slots__ = ("parent", "child")
+
+    def __init__(self, parent: str, child: str) -> None:
+        self.parent = parent
+        self.child = child
+
+    def _key(self) -> Tuple:
+        return (self.parent, self.child)
+
+    def __str__(self) -> str:
+        return "E(%s, %s)" % (self.parent, self.child)
+
+
+class Sibling(Formula):
+    """``x < y`` — same parent, ``x`` strictly before ``y``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: str, right: str) -> None:
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return "%s < %s" % (self.left, self.right)
+
+
+class Eq(Formula):
+    """First-order equality ``x = y``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: str, right: str) -> None:
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return "%s = %s" % (self.left, self.right)
+
+
+class In(Formula):
+    """Set membership ``x in X``."""
+
+    __slots__ = ("element", "set_var")
+
+    def __init__(self, element: str, set_var: str) -> None:
+        self.element = element
+        self.set_var = set_var
+
+    def _key(self) -> Tuple:
+        return (self.element, self.set_var)
+
+    def __str__(self) -> str:
+        return "%s in %s" % (self.element, self.set_var)
+
+
+class Not(Formula):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Formula) -> None:
+        self.inner = inner
+
+    def _key(self) -> Tuple:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return "not (%s)" % self.inner
+
+
+class And(Formula):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula) -> None:
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return "(%s and %s)" % (self.left, self.right)
+
+
+class Or(Formula):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula) -> None:
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return "(%s or %s)" % (self.left, self.right)
+
+
+class ExistsFO(Formula):
+    """``exists x. phi`` with ``x`` ranging over nodes."""
+
+    __slots__ = ("var", "inner")
+
+    def __init__(self, var: str, inner: Formula) -> None:
+        self.var = var
+        self.inner = inner
+
+    def _key(self) -> Tuple:
+        return (self.var, self.inner)
+
+    def __str__(self) -> str:
+        return "exists %s. %s" % (self.var, self.inner)
+
+
+class ExistsSO(Formula):
+    """``exists X. phi`` with ``X`` ranging over node sets."""
+
+    __slots__ = ("var", "inner")
+
+    def __init__(self, var: str, inner: Formula) -> None:
+        self.var = var
+        self.inner = inner
+
+    def _key(self) -> Tuple:
+        return (self.var, self.inner)
+
+    def __str__(self) -> str:
+        return "exists set %s. %s" % (self.var, self.inner)
+
+
+def forall_fo(var: str, inner: Formula) -> Formula:
+    """``forall x. phi`` as ``not exists x. not phi``."""
+    return Not(ExistsFO(var, Not(inner)))
+
+
+def forall_so(var: str, inner: Formula) -> Formula:
+    """``forall X. phi`` as ``not exists X. not phi``."""
+    return Not(ExistsSO(var, Not(inner)))
+
+
+def implies(premise: Formula, conclusion: Formula) -> Formula:
+    """``phi -> psi`` as ``not (phi and not psi)``."""
+    return Not(And(premise, Not(conclusion)))
+
+
+def substitute_free(
+    formula: Formula, mapping: Dict[str, str], fresh_prefix: str = "b"
+) -> Formula:
+    """Rename the free variables of ``formula`` per ``mapping``,
+    renaming every bound variable to a fresh name so no capture can
+    occur.  Free variables absent from ``mapping`` keep their names.
+    """
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return "%s%d__" % (fresh_prefix, counter[0])
+
+    def rec(f: Formula, env: Dict[str, str]) -> Formula:
+        def name(var: str) -> str:
+            return env.get(var, mapping.get(var, var))
+
+        if isinstance(f, Lab):
+            return Lab(f.label, name(f.var))
+        if isinstance(f, Child):
+            return Child(name(f.parent), name(f.child))
+        if isinstance(f, Sibling):
+            return Sibling(name(f.left), name(f.right))
+        if isinstance(f, Eq):
+            return Eq(name(f.left), name(f.right))
+        if isinstance(f, In):
+            return In(name(f.element), name(f.set_var))
+        if isinstance(f, Not):
+            return Not(rec(f.inner, env))
+        if isinstance(f, And):
+            return And(rec(f.left, env), rec(f.right, env))
+        if isinstance(f, Or):
+            return Or(rec(f.left, env), rec(f.right, env))
+        if isinstance(f, ExistsFO):
+            new_name = fresh()
+            inner_env = dict(env)
+            inner_env[f.var] = new_name
+            return ExistsFO(new_name, rec(f.inner, inner_env))
+        if isinstance(f, ExistsSO):
+            new_name = fresh()
+            inner_env = dict(env)
+            inner_env[f.var] = new_name
+            return ExistsSO(new_name, rec(f.inner, inner_env))
+        raise TypeError("unknown formula %r" % (f,))
+
+    return rec(formula, {})
+
+
+def _walk(formula: Formula, bound: FrozenSet[str]) -> Iterator[Tuple[str, str, bool]]:
+    """Yield ``(var, kind, is_free)`` occurrences."""
+    if isinstance(formula, Lab):
+        yield (formula.var, FO, formula.var not in bound)
+    elif isinstance(formula, Child):
+        yield (formula.parent, FO, formula.parent not in bound)
+        yield (formula.child, FO, formula.child not in bound)
+    elif isinstance(formula, (Sibling, Eq)):
+        yield (formula.left, FO, formula.left not in bound)
+        yield (formula.right, FO, formula.right not in bound)
+    elif isinstance(formula, In):
+        yield (formula.element, FO, formula.element not in bound)
+        yield (formula.set_var, SO, formula.set_var not in bound)
+    elif isinstance(formula, Not):
+        yield from _walk(formula.inner, bound)
+    elif isinstance(formula, (And, Or)):
+        yield from _walk(formula.left, bound)
+        yield from _walk(formula.right, bound)
+    elif isinstance(formula, ExistsFO):
+        yield (formula.var, FO, False)
+        yield from _walk(formula.inner, bound | {formula.var})
+    elif isinstance(formula, ExistsSO):
+        yield (formula.var, SO, False)
+        yield from _walk(formula.inner, bound | {formula.var})
+    else:
+        raise TypeError("unknown formula %r" % (formula,))
+
+
+def variable_kinds(formula: Formula) -> Dict[str, str]:
+    """The kind (:data:`FO` or :data:`SO`) of every variable.
+
+    Raises :class:`ValueError` if a variable is used inconsistently.
+    """
+    kinds: Dict[str, str] = {}
+    for var, kind, _free in _walk(formula, frozenset()):
+        if kinds.setdefault(var, kind) != kind:
+            raise ValueError("variable %r used both first- and second-order" % var)
+    return kinds
+
+
+def free_variables(formula: Formula) -> Dict[str, str]:
+    """Free variables with their kinds (cached on the formula)."""
+    cached = formula.__dict__.get("_free_vars")
+    if cached is not None:
+        return dict(cached)
+    variable_kinds(formula)  # consistency check over all occurrences
+    free: Dict[str, str] = {}
+    for var, kind, is_free in _walk(formula, frozenset()):
+        if is_free:
+            free.setdefault(var, kind)
+    formula.__dict__["_free_vars"] = dict(free)
+    return free
+
+
+def rename_variable(formula: Formula, old: str, new: str) -> Formula:
+    """Capture-avoiding-enough renaming for the common case: ``new``
+    must not occur in ``formula`` at all (checked)."""
+    kinds = variable_kinds(formula)
+    if new in kinds:
+        raise ValueError("target name %r already occurs" % new)
+
+    def rec(f: Formula) -> Formula:
+        if isinstance(f, Lab):
+            return Lab(f.label, new if f.var == old else f.var)
+        if isinstance(f, Child):
+            return Child(new if f.parent == old else f.parent, new if f.child == old else f.child)
+        if isinstance(f, Sibling):
+            return Sibling(new if f.left == old else f.left, new if f.right == old else f.right)
+        if isinstance(f, Eq):
+            return Eq(new if f.left == old else f.left, new if f.right == old else f.right)
+        if isinstance(f, In):
+            return In(
+                new if f.element == old else f.element,
+                new if f.set_var == old else f.set_var,
+            )
+        if isinstance(f, Not):
+            return Not(rec(f.inner))
+        if isinstance(f, And):
+            return And(rec(f.left), rec(f.right))
+        if isinstance(f, Or):
+            return Or(rec(f.left), rec(f.right))
+        if isinstance(f, ExistsFO):
+            return ExistsFO(new if f.var == old else f.var, rec(f.inner))
+        if isinstance(f, ExistsSO):
+            return ExistsSO(new if f.var == old else f.var, rec(f.inner))
+        raise TypeError("unknown formula %r" % (f,))
+
+    return rec(formula)

@@ -1,0 +1,147 @@
+"""Direct (model-theoretic) evaluation of MSO formulas on a tree.
+
+This is the reference semantics: first-order quantifiers iterate over
+nodes, set quantifiers over *all subsets* of nodes — exponential, so it
+is meant for small trees, as the ground truth that the automata
+compilation (:mod:`repro.mso.compile`) is tested against, and as the
+pattern evaluator for DTL^MSO on example documents.
+
+:class:`MSOEvaluator` memoizes the relational structure of one tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Mapping, Set, Tuple, Union
+
+from ..trees.tree import Node, Tree
+from .ast import (
+    And,
+    Child,
+    Eq,
+    ExistsFO,
+    ExistsSO,
+    Formula,
+    In,
+    Lab,
+    Not,
+    Or,
+    Sibling,
+    free_variables,
+)
+
+__all__ = ["MSOEvaluator", "mso_holds"]
+
+#: Assignment values: a node for FO variables, a set of nodes for SO.
+Value = Union[Node, FrozenSet[Node]]
+
+_TEXT = "text"
+
+
+class MSOEvaluator:
+    """Evaluates MSO formulas over a fixed tree."""
+
+    def __init__(self, t: Tree) -> None:
+        self.tree = t
+        self.nodes: Tuple[Node, ...] = tuple(t.nodes())
+        self._children: Dict[Node, Tuple[Node, ...]] = {
+            node: tuple(t.children_of(node)) for node in self.nodes
+        }
+
+    def holds(self, formula: Formula, assignment: Mapping[str, Value] = {}) -> bool:
+        """Whether ``t |= formula`` under ``assignment``.
+
+        The assignment must cover every free variable (checked).
+        """
+        missing = set(free_variables(formula)) - set(assignment)
+        if missing:
+            raise ValueError("unassigned free variables: %r" % sorted(missing))
+        return self._eval(formula, dict(assignment))
+
+    def _eval(self, formula: Formula, env: Dict[str, Value]) -> bool:
+        if isinstance(formula, Lab):
+            node = env[formula.var]
+            sub = self.tree.subtree(node)  # type: ignore[arg-type]
+            if formula.label == _TEXT:
+                return sub.is_text
+            return not sub.is_text and sub.label == formula.label
+        if isinstance(formula, Child):
+            parent = env[formula.parent]
+            child = env[formula.child]
+            return child in self._children.get(parent, ())  # type: ignore[arg-type]
+        if isinstance(formula, Sibling):
+            left = env[formula.left]
+            right = env[formula.right]
+            return (
+                len(left) == len(right)  # type: ignore[arg-type]
+                and left[:-1] == right[:-1]  # type: ignore[index]
+                and left < right
+            )
+        if isinstance(formula, Eq):
+            return env[formula.left] == env[formula.right]
+        if isinstance(formula, In):
+            return env[formula.element] in env[formula.set_var]  # type: ignore[operator]
+        if isinstance(formula, Not):
+            return not self._eval(formula.inner, env)
+        if isinstance(formula, And):
+            return self._eval(formula.left, env) and self._eval(formula.right, env)
+        if isinstance(formula, Or):
+            return self._eval(formula.left, env) or self._eval(formula.right, env)
+        if isinstance(formula, ExistsFO):
+            saved = env.get(formula.var)
+            had = formula.var in env
+            for node in self.nodes:
+                env[formula.var] = node
+                if self._eval(formula.inner, env):
+                    _restore(env, formula.var, saved, had)
+                    return True
+            _restore(env, formula.var, saved, had)
+            return False
+        if isinstance(formula, ExistsSO):
+            saved = env.get(formula.var)
+            had = formula.var in env
+            for subset in _subsets(self.nodes):
+                env[formula.var] = subset
+                if self._eval(formula.inner, env):
+                    _restore(env, formula.var, saved, had)
+                    return True
+            _restore(env, formula.var, saved, had)
+            return False
+        raise TypeError("unknown formula %r" % (formula,))
+
+    def satisfying_nodes(self, formula: Formula, var: str) -> Tuple[Node, ...]:
+        """All nodes ``v`` with ``t |= formula[var := v]`` (the other
+        free variables must not exist), in document order."""
+        return tuple(
+            node for node in self.nodes if self.holds(formula, {var: node})
+        )
+
+    def satisfying_pairs(
+        self, formula: Formula, var1: str, var2: str
+    ) -> Tuple[Tuple[Node, Node], ...]:
+        """All pairs ``(u, v)`` satisfying a binary formula."""
+        out = []
+        for u in self.nodes:
+            for v in self.nodes:
+                if self.holds(formula, {var1: u, var2: v}):
+                    out.append((u, v))
+        return tuple(out)
+
+
+def _restore(env: Dict[str, Value], var: str, saved, had: bool) -> None:
+    if had:
+        env[var] = saved
+    else:
+        env.pop(var, None)
+
+
+def _subsets(nodes: Iterable[Node]) -> Iterable[FrozenSet[Node]]:
+    items = tuple(nodes)
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            yield frozenset(combo)
+
+
+def mso_holds(t: Tree, formula: Formula, assignment: Mapping[str, Value] = {}) -> bool:
+    """One-shot :meth:`MSOEvaluator.holds`."""
+    return MSOEvaluator(t).holds(formula, assignment)

@@ -1,0 +1,65 @@
+"""Standard derived MSO relations on trees.
+
+These are the textbook definable relations the Section 5 constructions
+lean on: root tests, ancestry (via the second-order closure under the
+child relation), and strict document order ``<_lex``.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    And,
+    Child,
+    ExistsFO,
+    ExistsSO,
+    Formula,
+    In,
+    Not,
+    Or,
+    Sibling,
+)
+
+__all__ = ["is_root", "ancestor_or_self", "proper_ancestor", "doc_before"]
+
+
+def is_root(x: str) -> Formula:
+    """``x`` has no parent."""
+    parent = "rt__"
+    return Not(ExistsFO(parent, Child(parent, x)))
+
+
+def ancestor_or_self(x: str, y: str) -> Formula:
+    """``y`` equals ``x`` or is a descendant of ``x``: every set
+    containing ``x`` and closed under the child relation contains ``y``."""
+    set_var = "AOS_SET"
+    a, b = "aa__", "ab__"
+    closed = Not(
+        ExistsFO(
+            a,
+            ExistsFO(b, And(In(a, set_var), And(Child(a, b), Not(In(b, set_var))))),
+        )
+    )
+    return Not(ExistsSO(set_var, And(In(x, set_var), And(closed, Not(In(y, set_var))))))
+
+
+def proper_ancestor(x: str, y: str) -> Formula:
+    """``x`` is a strict ancestor of ``y``."""
+    child = "pa__"
+    return ExistsFO(child, And(Child(x, child), ancestor_or_self(child, y)))
+
+
+def doc_before(x: str, y: str) -> Formula:
+    """Strict document order ``x <_lex y``: ``x`` is a proper ancestor
+    of ``y``, or the two paths split at ordered siblings."""
+    u, v = "da__", "db__"
+    split = ExistsFO(
+        u,
+        ExistsFO(
+            v,
+            And(
+                Sibling(u, v),
+                And(ancestor_or_self(u, x), ancestor_or_self(v, y)),
+            ),
+        ),
+    )
+    return Or(proper_ancestor(x, y), split)

@@ -1,0 +1,159 @@
+"""The paper's running example, as executable artifacts.
+
+* :func:`figure1_tree` — the recipes document of Figure 1;
+* :func:`example23_dtd` — the recipes DTD of Example 2.3;
+* :func:`example42_transducer` — the uniform transducer of Example 4.2
+  (select descriptions, ingredients and instructions; delete comments;
+  drop ``item`` mark-up but keep ``br``);
+* :func:`figure2_output` — the transformation result shown in Figure 2;
+* :func:`example515_dtl` — the DTL^XPath program of Example 5.15
+  (keep only recipes with at least three positive comments).
+"""
+
+from __future__ import annotations
+
+from .core.topdown import TopDownTransducer
+from .schema.dtd import DTD
+from .trees.tree import Tree, tree
+
+__all__ = [
+    "figure1_tree",
+    "example23_dtd",
+    "example42_transducer",
+    "figure2_output",
+    "example515_dtl",
+]
+
+_DESCRIPTION = (
+    "This is the best chocolate mousse in the world. It tastes fantastic "
+    "and has only finitely many calories."
+)
+_POSITIVE = "It's true! It's great! Especially with Greek coffee afterwards!"
+
+
+def figure1_tree() -> Tree:
+    """The recipes text tree of Figure 1 (second recipe kept minimal)."""
+    first = tree(
+        "recipe",
+        tree("description", _DESCRIPTION),
+        tree(
+            "ingredients",
+            tree("item", "100 g of butter"),
+            tree("item", "100 g of Belgian chocolate"),
+        ),
+        tree(
+            "instructions",
+            "We start by melting the butter on a low fire.",
+            tree("br"),
+            "Then, melt the chocolate au bain-marie.",
+        ),
+        tree(
+            "comments",
+            tree("negative", tree("comment", "Too sweet for my taste.")),
+            tree("positive", tree("comment", _POSITIVE)),
+        ),
+    )
+    second = tree(
+        "recipe",
+        tree("description", "A quick vanilla pudding."),
+        tree("ingredients", tree("item", "500 ml of milk")),
+        tree("instructions", "Warm the milk and stir."),
+        tree("comments", tree("negative"), tree("positive")),
+    )
+    return tree("recipes", first, second)
+
+
+def example23_dtd() -> DTD:
+    """The DTD of Example 2.3 (already reduced)."""
+    return DTD(
+        content={
+            "recipes": "recipe*",
+            "recipe": "description . ingredients . instructions . comments",
+            "ingredients": "item*",
+            "instructions": "(br + text)*",
+            "br": "eps",
+            "comments": "negative . positive",
+            "positive": "comment*",
+            "negative": "comment*",
+            "description": "text",
+            "item": "text",
+            "comment": "text",
+        },
+        start={"recipes"},
+    )
+
+
+def example42_transducer() -> TopDownTransducer:
+    """The uniform transducer of Example 4.2."""
+    return TopDownTransducer(
+        states={"q0", "qsel", "q"},
+        rules={
+            ("q0", "recipes"): "recipes(q0)",
+            ("q0", "recipe"): "recipe(qsel)",
+            ("qsel", "description"): "description(q)",
+            ("qsel", "ingredients"): "ingredients(q)",
+            ("qsel", "instructions"): "instructions(q)",
+            ("q", "item"): "q",
+            ("q", "br"): "br(q)",
+            ("q", "text"): "text",
+        },
+        initial="q0",
+    )
+
+
+def figure2_output() -> Tree:
+    """The output tree of Figure 2: Example 4.2 applied to Figure 1."""
+    first = tree(
+        "recipe",
+        tree("description", _DESCRIPTION),
+        tree("ingredients", "100 g of butter", "100 g of Belgian chocolate"),
+        tree(
+            "instructions",
+            "We start by melting the butter on a low fire.",
+            tree("br"),
+            "Then, melt the chocolate au bain-marie.",
+        ),
+    )
+    second = tree(
+        "recipe",
+        tree("description", "A quick vanilla pudding."),
+        tree("ingredients", "500 ml of milk"),
+        tree("instructions", "Warm the milk and stir."),
+    )
+    return tree("recipes", first, second)
+
+
+def example515_dtl():
+    """The DTL^XPath transducer of Example 5.15.
+
+    Selects descriptions, ingredients, and instructions of all recipes
+    with at least three positive comments; implemented once the DTL
+    modules are available (returns a
+    :class:`~repro.core.dtl.DTLTransducer` with XPath patterns).
+    """
+    from .core.dtl import DTLTransducer, Call
+    from .xpath.parser import parse_node_expr, parse_path_expr
+
+    phi = parse_node_expr(
+        "recipe and <down[comments]/down[positive]/down[comment]"
+        "/right[comment]/right[comment]>"
+    )
+    down = parse_path_expr("down")
+    return DTLTransducer(
+        states={"q0", "q"},
+        sigma_rules=[
+            ("q0", parse_node_expr("recipes"), ("recipes", [Call("q", down)])),
+        ]
+        + [
+            ("q", phi, ("recipe", [Call("q", down)])),
+        ]
+        + [
+            ("q", parse_node_expr(label), (label, [Call("q", down)]))
+            for label in ("description", "ingredients", "br", "instructions")
+        ]
+        + [
+            ("q", parse_node_expr("item"), [Call("q", down)]),
+        ],
+        text_states={"q"},
+        initial="q0",
+    )

@@ -1,0 +1,5 @@
+"""Schema languages: DTDs and their translation to tree automata."""
+
+from .dtd import DTD, dtd_to_nta
+
+__all__ = ["DTD", "dtd_to_nta"]

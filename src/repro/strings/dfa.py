@@ -1,0 +1,246 @@
+"""Deterministic finite automata: subset construction, complement,
+minimization, and language comparisons.
+
+DFAs here are always *complete* over their declared alphabet (a sink
+state is materialized by :func:`determinize`), which makes complement a
+final-state flip.  States are arbitrary hashable objects.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .nfa import NFA
+
+__all__ = ["DFA", "determinize", "minimize"]
+
+State = Hashable
+Symbol = Hashable
+
+_SINK = ("__sink__",)
+
+
+class DFA:
+    """A complete deterministic finite automaton."""
+
+    __slots__ = ("states", "alphabet", "initial", "finals", "_delta")
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Dict[Tuple[State, Symbol], State],
+        initial: State,
+        finals: Iterable[State],
+    ) -> None:
+        self.states: FrozenSet[State] = frozenset(states)
+        self.alphabet: FrozenSet[Symbol] = frozenset(alphabet)
+        self.initial = initial
+        self.finals: FrozenSet[State] = frozenset(finals)
+        self._delta = dict(transitions)
+        for state in self.states:
+            for symbol in self.alphabet:
+                if (state, symbol) not in self._delta:
+                    raise ValueError(
+                        "DFA is not complete: missing transition (%r, %r)" % (state, symbol)
+                    )
+
+    def step(self, state: State, symbol: Symbol) -> State:
+        """The unique successor state."""
+        return self._delta[(state, symbol)]
+
+    def run(self, word: Sequence[Symbol]) -> State:
+        """The state reached on ``word`` from the initial state."""
+        state = self.initial
+        for symbol in word:
+            state = self.step(state, symbol)
+        return state
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Whether ``word`` is accepted."""
+        return self.run(word) in self.finals
+
+    @property
+    def size(self) -> int:
+        """Number of states plus transitions."""
+        return len(self.states) + len(self._delta)
+
+    def __repr__(self) -> str:
+        return "DFA(states=%d, alphabet=%d)" % (len(self.states), len(self.alphabet))
+
+    def complement(self) -> "DFA":
+        """The DFA for the complement language over the same alphabet."""
+        return DFA(
+            self.states,
+            self.alphabet,
+            self._delta,
+            self.initial,
+            self.states - self.finals,
+        )
+
+    def reachable_states(self) -> FrozenSet[State]:
+        """States reachable from the initial state."""
+        seen: Set[State] = {self.initial}
+        stack = [self.initial]
+        while stack:
+            state = stack.pop()
+            for symbol in self.alphabet:
+                target = self.step(state, symbol)
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def is_empty(self) -> bool:
+        """Whether the language is empty."""
+        return not (self.reachable_states() & self.finals)
+
+    def shortest_accepted(self) -> Optional[Tuple[Symbol, ...]]:
+        """A shortest accepted word, or ``None`` when the language is empty."""
+        queue: List[Tuple[State, Tuple[Symbol, ...]]] = [(self.initial, ())]
+        seen: Set[State] = {self.initial}
+        index = 0
+        while index < len(queue):
+            state, word = queue[index]
+            index += 1
+            if state in self.finals:
+                return word
+            for symbol in sorted(self.alphabet, key=repr):
+                target = self.step(state, symbol)
+                if target not in seen:
+                    seen.add(target)
+                    queue.append((target, word + (symbol,)))
+        return None
+
+    def to_nfa(self) -> NFA:
+        """View this DFA as an NFA."""
+        transitions = [(s, a, t) for (s, a), t in self._delta.items()]
+        return NFA(self.states, self.alphabet, transitions, self.initial, self.finals)
+
+    def product(self, other: "DFA", accept: "callable") -> "DFA":
+        """Generic product; ``accept(in_left, in_right)`` decides finality.
+
+        Both DFAs must share the same alphabet.
+        """
+        if self.alphabet != other.alphabet:
+            raise ValueError("product requires identical alphabets")
+        initial = (self.initial, other.initial)
+        states: Set[Tuple[State, State]] = {initial}
+        delta: Dict[Tuple[State, Symbol], State] = {}
+        stack = [initial]
+        while stack:
+            pair = stack.pop()
+            for symbol in self.alphabet:
+                target = (self.step(pair[0], symbol), other.step(pair[1], symbol))
+                delta[(pair, symbol)] = target
+                if target not in states:
+                    states.add(target)
+                    stack.append(target)
+        finals = {
+            (l, r)
+            for (l, r) in states
+            if accept(l in self.finals, r in other.finals)
+        }
+        return DFA(states, self.alphabet, delta, initial, finals)
+
+    def intersection(self, other: "DFA") -> "DFA":
+        """DFA for the intersection."""
+        return self.product(other, lambda a, b: a and b)
+
+    def symmetric_difference(self, other: "DFA") -> "DFA":
+        """DFA for the symmetric difference — empty iff the languages agree."""
+        return self.product(other, lambda a, b: a != b)
+
+
+def determinize(nfa: NFA, alphabet: Optional[AbstractSet[Symbol]] = None) -> DFA:
+    """Subset construction.  ``nfa`` must be epsilon-free (call
+    :meth:`NFA.without_epsilon` first); a complete DFA over ``alphabet``
+    (default: the NFA's alphabet) is returned.
+    """
+    if nfa.has_epsilon:
+        nfa = nfa.without_epsilon()
+    sigma = frozenset(alphabet if alphabet is not None else nfa.alphabet)
+    initial: FrozenSet[State] = frozenset([nfa.initial])
+    states: Set[FrozenSet[State]] = {initial}
+    delta: Dict[Tuple[FrozenSet[State], Symbol], FrozenSet[State]] = {}
+    stack: List[FrozenSet[State]] = [initial]
+    while stack:
+        current = stack.pop()
+        for symbol in sigma:
+            targets: Set[State] = set()
+            for state in current:
+                targets |= nfa.step(state, symbol)
+            target = frozenset(targets)
+            delta[(current, symbol)] = target
+            if target not in states:
+                states.add(target)
+                stack.append(target)
+    finals = {s for s in states if s & nfa.finals}
+    return DFA(states, sigma, delta, initial, finals)
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Hopcroft-style partition refinement minimization.
+
+    The result is the canonical minimal complete DFA (restricted to
+    reachable states).
+    """
+    reachable = dfa.reachable_states()
+    finals = dfa.finals & reachable
+    non_finals = reachable - finals
+    partition: List[Set[State]] = [s for s in (set(finals), set(non_finals)) if s]
+    work: List[Set[State]] = [set(p) for p in partition]
+
+    # Precompute inverse transitions restricted to reachable states.
+    inverse: Dict[Tuple[State, Symbol], Set[State]] = {}
+    for state in reachable:
+        for symbol in dfa.alphabet:
+            target = dfa.step(state, symbol)
+            inverse.setdefault((target, symbol), set()).add(state)
+
+    while work:
+        splitter = work.pop()
+        for symbol in dfa.alphabet:
+            predecessors: Set[State] = set()
+            for state in splitter:
+                predecessors |= inverse.get((state, symbol), set())
+            new_partition: List[Set[State]] = []
+            for block in partition:
+                inside = block & predecessors
+                outside = block - predecessors
+                if inside and outside:
+                    new_partition.append(inside)
+                    new_partition.append(outside)
+                    if block in work:
+                        work.remove(block)
+                        work.append(inside)
+                        work.append(outside)
+                    else:
+                        work.append(inside if len(inside) <= len(outside) else outside)
+                else:
+                    new_partition.append(block)
+            partition = new_partition
+
+    block_of: Dict[State, int] = {}
+    for index, block in enumerate(partition):
+        for state in block:
+            block_of[state] = index
+    delta: Dict[Tuple[int, Symbol], int] = {}
+    for index, block in enumerate(partition):
+        representative = next(iter(block))
+        for symbol in dfa.alphabet:
+            delta[(index, symbol)] = block_of[dfa.step(representative, symbol)]
+    finals_blocks = {block_of[s] for s in finals}
+    return DFA(range(len(partition)), dfa.alphabet, delta, block_of[dfa.initial], finals_blocks)

@@ -1,0 +1,358 @@
+"""Regular expressions in the paper's DTD syntax.
+
+Content models of DTDs (Example 2.3) are written like::
+
+    recipe*
+    description . ingredients . instructions . comments
+    (br + text)*
+    eps
+
+Grammar (``+`` = union, ``.`` or juxtaposition = concatenation,
+postfix ``* ? +?`` — we use ``*`` and ``?`` only, matching the paper):
+
+* symbols are identifiers (``text`` is an ordinary symbol here — the
+  DTD layer gives it its placeholder meaning);
+* ``eps`` (or the Unicode ``ε``) is the empty word;
+* the paper's middle dot ``·`` is accepted as a synonym for ``.``.
+
+The AST compiles to an :class:`~repro.strings.nfa.NFA` via Thompson's
+construction, which keeps the translation linear as required by the
+PTIME constructions of Section 4.3.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Tuple
+
+from .nfa import (
+    EPSILON,
+    NFA,
+    concat_nfa,
+    literal_nfa,
+    star_nfa,
+    union_nfa,
+)
+
+__all__ = [
+    "Regex",
+    "Symbol",
+    "Epsilon",
+    "EmptySet",
+    "Concat",
+    "Union",
+    "Star",
+    "Optional_",
+    "parse_regex",
+    "RegexSyntaxError",
+]
+
+
+class Regex:
+    """Base class of regular-expression ASTs."""
+
+    def to_nfa(self) -> NFA:
+        """Compile to an NFA (Thompson construction)."""
+        raise NotImplementedError
+
+    def symbols(self) -> FrozenSet[str]:
+        """The set of alphabet symbols occurring in the expression."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__ if hasattr(self, "__dict__") else NotImplemented
+
+    def __repr__(self) -> str:
+        return "Regex(%s)" % self
+
+
+class Symbol(Regex):
+    """A single alphabet symbol."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def to_nfa(self) -> NFA:
+        return literal_nfa((self.name,))
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset([self.name])
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Symbol) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Symbol", self.name))
+
+
+class Epsilon(Regex):
+    """The empty word."""
+
+    __slots__ = ()
+
+    def to_nfa(self) -> NFA:
+        return literal_nfa(())
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "eps"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Epsilon)
+
+    def __hash__(self) -> int:
+        return hash("Epsilon")
+
+
+class EmptySet(Regex):
+    """The empty language (no word at all)."""
+
+    __slots__ = ()
+
+    def to_nfa(self) -> NFA:
+        return NFA([0], (), (), 0, ())
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "empty"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EmptySet)
+
+    def __hash__(self) -> int:
+        return hash("EmptySet")
+
+
+class Concat(Regex):
+    """Concatenation of two expressions."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Regex, right: Regex) -> None:
+        self.left = left
+        self.right = right
+
+    def to_nfa(self) -> NFA:
+        return concat_nfa(self.left.to_nfa(), self.right.to_nfa())
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def __str__(self) -> str:
+        return "%s . %s" % (_paren(self.left, Union), _paren(self.right, Union))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Concat)
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Concat", self.left, self.right))
+
+
+class Union(Regex):
+    """Union (the paper's ``+``)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Regex, right: Regex) -> None:
+        self.left = left
+        self.right = right
+
+    def to_nfa(self) -> NFA:
+        return union_nfa(self.left.to_nfa(), self.right.to_nfa())
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def __str__(self) -> str:
+        return "%s + %s" % (self.left, self.right)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Union)
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Union", self.left, self.right))
+
+
+class Star(Regex):
+    """Kleene star."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Regex) -> None:
+        self.inner = inner
+
+    def to_nfa(self) -> NFA:
+        return star_nfa(self.inner.to_nfa())
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.inner.symbols()
+
+    def __str__(self) -> str:
+        return "%s*" % _paren(self.inner, (Union, Concat))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Star) and other.inner == self.inner
+
+    def __hash__(self) -> int:
+        return hash(("Star", self.inner))
+
+
+class Optional_(Regex):
+    """Zero or one occurrence (``?``)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Regex) -> None:
+        self.inner = inner
+
+    def to_nfa(self) -> NFA:
+        return union_nfa(Epsilon().to_nfa(), self.inner.to_nfa())
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.inner.symbols()
+
+    def __str__(self) -> str:
+        return "%s?" % _paren(self.inner, (Union, Concat))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Optional_) and other.inner == self.inner
+
+    def __hash__(self) -> int:
+        return hash(("Optional", self.inner))
+
+
+def _paren(expression: Regex, wrap_types: object) -> str:
+    body = str(expression)
+    if isinstance(expression, wrap_types):  # type: ignore[arg-type]
+        return "(%s)" % body
+    return body
+
+
+class RegexSyntaxError(ValueError):
+    """Raised for malformed regular expressions."""
+
+
+_IDENT_EXTRA = set("_-:")
+
+
+def _tokenize(source: str) -> Iterator[Tuple[str, str]]:
+    i = 0
+    while i < len(source):
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "(+)*?":
+            yield (ch, ch)
+            i += 1
+        elif ch in ".·":  # '.' or the paper's middle dot
+            yield (".", ch)
+            i += 1
+        elif ch == "ε":  # Unicode epsilon
+            yield ("ident", "eps")
+            i += 1
+        elif ch.isalnum() or ch in _IDENT_EXTRA:
+            start = i
+            while i < len(source) and (source[i].isalnum() or source[i] in _IDENT_EXTRA):
+                i += 1
+            yield ("ident", source[start:i])
+        else:
+            raise RegexSyntaxError("unexpected character %r in %r" % (ch, source))
+
+
+class _RegexParser:
+    def __init__(self, source: str) -> None:
+        self.tokens: List[Tuple[str, str]] = list(_tokenize(source))
+        self.pos = 0
+        self.source = source
+
+    def peek(self) -> Tuple[str, str]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return ("eof", "")
+
+    def take(self) -> Tuple[str, str]:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def parse(self) -> Regex:
+        if not self.tokens:
+            return Epsilon()
+        result = self.parse_union()
+        if self.peek()[0] != "eof":
+            raise RegexSyntaxError(
+                "trailing tokens in regex %r at %r" % (self.source, self.peek()[1])
+            )
+        return result
+
+    def parse_union(self) -> Regex:
+        left = self.parse_concat()
+        while self.peek()[0] == "+":
+            self.take()
+            left = Union(left, self.parse_concat())
+        return left
+
+    def parse_concat(self) -> Regex:
+        parts: List[Regex] = [self.parse_postfix()]
+        while True:
+            kind, _value = self.peek()
+            if kind == ".":
+                self.take()
+                parts.append(self.parse_postfix())
+            elif kind in ("ident", "("):
+                # Juxtaposition also concatenates.
+                parts.append(self.parse_postfix())
+            else:
+                break
+        result = parts[0]
+        for part in parts[1:]:
+            result = Concat(result, part)
+        return result
+
+    def parse_postfix(self) -> Regex:
+        expression = self.parse_atom()
+        while self.peek()[0] in ("*", "?"):
+            kind, _value = self.take()
+            expression = Star(expression) if kind == "*" else Optional_(expression)
+        return expression
+
+    def parse_atom(self) -> Regex:
+        kind, value = self.take()
+        if kind == "ident":
+            if value in ("eps", "epsilon"):
+                return Epsilon()
+            if value == "empty":
+                return EmptySet()
+            return Symbol(value)
+        if kind == "(":
+            inner = self.parse_union()
+            kind, _value = self.take()
+            if kind != ")":
+                raise RegexSyntaxError("unclosed '(' in %r" % self.source)
+            return inner
+        raise RegexSyntaxError("unexpected token %r in %r" % (value, self.source))
+
+
+def parse_regex(source: str) -> Regex:
+    """Parse the paper's regular-expression syntax.
+
+    >>> parse_regex("(br + text)*").symbols() == frozenset({"br", "text"})
+    True
+    """
+    return _RegexParser(source).parse()

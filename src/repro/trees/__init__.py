@@ -1,0 +1,58 @@
+"""Unranked text trees, hedges, parsing, navigation, substitutions."""
+
+from .navigation import (
+    anc_str,
+    document_order,
+    frontier,
+    is_ancestor,
+    is_subsequence,
+    lca,
+    leaves,
+    subsequence_witness,
+    text_content,
+    text_nodes,
+    text_values,
+)
+from .parser import TreeSyntaxError, parse_hedge, parse_tree, serialize_hedge, serialize_tree
+from .substitution import (
+    apply_substitution,
+    canonical_substitution,
+    is_value_unique,
+    make_value_unique,
+    relabel_all_text,
+)
+from .tree import Hedge, Node, Tree, hedge, text, tree
+from .xmlio import XmlSyntaxError, tree_to_xml, xml_to_tree
+
+__all__ = [
+    "Tree",
+    "Hedge",
+    "Node",
+    "tree",
+    "text",
+    "hedge",
+    "parse_tree",
+    "parse_hedge",
+    "serialize_tree",
+    "serialize_hedge",
+    "TreeSyntaxError",
+    "tree_to_xml",
+    "xml_to_tree",
+    "XmlSyntaxError",
+    "anc_str",
+    "lca",
+    "leaves",
+    "frontier",
+    "text_nodes",
+    "text_values",
+    "text_content",
+    "is_subsequence",
+    "subsequence_witness",
+    "document_order",
+    "is_ancestor",
+    "apply_substitution",
+    "relabel_all_text",
+    "make_value_unique",
+    "is_value_unique",
+    "canonical_substitution",
+]

@@ -1,0 +1,154 @@
+"""Navigation and text-content utilities on text trees (paper, Section 2).
+
+Implements the vocabulary the paper builds on: ancestor strings,
+lowest common ancestors, frontiers, text nodes, ``text_content``, and
+the subsequence relation ``s1 < s2`` on strings of text values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .tree import Node, Tree
+
+__all__ = [
+    "anc_str",
+    "lca",
+    "frontier",
+    "leaves",
+    "text_nodes",
+    "text_content",
+    "text_values",
+    "is_subsequence",
+    "subsequence_witness",
+    "document_order",
+    "is_ancestor",
+    "following_siblings",
+]
+
+
+def anc_str(t: Tree, node: Node) -> Tuple[str, ...]:
+    """The ancestor string of ``node`` in ``t``: the labels on the path
+    from the root down to and including ``node`` (paper's ``anc-str``).
+
+    Returned as a tuple of labels, since ``Text`` values are arbitrary
+    strings and concatenation would be ambiguous.
+    """
+    labels: List[str] = []
+    for depth in range(1, len(node) + 1):
+        labels.append(t.label_at(node[:depth]))
+    return tuple(labels)
+
+
+def lca(u: Node, v: Node) -> Node:
+    """The lowest common ancestor of two addresses: their longest
+    common prefix."""
+    common: List[int] = []
+    for a, b in zip(u, v):
+        if a != b:
+            break
+        common.append(a)
+    return tuple(common)
+
+
+def is_ancestor(u: Node, v: Node) -> bool:
+    """Whether ``u`` is an ancestor of ``v`` (prefix, including equality)."""
+    return len(u) <= len(v) and v[: len(u)] == u
+
+
+def document_order(u: Node, v: Node) -> int:
+    """Three-way comparison of two addresses in document order.
+
+    Returns ``-1`` when ``u <_lex v``, ``0`` when equal, ``1`` otherwise.
+    Note document order places ancestors before descendants.
+    """
+    if u == v:
+        return 0
+    return -1 if u < v else 1
+
+
+def leaves(t: Tree) -> Iterator[Node]:
+    """Yield the leaf addresses of ``t`` in document order."""
+    for node in t.nodes():
+        if t.subtree(node).is_leaf:
+            yield node
+
+
+def frontier(t: Tree) -> Tuple[str, ...]:
+    """The frontier (yield) of ``t``: leaf labels in document order."""
+    return tuple(t.subtree(node).label for node in leaves(t))
+
+
+def text_nodes(t: Tree) -> Iterator[Node]:
+    """Yield the addresses of the text nodes of ``t`` in document order."""
+    for node in t.nodes():
+        if t.subtree(node).is_text:
+            yield node
+
+
+def text_values(t: Tree) -> Tuple[str, ...]:
+    """The sequence of ``Text``-values of ``t`` in document order.
+
+    This is the paper's ``text-content(t)`` viewed as a string over the
+    alphabet ``Text``; each tuple entry is one ``Text``-symbol.
+    """
+    return tuple(t.subtree(node).label for node in text_nodes(t))
+
+
+def text_content(t: Tree, separator: str = "") -> str:
+    """The text content of ``t``: all text values concatenated in
+    document order (paper's ``text-content``).
+
+    The optional ``separator`` is inserted between consecutive values,
+    which is convenient for display; the formal development in this
+    library always works on :func:`text_values` tuples, where each
+    ``Text``-value is a single symbol.
+    """
+    return separator.join(text_values(t))
+
+
+def is_subsequence(needle: Sequence[str], haystack: Sequence[str]) -> bool:
+    """Whether ``needle`` is a subsequence of ``haystack`` (paper's ``<``).
+
+    Both arguments are strings over ``Text``, i.e. sequences whose
+    items are ``Text``-symbols.
+    """
+    it = iter(haystack)
+    return all(any(symbol == candidate for candidate in it) for symbol in needle)
+
+
+def subsequence_witness(
+    needle: Sequence[str], haystack: Sequence[str]
+) -> Optional[Tuple[int, ...]]:
+    """A witness embedding of ``needle`` into ``haystack``, if one exists.
+
+    Returns the leftmost strictly increasing sequence of ``haystack``
+    indices matching ``needle`` position by position, or ``None`` when
+    ``needle`` is not a subsequence of ``haystack``.
+    """
+    positions: List[int] = []
+    start = 0
+    for symbol in needle:
+        index = _find_from(haystack, symbol, start)
+        if index is None:
+            return None
+        positions.append(index)
+        start = index + 1
+    return tuple(positions)
+
+
+def _find_from(haystack: Sequence[str], symbol: str, start: int) -> Optional[int]:
+    for i in range(start, len(haystack)):
+        if haystack[i] == symbol:
+            return i
+    return None
+
+
+def following_siblings(t: Tree, node: Node) -> Iterator[Node]:
+    """Yield the siblings strictly after ``node`` in document order."""
+    parent = t.parent_of(node)
+    if parent is None:
+        return
+    for sibling in t.children_of(parent):
+        if sibling > node:
+            yield sibling

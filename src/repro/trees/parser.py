@@ -1,0 +1,145 @@
+"""Parsing and serializing the paper's term syntax for trees.
+
+The paper writes unranked trees as strings over ``Sigma`` and the
+parenthesis symbols, e.g. ``recipes(recipe(description("...") ...))``.
+We adopt exactly that concrete syntax:
+
+* an identifier ``sigma`` denotes the leaf tree ``sigma()``;
+* ``sigma(t1 ... tn)`` denotes a node with children ``t1 .. tn``
+  (children separated by whitespace or commas);
+* a double-quoted string denotes a text leaf, with ``\\"`` and ``\\\\``
+  escapes.
+
+:func:`parse_hedge` accepts a whitespace/comma separated sequence of
+trees and returns the hedge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .tree import Hedge, Tree
+
+__all__ = ["parse_tree", "parse_hedge", "serialize_tree", "serialize_hedge", "TreeSyntaxError"]
+
+
+class TreeSyntaxError(ValueError):
+    """Raised when the input is not a well-formed tree term."""
+
+
+_IDENT_EXTRA = set("_-.:")
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _IDENT_EXTRA
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+
+    def error(self, message: str) -> TreeSyntaxError:
+        return TreeSyntaxError("%s at position %d in %r" % (message, self.pos, self.source))
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.source) and (
+            self.source[self.pos].isspace() or self.source[self.pos] == ","
+        ):
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.source)
+
+    def peek(self) -> str:
+        return self.source[self.pos] if self.pos < len(self.source) else ""
+
+    def parse_tree(self) -> Tree:
+        self.skip_ws()
+        ch = self.peek()
+        if ch == '"':
+            return self.parse_text()
+        if not ch or not _is_ident_char(ch):
+            raise self.error("expected a label or a quoted text value")
+        label = self.parse_ident()
+        self.skip_ws()
+        if self.peek() != "(":
+            return Tree(label)
+        self.pos += 1  # consume "("
+        children: List[Tree] = []
+        while True:
+            self.skip_ws()
+            if self.peek() == ")":
+                self.pos += 1
+                return Tree(label, children)
+            if not self.peek():
+                raise self.error("unclosed '(' for label %r" % label)
+            children.append(self.parse_tree())
+
+    def parse_ident(self) -> str:
+        start = self.pos
+        while self.pos < len(self.source) and _is_ident_char(self.source[self.pos]):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected an identifier")
+        return self.source[start : self.pos]
+
+    def parse_text(self) -> Tree:
+        assert self.peek() == '"'
+        self.pos += 1
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self.error("unterminated text value")
+            ch = self.source[self.pos]
+            self.pos += 1
+            if ch == '"':
+                return Tree("".join(chars), is_text=True)
+            if ch == "\\":
+                if self.pos >= len(self.source):
+                    raise self.error("dangling escape in text value")
+                chars.append(self.source[self.pos])
+                self.pos += 1
+            else:
+                chars.append(ch)
+
+
+def parse_tree(source: str) -> Tree:
+    """Parse a single tree from the paper's term syntax.
+
+    >>> parse_tree('a(b "hello" c(d))').size
+    5
+    """
+    parser = _Parser(source)
+    result = parser.parse_tree()
+    if not parser.at_end():
+        raise parser.error("trailing input after tree")
+    return result
+
+
+def parse_hedge(source: str) -> Hedge:
+    """Parse a hedge: a sequence of trees separated by whitespace or commas."""
+    parser = _Parser(source)
+    trees: List[Tree] = []
+    while not parser.at_end():
+        trees.append(parser.parse_tree())
+    return tuple(trees)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def serialize_tree(t: Tree) -> str:
+    """Serialize a tree back to the term syntax accepted by :func:`parse_tree`."""
+    if t.is_text:
+        return '"%s"' % _escape(t.label)
+    if not t.children:
+        return t.label
+    return "%s(%s)" % (t.label, " ".join(serialize_tree(c) for c in t.children))
+
+
+def serialize_hedge(h: Tuple[Tree, ...]) -> str:
+    """Serialize a hedge as whitespace-separated tree terms."""
+    return " ".join(serialize_tree(t) for t in h)

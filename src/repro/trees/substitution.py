@@ -1,0 +1,96 @@
+"""Text-substitutions and value-uniqueness (paper, Sections 2 and 3).
+
+A *Text-substitution* relabels zero or more text nodes to other
+``Text``-values, leaving the tree's shape and all ``Sigma``-labels
+untouched.  All tree languages the paper considers are closed under
+Text-substitutions, which lets the proofs replace text values at will;
+in particular every language contains a *value-unique* tree — one whose
+text values are pairwise distinct.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Iterator
+
+from .navigation import text_nodes, text_values
+from .tree import Node, Tree
+
+__all__ = [
+    "apply_substitution",
+    "relabel_all_text",
+    "make_value_unique",
+    "is_value_unique",
+    "fresh_text_values",
+    "canonical_substitution",
+]
+
+
+def apply_substitution(t: Tree, mapping: Dict[Node, str]) -> Tree:
+    """Apply a Text-substitution given as a map from text-node
+    addresses to new ``Text``-values.
+
+    Raises :class:`KeyError` if an address does not exist and
+    :class:`ValueError` if it is not a text node (Text-substitutions
+    may only touch text nodes).
+    """
+    result = t
+    for node, value in mapping.items():
+        if not t.is_text_at(node):
+            raise ValueError("node %r is not a text node" % (node,))
+        result = result.relabel(node, value)
+    return result
+
+
+def relabel_all_text(t: Tree, value: str) -> Tree:
+    """The substitution the paper calls ``rho_gamma``: relabel *every*
+    text node of ``t`` to the single value ``value``."""
+    return apply_substitution(t, {node: value for node in text_nodes(t)})
+
+
+def fresh_text_values(prefix: str = "txt") -> Iterator[str]:
+    """An endless supply of pairwise distinct ``Text``-values."""
+    for i in itertools.count():
+        yield "%s%d" % (prefix, i)
+
+
+def is_value_unique(t: Tree) -> bool:
+    """Whether all ``Text``-values of ``t`` are pairwise distinct."""
+    values = text_values(t)
+    return len(values) == len(set(values))
+
+
+def make_value_unique(t: Tree, prefix: str = "txt") -> Tree:
+    """Return a Text-substituted copy of ``t`` that is value-unique.
+
+    Text nodes are renamed ``txt0, txt1, ...`` in document order.  Since
+    the languages we consider are closed under Text-substitutions, the
+    result stays inside any language containing ``t``.
+    """
+    supply = fresh_text_values(prefix)
+    return apply_substitution(t, {node: next(supply) for node in text_nodes(t)})
+
+
+def canonical_substitution(t: Tree, value: str = "#") -> Tree:
+    """Relabel every text node of ``t`` to the placeholder ``value``.
+
+    This is the paper's ``rho_z`` with ``z`` not in ``Text``; two trees
+    have the same canonical substitution exactly when they agree on
+    shape and ``Sigma``-labels and on the positions of text nodes.
+    """
+    return relabel_all_text(t, value)
+
+
+def substitutions_over(
+    t: Tree, values: Iterable[str]
+) -> Iterator[Tree]:
+    """Enumerate all Text-substitutions of ``t`` drawing values from the
+    finite pool ``values`` (used by bounded oracles and tests).
+
+    The number of results is ``len(values) ** k`` for ``k`` text nodes;
+    callers are expected to keep both small.
+    """
+    nodes = list(text_nodes(t))
+    pool = list(values)
+    for assignment in itertools.product(pool, repeat=len(nodes)):
+        yield apply_substitution(t, dict(zip(nodes, assignment)))

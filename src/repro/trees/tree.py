@@ -1,0 +1,296 @@
+"""Unranked text trees and hedges (paper, Section 2).
+
+The paper works with *unranked trees over an alphabet* ``Sigma`` whose
+leaves may additionally carry values from an infinite set ``Text``
+(disjoint from ``Sigma``).  A *hedge* is a finite sequence of trees.
+
+Representation
+--------------
+A :class:`Tree` is an immutable node with a ``label`` (a string), an
+``is_text`` flag saying whether the label is a ``Text``-value rather
+than a ``Sigma``-symbol, and a tuple of child trees.  Text nodes are
+always leaves.  A :class:`Hedge` is a tuple of trees.
+
+Node addresses follow the paper: they are Dewey-style tuples of
+positive integers.  The root of a tree is ``(1,)``; the *j*-th child of
+node ``u`` is ``u + (j,)``.  In a hedge of ``n`` trees the roots are
+``(1,)`` .. ``(n,)``.  Python's tuple comparison on these addresses is
+exactly the lexicographic (document) order ``<_lex`` of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Tree",
+    "Hedge",
+    "Node",
+    "tree",
+    "text",
+    "hedge",
+]
+
+#: A node address: Dewey path of 1-based child indices.  The root of a
+#: tree is ``(1,)``.
+Node = Tuple[int, ...]
+
+
+class Tree:
+    """An immutable unranked tree whose leaves may carry text values.
+
+    Parameters
+    ----------
+    label:
+        The node label.  For ordinary nodes this is a symbol of the
+        finite alphabet ``Sigma``; for text nodes it is a value of the
+        infinite set ``Text``.
+    children:
+        The child trees, in document order.  Must be empty when
+        ``is_text`` is true.
+    is_text:
+        Whether this node is a text node (a leaf carrying a
+        ``Text``-value).
+    """
+
+    __slots__ = ("label", "children", "is_text", "_size", "_hash")
+
+    label: str
+    children: Tuple["Tree", ...]
+    is_text: bool
+
+    def __init__(
+        self,
+        label: str,
+        children: Sequence["Tree"] = (),
+        *,
+        is_text: bool = False,
+    ) -> None:
+        if is_text and children:
+            raise ValueError("text nodes must be leaves, got children: %r" % (children,))
+        if not isinstance(label, str):
+            raise TypeError("labels must be strings, got %r" % (label,))
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "children", tuple(children))
+        object.__setattr__(self, "is_text", bool(is_text))
+        object.__setattr__(self, "_size", 1 + sum(c.size for c in self.children))
+        object.__setattr__(self, "_hash", None)
+
+    # -- immutability -------------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Tree objects are immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("Tree objects are immutable")
+
+    # -- basic protocol ------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Tree):
+            return NotImplemented
+        return (
+            self.is_text == other.is_text
+            and self.label == other.label
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.label, self.is_text, self.children))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __repr__(self) -> str:
+        from .parser import serialize_tree
+
+        return "Tree(%s)" % serialize_tree(self)
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in this tree (the paper's ``|t|``)."""
+        return self._size
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node has no children."""
+        return not self.children
+
+    def depth(self) -> int:
+        """Height of the tree: length of its longest root-to-leaf path."""
+        if not self.children:
+            return 1
+        return 1 + max(c.depth() for c in self.children)
+
+    # -- node access ----------------------------------------------------
+
+    def nodes(self) -> Iterator[Node]:
+        """Yield all node addresses in document (``<_lex``) order.
+
+        Addresses follow the paper's convention: the root is ``(1,)``
+        and the *j*-th child of ``u`` is ``u + (j,)``.
+        """
+        yield from _nodes_of(self, (1,))
+
+    def subtree(self, node: Node) -> "Tree":
+        """Return the subtree rooted at address ``node``.
+
+        Raises :class:`KeyError` if the address does not exist.
+        """
+        if not node or node[0] != 1:
+            raise KeyError("tree addresses start with 1, got %r" % (node,))
+        current = self
+        for step in node[1:]:
+            if step < 1 or step > len(current.children):
+                raise KeyError("no node at address %r" % (node,))
+            current = current.children[step - 1]
+        return current
+
+    def label_at(self, node: Node) -> str:
+        """Return the label of the node at address ``node``."""
+        return self.subtree(node).label
+
+    def is_text_at(self, node: Node) -> bool:
+        """Whether the node at address ``node`` is a text node."""
+        return self.subtree(node).is_text
+
+    def has_node(self, node: Node) -> bool:
+        """Whether address ``node`` exists in this tree."""
+        try:
+            self.subtree(node)
+        except KeyError:
+            return False
+        return True
+
+    def children_of(self, node: Node) -> Iterator[Node]:
+        """Yield the addresses of the children of ``node`` in order."""
+        sub = self.subtree(node)
+        for j in range(1, len(sub.children) + 1):
+            yield node + (j,)
+
+    def parent_of(self, node: Node) -> Optional[Node]:
+        """Return the address of the parent of ``node``, or ``None``
+        for the root."""
+        if len(node) <= 1:
+            return None
+        return node[:-1]
+
+    def replace(self, node: Node, replacement: Union["Tree", "Hedge"]) -> "Tree":
+        """Return a copy of this tree with ``subtree(node)`` replaced.
+
+        This is the paper's ``h[u <- h']`` operation.  ``replacement``
+        may be a tree or a hedge; replacing by a hedge splices the
+        hedge's trees into the parent's child sequence (and is
+        therefore not allowed at the root unless the hedge is a single
+        tree).
+        """
+        if isinstance(replacement, Tree):
+            replacement_hedge: Tuple[Tree, ...] = (replacement,)
+        else:
+            replacement_hedge = tuple(replacement)
+        if not node or node[0] != 1:
+            raise KeyError("tree addresses start with 1, got %r" % (node,))
+        if len(node) == 1:
+            if len(replacement_hedge) != 1:
+                raise ValueError(
+                    "cannot replace a tree root by a hedge of length %d"
+                    % len(replacement_hedge)
+                )
+            return replacement_hedge[0]
+        return self._replace_below(node[1:], replacement_hedge)
+
+    def _replace_below(
+        self, relative: Tuple[int, ...], replacement: Tuple["Tree", ...]
+    ) -> "Tree":
+        step = relative[0]
+        if step < 1 or step > len(self.children):
+            raise KeyError("no child %d" % step)
+        kids = list(self.children)
+        if len(relative) == 1:
+            kids[step - 1 : step] = replacement
+        else:
+            kids[step - 1] = kids[step - 1]._replace_below(relative[1:], replacement)
+        return Tree(self.label, kids, is_text=self.is_text)
+
+    # -- convenience ---------------------------------------------------
+
+    def relabel(self, node: Node, new_label: str) -> "Tree":
+        """Return a copy with the label at ``node`` replaced.
+
+        Text-ness of the node is preserved; this is the elementary step
+        of a ``Text``-substitution.
+        """
+        sub = self.subtree(node)
+        return self.replace(
+            node, Tree(new_label, sub.children, is_text=sub.is_text)
+        )
+
+
+#: A hedge: a finite sequence of trees.  The empty hedge is ``()``.
+Hedge = Tuple[Tree, ...]
+
+
+def _nodes_of(t: Tree, address: Node) -> Iterator[Node]:
+    yield address
+    for j, child in enumerate(t.children, start=1):
+        yield from _nodes_of(child, address + (j,))
+
+
+def hedge_nodes(h: Hedge) -> Iterator[Node]:
+    """Yield all node addresses of a hedge in document order.
+
+    The roots of the hedge's trees are ``(1,)`` .. ``(n,)``.
+    """
+    for i, t in enumerate(h, start=1):
+        for node in t.nodes():
+            yield (i,) + node[1:]
+
+
+def hedge_subtree(h: Hedge, node: Node) -> Tree:
+    """Return the subtree of hedge ``h`` at address ``node``."""
+    if not node or node[0] < 1 or node[0] > len(h):
+        raise KeyError("no node at address %r" % (node,))
+    return h[node[0] - 1].subtree((1,) + node[1:])
+
+
+def hedge_size(h: Hedge) -> int:
+    """Number of nodes of hedge ``h``."""
+    return sum(t.size for t in h)
+
+
+# -- constructors -------------------------------------------------------
+
+
+def tree(label: str, *children: Union[Tree, str, Iterable[Tree]]) -> Tree:
+    """Build an ordinary (``Sigma``-labelled) tree.
+
+    Children may be trees, plain strings (which become text leaves), or
+    iterables of trees which are spliced in::
+
+        tree("recipe", tree("description", text("tasty")))
+        tree("item", "100 g of butter")     # string becomes a text leaf
+    """
+    kids: list[Tree] = []
+    for child in children:
+        if isinstance(child, Tree):
+            kids.append(child)
+        elif isinstance(child, str):
+            kids.append(Tree(child, is_text=True))
+        else:
+            kids.extend(child)
+    return Tree(label, kids)
+
+
+def text(value: str) -> Tree:
+    """Build a text leaf carrying ``value`` (an element of ``Text``)."""
+    return Tree(value, is_text=True)
+
+
+def hedge(*trees: Tree) -> Hedge:
+    """Build a hedge from the given trees."""
+    return tuple(trees)

@@ -1,0 +1,32 @@
+"""Tree-walking / tree-jumping / alternating walking automata (§5.3-5.4)."""
+
+from .atwa import (
+    ATWA,
+    FALSE,
+    TRUE,
+    atom,
+    bounded_witness,
+    conj,
+    disj,
+    intersect_atwa,
+    union_atwa,
+)
+from .tja import MOVES, TJA, TWA, move_formula, tja_to_bta, tja_to_nta
+
+__all__ = [
+    "TJA",
+    "TWA",
+    "MOVES",
+    "move_formula",
+    "tja_to_bta",
+    "tja_to_nta",
+    "ATWA",
+    "atom",
+    "conj",
+    "disj",
+    "TRUE",
+    "FALSE",
+    "union_atwa",
+    "intersect_atwa",
+    "bounded_witness",
+]

@@ -1,0 +1,265 @@
+"""Tree-jumping automata with MSO transitions (paper, Definition 5.7).
+
+A TJA^MSO moves a single head around a tree: a transition
+``delta(q, phi, alpha) -> q'`` may fire at node ``v`` when the unary
+MSO formula ``phi`` holds at ``v``, and *jumps* to any node ``v'`` with
+``alpha(v, v')`` — arbitrarily far in one step.  A tree is accepted
+when a run from the root in the initial state reaches a final state.
+
+Two results of Section 5.3 are realized here:
+
+* membership — a reachability search over the configuration graph
+  (states × nodes), with formulas evaluated by the MSO machinery;
+* :func:`tja_to_bta` / :func:`tja_to_nta` — Corollary 5.9: TJA^MSO
+  define exactly the unranked regular tree languages.  The translation
+  expresses "some accepting run exists" as one MSO sentence using the
+  second-order reachability closure (this is the effective content of
+  Lemma 5.8 in this code base) and compiles it.
+
+:class:`TWA` restricts jumps to the local moves first-child,
+next-sibling, parent, previous-sibling and stay (the paper's TWA^MSO).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..automata.bta import BTA
+from ..automata.fcns import bta_to_nta
+from ..automata.nta import NTA, TEXT
+from ..mso.ast import (
+    And,
+    Child,
+    Eq,
+    ExistsFO,
+    ExistsSO,
+    Formula,
+    In,
+    Not,
+    Or,
+    Sibling,
+    free_variables,
+    substitute_free,
+)
+from ..mso.compile import compile_mso
+from ..mso.eval import MSOEvaluator
+from ..trees.tree import Node, Tree
+
+__all__ = ["TJA", "TWA", "tja_to_bta", "tja_to_nta", "MOVES", "move_formula"]
+
+
+class TJA:
+    """A nondeterministic tree-jumping automaton with MSO transitions.
+
+    Parameters
+    ----------
+    states:
+        The state set.
+    transitions:
+        Iterable of ``(state, phi, alpha, target)`` where ``phi`` is a
+        unary MSO formula in variable ``x`` and ``alpha`` a binary one
+        in ``(x, y)``.
+    initial / finals:
+        Start state (placed on the root) and accepting states.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        transitions: Iterable[Tuple[str, Formula, Formula, str]],
+        initial: str,
+        finals: Iterable[str],
+    ) -> None:
+        self.states = frozenset(states)
+        self.initial = initial
+        self.finals = frozenset(finals)
+        if initial not in self.states:
+            raise ValueError("initial state %r not among states" % (initial,))
+        if not self.finals <= self.states:
+            raise ValueError("final states must be states")
+        self.transitions: List[Tuple[str, Formula, Formula, str]] = []
+        for state, phi, alpha, target in transitions:
+            if state not in self.states or target not in self.states:
+                raise ValueError("transition uses unknown states: %r -> %r" % (state, target))
+            if set(free_variables(phi)) != {"x"}:
+                raise ValueError("unary guards must have exactly the free variable x")
+            if set(free_variables(alpha)) != {"x", "y"}:
+                raise ValueError("jump relations must have the free variables x, y")
+            self.transitions.append((state, phi, alpha, target))
+
+    @property
+    def size(self) -> int:
+        return len(self.states) + len(self.transitions)
+
+    def __repr__(self) -> str:
+        return "TJA(states=%d, transitions=%d)" % (len(self.states), len(self.transitions))
+
+    # -- membership ----------------------------------------------------------
+
+    def run_configurations(self, t: Tree, start: Optional[Tuple[str, Node]] = None) -> Set[Tuple[str, Node]]:
+        """All configurations reachable from ``start`` (default:
+        initial state at the root)."""
+        evaluator = MSOEvaluator(t)
+        if start is None:
+            start = (self.initial, (1,))
+        seen: Set[Tuple[str, Node]] = {start}
+        stack = [start]
+        while stack:
+            state, node = stack.pop()
+            for source, phi, alpha, target in self.transitions:
+                if source != state:
+                    continue
+                if not evaluator.holds(phi, {"x": node}):
+                    continue
+                for destination in t.nodes():
+                    if not evaluator.holds(alpha, {"x": node, "y": destination}):
+                        continue
+                    configuration = (target, destination)
+                    if configuration not in seen:
+                        seen.add(configuration)
+                        stack.append(configuration)
+        return seen
+
+    def accepts(self, t: Tree) -> bool:
+        """Whether some run from the root reaches a final state.
+
+        The initial configuration alone accepts if the initial state is
+        final (a run of length zero)."""
+        if self.initial in self.finals:
+            return True
+        return any(state in self.finals for state, _node in self.run_configurations(t))
+
+    def reaches(self, t: Tree, start: Tuple[str, Node], end: Tuple[str, Node]) -> bool:
+        """Whether a run starting at configuration ``start`` reaches ``end``."""
+        return end in self.run_configurations(t, start)
+
+
+#: The local moves of a tree-walking automaton.
+MOVES = ("first-child", "next-sibling", "parent", "previous-sibling", "stay")
+
+
+def move_formula(move: str) -> Formula:
+    """The binary MSO formula of a local move, in variables ``(x, y)``."""
+    if move == "first-child":
+        z = "mv__"
+        return And(Child("x", "y"), Not(ExistsFO(z, Sibling(z, "y"))))
+    if move == "next-sibling":
+        z = "mv__"
+        return And(Sibling("x", "y"), Not(ExistsFO(z, And(Sibling("x", z), Sibling(z, "y")))))
+    if move == "parent":
+        return Child("y", "x")
+    if move == "previous-sibling":
+        z = "mv__"
+        return And(Sibling("y", "x"), Not(ExistsFO(z, And(Sibling("y", z), Sibling(z, "x")))))
+    if move == "stay":
+        return Eq("x", "y")
+    raise ValueError("unknown move %r (choose from %r)" % (move, MOVES))
+
+
+class TWA(TJA):
+    """A tree-walking automaton with MSO tests: a TJA whose jumps are
+    the local moves of :data:`MOVES` (paper's TWA^MSO)."""
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        transitions: Iterable[Tuple[str, Formula, str, str]],
+        initial: str,
+        finals: Iterable[str],
+    ) -> None:
+        expanded = [
+            (state, phi, move_formula(move), target)
+            for (state, phi, move, target) in transitions
+        ]
+        super().__init__(states, expanded, initial, finals)
+
+
+# ---------------------------------------------------------------------------
+# Corollary 5.9: TJA^MSO define the regular tree languages
+# ---------------------------------------------------------------------------
+
+
+def _acceptance_sentence(tja: TJA) -> Formula:
+    """An MSO sentence: some run from the root reaches a final state.
+
+    Uses the standard second-order closure over the configuration graph
+    (one set variable per state) — the same device the reduction in
+    :mod:`repro.core.dtl_analysis` uses, and the constructive content
+    of Lemma 5.8 here.
+    """
+    states = sorted(tja.states)
+    set_var = {state: "TJ_%s_SET" % state for state in states}
+    a, b = "ta__", "tb__"
+    violations: List[Formula] = []
+    for source, phi, alpha, target in tja.transitions:
+        step = And(
+            substitute_free(phi, {"x": a}),
+            substitute_free(alpha, {"x": a, "y": b}),
+        )
+        violations.append(And(In(a, set_var[source]), And(step, Not(In(b, set_var[target])))))
+    root = "tr__"
+    root_formula = Not(ExistsFO("tp__", Child("tp__", root)))
+    if tja.initial in tja.finals:
+        return Eq_truth()
+    if not violations:
+        # No transitions: accept nothing (initial not final).
+        return Not(Eq_truth())
+    closed: Formula = Not(ExistsFO(a, ExistsFO(b, _or_all(violations))))
+    final_hit = _or_all(
+        [
+            ExistsFO("tf__", In("tf__", set_var[final]))
+            for final in sorted(tja.finals)
+        ]
+    )
+    if final_hit is None:
+        return Not(Eq_truth())
+    # For every closed family containing the root configuration, some
+    # final-state set is inhabited.  (The *least* closed family is the
+    # reachable set; universal quantification over closed families is
+    # equivalent for this positive query... but only in one direction.
+    # We therefore use the dual, existential form over the reachable
+    # set: see below.)
+    #
+    # exists (X_q) : root in X_init, closed, and some final inhabited —
+    # unsound in general (supersets are closed too, but any closed
+    # family CONTAINING a final element does not imply reachability).
+    # The sound encoding quantifies universally: every closed family
+    # containing the root hits a final state iff the least one (the
+    # reachable configurations) does.
+    body = And(In(root, set_var[tja.initial]), closed)
+    quantified: Formula = Not(And(body, Not(final_hit)))
+    for state in states:
+        quantified = _forall_so(set_var[state], quantified)
+    return ExistsFO(root, And(root_formula, quantified))
+
+
+def Eq_truth() -> Formula:
+    """A sentence true on every tree (the root equals itself)."""
+    r = "tt__"
+    return ExistsFO(r, Eq(r, r))
+
+
+def _forall_so(var: str, inner: Formula) -> Formula:
+    return Not(ExistsSO(var, Not(inner)))
+
+
+def _or_all(formulas: Sequence[Formula]) -> Optional[Formula]:
+    if not formulas:
+        return None
+    result = formulas[0]
+    for f in formulas[1:]:
+        result = Or(result, f)
+    return result
+
+
+def tja_to_bta(tja: TJA, sigma: Iterable[str]) -> BTA:
+    """Corollary 5.9 (one direction): a bottom-up tree automaton on
+    encodings accepting exactly ``L(tja)`` for trees over ``sigma``."""
+    sentence = _acceptance_sentence(tja)
+    pattern = compile_mso(sentence, sigma)
+    return pattern.bta.image(lambda lab: lab[0])
+
+
+def tja_to_nta(tja: TJA, sigma: Iterable[str]) -> NTA:
+    """Corollary 5.9 as an unranked NTA."""
+    return bta_to_nta(tja_to_bta(tja, sigma), tuple(sorted(set(sigma) - {TEXT})))

@@ -1,0 +1,21 @@
+"""Workload generators for benchmarks and randomized testing."""
+
+from .families import (
+    chain_instance,
+    counting_filter_dtl,
+    counting_schema,
+    nested_negation_sentence,
+    random_schema,
+    random_topdown,
+    wide_instance,
+)
+
+__all__ = [
+    "chain_instance",
+    "wide_instance",
+    "counting_filter_dtl",
+    "counting_schema",
+    "nested_negation_sentence",
+    "random_topdown",
+    "random_schema",
+]

@@ -1,0 +1,200 @@
+"""Parameterized workload families for the benchmark harness.
+
+Each family produces (transducer, schema) instances whose size is
+controlled by one parameter ``n``, so the benches can plot decision
+cost against input size and check the paper's complexity claims:
+
+* :func:`chain_instance` / :func:`wide_instance` — polynomially growing
+  top-down instances for the Theorem 4.11 PTIME scaling (experiment E5);
+* :func:`counting_filter_dtl` — DTL^XPath programs whose pattern
+  requires ``n`` following siblings (the Example 5.15 shape scaled up),
+  the workhorse of the Theorem 5.18 blow-up measurement (E7);
+* :func:`nested_negation_sentence` — MSO sentences with nested negation
+  depth ``n`` for the non-elementary tower measurement (E8);
+* :func:`random_topdown` / :func:`random_schema` — reproducible random
+  instances for the Theorem 3.3 agreement sweep (E6).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..automata.build import nta_from_rules
+from ..automata.nta import NTA, TEXT
+from ..core.dtl import Call, DTLTransducer
+from ..core.topdown import TopDownTransducer
+from ..mso.ast import And, Child, ExistsFO, Formula, Lab, Not
+
+__all__ = [
+    "chain_instance",
+    "wide_instance",
+    "counting_filter_dtl",
+    "counting_schema",
+    "nested_negation_sentence",
+    "random_topdown",
+    "random_schema",
+]
+
+
+def chain_instance(n: int) -> Tuple[TopDownTransducer, NTA]:
+    """A depth-``n`` pipeline: labels ``l1 .. ln`` nested, text at the
+    bottom; the transducer relabels level by level through ``n`` states.
+    Text-preserving; exercises long path automata."""
+    labels = ["l%d" % i for i in range(1, n + 1)]
+    rules: Dict[Tuple[str, str], str] = {}
+    for i, label in enumerate(labels):
+        state = "q%d" % i
+        next_state = "q%d" % (i + 1)
+        rules[(state, label)] = "%s(%s)" % (label, next_state)
+    rules[("q%d" % n, "text")] = "text"
+    transducer = TopDownTransducer(
+        states={"q%d" % i for i in range(n + 1)}, rules=rules, initial="q0"
+    )
+
+    schema_rules: Dict[Tuple[str, str], str] = {}
+    for i, label in enumerate(labels):
+        schema_rules[("s%d" % i, label)] = "s%d" % (i + 1)
+    schema_rules[("s%d" % n, TEXT)] = "eps"
+    schema = nta_from_rules(
+        alphabet=set(labels),
+        rules=schema_rules,
+        initial="s0",
+    )
+    return transducer, schema
+
+
+def wide_instance(n: int) -> Tuple[TopDownTransducer, NTA]:
+    """A width-``n`` instance: the root has ``n`` distinct child labels,
+    each selected by its own state (in order) — text-preserving, with
+    quadratically many rule/state combinations to inspect."""
+    labels = ["c%d" % i for i in range(1, n + 1)]
+    rhs = "r(%s)" % " ".join("q_%s" % label for label in labels)
+    rules: Dict[Tuple[str, str], str] = {("q0", "r"): rhs}
+    for label in labels:
+        rules[("q_%s" % label, label)] = "%s(qt)" % label
+    rules[("qt", "text")] = "text"
+    transducer = TopDownTransducer(
+        states={"q0", "qt"} | {"q_%s" % label for label in labels},
+        rules=rules,
+        initial="q0",
+    )
+    schema_rules: Dict[Tuple[str, str], str] = {
+        ("s0", "r"): " ".join("s_%s" % label for label in labels)
+    }
+    for label in labels:
+        schema_rules[("s_%s" % label, label)] = "st"
+    schema_rules[("st", TEXT)] = "eps"
+    schema = nta_from_rules(alphabet=set(labels) | {"r"}, rules=schema_rules, initial="s0")
+    return transducer, schema
+
+
+def counting_schema() -> NTA:
+    """Documents ``doc(sec(head("t") par("t")*)*)`` — the DTL benches'
+    fixed schema."""
+    return nta_from_rules(
+        alphabet={"doc", "sec", "head", "par"},
+        rules={
+            ("q0", "doc"): "qs*",
+            ("qs", "sec"): "qh qp*",
+            ("qh", "head"): "qt",
+            ("qp", "par"): "qt",
+            ("qt", TEXT): "eps",
+        },
+        initial="q0",
+    )
+
+
+def counting_filter_dtl(n: int) -> DTLTransducer:
+    """A DTL^XPath program that keeps only sections with at least
+    ``n + 1`` paragraphs — the Example 5.15 shape with a filter chain of
+    length ``n``.  Text-preserving over :func:`counting_schema`."""
+    chain = "down[par]" + "".join("/right[par]" for _ in range(n))
+    pattern = "sec and <%s>" % chain
+    return DTLTransducer(
+        states={"q0", "q"},
+        sigma_rules=[
+            ("q0", "doc", ("doc", [Call("q", "down")])),
+            ("q", pattern, ("sec", [Call("q", "down")])),
+            ("q", "head", ("head", [Call("q", "down")])),
+            ("q", "par", ("par", [Call("q", "down")])),
+        ],
+        text_states={"q"},
+        initial="q0",
+    )
+
+
+def nested_negation_sentence(depth: int) -> Formula:
+    """A sentence alternating negation and quantification ``depth``
+    times around a label test — each level forces a determinization, so
+    compiled automaton size traces the classical tower (E8)."""
+    x0 = "n0__"
+    body: Formula = Lab("a", x0)
+    current_var = x0
+    for level in range(1, depth + 1):
+        var = "n%d__" % level
+        body = Not(ExistsFO(current_var, And(Child(var, current_var), Not(body))))
+        current_var = var
+    return ExistsFO(current_var, body)
+
+
+def random_topdown(
+    rng: random.Random,
+    labels: Tuple[str, ...] = ("a", "b"),
+    n_states: int = 3,
+) -> TopDownTransducer:
+    """A reproducible random top-down transducer: each (state, label)
+    pair gets a random small rhs; text rules added per state with
+    probability 1/2."""
+    states = ["q%d" % i for i in range(n_states)]
+    rules: Dict[Tuple[str, str], str] = {}
+    for state in states:
+        for label in labels:
+            if state != "q0" and rng.random() < 0.3:
+                continue  # sparse rule table
+            shape = rng.choice(["one", "two", "wrap", "drop"])
+            target = rng.choice(states)
+            other = rng.choice(states)
+            if shape == "one":
+                rhs = "%s(%s)" % (label, target)
+            elif shape == "two":
+                rhs = "%s(%s %s)" % (label, target, other)
+            elif shape == "wrap":
+                rhs = "%s(%s(%s))" % (label, rng.choice(labels), target)
+            else:
+                rhs = label
+            rules[(state, label)] = rhs
+    for state in states:
+        if rng.random() < 0.5 or state == states[-1]:
+            rules[(state, "text")] = "text"
+    return TopDownTransducer(states=set(states), rules=rules, initial="q0")
+
+
+def random_schema(
+    rng: random.Random,
+    labels: Tuple[str, ...] = ("a", "b"),
+    n_states: int = 3,
+) -> NTA:
+    """A reproducible random schema over ``labels`` (always includes
+    text leaves so transducer behaviour is observable)."""
+    states = ["s%d" % i for i in range(n_states)]
+    rules: Dict[Tuple[str, str], str] = {}
+    for state in states:
+        for label in labels:
+            if rng.random() < 0.4:
+                continue
+            body = rng.choice(
+                [
+                    "eps",
+                    "%s" % rng.choice(states),
+                    "%s*" % rng.choice(states),
+                    "%s %s" % (rng.choice(states), rng.choice(states)),
+                    "%s + %s" % (rng.choice(states), rng.choice(states)),
+                ]
+            )
+            rules[(state, label)] = body
+    # Guarantee at least one text leaf rule and one root rule.
+    rules[(states[-1], TEXT)] = "eps"
+    rules.setdefault((states[0], labels[0]), "%s*" % states[-1])
+    nta = nta_from_rules(alphabet=set(labels), rules=rules, initial=states[0])
+    return nta.trim()

@@ -1,0 +1,285 @@
+"""Core XPath abstract syntax (paper, Definition 5.13).
+
+Path expressions::
+
+    alpha ::= R | R* | . | alpha/beta | alpha ∪ beta | alpha[phi]
+
+with ``R`` one of the four base axes child (↓), parent (↑),
+next-sibling (→), previous-sibling (←); note the Kleene star applies to
+*base axes only*, exactly as in the paper.
+
+Node expressions::
+
+    phi ::= sigma | <alpha> | true | not phi | phi and psi
+
+``or`` is provided as a derived form (it desugars via De Morgan at
+construction time in the parser; the AST keeps it explicit for
+readability and maps it to primitives in the logic translation).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "PathExpr",
+    "Axis",
+    "AxisStar",
+    "SelfPath",
+    "Compose",
+    "UnionPath",
+    "Filter",
+    "NodeExpr",
+    "LabelTest",
+    "HasPath",
+    "TruePred",
+    "NotPred",
+    "AndPred",
+    "OrPred",
+    "AXES",
+    "CHILD",
+    "PARENT",
+    "NEXT_SIBLING",
+    "PREVIOUS_SIBLING",
+]
+
+#: Base axis names.
+CHILD = "child"
+PARENT = "parent"
+NEXT_SIBLING = "next-sibling"
+PREVIOUS_SIBLING = "previous-sibling"
+AXES = (CHILD, PARENT, NEXT_SIBLING, PREVIOUS_SIBLING)
+
+_AXIS_GLYPH = {
+    CHILD: "down",
+    PARENT: "up",
+    NEXT_SIBLING: "right",
+    PREVIOUS_SIBLING: "left",
+}
+
+
+class PathExpr:
+    """Base class of path expressions (binary patterns)."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "PathExpr(%s)" % self
+
+
+class Axis(PathExpr):
+    """A base axis ``R``."""
+
+    __slots__ = ("axis",)
+
+    def __init__(self, axis: str) -> None:
+        if axis not in AXES:
+            raise ValueError("unknown axis %r" % axis)
+        self.axis = axis
+
+    def _key(self) -> Tuple:
+        return (self.axis,)
+
+    def __str__(self) -> str:
+        return _AXIS_GLYPH[self.axis]
+
+
+class AxisStar(PathExpr):
+    """Reflexive-transitive closure ``R*`` of a base axis."""
+
+    __slots__ = ("axis",)
+
+    def __init__(self, axis: str) -> None:
+        if axis not in AXES:
+            raise ValueError("unknown axis %r" % axis)
+        self.axis = axis
+
+    def _key(self) -> Tuple:
+        return (self.axis,)
+
+    def __str__(self) -> str:
+        return "%s*" % _AXIS_GLYPH[self.axis]
+
+
+class SelfPath(PathExpr):
+    """The identity relation ``.``."""
+
+    __slots__ = ()
+
+    def _key(self) -> Tuple:
+        return ()
+
+    def __str__(self) -> str:
+        return "self"
+
+
+class Compose(PathExpr):
+    """Composition ``alpha/beta``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PathExpr, right: PathExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return "%s/%s" % (_paren_path(self.left), _paren_path(self.right))
+
+
+class UnionPath(PathExpr):
+    """Union ``alpha ∪ beta``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PathExpr, right: PathExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return "(%s | %s)" % (self.left, self.right)
+
+
+class Filter(PathExpr):
+    """Filtered path ``alpha[phi]``: targets must satisfy ``phi``."""
+
+    __slots__ = ("path", "predicate")
+
+    def __init__(self, path: PathExpr, predicate: "NodeExpr") -> None:
+        self.path = path
+        self.predicate = predicate
+
+    def _key(self) -> Tuple:
+        return (self.path, self.predicate)
+
+    def __str__(self) -> str:
+        return "%s[%s]" % (_paren_path(self.path), self.predicate)
+
+
+def _paren_path(expression: PathExpr) -> str:
+    if isinstance(expression, (Compose, UnionPath)):
+        return "(%s)" % expression
+    return str(expression)
+
+
+class NodeExpr:
+    """Base class of node expressions (unary patterns)."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "NodeExpr(%s)" % self
+
+
+class LabelTest(NodeExpr):
+    """The label test ``sigma``."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def _key(self) -> Tuple:
+        return (self.label,)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+class HasPath(NodeExpr):
+    """The existential ``<alpha>``: some ``alpha``-successor exists."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: PathExpr) -> None:
+        self.path = path
+
+    def _key(self) -> Tuple:
+        return (self.path,)
+
+    def __str__(self) -> str:
+        return "<%s>" % self.path
+
+
+class TruePred(NodeExpr):
+    """The constant ``true`` (the paper's ⊤)."""
+
+    __slots__ = ()
+
+    def _key(self) -> Tuple:
+        return ()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+class NotPred(NodeExpr):
+    """Negation."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: NodeExpr) -> None:
+        self.inner = inner
+
+    def _key(self) -> Tuple:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return "not %s" % _paren_node(self.inner)
+
+
+class AndPred(NodeExpr):
+    """Conjunction."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: NodeExpr, right: NodeExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return "%s and %s" % (_paren_node(self.left), _paren_node(self.right))
+
+
+class OrPred(NodeExpr):
+    """Disjunction (derived: ``not (not phi and not psi)``)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: NodeExpr, right: NodeExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def _key(self) -> Tuple:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return "(%s or %s)" % (self.left, self.right)
+
+
+def _paren_node(expression: NodeExpr) -> str:
+    if isinstance(expression, (AndPred, OrPred)):
+        return "(%s)" % expression
+    return str(expression)

@@ -1,0 +1,176 @@
+"""Core XPath evaluation — exactly the semantics of Table 1.
+
+An :class:`XPathEvaluator` is bound to one tree and memoizes the
+relational denotations ``[alpha]_PExpr`` (sets of node pairs) and
+``[phi]_NExpr`` (sets of nodes) per subexpression.  Text nodes are
+ordinary nodes whose label is their ``Text``-value; a label test
+``sigma`` never matches a text node (``Sigma`` and ``Text`` are
+disjoint).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..trees.tree import Node, Tree
+from .ast import (
+    AXES,
+    AndPred,
+    Axis,
+    AxisStar,
+    CHILD,
+    Compose,
+    Filter,
+    HasPath,
+    LabelTest,
+    NEXT_SIBLING,
+    NodeExpr,
+    NotPred,
+    OrPred,
+    PARENT,
+    PREVIOUS_SIBLING,
+    PathExpr,
+    SelfPath,
+    TruePred,
+    UnionPath,
+)
+
+__all__ = ["XPathEvaluator", "select", "holds"]
+
+Pair = Tuple[Node, Node]
+
+
+class XPathEvaluator:
+    """Evaluates Core XPath expressions on a fixed tree."""
+
+    def __init__(self, t: Tree) -> None:
+        self.tree = t
+        self.nodes: Tuple[Node, ...] = tuple(t.nodes())
+        self._base: Dict[str, FrozenSet[Pair]] = self._base_axes()
+        self._path_cache: Dict[PathExpr, FrozenSet[Pair]] = {}
+        self._node_cache: Dict[NodeExpr, FrozenSet[Node]] = {}
+
+    def _base_axes(self) -> Dict[str, FrozenSet[Pair]]:
+        child: Set[Pair] = set()
+        next_sibling: Set[Pair] = set()
+        for node in self.nodes:
+            previous = None
+            for kid in self.tree.children_of(node):
+                child.add((node, kid))
+                if previous is not None:
+                    next_sibling.add((previous, kid))
+                previous = kid
+        return {
+            CHILD: frozenset(child),
+            PARENT: frozenset((b, a) for (a, b) in child),
+            NEXT_SIBLING: frozenset(next_sibling),
+            PREVIOUS_SIBLING: frozenset((b, a) for (a, b) in next_sibling),
+        }
+
+    # -- path expressions (Table 1, left column) -----------------------------
+
+    def pairs(self, expression: PathExpr) -> FrozenSet[Pair]:
+        """The denotation ``[alpha]_PExpr`` as a set of node pairs."""
+        cached = self._path_cache.get(expression)
+        if cached is not None:
+            return cached
+        result = self._pairs(expression)
+        self._path_cache[expression] = result
+        return result
+
+    def _pairs(self, expression: PathExpr) -> FrozenSet[Pair]:
+        if isinstance(expression, Axis):
+            return self._base[expression.axis]
+        if isinstance(expression, AxisStar):
+            return self._closure(self._base[expression.axis])
+        if isinstance(expression, SelfPath):
+            return frozenset((node, node) for node in self.nodes)
+        if isinstance(expression, Compose):
+            left = self.pairs(expression.left)
+            right = self.pairs(expression.right)
+            by_source: Dict[Node, List[Node]] = {}
+            for (u, v) in right:
+                by_source.setdefault(u, []).append(v)
+            return frozenset(
+                (u, w) for (u, v) in left for w in by_source.get(v, ())
+            )
+        if isinstance(expression, UnionPath):
+            return self.pairs(expression.left) | self.pairs(expression.right)
+        if isinstance(expression, Filter):
+            allowed = self.satisfying(expression.predicate)
+            return frozenset((u, v) for (u, v) in self.pairs(expression.path) if v in allowed)
+        raise TypeError("unknown path expression %r" % (expression,))
+
+    def _closure(self, base: FrozenSet[Pair]) -> FrozenSet[Pair]:
+        successors: Dict[Node, List[Node]] = {}
+        for (u, v) in base:
+            successors.setdefault(u, []).append(v)
+        result: Set[Pair] = set()
+        for start in self.nodes:
+            # Reflexive, then transitive reachability.
+            stack = [start]
+            seen = {start}
+            while stack:
+                node = stack.pop()
+                result.add((start, node))
+                for nxt in successors.get(node, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+        return frozenset(result)
+
+    # -- node expressions (Table 1, right column) -------------------------------
+
+    def satisfying(self, expression: NodeExpr) -> FrozenSet[Node]:
+        """The denotation ``[phi]_NExpr`` as a set of nodes."""
+        cached = self._node_cache.get(expression)
+        if cached is not None:
+            return cached
+        result = self._satisfying(expression)
+        self._node_cache[expression] = result
+        return result
+
+    def _satisfying(self, expression: NodeExpr) -> FrozenSet[Node]:
+        if isinstance(expression, LabelTest):
+            return frozenset(
+                node
+                for node in self.nodes
+                if not self.tree.is_text_at(node)
+                and self.tree.label_at(node) == expression.label
+            )
+        if isinstance(expression, HasPath):
+            return frozenset(u for (u, _v) in self.pairs(expression.path))
+        if isinstance(expression, TruePred):
+            return frozenset(self.nodes)
+        if isinstance(expression, NotPred):
+            return frozenset(self.nodes) - self.satisfying(expression.inner)
+        if isinstance(expression, AndPred):
+            return self.satisfying(expression.left) & self.satisfying(expression.right)
+        if isinstance(expression, OrPred):
+            return self.satisfying(expression.left) | self.satisfying(expression.right)
+        raise TypeError("unknown node expression %r" % (expression,))
+
+    # -- conveniences -------------------------------------------------------------
+
+    def holds(self, expression: NodeExpr, node: Node) -> bool:
+        """Whether ``t |= phi(node)``."""
+        return node in self.satisfying(expression)
+
+    def related(self, expression: PathExpr, source: Node, target: Node) -> bool:
+        """Whether ``t |= alpha(source, target)``."""
+        return (source, target) in self.pairs(expression)
+
+    def select(self, expression: PathExpr, source: Node) -> Tuple[Node, ...]:
+        """The targets ``{u : t |= alpha(source, u)}`` in document order
+        — the selection DTL's rewriting step uses."""
+        return tuple(sorted(v for (u, v) in self.pairs(expression) if u == source))
+
+
+def select(t: Tree, expression: PathExpr, source: Node) -> Tuple[Node, ...]:
+    """One-shot :meth:`XPathEvaluator.select` (no memoization reuse)."""
+    return XPathEvaluator(t).select(expression, source)
+
+
+def holds(t: Tree, expression: NodeExpr, node: Node) -> bool:
+    """One-shot ``t |= phi(node)``."""
+    return XPathEvaluator(t).holds(expression, node)

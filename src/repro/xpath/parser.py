@@ -1,0 +1,243 @@
+"""Parser for Core XPath in an ASCII-friendly concrete syntax.
+
+The paper's glyphs map to keywords:
+
+=========  ==========================
+paper      concrete syntax
+=========  ==========================
+``↓``      ``down``
+``↑``      ``up``
+``→``      ``right``
+``←``      ``left``
+``·``      ``self`` (or ``.``)
+``R*``     ``down*``, ``up*``, ...
+``α/β``    ``alpha/beta``
+``α ∪ β``  ``alpha | beta`` (or ``union``)
+``α[ϕ]``   ``alpha[phi]``
+``⟨α⟩``    ``<alpha>``
+``⊤``      ``true``
+``¬ϕ``     ``not phi``
+``ϕ ∧ ψ``  ``phi and psi``
+(derived)  ``phi or psi``
+=========  ==========================
+
+Example 5.15's pattern reads::
+
+    recipe and <down[comments]/down[positive]/down[comment]
+                /right[comment]/right[comment]>
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from .ast import (
+    AndPred,
+    Axis,
+    AxisStar,
+    CHILD,
+    Compose,
+    Filter,
+    HasPath,
+    LabelTest,
+    NEXT_SIBLING,
+    NodeExpr,
+    NotPred,
+    OrPred,
+    PARENT,
+    PREVIOUS_SIBLING,
+    PathExpr,
+    SelfPath,
+    TruePred,
+    UnionPath,
+)
+
+__all__ = ["parse_path_expr", "parse_node_expr", "XPathSyntaxError"]
+
+
+class XPathSyntaxError(ValueError):
+    """Raised for malformed Core XPath expressions."""
+
+
+_AXIS_KEYWORDS = {
+    "down": CHILD,
+    "up": PARENT,
+    "right": NEXT_SIBLING,
+    "left": PREVIOUS_SIBLING,
+    "child": CHILD,
+    "parent": PARENT,
+    "next-sibling": NEXT_SIBLING,
+    "previous-sibling": PREVIOUS_SIBLING,
+}
+
+_KEYWORDS = set(_AXIS_KEYWORDS) | {"self", "true", "top", "not", "and", "or", "union"}
+
+_PUNCT = ("/", "[", "]", "<", ">", "(", ")", "|", "*", ".")
+
+
+def _tokenize(source: str) -> Iterator[Tuple[str, str]]:
+    i = 0
+    while i < len(source):
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "/[]<>()|*.":
+            yield (ch, ch)
+            i += 1
+            continue
+        if ch.isalnum() or ch in "_-:":
+            start = i
+            while i < len(source) and (source[i].isalnum() or source[i] in "_-:"):
+                i += 1
+            yield ("ident", source[start:i])
+            continue
+        raise XPathSyntaxError("unexpected character %r in %r" % (ch, source))
+
+
+class _XPathParser:
+    def __init__(self, source: str) -> None:
+        self.tokens: List[Tuple[str, str]] = list(_tokenize(source))
+        self.pos = 0
+        self.source = source
+
+    def peek(self) -> Tuple[str, str]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return ("eof", "")
+
+    def take(self) -> Tuple[str, str]:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> None:
+        got = self.take()
+        if got[0] != kind:
+            raise XPathSyntaxError(
+                "expected %r but found %r in %r" % (kind, got[1] or "end", self.source)
+            )
+
+    def at_end(self) -> bool:
+        return self.peek()[0] == "eof"
+
+    # -- path expressions ----------------------------------------------
+
+    def parse_path(self) -> PathExpr:
+        left = self.parse_path_compose()
+        while True:
+            kind, value = self.peek()
+            if kind == "|" or (kind == "ident" and value == "union"):
+                self.take()
+                left = UnionPath(left, self.parse_path_compose())
+            else:
+                return left
+
+    def parse_path_compose(self) -> PathExpr:
+        left = self.parse_path_postfix()
+        while self.peek()[0] == "/":
+            self.take()
+            left = Compose(left, self.parse_path_postfix())
+        return left
+
+    def parse_path_postfix(self) -> PathExpr:
+        expression = self.parse_path_atom()
+        while True:
+            kind, _value = self.peek()
+            if kind == "*":
+                if not isinstance(expression, Axis):
+                    raise XPathSyntaxError(
+                        "'*' applies to base axes only (Core XPath), in %r" % self.source
+                    )
+                self.take()
+                expression = AxisStar(expression.axis)
+            elif kind == "[":
+                self.take()
+                predicate = self.parse_node()
+                self.expect("]")
+                expression = Filter(expression, predicate)
+            else:
+                return expression
+
+    def parse_path_atom(self) -> PathExpr:
+        kind, value = self.take()
+        if kind == "ident":
+            if value in _AXIS_KEYWORDS:
+                return Axis(_AXIS_KEYWORDS[value])
+            if value == "self":
+                return SelfPath()
+            raise XPathSyntaxError(
+                "unknown axis %r in %r (labels belong in node expressions)"
+                % (value, self.source)
+            )
+        if kind == ".":
+            return SelfPath()
+        if kind == "(":
+            inner = self.parse_path()
+            self.expect(")")
+            return inner
+        raise XPathSyntaxError("unexpected %r in path expression %r" % (value, self.source))
+
+    # -- node expressions -------------------------------------------------
+
+    def parse_node(self) -> NodeExpr:
+        return self.parse_node_or()
+
+    def parse_node_or(self) -> NodeExpr:
+        left = self.parse_node_and()
+        while self.peek() == ("ident", "or"):
+            self.take()
+            left = OrPred(left, self.parse_node_and())
+        return left
+
+    def parse_node_and(self) -> NodeExpr:
+        left = self.parse_node_unary()
+        while self.peek() == ("ident", "and"):
+            self.take()
+            left = AndPred(left, self.parse_node_unary())
+        return left
+
+    def parse_node_unary(self) -> NodeExpr:
+        kind, value = self.peek()
+        if kind == "ident" and value == "not":
+            self.take()
+            return NotPred(self.parse_node_unary())
+        return self.parse_node_atom()
+
+    def parse_node_atom(self) -> NodeExpr:
+        kind, value = self.take()
+        if kind == "<":
+            path = self.parse_path()
+            self.expect(">")
+            return HasPath(path)
+        if kind == "(":
+            inner = self.parse_node()
+            self.expect(")")
+            return inner
+        if kind == "ident":
+            if value in ("true", "top"):
+                return TruePred()
+            if value in _KEYWORDS:
+                raise XPathSyntaxError(
+                    "keyword %r cannot be a label test in %r" % (value, self.source)
+                )
+            return LabelTest(value)
+        raise XPathSyntaxError("unexpected %r in node expression %r" % (value, self.source))
+
+
+def parse_path_expr(source: str) -> PathExpr:
+    """Parse a Core XPath path expression (binary pattern)."""
+    parser = _XPathParser(source)
+    result = parser.parse_path()
+    if not parser.at_end():
+        raise XPathSyntaxError("trailing tokens in %r" % source)
+    return result
+
+
+def parse_node_expr(source: str) -> NodeExpr:
+    """Parse a Core XPath node expression (unary pattern)."""
+    parser = _XPathParser(source)
+    result = parser.parse_node()
+    if not parser.at_end():
+        raise XPathSyntaxError("trailing tokens in %r" % source)
+    return result

@@ -1,0 +1,238 @@
+"""Tests for binary tree automata, FCNS encoding, and complementation."""
+
+import pytest
+
+from repro.automata import (
+    BTA,
+    BTree,
+    TEXT,
+    bleaf,
+    bta_to_nta,
+    complement_nta,
+    decode_tree,
+    encode_hedge,
+    encode_tree,
+    intersect_bta,
+    nta_from_rules,
+    nta_to_bta,
+    nta_witness_not_in,
+    union_bta,
+    universal_nta,
+    valid_encoding_bta,
+)
+from repro.automata.fcns import decode_hedge
+from repro.trees import parse_tree, text, tree
+
+
+class TestEncoding:
+    def test_single_leaf(self):
+        assert encode_tree(tree("a")) == bleaf("a")
+
+    def test_children_go_left_siblings_right(self):
+        t = tree("a", tree("b"), tree("c"))
+        enc = encode_tree(t)
+        assert enc.label == "a"
+        assert enc.left is not None and enc.left.label == "b"
+        assert enc.left.right is not None and enc.left.right.label == "c"
+        assert enc.right is None
+
+    def test_text_nodes_become_placeholder(self):
+        enc = encode_tree(tree("a", "hello"))
+        assert enc.left is not None
+        assert enc.left.label == TEXT
+
+    def test_round_trip_structure(self):
+        t = parse_tree('a(b(c "x") d(e) "y")')
+        decoded = decode_tree(encode_tree(t))
+        # Text values are re-invented, so compare canonical shapes.
+        from repro.trees import canonical_substitution
+
+        assert canonical_substitution(decoded) == canonical_substitution(t)
+
+    def test_hedge_round_trip(self):
+        h = (tree("a", tree("b")), tree("c"))
+        assert decode_hedge(encode_hedge(h)) == h
+
+    def test_empty_hedge(self):
+        assert encode_hedge(()) is None
+        assert decode_hedge(None) == ()
+
+    def test_size_preserved(self):
+        t = parse_tree("a(b(c d) e)")
+        assert encode_tree(t).size == t.size
+
+
+class TestBTreeBasics:
+    def test_nodes(self):
+        t = BTree("a", bleaf("b"), bleaf("c"))
+        labels = {node.label for _path, node in t.nodes()}
+        assert labels == {"a", "b", "c"}
+
+    def test_relabel(self):
+        t = BTree("a", bleaf("b"), None)
+        relabeled = t.relabel(str.upper)
+        assert relabeled.label == "A"
+        assert relabeled.left.label == "B"
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            bleaf("a").label = "b"
+
+
+def parity_bta() -> BTA:
+    """Accepts binary trees over {a} with an even number of nodes... via
+    two states tracking parity."""
+    even, odd = "even", "odd"
+    transitions = {
+        "a": {
+            (even, even): {odd},
+            (even, odd): {even},
+            (odd, even): {even},
+            (odd, odd): {odd},
+        }
+    }
+    return BTA({even, odd}, {"a"}, {even}, transitions, {even})
+
+
+class TestBTA:
+    def test_eval_and_accept(self):
+        bta = parity_bta()
+        assert not bta.accepts(bleaf("a"))  # 1 node: odd
+        assert bta.accepts(BTree("a", bleaf("a"), None))  # 2 nodes
+        assert not bta.accepts(BTree("a", bleaf("a"), bleaf("a")))  # 3
+
+    def test_emptiness(self):
+        bta = parity_bta()
+        assert not bta.is_empty()
+        dead = BTA({"q"}, {"a"}, set(), {}, {"q"})
+        assert dead.is_empty()
+        assert dead.witness() is None
+
+    def test_witness_smallest(self):
+        bta = parity_bta()
+        witness = bta.witness()
+        assert witness is not None
+        assert witness.size == 2
+        assert bta.accepts(witness)
+
+    def test_determinize_preserves_language(self):
+        bta = parity_bta()
+        det = bta.determinize()
+        assert det.is_deterministic()
+        for t in [
+            bleaf("a"),
+            BTree("a", bleaf("a"), None),
+            BTree("a", bleaf("a"), bleaf("a")),
+            BTree("a", BTree("a", bleaf("a"), None), bleaf("a")),
+        ]:
+            assert det.accepts(t) == bta.accepts(t)
+
+    def test_complement(self):
+        bta = parity_bta()
+        comp = bta.complement()
+        for t in [bleaf("a"), BTree("a", bleaf("a"), None)]:
+            assert comp.accepts(t) != bta.accepts(t)
+
+    def test_intersect(self):
+        bta = parity_bta()
+        singletons = BTA({"s"}, {"a"}, {"s"}, {"a": {("s", "s"): {"s"}}}, {"s"})
+        both = intersect_bta(bta, singletons)
+        assert both.accepts(BTree("a", bleaf("a"), None))
+        assert not both.accepts(bleaf("a"))
+
+    def test_union(self):
+        only_leaf = BTA({"n", "f"}, {"a"}, {"n"}, {"a": {("n", "n"): {"f"}}}, {"f"})
+        parity = parity_bta()
+        u = union_bta(only_leaf, parity)
+        assert u.accepts(bleaf("a"))  # from only_leaf
+        assert u.accepts(BTree("a", bleaf("a"), None))  # from parity
+
+    def test_trim(self):
+        bta = BTA(
+            {"n", "f", "junk"},
+            {"a"},
+            {"n"},
+            {"a": {("n", "n"): {"f"}, ("junk", "junk"): {"junk"}}},
+            {"f"},
+        )
+        trimmed = bta.trim()
+        assert "junk" not in trimmed.states
+        assert trimmed.accepts(bleaf("a"))
+
+    def test_image_projection(self):
+        bta = BTA({"n", "f"}, {("a", 1)}, {"n"}, {("a", 1): {("n", "n"): {"f"}}}, {"f"})
+        projected = bta.image(lambda lab: lab[0])
+        assert projected.accepts(bleaf("a"))
+
+    def test_preimage_cylindrification(self):
+        bta = BTA({"n", "f"}, {"a"}, {"n"}, {"a": {("n", "n"): {"f"}}}, {"f"})
+        lifted = bta.preimage(lambda lab: lab[0], [("a", 0), ("a", 1)])
+        assert lifted.accepts(bleaf(("a", 0)))
+        assert lifted.accepts(bleaf(("a", 1)))
+
+
+def lists_nta():
+    return nta_from_rules(
+        alphabet={"list", "item"},
+        rules={
+            ("q0", "list"): "qi*",
+            ("qi", "item"): "qt",
+            ("qt", TEXT): "eps",
+        },
+        initial="q0",
+    )
+
+
+SAMPLES = [
+    "list",
+    'list(item("a"))',
+    'list(item("a") item("b"))',
+    "list(item)",
+    "item",
+    "list(list)",
+    'list("loose")',
+]
+
+
+class TestNtaBtaConversions:
+    def test_nta_to_bta_agrees_on_samples(self):
+        nta = lists_nta()
+        bta = nta_to_bta(nta)
+        for source in SAMPLES:
+            t = parse_tree(source)
+            assert bta.accepts(encode_tree(t)) == nta.accepts(t), source
+
+    def test_bta_to_nta_round_trip(self):
+        nta = lists_nta()
+        back = bta_to_nta(nta_to_bta(nta), sorted(nta.alphabet))
+        for source in SAMPLES:
+            t = parse_tree(source)
+            assert back.accepts(t) == nta.accepts(t), source
+
+    def test_valid_encoding_bta(self):
+        valid = valid_encoding_bta(["a"])
+        assert valid.accepts(encode_tree(parse_tree('a(a "x")')))
+        # A hedge of two trees is not a single-tree encoding.
+        assert not valid.accepts(encode_hedge((tree("a"), tree("a"))))
+        # A text node with children is not a valid encoding.
+        assert not valid.accepts(BTree(TEXT, bleaf("a"), None))
+
+    def test_complement_nta(self):
+        nta = lists_nta()
+        comp = complement_nta(nta)
+        for source in SAMPLES:
+            t = parse_tree(source)
+            assert comp.accepts(t) != nta.accepts(t), source
+
+    def test_witness_not_in(self):
+        nta = lists_nta()
+        counter = nta_witness_not_in(nta)
+        assert counter is not None
+        assert not nta.accepts(counter)
+
+    def test_no_witness_for_universal(self):
+        assert nta_witness_not_in(universal_nta({"a"})) is None
+
+    def test_empty_nta_converts(self):
+        dead = nta_from_rules(alphabet={"a"}, rules={("q0", "a"): "qdead"}, initial="q0")
+        assert nta_to_bta(dead).is_empty()

@@ -1,0 +1,87 @@
+"""Tests for tree enumeration and sampling from NTAs."""
+
+import random
+
+import pytest
+
+from repro.automata import TEXT, nta_from_rules, universal_nta
+from repro.automata.enumerate import count_trees, enumerate_trees, sample_tree
+
+
+def lists_nta():
+    return nta_from_rules(
+        alphabet={"list", "item"},
+        rules={
+            ("q0", "list"): "qi*",
+            ("qi", "item"): "qt",
+            ("qt", TEXT): "eps",
+        },
+        initial="q0",
+    )
+
+
+class TestEnumeration:
+    def test_all_members_accepted(self):
+        nta = lists_nta()
+        count = 0
+        for t in enumerate_trees(nta, 7):
+            assert nta.accepts(t)
+            count += 1
+        assert count > 0
+
+    def test_sizes_nondecreasing(self):
+        sizes = [t.size for t in enumerate_trees(lists_nta(), 7)]
+        assert sizes == sorted(sizes)
+        assert all(s <= 7 for s in sizes)
+
+    def test_exact_counts(self):
+        # list with k items has 1 + 2k nodes: sizes 1, 3, 5, 7 ...
+        nta = lists_nta()
+        assert count_trees(nta, 1) == 1
+        assert count_trees(nta, 4) == 2
+        assert count_trees(nta, 7) == 4
+
+    def test_no_duplicates(self):
+        seen = list(enumerate_trees(universal_nta({"a", "b"}), 3))
+        assert len(seen) == len(set(seen))
+
+    def test_max_count_truncates(self):
+        assert len(list(enumerate_trees(universal_nta({"a"}), 6, max_count=5))) == 5
+
+    def test_empty_language(self):
+        dead = nta_from_rules(alphabet={"a"}, rules={("q0", "a"): "qx"}, initial="q0")
+        assert list(enumerate_trees(dead, 5)) == []
+
+    def test_completeness_small_universe(self):
+        # Over {a} without text: all trees of size <= 3 (Catalan-ish count).
+        nta = universal_nta({"a"}, allow_text=False)
+        trees = list(enumerate_trees(nta, 3))
+        # sizes: 1 (a), 2 (a(a)), 3 (a(a a), a(a(a)))
+        assert len(trees) == 4
+
+
+class TestSampling:
+    def test_samples_are_members(self):
+        nta = lists_nta()
+        rng = random.Random(1)
+        for _ in range(10):
+            t = sample_tree(nta, max_size=15, rng=rng)
+            assert t is not None
+            assert t.size <= 15
+            assert nta.accepts(t)
+
+    def test_sample_none_for_empty(self):
+        dead = nta_from_rules(alphabet={"a"}, rules={("q0", "a"): "qx"}, initial="q0")
+        assert sample_tree(dead, rng=random.Random(0)) is None
+
+    def test_sample_respects_size_bound(self):
+        nta = universal_nta({"a"})
+        rng = random.Random(7)
+        samples = [sample_tree(nta, max_size=5, rng=rng) for _ in range(20)]
+        assert all(s is not None and s.size <= 5 for s in samples)
+
+    def test_sampling_varies(self):
+        nta = universal_nta({"a", "b"})
+        rng = random.Random(42)
+        distinct = {sample_tree(nta, max_size=8, rng=rng) for _ in range(25)}
+        assert len(distinct) > 3

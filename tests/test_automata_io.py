@@ -1,0 +1,88 @@
+"""Tests for automata serialization and DOT export."""
+
+import json
+
+import pytest
+
+from repro.automata import TEXT, nta_from_rules
+from repro.automata.enumerate import enumerate_trees
+from repro.automata.io import nta_from_json, nta_to_dot, nta_to_json, transducer_to_dot
+from repro.paper import example23_dtd, example42_transducer
+from repro.schema import dtd_to_nta
+
+
+def sample_nta():
+    return nta_from_rules(
+        alphabet={"list", "item"},
+        rules={
+            ("q0", "list"): "qi*",
+            ("qi", "item"): "qt",
+            ("qt", TEXT): "eps",
+        },
+        initial="q0",
+    )
+
+
+class TestJsonRoundTrip:
+    def test_language_preserved(self):
+        original = sample_nta()
+        reloaded = nta_from_json(nta_to_json(original))
+        for t in enumerate_trees(original, 7):
+            assert reloaded.accepts(t)
+        # And the other way: all reloaded members accepted by the original.
+        for t in enumerate_trees(reloaded, 7):
+            assert original.accepts(t)
+
+    def test_round_trip_on_recipes_schema(self):
+        original = dtd_to_nta(example23_dtd())
+        reloaded = nta_from_json(nta_to_json(original))
+        from repro.paper import figure1_tree
+
+        assert reloaded.accepts(figure1_tree())
+        for t in enumerate_trees(original, 9, max_count=40):
+            assert reloaded.accepts(t)
+
+    def test_deterministic_output(self):
+        assert nta_to_json(sample_nta()) == nta_to_json(sample_nta())
+
+    def test_valid_json_with_metadata(self):
+        payload = json.loads(nta_to_json(sample_nta()))
+        assert payload["format"] == "repro-nta"
+        assert payload["version"] == 1
+        assert set(payload["alphabet"]) == {"item", "list"}
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ValueError):
+            nta_from_json('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            nta_from_json('{"format": "repro-nta", "version": 99}')
+
+    def test_second_round_trip_stable(self):
+        once = nta_to_json(nta_from_json(nta_to_json(sample_nta())))
+        twice = nta_to_json(nta_from_json(once))
+        assert once == twice
+
+
+class TestDotExport:
+    def test_nta_dot_mentions_states_and_symbols(self):
+        dot = nta_to_dot(sample_nta())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert 'label="list"' in dot
+        assert 'label="item"' in dot
+
+    def test_transducer_dot(self):
+        dot = transducer_to_dot(example42_transducer())
+        assert '"q0" -> "qsel"' in dot
+        assert "recipes" in dot
+        # text states get a double outline
+        assert "peripheries=2" in dot
+
+    def test_dot_escaping(self):
+        from repro.core import TopDownTransducer
+
+        quirky = TopDownTransducer(
+            states={"q0"}, rules={("q0", "a"): "a(q0)"}, initial="q0"
+        )
+        dot = transducer_to_dot(quirky)
+        assert dot.count("{") == dot.count("}")

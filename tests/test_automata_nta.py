@@ -1,0 +1,193 @@
+"""Tests for unranked tree automata (paper, Section 2)."""
+
+import pytest
+
+from repro.automata import (
+    NTA,
+    TEXT,
+    intersect_nta,
+    label_universe_nta,
+    nta_from_rules,
+    union_nta,
+    universal_nta,
+)
+from repro.trees import parse_tree, text, tree
+
+
+def lists_nta() -> NTA:
+    """Trees list(item* ) where each item holds exactly one text value."""
+    return nta_from_rules(
+        alphabet={"list", "item"},
+        rules={
+            ("q0", "list"): "qi*",
+            ("qi", "item"): "qt",
+            ("qt", TEXT): "eps",
+        },
+        initial="q0",
+    )
+
+
+class TestMembership:
+    def test_accepts(self):
+        nta = lists_nta()
+        assert nta.accepts(parse_tree("list"))
+        assert nta.accepts(parse_tree('list(item("a"))'))
+        assert nta.accepts(parse_tree('list(item("a") item("b") item("c"))'))
+
+    def test_rejects(self):
+        nta = lists_nta()
+        assert not nta.accepts(parse_tree("item"))
+        assert not nta.accepts(parse_tree("list(item)"))  # item must hold text
+        assert not nta.accepts(parse_tree('list(item("a" "b"))'))  # exactly one
+        assert not nta.accepts(parse_tree('list("loose text")'))
+        assert not nta.accepts(parse_tree("list(list)"))
+
+    def test_text_values_are_interchangeable(self):
+        # Closure under Text-substitutions comes for free from the
+        # placeholder semantics.
+        nta = lists_nta()
+        assert nta.accepts(parse_tree('list(item("x"))'))
+        assert nta.accepts(parse_tree('list(item("completely different"))'))
+
+    def test_run_extraction(self):
+        nta = lists_nta()
+        t = parse_tree('list(item("a") item("b"))')
+        run = nta.run_on(t)
+        assert run is not None
+        assert run[(1,)] == "q0"
+        assert run[(1, 1)] == "qi"
+        assert run[(1, 2)] == "qi"
+        assert run[(1, 1, 1)] == "qt"
+
+    def test_run_none_when_rejected(self):
+        assert lists_nta().run_on(parse_tree("item")) is None
+
+    def test_run_respects_horizontal_language(self):
+        # Nondeterministic horizontal choice: a | b at first child.
+        nta = nta_from_rules(
+            alphabet={"r", "x"},
+            rules={
+                ("q0", "r"): "qa + qb",
+                ("qa", "x"): "qa",  # x must have exactly one x child -> dead
+                ("qb", "x"): "eps",
+            },
+            initial="q0",
+        )
+        run = nta.run_on(parse_tree("r(x)"))
+        assert run is not None
+        assert run[(1, 1)] == "qb"
+
+
+class TestEmptinessAndWitness:
+    def test_nonempty(self):
+        nta = lists_nta()
+        assert not nta.is_empty()
+        witness = nta.witness()
+        assert witness is not None
+        assert nta.accepts(witness)
+        assert witness.size == 1  # bare "list" is smallest
+
+    def test_empty_by_dead_state(self):
+        nta = nta_from_rules(
+            alphabet={"a"},
+            rules={("q0", "a"): "qdead"},  # qdead has no rule: uninhabited
+            initial="q0",
+        )
+        assert nta.is_empty()
+        assert nta.witness() is None
+
+    def test_witness_is_smallest(self):
+        nta = nta_from_rules(
+            alphabet={"a", "b"},
+            rules={
+                ("q0", "a"): "q1 q1",
+                ("q1", "b"): "eps",
+            },
+            initial="q0",
+        )
+        witness = nta.witness()
+        assert witness == tree("a", tree("b"), tree("b"))
+
+    def test_witness_with_text(self):
+        nta = nta_from_rules(
+            alphabet={"a"},
+            rules={("q0", "a"): "qt", ("qt", TEXT): "eps"},
+            initial="q0",
+        )
+        witness = nta.witness()
+        assert witness is not None
+        assert witness.children[0].is_text
+        assert nta.accepts(witness)
+
+    def test_inhabited_states(self):
+        nta = lists_nta()
+        assert nta.inhabited_states() == {"q0", "qi", "qt"}
+
+
+class TestBooleanOperations:
+    def test_intersection(self):
+        lists = lists_nta()
+        at_most_one = nta_from_rules(
+            alphabet={"list", "item"},
+            rules={
+                ("p0", "list"): "pi?",
+                ("pi", "item"): "pt",
+                ("pt", TEXT): "eps",
+            },
+            initial="p0",
+        )
+        both = intersect_nta(lists, at_most_one)
+        assert both.accepts(parse_tree("list"))
+        assert both.accepts(parse_tree('list(item("a"))'))
+        assert not both.accepts(parse_tree('list(item("a") item("b"))'))
+
+    def test_intersection_empty(self):
+        lists = lists_nta()
+        roots_item = label_universe_nta({"list", "item"}, {"item"})
+        assert intersect_nta(lists, roots_item).is_empty()
+
+    def test_union(self):
+        one = nta_from_rules(alphabet={"a", "b"}, rules={("q0", "a"): "eps"}, initial="q0")
+        two = nta_from_rules(alphabet={"a", "b"}, rules={("p0", "b"): "eps"}, initial="p0")
+        u = union_nta(one, two)
+        assert u.accepts(parse_tree("a"))
+        assert u.accepts(parse_tree("b"))
+        assert not u.accepts(parse_tree("a(b)"))
+
+    def test_universal(self):
+        nta = universal_nta({"a", "b"})
+        assert nta.accepts(parse_tree('a(b("x") a)'))
+        assert nta.accepts(text("just text"))
+
+
+class TestTrimAndValidation:
+    def test_trim_preserves_language(self):
+        nta = nta_from_rules(
+            alphabet={"a", "b"},
+            rules={
+                ("q0", "a"): "q1*",
+                ("q1", "b"): "eps",
+                ("junk", "b"): "eps",  # unreachable
+                ("q0", "b"): "qdead",  # uninhabited continuation
+            },
+            initial="q0",
+        )
+        trimmed = nta.trim()
+        for t in [parse_tree("a"), parse_tree("a(b b)"), parse_tree("b")]:
+            assert trimmed.accepts(t) == nta.accepts(t)
+        assert "junk" not in trimmed.states
+
+    def test_text_in_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            nta_from_rules(alphabet={TEXT}, rules={}, initial="q0")
+
+    def test_size(self):
+        nta = lists_nta()
+        assert nta.size > len(nta.states)
+
+    def test_final_states(self):
+        nta = lists_nta()
+        finals = nta.final_states()
+        assert "q0" in finals  # eps in delta(q0, list)? qi* accepts eps
+        assert "qt" in finals
+        assert "qi" not in finals  # item requires exactly one text child

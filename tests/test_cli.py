@@ -1,0 +1,178 @@
+"""Tests for the command-line interface and its file formats."""
+
+import pytest
+
+from repro.cli import CliError, load_schema, load_transducer, main
+
+RECIPES_SCHEMA = """
+# the Example 2.3 DTD, abridged
+start recipes
+recipes -> recipe*
+recipe -> description . comments
+description -> text
+comments -> comment*
+comment -> text
+"""
+
+SELECT_TDX = """
+initial q0
+rule q0 recipes -> recipes(q0)
+rule q0 recipe -> recipe(qsel)
+rule qsel description -> description(q)
+text q
+"""
+
+BUGGY_TDX = """
+initial q0
+rule q0 recipes -> recipes(q0)
+rule q0 recipe -> recipe(qsel qsel)   # duplicates!
+rule qsel description -> description(q)
+text q
+"""
+
+DOCUMENT = """<?xml version="1.0"?>
+<recipes>
+  <recipe>
+    <description>mousse</description>
+    <comments><comment>nice</comment></comments>
+  </recipe>
+</recipes>
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    schema = tmp_path / "recipes.schema"
+    schema.write_text(RECIPES_SCHEMA)
+    select = tmp_path / "select.tdx"
+    select.write_text(SELECT_TDX)
+    buggy = tmp_path / "buggy.tdx"
+    buggy.write_text(BUGGY_TDX)
+    document = tmp_path / "doc.xml"
+    document.write_text(DOCUMENT)
+    return {
+        "schema": str(schema),
+        "select": str(select),
+        "buggy": str(buggy),
+        "document": str(document),
+        "dir": tmp_path,
+    }
+
+
+class TestLoaders:
+    def test_load_schema(self, files):
+        dtd = load_schema(files["schema"])
+        assert dtd.start == {"recipes"}
+        assert "recipe" in dtd.alphabet
+
+    def test_load_transducer(self, files):
+        transducer = load_transducer(files["select"])
+        assert transducer.initial == "q0"
+        assert transducer.copies_text_in("q")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "recipes -> recipe*",  # no start
+            "start recipes\nrecipes -> recipe*\nrecipes -> recipe*",  # dup
+            "start recipes\nbad line here",
+        ],
+    )
+    def test_schema_errors(self, tmp_path, bad):
+        path = tmp_path / "bad.schema"
+        path.write_text(bad)
+        with pytest.raises(CliError):
+            load_schema(str(path))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "rule q0 a -> a",  # no initial
+            "initial q0\nfrobnicate q0",
+            "initial q0\nrule q0 a -> a\nrule q0 a -> b",  # duplicate rule
+            "initial q0\ninitial q1",
+        ],
+    )
+    def test_transducer_errors(self, tmp_path, bad):
+        path = tmp_path / "bad.tdx"
+        path.write_text(bad)
+        with pytest.raises(CliError):
+            load_transducer(str(path))
+
+
+class TestCommands:
+    def test_validate_ok(self, files, capsys):
+        assert main(["validate", files["schema"], files["document"]]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_rejects(self, files, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<recipes><comment>x</comment></recipes>")
+        assert main(["validate", files["schema"], str(bad)]) == 1
+        assert "invalid" in capsys.readouterr().out
+
+    def test_transform(self, files, capsys):
+        assert main(["transform", files["select"], files["document"]]) == 0
+        out = capsys.readouterr().out
+        assert "<description>mousse</description>" in out
+        assert "comment" not in out
+
+    def test_check_safe(self, files, capsys):
+        assert main(["check", files["select"], files["schema"]]) == 0
+        out = capsys.readouterr().out
+        assert "text-preserving:             yes" in out
+
+    def test_check_unsafe_prints_witness(self, files, capsys):
+        assert main(["check", files["buggy"], files["schema"]]) == 1
+        out = capsys.readouterr().out
+        assert "copying over the schema:     YES" in out
+        assert "<recipes>" in out  # the counter-example document
+
+    def test_check_with_protection(self, files, capsys):
+        code = main(["check", files["select"], files["schema"], "--protect", "comments"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DELETED" in out
+
+    def test_subschema(self, files, capsys):
+        code = main(["subschema", files["buggy"], files["schema"]])
+        out = capsys.readouterr().out
+        # Safe part: recipes whose descriptions are absent... the buggy
+        # transducer duplicates description text, so safe members have
+        # no description text. Non-empty either way:
+        assert code == 0
+        assert "maximal safe sub-schema" in out
+
+    def test_subschema_json_output(self, files, capsys):
+        out_path = files["dir"] / "safe.json"
+        main(
+            [
+                "subschema",
+                files["buggy"],
+                files["schema"],
+                "--output",
+                str(out_path),
+            ]
+        )
+        from repro.automata.io import nta_from_json
+
+        reloaded = nta_from_json(out_path.read_text())
+        from repro.trees import parse_tree
+
+        assert reloaded.accepts(parse_tree("recipes"))
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/nonexistent.schema", "/nonexistent.xml"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_module_entry_point(self, files):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "validate", files["schema"], files["document"]],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "valid" in result.stdout

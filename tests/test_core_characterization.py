@@ -1,0 +1,147 @@
+"""Tests for the Section 3 semantic layer: Definitions 3.1/3.2 and
+Theorem 3.3."""
+
+import pytest
+
+from repro.core import (
+    TopDownTransducer,
+    is_admissible_on,
+    is_copying_on,
+    is_rearranging_on,
+    is_text_functional_on,
+    is_text_independent_on,
+    is_text_preserving_on,
+    rearranged_pair,
+    theorem_3_3_holds,
+)
+from repro.paper import example42_transducer, figure1_tree
+from repro.trees import Tree, parse_tree, text, tree
+
+
+def as_transduction(transducer):
+    return lambda t: transducer.apply(t)
+
+
+IDENTITY = lambda t: t
+
+
+def swap_children(t: Tree) -> Tree:
+    """A hand-rolled (non-transducer) transduction reversing the root's
+    children — rearranging but admissible."""
+    return Tree(t.label, tuple(reversed(t.children)), is_text=t.is_text)
+
+
+def duplicate_children(t: Tree) -> Tree:
+    return Tree(t.label, t.children + t.children, is_text=t.is_text)
+
+
+def constant_output(_t: Tree) -> Tree:
+    return parse_tree('a("fresh value")')
+
+
+def value_dependent(t: Tree) -> Tree:
+    """Not Text-independent: shape depends on a text value."""
+    values = [t.subtree(n).label for n in t.nodes() if t.is_text_at(n)]
+    if values and values[0] == "magic":
+        return tree("special")
+    return tree("normal")
+
+
+TWO_TEXT = parse_tree('r(a("v1") b("v2"))')
+
+
+class TestSemanticNotions:
+    def test_identity_is_preserving(self):
+        assert is_text_preserving_on(IDENTITY, TWO_TEXT)
+        assert not is_copying_on(IDENTITY, TWO_TEXT)
+        assert not is_rearranging_on(IDENTITY, TWO_TEXT)
+
+    def test_swap_is_rearranging_not_copying(self):
+        assert is_rearranging_on(swap_children, TWO_TEXT)
+        assert not is_copying_on(swap_children, TWO_TEXT)
+        assert not is_text_preserving_on(swap_children, TWO_TEXT)
+
+    def test_rearranged_pair_witness(self):
+        pair = rearranged_pair(swap_children, TWO_TEXT)
+        assert pair is not None
+        gamma1, gamma2 = pair
+        assert gamma1 != gamma2
+
+    def test_duplicate_is_copying(self):
+        assert is_copying_on(duplicate_children, TWO_TEXT)
+        assert not is_text_preserving_on(duplicate_children, parse_tree('r("v")'))
+
+    def test_deleting_text_is_preserving(self):
+        delete_all = lambda t: tree(t.label)
+        assert is_text_preserving_on(delete_all, TWO_TEXT)
+        assert not is_copying_on(delete_all, TWO_TEXT)
+        assert not is_rearranging_on(delete_all, TWO_TEXT)
+
+    def test_copying_evaluated_on_value_unique_version(self):
+        # On a tree with equal values, the value-unique relabelling
+        # exposes copying even though raw output would look innocent.
+        same_values = parse_tree('r(a("v") b("v"))')
+        first_only = lambda t: tree("out", t.subtree((1, 1, 1)).label, t.subtree((1, 1, 1)).label)
+        assert is_copying_on(first_only, same_values)
+
+
+class TestAdmissibility:
+    def test_identity_admissible(self):
+        assert is_admissible_on(IDENTITY, TWO_TEXT)
+
+    def test_example42_admissible(self):
+        # Lemma 4.3: top-down uniform transducers are admissible.
+        transduction = as_transduction(example42_transducer())
+        assert is_admissible_on(transduction, figure1_tree())
+
+    def test_constant_output_not_functional(self):
+        # Invents a Text-value: Text-independent but not Text-functional.
+        assert is_text_independent_on(constant_output, TWO_TEXT)
+        assert not is_text_functional_on(constant_output, TWO_TEXT)
+
+    def test_value_dependent_not_independent(self):
+        bad_tree = parse_tree('r("magic")')
+        assert not is_text_independent_on(value_dependent, bad_tree)
+
+    def test_swap_admissible(self):
+        assert is_admissible_on(swap_children, TWO_TEXT)
+
+
+class TestTheorem33:
+    """Text-preserving iff neither copying nor rearranging, on samples."""
+
+    TRANSDUCTIONS = [
+        ("identity", IDENTITY),
+        ("swap", swap_children),
+        ("duplicate", duplicate_children),
+        ("delete", lambda t: tree(t.label)),
+        ("example42", as_transduction(example42_transducer())),
+    ]
+
+    TREES = [
+        TWO_TEXT,
+        parse_tree('r("v")'),
+        parse_tree("r(a b)"),
+        parse_tree('r(a("x" "y") b("z"))'),
+        figure1_tree(),
+    ]
+
+    @pytest.mark.parametrize("name,transduction", TRANSDUCTIONS)
+    def test_characterization(self, name, transduction):
+        for t in self.TREES:
+            assert theorem_3_3_holds(transduction, t), (name, t)
+
+    def test_uniform_transducers_satisfy_theorem(self):
+        # Random-ish small transducers over a two-label alphabet.
+        candidates = [
+            TopDownTransducer(
+                {"q0", "q"},
+                {("q0", "a"): rhs, ("q", "a"): "a(q)", ("q", "text"): "text"},
+                "q0",
+            )
+            for rhs in ["a(q)", "a(q q)", "a(b(q) q)", "a(q b(q))"]
+        ]
+        trees = [parse_tree('a("x" "y")'), parse_tree('a(a("x") "y")')]
+        for transducer in candidates:
+            for t in trees:
+                assert theorem_3_3_holds(as_transduction(transducer), t)

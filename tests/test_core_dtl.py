@@ -1,0 +1,238 @@
+"""Tests for DTL transducers (paper, §5.1) and Example 5.15."""
+
+import pytest
+
+from repro.core.dtl import (
+    Call,
+    DTLTransducer,
+    DeterminismError,
+    EvaluationContext,
+    NonTerminationError,
+)
+from repro.core.dtl_mso import MSOBinary, MSOUnary
+from repro.core.dtl_xpath import XPathBinary, XPathUnary, xpath_call
+from repro.mso import And, Child, Lab
+from repro.paper import example42_transducer, example515_dtl, figure1_tree
+from repro.trees import parse_tree, serialize_tree, text_values, tree
+from repro.xpath import parse_node_expr, parse_path_expr
+
+
+def simple_dtl(rules, states={"q0", "q"}, text_states={"q"}, initial="q0"):
+    return DTLTransducer(states, rules, text_states, initial)
+
+
+DOWN = parse_path_expr("down")
+
+
+class TestBasicSemantics:
+    def test_identity_style_copy(self):
+        transducer = simple_dtl(
+            [
+                ("q0", parse_node_expr("a"), ("a", [Call("q", DOWN)])),
+                ("q", parse_node_expr("true"), ("n", [Call("q", DOWN)])),
+            ]
+        )
+        # Every non-text node becomes n; text copied.
+        assert transducer(parse_tree('a(b("v") c)')) == parse_tree('a(n("v") n)')
+
+    def test_unmatched_config_erased(self):
+        transducer = simple_dtl(
+            [("q0", parse_node_expr("a"), ("a", [Call("q", DOWN)]))],
+        )
+        # q has no sigma rules: element children vanish; text is copied
+        # because q is a text state.
+        assert transducer(parse_tree('a(b "v")')) == parse_tree('a("v")')
+
+    def test_text_not_copied_without_text_state(self):
+        transducer = DTLTransducer(
+            {"q0", "q"},
+            [("q0", parse_node_expr("a"), ("a", [Call("q", DOWN)]))],
+            text_states=set(),
+            initial="q0",
+        )
+        assert transducer(parse_tree('a("v")')) == parse_tree("a")
+
+    def test_selection_in_document_order(self):
+        transducer = simple_dtl(
+            [("q0", parse_node_expr("a"), ("a", [Call("q", DOWN)]))],
+        )
+        out = transducer(parse_tree('a("1" "2" "3")'))
+        assert text_values(out) == ("1", "2", "3")
+
+    def test_non_child_navigation(self):
+        # Select all descendants labelled c, flattening them.
+        transducer = simple_dtl(
+            [
+                ("q0", parse_node_expr("a"), ("a", [Call("q", "down*[c]")])),
+                ("q", parse_node_expr("c"), ("c", [Call("q", "down")])),
+            ],
+            text_states=set(),
+        )
+        prepared = DTLTransducer(
+            {"q0", "q"},
+            [
+                ("q0", parse_node_expr("a"), ("a", [xpath_call("q", "down*[c]")])),
+                ("q", parse_node_expr("c"), ("c", [])),
+            ],
+            set(),
+            "q0",
+        )
+        out = prepared(parse_tree("a(b(c) c(b c))"))
+        assert serialize_tree(out) == "a(c c c)"
+
+    def test_upward_navigation(self):
+        # down[b]/up composes to a *set* of pairs: both b-children lead
+        # back to the same parent, so exactly one configuration results.
+        transducer = DTLTransducer(
+            {"q0", "qup"},
+            [
+                ("q0", parse_node_expr("a"), ("a", [xpath_call("qup", "down[b]/up")])),
+                ("qup", parse_node_expr("a"), ("mark", [])),
+            ],
+            set(),
+            "q0",
+        )
+        assert transducer(parse_tree("a(b b)")) == parse_tree("a(mark)")
+        assert transducer(parse_tree("a(c c)")) == parse_tree("a")
+
+    def test_determinism_violation_detected(self):
+        transducer = simple_dtl(
+            [
+                ("q0", parse_node_expr("a"), ("x", [])),
+                ("q0", parse_node_expr("true"), ("y", [])),
+            ]
+        )
+        with pytest.raises(DeterminismError):
+            transducer(parse_tree("a"))
+
+    def test_nontermination_detected(self):
+        looping = DTLTransducer(
+            {"q0", "q"},
+            [
+                ("q0", parse_node_expr("a"), ("a", [Call("q", parse_path_expr("self"))])),
+                ("q", parse_node_expr("a"), ("a", [Call("q", parse_path_expr("self"))])),
+            ],
+            set(),
+            "q0",
+            max_steps=500,
+        )
+        with pytest.raises(NonTerminationError):
+            looping(parse_tree("a"))
+
+    def test_initial_rule_must_output_tree(self):
+        with pytest.raises(ValueError):
+            DTLTransducer(
+                {"q0"},
+                [("q0", parse_node_expr("a"), [Call("q0", DOWN)])],
+                set(),
+                "q0",
+            )
+
+    def test_copying_dtl(self):
+        duplicating = simple_dtl(
+            [("q0", parse_node_expr("a"), ("a", [Call("q", DOWN), Call("q", DOWN)]))],
+        )
+        assert duplicating(parse_tree('a("v")')) == parse_tree('a("v" "v")')
+
+
+class TestTopDownEmbedding:
+    """Every uniform top-down transducer is a DTL program (paper, §5.1)."""
+
+    def test_example42_as_dtl(self):
+        uniform = example42_transducer()
+        rules = []
+        for (state, symbol), _rhs in uniform.rules.items():
+            rhs = _convert_rhs(uniform, state, symbol)
+            rules.append((state, parse_node_expr(symbol), rhs))
+        as_dtl = DTLTransducer(
+            uniform.states, rules, uniform.text_states, uniform.initial
+        )
+        assert as_dtl(figure1_tree()) == uniform(figure1_tree())
+
+
+def _convert_rhs(uniform, state, symbol):
+    from repro.core.topdown import OutputNode, StateCall
+
+    def convert(item):
+        if isinstance(item, StateCall):
+            return Call(item.state, DOWN)
+        return (item.label, [convert(c) for c in item.children])
+
+    rhs = uniform.rhs(state, symbol)
+    converted = [convert(item) for item in rhs]
+    return converted[0] if len(converted) == 1 else converted
+
+
+class TestExample515:
+    def test_filters_recipes_without_three_positive_comments(self):
+        transducer = example515_dtl()
+        out = transducer(figure1_tree())
+        # Figure 1 recipes have at most one positive comment each.
+        assert out == parse_tree("recipes")
+
+    def test_keeps_qualifying_recipe(self):
+        transducer = example515_dtl()
+        t = parse_tree(
+            'recipes(recipe(description("d") ingredients(item("i")) '
+            'instructions("s" br) comments(negative positive('
+            'comment("c1") comment("c2") comment("c3")))))'
+        )
+        out = transducer(t)
+        assert out == parse_tree(
+            'recipes(recipe(description("d") ingredients("i") '
+            'instructions("s" br)))'
+        )
+
+    def test_mixed_recipes(self):
+        transducer = example515_dtl()
+        good = (
+            'recipe(description("good") ingredients instructions comments('
+            "negative positive(comment(\"a\") comment(\"b\") comment(\"c\"))))"
+        )
+        bad = 'recipe(description("bad") ingredients instructions comments(negative positive))'
+        t = parse_tree("recipes(%s %s)" % (bad, good))
+        out = transducer(t)
+        values = text_values(out)
+        assert "good" in values
+        assert "bad" not in values
+
+
+class TestMSOPatterns:
+    def test_mso_unary_pattern(self):
+        phi = Lab("a", "x")
+        pattern = MSOUnary(phi, "x")
+        transducer = DTLTransducer(
+            {"q0"},
+            [("q0", pattern, ("seen", []))],
+            set(),
+            "q0",
+        )
+        assert transducer(parse_tree("a(b)")) == parse_tree("seen")
+
+    def test_mso_binary_pattern(self):
+        alpha = And(Child("x", "y"), Lab("b", "y"))
+        transducer = DTLTransducer(
+            {"q0", "q"},
+            [
+                ("q0", MSOUnary(Lab("a", "x"), "x"), ("a", [Call("q", MSOBinary(alpha, "x", "y"))])),
+                ("q", MSOUnary(Lab("b", "x"), "x"), ("hit", [])),
+            ],
+            set(),
+            "q0",
+        )
+        assert transducer(parse_tree("a(b c b)")) == parse_tree("a(hit hit)")
+
+    def test_mso_compiled_matches_naive(self):
+        alpha = And(Child("x", "y"), Lab("b", "y"))
+        naive = MSOBinary(alpha, "x", "y")
+        compiled = MSOBinary(alpha, "x", "y", sigma=("a", "b", "c"))
+        t = parse_tree("a(b c b)")
+        ctx1, ctx2 = EvaluationContext(t), EvaluationContext(t)
+        for node in t.nodes():
+            assert naive.select(ctx1, node) == compiled.select(ctx2, node)
+
+    def test_pattern_arity_validated(self):
+        with pytest.raises(ValueError):
+            MSOUnary(Child("x", "y"), "x")
+        with pytest.raises(ValueError):
+            MSOBinary(Lab("a", "x"), "x", "y")

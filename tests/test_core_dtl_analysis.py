@@ -1,0 +1,204 @@
+"""Tests for the DTL decision procedures (paper, §5.2-5.4).
+
+Each verdict is cross-validated against the bounded brute-force oracle.
+These tests compile MSO sentences to automata and are the slowest in
+the suite; transducers are kept tiny on purpose.
+"""
+
+import pytest
+
+from repro.automata import TEXT, nta_from_rules, universal_nta
+from repro.core import (
+    Call,
+    DTLTransducer,
+    bounded_oracle,
+    check_determinism,
+    counter_example_dtl,
+    is_copying_dtl,
+    is_rearranging_dtl,
+    is_text_preserving_dtl,
+    is_text_preserving_on,
+    reach_formula,
+    step_formula,
+)
+from repro.mso import MSOEvaluator
+from repro.trees import parse_tree
+
+
+def ab_schema():
+    """Trees r(a("x") b("y"))."""
+    return nta_from_rules(
+        alphabet={"r", "a", "b"},
+        rules={
+            ("q0", "r"): "qa qb",
+            ("qa", "a"): "qt",
+            ("qb", "b"): "qt",
+            ("qt", TEXT): "eps",
+        },
+        initial="q0",
+    )
+
+
+def identity_dtl():
+    return DTLTransducer(
+        {"q0", "q"},
+        [
+            ("q0", "r", ("r", [Call("q", "down")])),
+            ("q", "a", ("a", [Call("q", "down")])),
+            ("q", "b", ("b", [Call("q", "down")])),
+        ],
+        {"q"},
+        "q0",
+    )
+
+
+def swap_dtl():
+    """Selects b-text before a-text: rearranging, not copying."""
+    return DTLTransducer(
+        {"q0", "q"},
+        [("q0", "r", ("r", [Call("q", "down[b]/down"), Call("q", "down[a]/down")]))],
+        {"q"},
+        "q0",
+    )
+
+
+def copy_dtl():
+    """Processes the children twice: copying."""
+    return DTLTransducer(
+        {"q0", "q"},
+        [
+            ("q0", "r", ("r", [Call("q", "down"), Call("q", "down")])),
+            ("q", "a", ("a", [Call("q", "down")])),
+            ("q", "b", ("b", [Call("q", "down")])),
+        ],
+        {"q"},
+        "q0",
+    )
+
+
+def delete_dtl():
+    """Drops all text: trivially text-preserving."""
+    return DTLTransducer(
+        {"q0"},
+        [("q0", "r", ("r", []))],
+        set(),
+        "q0",
+    )
+
+
+class TestStepAndReach:
+    def test_step_formula_semantics(self):
+        transducer = swap_dtl()
+        step = step_formula(transducer, "q0", "q", "x", "y")
+        assert step is not None
+        t = parse_tree('r(a("u") b("v"))')
+        ev = MSOEvaluator(t)
+        # From the root, q is reachable at the text nodes under a and b.
+        targets = {
+            v for v in t.nodes() if ev.holds(step, {"x": (1,), "y": v})
+        }
+        assert targets == {(1, 1, 1), (1, 2, 1)}
+
+    def test_step_none_for_unused_state_pair(self):
+        transducer = delete_dtl()
+        assert step_formula(transducer, "q0", "q0", "x", "y") is None
+
+    def test_reach_reflexive_and_transitive(self):
+        transducer = identity_dtl()
+        t = parse_tree('r(a(b("v")))')
+        ev = MSOEvaluator(t)
+        reach_self = reach_formula(transducer, "q0", "q0", "x", "y")
+        assert ev.holds(reach_self, {"x": (1,), "y": (1,)})
+        reach_deep = reach_formula(transducer, "q0", "q", "x", "y")
+        assert ev.holds(reach_deep, {"x": (1,), "y": (1, 1, 1)})  # two steps
+        assert not ev.holds(reach_deep, {"x": (1, 1), "y": (1,)})  # no way up
+
+
+class TestDecisions:
+    def test_identity_preserving(self):
+        assert is_text_preserving_dtl(identity_dtl(), ab_schema())
+        assert counter_example_dtl(identity_dtl(), ab_schema()) is None
+
+    def test_swap_rearranges(self):
+        assert is_rearranging_dtl(swap_dtl(), ab_schema())
+        assert not is_copying_dtl(swap_dtl(), ab_schema())
+        assert not is_text_preserving_dtl(swap_dtl(), ab_schema())
+
+    def test_copy_copies(self):
+        assert is_copying_dtl(copy_dtl(), ab_schema())
+        assert not is_text_preserving_dtl(copy_dtl(), ab_schema())
+
+    def test_delete_preserving(self):
+        assert is_text_preserving_dtl(delete_dtl(), ab_schema())
+
+    def test_schema_masks_bad_behaviour(self):
+        # The swap transducer is harmless on a schema without b-children.
+        only_a = nta_from_rules(
+            alphabet={"r", "a", "b"},
+            rules={("q0", "r"): "qa", ("qa", "a"): "qt", ("qt", TEXT): "eps"},
+            initial="q0",
+        )
+        assert is_text_preserving_dtl(swap_dtl(), only_a)
+
+    def test_counter_example_is_violating(self):
+        for transducer in (swap_dtl(), copy_dtl()):
+            witness = counter_example_dtl(transducer, ab_schema())
+            assert witness is not None
+            assert ab_schema().accepts(witness)
+            assert not is_text_preserving_on(lambda t: transducer.apply(t), witness)
+
+
+class TestOracleAgreement:
+    CASES = [
+        ("identity", identity_dtl),
+        ("swap", swap_dtl),
+        ("copy", copy_dtl),
+        ("delete", delete_dtl),
+    ]
+
+    @pytest.mark.parametrize("name,factory", CASES)
+    def test_agreement(self, name, factory):
+        transducer = factory()
+        schema = ab_schema()
+        oracle = bounded_oracle(lambda t: transducer.apply(t), schema, max_size=6)
+        assert oracle.trees_checked > 0
+        assert oracle.copying == is_copying_dtl(transducer, schema), name
+        assert oracle.rearranging == is_rearranging_dtl(transducer, schema), name
+        assert oracle.text_preserving == is_text_preserving_dtl(transducer, schema), name
+
+
+class TestDeterminism:
+    def test_deterministic_ok(self):
+        assert check_determinism(identity_dtl()) == []
+
+    def test_overlap_detected(self):
+        overlapping = DTLTransducer(
+            {"q0"},
+            [
+                ("q0", "a", ("x", [])),
+                ("q0", "true", ("y", [])),
+            ],
+            set(),
+            "q0",
+        )
+        conflicts = check_determinism(overlapping)
+        assert conflicts and conflicts[0][0] == "q0"
+
+    def test_schema_restricted_overlap(self):
+        # Patterns overlap only at label b, which the schema forbids.
+        transducer = DTLTransducer(
+            {"q0"},
+            [
+                ("q0", "a or b", ("x", [])),
+                ("q0", "b or r", ("y", [])),
+            ],
+            set(),
+            "q0",
+        )
+        assert check_determinism(transducer) != []
+        no_b = nta_from_rules(
+            alphabet={"a", "b", "r"},
+            rules={("q0", "a"): "eps", ("q0", "r"): "eps"},
+            initial="q0",
+        )
+        assert check_determinism(transducer, no_b) == []

@@ -1,0 +1,181 @@
+"""Tests for Section 7: maximal safe sub-schemas and protected labels."""
+
+import pytest
+
+from repro.automata import TEXT, intersect_nta, nta_from_rules, universal_nta
+from repro.automata.enumerate import enumerate_trees
+from repro.core import Call, DTLTransducer, TopDownTransducer, is_text_preserving
+from repro.core.characterization import is_text_preserving_on
+from repro.core.safety import (
+    deletes_protected_text,
+    is_text_preserving_with_protection,
+    maximal_safe_subschema,
+    path_marked_nta,
+    protected_violation_path,
+    protection_violation_nta,
+)
+from repro.paper import example23_dtd, example42_transducer, figure1_tree
+from repro.schema import dtd_to_nta
+from repro.trees import make_value_unique, parse_tree
+
+
+def swap_transducer():
+    return TopDownTransducer(
+        states={"q0", "qa", "qb", "qt"},
+        rules={
+            ("q0", "r"): "r(qb qa)",
+            ("qa", "a"): "a(qt)",
+            ("qb", "b"): "b(qt)",
+            ("qt", "text"): "text",
+        },
+        initial="q0",
+    )
+
+
+def optional_b_schema():
+    """Trees r(a("x") b("y")?) — swap is bad only when b is present."""
+    return nta_from_rules(
+        alphabet={"r", "a", "b"},
+        rules={
+            ("q0", "r"): "qa qb?",
+            ("qa", "a"): "qt",
+            ("qb", "b"): "qt",
+            ("qt", TEXT): "eps",
+        },
+        initial="q0",
+    )
+
+
+class TestMaximalSubschema:
+    def test_swap_subschema_is_the_b_free_part(self):
+        schema = optional_b_schema()
+        transducer = swap_transducer()
+        safe = maximal_safe_subschema(transducer, schema)
+        # Deciding over the safe sub-schema must now say "preserving".
+        assert is_text_preserving(transducer, safe)
+        # And the split must be exact on enumerated members.
+        count_safe = count_bad = 0
+        for t in enumerate_trees(schema, 6):
+            unique = make_value_unique(t)
+            good = is_text_preserving_on(lambda s: transducer.apply(s), unique)
+            assert safe.accepts(t) == good, t
+            count_safe += good
+            count_bad += not good
+        assert count_safe > 0 and count_bad > 0
+
+    def test_subschema_of_preserving_transducer_is_whole_schema(self):
+        schema = dtd_to_nta(example23_dtd())
+        transducer = example42_transducer()
+        safe = maximal_safe_subschema(transducer, schema)
+        for t in enumerate_trees(schema, 9, max_count=60):
+            assert safe.accepts(t), t
+        assert safe.accepts(figure1_tree())
+
+    def test_subschema_empty_when_always_bad(self):
+        schema = nta_from_rules(
+            alphabet={"r", "a", "b"},
+            rules={
+                ("q0", "r"): "qa qb",
+                ("qa", "a"): "qt",
+                ("qb", "b"): "qt",
+                ("qt", TEXT): "eps",
+            },
+            initial="q0",
+        )
+        safe = maximal_safe_subschema(swap_transducer(), schema)
+        assert safe.is_empty()
+
+
+class TestPathMarkedNta:
+    def test_accepts_iff_path_word_matches(self):
+        from repro.strings import NFA
+
+        # Words: r a text (exactly).
+        nfa = NFA(
+            {0, 1, 2, 3},
+            {"r", "a", TEXT},
+            [(0, "r", 1), (1, "a", 2), (2, TEXT, 3)],
+            0,
+            {3},
+        )
+        nta = path_marked_nta(nfa, {"r", "a", "b"})
+        assert nta.accepts(parse_tree('r(a("v"))'))
+        assert nta.accepts(parse_tree('r(b a("v"))'))  # wildcard sibling
+        assert not nta.accepts(parse_tree('r(a(b("v")))'))
+        assert not nta.accepts(parse_tree('r("v")'))
+        assert not nta.accepts(parse_tree("r(a)"))
+
+
+class TestProtection:
+    def test_example42_deletes_comment_text(self):
+        schema = dtd_to_nta(example23_dtd())
+        transducer = example42_transducer()
+        assert deletes_protected_text(transducer, schema, "comments")
+        assert deletes_protected_text(transducer, schema, "positive")
+
+    def test_example42_keeps_instructions_text(self):
+        # The §7 running-example property: text-preserving and no
+        # deletion under instructions.
+        schema = dtd_to_nta(example23_dtd())
+        transducer = example42_transducer()
+        assert not deletes_protected_text(transducer, schema, "instructions")
+        assert not deletes_protected_text(transducer, schema, "description")
+        assert is_text_preserving_with_protection(
+            transducer, schema, {"instructions", "description", "ingredients"}
+        )
+        assert not is_text_preserving_with_protection(transducer, schema, {"comments"})
+
+    def test_violation_path_witness(self):
+        schema = dtd_to_nta(example23_dtd())
+        transducer = example42_transducer()
+        path = protected_violation_path(transducer, schema, "comments")
+        assert path is not None
+        assert "comments" in path
+        assert path[-1] == TEXT
+        assert protected_violation_path(transducer, schema, "instructions") is None
+
+    def test_protection_violation_language_members(self):
+        schema = dtd_to_nta(example23_dtd())
+        transducer = example42_transducer()
+        violations = intersect_nta(
+            protection_violation_nta(transducer, schema, "comments"), schema
+        )
+        for t in enumerate_trees(violations, 12, max_count=10):
+            # Every member has comment text that the transducer drops.
+            from repro.trees import text_values
+
+            unique = make_value_unique(t)
+            out_values = set()
+            for out in transducer.apply(unique):
+                out_values |= set(text_values(out))
+            dropped = set(text_values(unique)) - out_values
+            assert dropped, t
+
+    def test_subschema_with_protection(self):
+        schema = dtd_to_nta(example23_dtd())
+        transducer = example42_transducer()
+        safe = maximal_safe_subschema(transducer, schema, protected_labels={"comments"})
+        assert not safe.is_empty()
+        witness = safe.witness()
+        # Members have no text below comments (the only way Example 4.2
+        # can keep comment text is for there to be none).
+        for t in enumerate_trees(safe, 12, max_count=30):
+            labels = {t.label_at(n) for n in t.nodes() if not t.is_text_at(n)}
+            assert "comment" not in labels, t
+        assert witness is not None and schema.accepts(witness)
+
+
+class TestProtectionDTL:
+    def test_dtl_protection(self):
+        # DTL that copies a-text but drops b-text.
+        transducer = DTLTransducer(
+            {"q0", "q"},
+            [("q0", "r", ("r", [Call("q", "down[a]/down")]))],
+            {"q"},
+            "q0",
+        )
+        schema = optional_b_schema()
+        assert deletes_protected_text(transducer, schema, "b")
+        assert not deletes_protected_text(transducer, schema, "a")
+        assert is_text_preserving_with_protection(transducer, schema, {"a"})
+        assert not is_text_preserving_with_protection(transducer, schema, {"b"})

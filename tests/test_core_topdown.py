@@ -1,0 +1,201 @@
+"""Tests for top-down uniform transducers (paper, §4.1, Example 4.2)."""
+
+import pytest
+
+from repro.core import TopDownTransducer
+from repro.paper import example23_dtd, example42_transducer, figure1_tree, figure2_output
+from repro.trees import parse_tree, serialize_tree, text, text_values, tree
+
+
+class TestFigure2:
+    def test_example42_on_figure1_gives_figure2(self):
+        transducer = example42_transducer()
+        assert transducer(figure1_tree()) == figure2_output()
+
+    def test_text_order_preserved(self):
+        transducer = example42_transducer()
+        out_values = text_values(transducer(figure1_tree()))
+        in_values = text_values(figure1_tree())
+        from repro.trees import is_subsequence
+
+        assert is_subsequence(out_values, in_values)
+
+    def test_comments_deleted(self):
+        out = example42_transducer()(figure1_tree())
+        assert "comments" not in {out.subtree(n).label for n in out.nodes()}
+        assert all("Greek coffee" not in v for v in text_values(out))
+
+    def test_item_markup_dropped_br_kept(self):
+        out = example42_transducer()(figure1_tree())
+        labels = {out.subtree(n).label for n in out.nodes() if not out.is_text_at(n)}
+        assert "item" not in labels
+        assert "br" in labels
+
+
+class TestSemantics:
+    def test_no_rule_deletes_subtree(self):
+        transducer = TopDownTransducer(
+            states={"q0"},
+            rules={("q0", "a"): "a(q0)"},
+            initial="q0",
+        )
+        # b-children have no rule: deleted entirely.
+        assert transducer(parse_tree("a(b(a) a)")) == parse_tree("a(a)")
+
+    def test_text_dropped_without_text_rule(self):
+        transducer = TopDownTransducer(
+            states={"q0"}, rules={("q0", "a"): "a(q0)"}, initial="q0"
+        )
+        assert transducer(parse_tree('a("v")')) == parse_tree("a")
+
+    def test_text_copied_with_text_rule(self):
+        transducer = TopDownTransducer(
+            states={"q0", "q"},
+            rules={("q0", "a"): "a(q)", ("q", "text"): "text"},
+            initial="q0",
+        )
+        assert transducer(parse_tree('a("v" "w")')) == parse_tree('a("v" "w")')
+
+    def test_uniform_state_processes_all_children(self):
+        # rhs b(q) c(q): both q-copies see the full child sequence.
+        transducer = TopDownTransducer(
+            states={"q0", "q"},
+            rules={
+                ("q0", "r"): "r(b(q) c(q))",
+                ("q", "x"): "x",
+            },
+            initial="q0",
+        )
+        assert transducer(parse_tree("r(x x)")) == parse_tree("r(b(x x) c(x x))")
+
+    def test_state_deletion_rule(self):
+        # (q, item) -> q erases the item node but processes its children.
+        transducer = TopDownTransducer(
+            states={"q0", "q"},
+            rules={
+                ("q0", "list"): "list(q)",
+                ("q", "item"): "q",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        assert transducer(parse_tree('list(item("a") item("b"))')) == parse_tree(
+            'list("a" "b")'
+        )
+
+    def test_apply_returns_empty_hedge_when_root_unmatched(self):
+        transducer = TopDownTransducer(
+            states={"q0"}, rules={("q0", "a"): "a"}, initial="q0"
+        )
+        assert transducer.apply(parse_tree("b")) == ()
+        with pytest.raises(ValueError):
+            transducer.transform(parse_tree("b"))
+
+    def test_copying_transducer_duplicates(self):
+        transducer = TopDownTransducer(
+            states={"q0", "q"},
+            rules={
+                ("q0", "a"): "a(q q)",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        assert transducer(parse_tree('a("v")')) == parse_tree('a("v" "v")')
+
+
+class TestConstruction:
+    def test_initial_rule_must_be_tree(self):
+        with pytest.raises(ValueError):
+            TopDownTransducer({"q0"}, {("q0", "a"): "q0"}, "q0")
+        with pytest.raises(ValueError):
+            TopDownTransducer({"q0"}, {("q0", "a"): "a a"}, "q0")
+
+    def test_text_rule_keyword(self):
+        with pytest.raises(ValueError):
+            TopDownTransducer({"q0"}, {("q0", "text"): "a"}, "q0")
+
+    def test_unknown_state_in_rule(self):
+        with pytest.raises(ValueError):
+            TopDownTransducer({"q0"}, {("qx", "a"): "a"}, "q0")
+
+    def test_unknown_state_in_rhs(self):
+        from repro.core import OutputNode, StateCall
+
+        with pytest.raises(ValueError):
+            TopDownTransducer(
+                {"q0"}, {("q0", "a"): (OutputNode("a", [StateCall("qx")]),)}, "q0"
+            )
+
+    def test_unknown_identifier_in_term_syntax_is_an_output_label(self):
+        # Identifiers that do not name states are output labels.
+        transducer = TopDownTransducer({"q0"}, {("q0", "a"): "a(qx(b))"}, "q0")
+        assert transducer(parse_tree("a")) == parse_tree("a(qx(b))")
+
+    def test_rhs_cannot_contain_text_values(self):
+        from repro.trees import TreeSyntaxError
+
+        with pytest.raises(TreeSyntaxError):
+            TopDownTransducer({"q0"}, {("q0", "a"): 'a("v")'}, "q0")
+
+    def test_size(self):
+        assert example42_transducer().size > 3
+
+
+class TestReduction:
+    def test_example42_reduced(self):
+        assert example42_transducer().is_reduced()
+
+    def test_unreachable_state_removed(self):
+        transducer = TopDownTransducer(
+            states={"q0", "qz"},
+            rules={("q0", "a"): "a", ("qz", "b"): "b"},
+            initial="q0",
+        )
+        assert not transducer.is_reduced()
+        reduced = transducer.reduce()
+        assert reduced.states == {"q0"}
+        assert reduced(parse_tree("a")) == parse_tree("a")
+
+    def test_useless_rule_removed(self):
+        transducer = TopDownTransducer(
+            states={"q0", "q"},
+            rules={("q0", "a"): "a(q)", ("q", "b"): ""},
+            initial="q0",
+        )
+        assert not transducer.is_reduced()
+        reduced = transducer.reduce()
+        assert ("q", "b") not in reduced.rules
+        assert reduced(parse_tree("a(b)")) == transducer(parse_tree("a(b)"))
+
+
+class TestPathRuns:
+    def test_example42_path_run(self):
+        transducer = example42_transducer()
+        runs = list(transducer.path_runs(("recipes", "recipe", "description")))
+        assert runs == [("q0", "q0", "qsel", "q")]
+
+    def test_no_run_through_deleted_branch(self):
+        transducer = example42_transducer()
+        assert list(transducer.path_runs(("recipes", "recipe", "comments"))) == []
+
+    def test_multiple_runs(self):
+        transducer = TopDownTransducer(
+            states={"q0", "q1", "q2"},
+            rules={
+                ("q0", "a"): "a(q1 q2)",
+                ("q1", "text"): "text",
+                ("q2", "text"): "text",
+            },
+            initial="q0",
+        )
+        runs = set(transducer.path_runs(("a",)))
+        assert runs == {("q0", "q1"), ("q0", "q2")}
+
+    def test_multiplicity(self):
+        transducer = TopDownTransducer(
+            states={"q0", "q"},
+            rules={("q0", "a"): "a(q b(q))", ("q", "text"): "text"},
+            initial="q0",
+        )
+        assert transducer.rhs_state_multiplicity("q0", "a", "q") == 2
+        assert transducer.rhs_frontier_states("q0", "a") == ("q", "q")

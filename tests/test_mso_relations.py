@@ -1,0 +1,54 @@
+"""Tests for the derived MSO relations (root, ancestry, document order)."""
+
+import pytest
+
+from repro.mso import (
+    MSOEvaluator,
+    ancestor_or_self,
+    doc_before,
+    is_root,
+    proper_ancestor,
+)
+from repro.trees import parse_tree
+
+
+T = parse_tree('r(a(x y) b("v") a)')
+ALL_NODES = list(T.nodes())
+
+
+class TestRelations:
+    def setup_method(self):
+        self.ev = MSOEvaluator(T)
+
+    def test_is_root(self):
+        for node in ALL_NODES:
+            assert self.ev.holds(is_root("x"), {"x": node}) == (node == (1,))
+
+    def test_ancestor_or_self_matches_prefixes(self):
+        from repro.trees import is_ancestor
+
+        for u in ALL_NODES:
+            for v in ALL_NODES:
+                expected = is_ancestor(u, v)
+                assert self.ev.holds(
+                    ancestor_or_self("x", "y"), {"x": u, "y": v}
+                ) == expected, (u, v)
+
+    def test_proper_ancestor_strict(self):
+        assert self.ev.holds(proper_ancestor("x", "y"), {"x": (1,), "y": (1, 1, 2)})
+        assert not self.ev.holds(proper_ancestor("x", "y"), {"x": (1, 1), "y": (1, 1)})
+
+    def test_doc_before_is_total_strict_order(self):
+        for u in ALL_NODES:
+            for v in ALL_NODES:
+                before = self.ev.holds(doc_before("x", "y"), {"x": u, "y": v})
+                expected = u < v  # tuple order IS document order
+                assert before == expected, (u, v)
+
+    def test_doc_before_compiles(self):
+        from repro.mso import compile_mso
+
+        pattern = compile_mso(doc_before("x", "y"), ("r", "a", "b", "x", "y"))
+        assert pattern.holds(T, {"x": (1, 1), "y": (1, 2)})
+        assert not pattern.holds(T, {"x": (1, 2), "y": (1, 1)})
+        assert pattern.holds(T, {"x": (1,), "y": (1, 3)})  # ancestor first

@@ -1,0 +1,111 @@
+"""Property-based tests on automata operations (hypothesis)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.automata import TEXT, intersect_nta, nta_from_rules, union_nta
+from repro.strings import NFA, determinize, minimize, parse_regex
+from repro.trees import Tree
+
+LABELS = ("a", "b")
+
+words = st.lists(st.sampled_from(LABELS), max_size=7).map(tuple)
+
+REGEXES = [
+    "a*",
+    "(a b)*",
+    "a + b a",
+    "(a + b)* a",
+    "a? b* a?",
+    "a a + b b",
+]
+
+
+def trees_over_labels():
+    return st.recursive(
+        st.one_of(
+            st.sampled_from(LABELS).map(lambda l: Tree(l)),
+            st.just(Tree("v", is_text=True)),
+        ),
+        lambda children: st.tuples(
+            st.sampled_from(LABELS), st.lists(children, max_size=3)
+        ).map(lambda pair: Tree(pair[0], pair[1])),
+        max_leaves=8,
+    ).filter(lambda t: not t.is_text)
+
+
+class TestStringAutomataProperties:
+    @pytest.mark.parametrize("source", REGEXES)
+    @given(word=words)
+    def test_minimize_preserves_language(self, source, word):
+        nfa = parse_regex(source).to_nfa()
+        dfa = determinize(nfa.without_epsilon(), alphabet=set(LABELS))
+        small = minimize(dfa)
+        assert small.accepts(word) == dfa.accepts(word)
+        assert len(small.states) <= len(dfa.reachable_states())
+
+    @pytest.mark.parametrize("source", REGEXES)
+    @given(word=words)
+    def test_complement_is_involution(self, source, word):
+        dfa = determinize(
+            parse_regex(source).to_nfa().without_epsilon(), alphabet=set(LABELS)
+        )
+        assert dfa.complement().complement().accepts(word) == dfa.accepts(word)
+        assert dfa.complement().accepts(word) != dfa.accepts(word)
+
+    @given(word=words)
+    def test_reverse_reverses(self, word):
+        nfa = parse_regex("a (a + b)* b").to_nfa()
+        assert nfa.reverse().accepts(tuple(reversed(word))) == nfa.accepts(word)
+
+
+def schema_one():
+    return nta_from_rules(
+        alphabet=set(LABELS),
+        rules={
+            ("q", "a"): "q*",
+            ("q", "b"): "qt?",
+            ("qt", TEXT): "eps",
+        },
+        initial="q",
+    )
+
+
+def schema_two():
+    return nta_from_rules(
+        alphabet=set(LABELS),
+        rules={
+            ("p", "a"): "p p + pt",
+            ("p", "b"): "p*",
+            ("pt", TEXT): "eps",
+        },
+        initial="p",
+    )
+
+
+class TestNtaBooleanProperties:
+    @given(t=trees_over_labels())
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_intersection_is_conjunction(self, t):
+        one, two = schema_one(), schema_two()
+        assert intersect_nta(one, two).accepts(t) == (one.accepts(t) and two.accepts(t))
+
+    @given(t=trees_over_labels())
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_union_is_disjunction(self, t):
+        one, two = schema_one(), schema_two()
+        assert union_nta(one, two).accepts(t) == (one.accepts(t) or two.accepts(t))
+
+    @given(t=trees_over_labels())
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_trim_preserves_language(self, t):
+        one = schema_one()
+        assert one.trim().accepts(t) == one.accepts(t)
+
+    def test_intersection_witness_in_both(self):
+        product = intersect_nta(schema_one(), schema_two())
+        witness = product.witness()
+        if witness is not None:
+            assert schema_one().accepts(witness)
+            assert schema_two().accepts(witness)

@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.automata import decode_tree, encode_tree
+from repro.trees import (
+    Tree,
+    canonical_substitution,
+    is_subsequence,
+    is_value_unique,
+    make_value_unique,
+    parse_tree,
+    serialize_tree,
+    subsequence_witness,
+    text_values,
+    tree_to_xml,
+    xml_to_tree,
+)
+from repro.trees.navigation import frontier, leaves
+
+LABELS = ("a", "b", "c", "doc")
+TEXTS = ("v", "w", "hello world", "x y", 'quo"te', "back\\slash", "&<>'")
+
+
+def trees(max_depth=4):
+    return st.recursive(
+        st.one_of(
+            st.sampled_from(LABELS).map(lambda l: Tree(l)),
+            st.sampled_from(TEXTS).map(lambda v: Tree(v, is_text=True)),
+        ),
+        lambda children: st.tuples(
+            st.sampled_from(LABELS), st.lists(children, max_size=4)
+        ).map(lambda pair: Tree(pair[0], pair[1])),
+        max_leaves=12,
+    )
+
+
+def element_trees():
+    """Trees whose root is an element (valid documents)."""
+    return trees().filter(lambda t: not t.is_text)
+
+
+def _has_adjacent_text(t):
+    if any(
+        first.is_text and second.is_text
+        for first, second in zip(t.children, t.children[1:])
+    ):
+        return True
+    return any(_has_adjacent_text(c) for c in t.children)
+
+
+words = st.lists(st.sampled_from(("p", "q", "r")), max_size=8).map(tuple)
+
+
+class TestTreeInvariants:
+    @given(element_trees())
+    def test_term_round_trip(self, t):
+        assert parse_tree(serialize_tree(t)) == t
+
+    @given(element_trees())
+    def test_nodes_sorted_and_consistent(self, t):
+        nodes = list(t.nodes())
+        assert nodes == sorted(nodes)
+        assert len(nodes) == t.size
+        for node in nodes:
+            assert t.has_node(node)
+
+    @given(element_trees())
+    def test_leaves_partition_frontier(self, t):
+        assert len(frontier(t)) == len(list(leaves(t)))
+
+    @given(element_trees())
+    def test_text_values_subset_of_frontier(self, t):
+        assert is_subsequence(text_values(t), frontier(t))
+
+    @given(element_trees())
+    def test_fcns_round_trip_preserves_shape(self, t):
+        decoded = decode_tree(encode_tree(t))
+        assert canonical_substitution(decoded) == canonical_substitution(t)
+        assert decoded.size == t.size
+
+    @given(element_trees())
+    def test_value_unique_idempotent(self, t):
+        unique = make_value_unique(t)
+        assert is_value_unique(unique)
+        assert canonical_substitution(unique) == canonical_substitution(t)
+        assert make_value_unique(unique) == unique
+
+    @given(element_trees())
+    def test_xml_round_trip(self, t):
+        # Two caveats of the XML data model: values are stripped, and
+        # *adjacent* text siblings merge into one character-data run
+        # (they are not representable in XML at all).
+        if any(v != v.strip() or not v.strip() for v in text_values(t)):
+            return
+        if _has_adjacent_text(t):
+            return
+        assert xml_to_tree(tree_to_xml(t)) == t
+
+    @given(element_trees(), st.data())
+    def test_replace_then_read_back(self, t, data):
+        nodes = list(t.nodes())
+        node = data.draw(st.sampled_from(nodes))
+        replaced = t.replace(node, Tree("fresh"))
+        assert replaced.subtree(node).label == "fresh"
+
+
+class TestSubsequenceProperties:
+    @given(words, words)
+    def test_witness_sound(self, needle, haystack):
+        witness = subsequence_witness(needle, haystack)
+        assert (witness is not None) == is_subsequence(needle, haystack)
+        if witness is not None:
+            assert list(witness) == sorted(witness)
+            assert all(haystack[i] == needle[k] for k, i in enumerate(witness))
+
+    @given(words)
+    def test_reflexive(self, w):
+        assert is_subsequence(w, w)
+
+    @given(words, words, words)
+    def test_transitive(self, a, b, c):
+        if is_subsequence(a, b) and is_subsequence(b, c):
+            assert is_subsequence(a, c)
+
+    @given(words, st.data())
+    def test_deletion_gives_subsequence(self, w, data):
+        if not w:
+            return
+        drop = data.draw(st.integers(min_value=0, max_value=len(w) - 1))
+        shorter = w[:drop] + w[drop + 1 :]
+        assert is_subsequence(shorter, w)
+
+
+class TestAutomataProperties:
+    @given(st.lists(st.sampled_from("ab"), max_size=6).map(tuple))
+    def test_regex_nfa_vs_dfa(self, word):
+        from repro.strings import determinize, parse_regex
+
+        nfa = parse_regex("(a b + b)* a?").to_nfa()
+        dfa = determinize(nfa.without_epsilon(), alphabet={"a", "b"})
+        assert nfa.accepts(word) == dfa.accepts(word)
+
+    @given(element_trees())
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_nta_bta_agree(self, t):
+        from repro.automata import TEXT, nta_from_rules, nta_to_bta
+
+        nta = nta_from_rules(
+            alphabet=set(LABELS),
+            rules={
+                ("q", "a"): "q*",
+                ("q", "b"): "q*",
+                ("q", "c"): "q q*",
+                ("q", "doc"): "qt",
+                ("qt", TEXT): "eps",
+            },
+            initial="q",
+        )
+        assert nta_to_bta(nta).accepts(encode_tree(t)) == nta.accepts(t)
+
+    @given(element_trees())
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_complement_partitions(self, t):
+        from repro.automata import complement_nta, nta_from_rules
+
+        nta = nta_from_rules(
+            alphabet=set(LABELS),
+            rules={("q", "a"): "q*", ("q", "b"): "eps"},
+            initial="q",
+        )
+        comp = complement_nta(nta)
+        # Either in the language or its complement, never both — for
+        # trees over the automaton's own alphabet without text.
+        labels_ok = all(
+            t.subtree(n).is_text or t.label_at(n) in nta.alphabet for n in t.nodes()
+        )
+        if labels_ok:
+            assert nta.accepts(t) != comp.accepts(t)
+
+
+class TestTransducerProperties:
+    @given(element_trees())
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_topdown_admissible_on_random_trees(self, t):
+        # Lemma 4.3 — spot-checked on arbitrary trees.
+        from repro.core import TopDownTransducer, is_admissible_on
+
+        transducer = TopDownTransducer(
+            states={"q0", "q"},
+            rules={
+                ("q0", "a"): "a(q)",
+                ("q0", "doc"): "doc(q q)",
+                ("q", "b"): "b(q)",
+                ("q", "c"): "q",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        assert is_admissible_on(lambda s: transducer.apply(s), t, rounds=2)
+
+    @given(element_trees())
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_theorem_33_on_random_trees(self, t):
+        from repro.core import TopDownTransducer, theorem_3_3_holds
+
+        for rhs in ("a(q)", "a(q q)", "a(b(q) q)"):
+            transducer = TopDownTransducer(
+                states={"q0", "q"},
+                rules={
+                    ("q0", "a"): rhs,
+                    ("q0", "doc"): "doc(q)",
+                    ("q", "a"): "a(q)",
+                    ("q", "b"): "q",
+                    ("q", "text"): "text",
+                },
+                initial="q0",
+            )
+            assert theorem_3_3_holds(lambda s: transducer.apply(s), t)
+
+    @given(element_trees())
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_deleting_transducer_always_preserving(self, t):
+        from repro.core import TopDownTransducer, is_text_preserving_on
+
+        transducer = TopDownTransducer(
+            states={"q0"},
+            rules={("q0", label): "%s(q0)" % label for label in LABELS},
+            initial="q0",
+        )
+        # No text rule: all text dropped — trivially a subsequence.
+        assert is_text_preserving_on(lambda s: transducer.apply(s), t)

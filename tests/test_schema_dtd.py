@@ -1,0 +1,134 @@
+"""Tests for DTDs: validation, reduction, NTA translation (paper, §2)."""
+
+import pytest
+
+from repro.automata import TEXT
+from repro.paper import example23_dtd, figure1_tree
+from repro.schema import DTD, dtd_to_nta
+from repro.trees import parse_tree, tree
+
+
+class TestValidation:
+    def test_figure1_valid_wrt_example23(self):
+        # Example 2.3: "The tree in Figure 1 is valid w.r.t. the DTD".
+        dtd = example23_dtd()
+        assert dtd.is_valid(figure1_tree())
+        assert dtd.invalidity_reason(figure1_tree()) is None
+
+    def test_root_must_be_start(self):
+        dtd = example23_dtd()
+        t = parse_tree('recipe(description("d") ingredients instructions comments)')
+        assert not dtd.is_valid(t)
+        assert "start" in dtd.invalidity_reason(t)
+
+    def test_content_model_enforced(self):
+        dtd = example23_dtd()
+        # comments requires negative then positive.
+        bad = figure1_tree().replace(
+            (1, 1, 4), parse_tree("comments(positive negative)")
+        )
+        assert not dtd.is_valid(bad)
+        reason = dtd.invalidity_reason(bad)
+        assert "comments" in reason
+
+    def test_mixed_content(self):
+        dtd = example23_dtd()
+        # instructions mixes text and br freely.
+        for children in ["", '"a"', "br", '"a" br "b" br']:
+            t = parse_tree(
+                "recipes(recipe(description(\"d\") ingredients "
+                "instructions(%s) comments(negative positive)))" % children
+            )
+            assert dtd.is_valid(t), children
+
+    def test_text_placeholder_not_a_label(self):
+        with pytest.raises(ValueError):
+            DTD(content={TEXT: "eps"}, start={TEXT})
+
+    def test_undefined_content_label_rejected(self):
+        with pytest.raises(ValueError):
+            DTD(content={"a": "b"}, start={"a"})
+
+    def test_start_needs_content(self):
+        with pytest.raises(ValueError):
+            DTD(content={"a": "eps"}, start={"a", "b"})
+
+    def test_text_root_invalid(self):
+        from repro.trees import text
+
+        assert not example23_dtd().is_valid(text("v"))
+
+
+class TestReduction:
+    def test_example23_is_reduced(self):
+        assert example23_dtd().is_reduced()
+
+    def test_unproductive_label_detected(self):
+        dtd = DTD(
+            content={"a": "b?", "b": "b"},  # b needs an infinite tree
+            start={"a"},
+        )
+        assert not dtd.is_reduced()
+        assert dtd.productive_labels() == {"a"}
+        reduced = dtd.reduce()
+        assert reduced.alphabet == {"a"}
+        assert reduced.is_valid(parse_tree("a"))
+
+    def test_unreachable_label_detected(self):
+        dtd = DTD(content={"a": "eps", "c": "eps"}, start={"a"})
+        assert not dtd.is_reduced()
+        reduced = dtd.reduce()
+        assert reduced.alphabet == {"a"}
+
+    def test_reduce_preserves_language(self):
+        dtd = DTD(
+            content={"a": "b* c?", "b": "text", "c": "dead", "dead": "dead"},
+            start={"a"},
+        )
+        reduced = dtd.reduce()
+        for source in ["a", 'a(b("x"))', 'a(b("x") b("y"))']:
+            t = parse_tree(source)
+            assert dtd.is_valid(t) == reduced.is_valid(t), source
+        # c can never appear (its content is unproductive).
+        assert not reduced.is_valid(parse_tree("a(c)"))
+        assert "c" not in reduced.alphabet
+
+
+class TestDtdToNta:
+    def test_agrees_on_samples(self):
+        dtd = example23_dtd()
+        nta = dtd_to_nta(dtd)
+        samples = [
+            figure1_tree(),
+            parse_tree("recipes"),
+            parse_tree("recipe"),
+            parse_tree("recipes(recipe)"),
+            parse_tree(
+                'recipes(recipe(description("d") ingredients instructions'
+                " comments(negative positive)))"
+            ),
+        ]
+        for t in samples:
+            assert nta.accepts(t) == dtd.is_valid(t)
+
+    def test_size_is_linear(self):
+        dtd = example23_dtd()
+        nta = dtd_to_nta(dtd)
+        assert nta.size <= 20 * dtd.size
+
+    def test_round_trip_witness(self):
+        nta = dtd_to_nta(example23_dtd())
+        witness = nta.witness()
+        assert witness is not None
+        assert example23_dtd().is_valid(witness)
+
+    def test_enumeration_members_valid(self):
+        from repro.automata.enumerate import enumerate_trees
+
+        dtd = example23_dtd()
+        nta = dtd_to_nta(dtd)
+        count = 0
+        for t in enumerate_trees(nta, 8, max_count=100):
+            assert dtd.is_valid(t)
+            count += 1
+        assert count > 0

@@ -1,0 +1,222 @@
+"""Tests for the NFA substrate."""
+
+import pytest
+
+from repro.strings import (
+    EPSILON,
+    NFA,
+    concat_nfa,
+    determinize,
+    literal_nfa,
+    product_nfa,
+    star_nfa,
+    union_nfa,
+)
+
+
+def ab_star() -> NFA:
+    """(ab)*"""
+    return NFA(
+        states={0, 1},
+        alphabet={"a", "b"},
+        transitions=[(0, "a", 1), (1, "b", 0)],
+        initial=0,
+        finals={0},
+    )
+
+
+class TestBasics:
+    def test_accepts(self):
+        nfa = ab_star()
+        assert nfa.accepts(())
+        assert nfa.accepts(("a", "b"))
+        assert nfa.accepts(("a", "b", "a", "b"))
+        assert not nfa.accepts(("a",))
+        assert not nfa.accepts(("b", "a"))
+
+    def test_size(self):
+        assert ab_star().size == 2 + 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NFA({0}, set(), [], 1, set())
+        with pytest.raises(ValueError):
+            NFA({0}, set(), [], 0, {1})
+        with pytest.raises(ValueError):
+            NFA({0}, set(), [(0, "a", 1)], 0, set())
+
+    def test_literal(self):
+        nfa = literal_nfa(("x", "y"))
+        assert nfa.accepts(("x", "y"))
+        assert not nfa.accepts(("x",))
+        assert not nfa.accepts(("x", "y", "x"))
+
+    def test_arbitrary_hashable_symbols(self):
+        # Horizontal languages of NTAs use automaton states as symbols.
+        q = ("state", 3)
+        nfa = literal_nfa((q,))
+        assert nfa.accepts((q,))
+
+
+class TestEpsilon:
+    def test_epsilon_closure(self):
+        nfa = NFA({0, 1, 2}, {"a"}, [(0, EPSILON, 1), (1, EPSILON, 2)], 0, {2})
+        assert nfa.epsilon_closure([0]) == {0, 1, 2}
+        assert nfa.accepts(())
+
+    def test_without_epsilon_preserves_language(self):
+        nfa = NFA(
+            {0, 1, 2},
+            {"a", "b"},
+            [(0, EPSILON, 1), (1, "a", 2), (0, "b", 2)],
+            0,
+            {2},
+        )
+        stripped = nfa.without_epsilon()
+        assert not stripped.has_epsilon
+        for word in [(), ("a",), ("b",), ("a", "b"), ("b", "a")]:
+            assert nfa.accepts(word) == stripped.accepts(word)
+
+
+class TestEmptinessAndWitness:
+    def test_empty(self):
+        nfa = NFA({0, 1}, {"a"}, [(0, "a", 0)], 0, {1})
+        assert nfa.is_empty()
+        assert nfa.shortest_word() is None
+
+    def test_nonempty(self):
+        assert not ab_star().is_empty()
+        assert ab_star().shortest_word() == ()
+
+    def test_shortest_nontrivial(self):
+        nfa = NFA({0, 1, 2}, {"a", "b"}, [(0, "a", 1), (1, "b", 2)], 0, {2})
+        assert nfa.shortest_word() == ("a", "b")
+
+    def test_accepts_some_over(self):
+        nfa = ab_star()
+        assert nfa.accepts_some_over({"a", "b"})
+        assert nfa.accepts_some_over(set())  # empty word
+        only_a = NFA({0, 1}, {"a", "b"}, [(0, "b", 1)], 0, {1})
+        assert not only_a.accepts_some_over({"a"})
+        assert only_a.accepts_some_over({"b"})
+
+
+class TestProductWord:
+    def test_accepts_product(self):
+        nfa = ab_star()
+        assert nfa.accepts_product([{"a", "b"}, {"b"}])
+        assert not nfa.accepts_product([{"b"}, {"b"}])
+        assert nfa.accepts_product([])
+
+    def test_run_sets(self):
+        nfa = ab_star()
+        sets = nfa.product_run_sets([{"a"}, {"b"}])
+        assert sets[0] == {0}
+        assert sets[1] == {1}
+        assert sets[2] == {0}
+
+
+class TestCombinators:
+    def test_product_is_intersection(self):
+        even_a = NFA({0, 1}, {"a"}, [(0, "a", 1), (1, "a", 0)], 0, {0})
+        at_least_one = NFA({0, 1}, {"a"}, [(0, "a", 1), (1, "a", 1)], 0, {1})
+        both = product_nfa(even_a, at_least_one)
+        assert not both.accepts(())
+        assert not both.accepts(("a",))
+        assert both.accepts(("a", "a"))
+
+    def test_union(self):
+        u = union_nfa(literal_nfa(("a",)), literal_nfa(("b",)))
+        assert u.accepts(("a",))
+        assert u.accepts(("b",))
+        assert not u.accepts(())
+        assert not u.accepts(("a", "b"))
+
+    def test_concat(self):
+        c = concat_nfa(literal_nfa(("a",)), literal_nfa(("b",)))
+        assert c.accepts(("a", "b"))
+        assert not c.accepts(("a",))
+
+    def test_star(self):
+        s = star_nfa(literal_nfa(("a", "b")))
+        assert s.accepts(())
+        assert s.accepts(("a", "b", "a", "b"))
+        assert not s.accepts(("a",))
+
+    def test_trim_keeps_language(self):
+        nfa = NFA(
+            {0, 1, 2, 3},
+            {"a"},
+            [(0, "a", 1), (0, "a", 2), (2, "a", 2)],  # 2 is a trap, 3 unreachable
+            0,
+            {1},
+        )
+        trimmed = nfa.trim()
+        assert trimmed.accepts(("a",))
+        assert not trimmed.accepts(("a", "a"))
+        assert len(trimmed.states) == 2
+
+    def test_with_initial_shares_language_structure(self):
+        nfa = ab_star()
+        from_one = nfa.with_initial(1)
+        assert from_one.accepts(("b",))
+        assert not from_one.accepts(())
+        with pytest.raises(ValueError):
+            nfa.with_initial(99)
+
+    def test_reverse(self):
+        nfa = NFA({0, 1, 2}, {"a", "b"}, [(0, "a", 1), (1, "b", 2)], 0, {2})
+        rev = nfa.reverse()
+        assert rev.accepts(("b", "a"))
+        assert not rev.accepts(("a", "b"))
+
+    def test_map_symbols(self):
+        mapped = ab_star().map_symbols({"a": "x"})
+        assert mapped.accepts(("x", "b"))
+
+
+class TestLanguageComparison:
+    def test_equivalence(self):
+        one = star_nfa(literal_nfa(("a",)))
+        other = NFA({0}, {"a"}, [(0, "a", 0)], 0, {0})
+        assert one.equivalent_to(other)
+        assert not one.equivalent_to(literal_nfa(("a",)))
+
+    def test_universality(self):
+        everything = NFA({0}, {"a", "b"}, [(0, "a", 0), (0, "b", 0)], 0, {0})
+        assert everything.is_universal_over({"a", "b"})
+        assert not ab_star().is_universal_over({"a", "b"})
+
+
+class TestDFA:
+    def test_determinize_agrees(self):
+        nfa = union_nfa(literal_nfa(("a", "a")), star_nfa(literal_nfa(("b",))))
+        dfa = determinize(nfa.without_epsilon())
+        for word in [(), ("a",), ("a", "a"), ("b", "b", "b"), ("a", "b")]:
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_complement(self):
+        dfa = determinize(ab_star())
+        comp = dfa.complement()
+        for word in [(), ("a",), ("a", "b"), ("b",)]:
+            assert comp.accepts(word) != dfa.accepts(word)
+
+    def test_minimize(self):
+        from repro.strings import minimize
+
+        nfa = union_nfa(literal_nfa(("a",)), literal_nfa(("a",)))
+        dfa = minimize(determinize(nfa.without_epsilon()))
+        # minimal DFA for {a}: start, accept, sink
+        assert len(dfa.states) == 3
+        assert dfa.accepts(("a",))
+        assert not dfa.accepts(("a", "a"))
+
+    def test_shortest_accepted(self):
+        dfa = determinize(literal_nfa(("a", "b")))
+        assert dfa.shortest_accepted() == ("a", "b")
+        assert determinize(NFA({0}, {"a"}, [], 0, set())).shortest_accepted() is None
+
+    def test_symmetric_difference_empty_iff_equivalent(self):
+        d1 = determinize(star_nfa(literal_nfa(("a",))), alphabet={"a"})
+        d2 = determinize(NFA({0}, {"a"}, [(0, "a", 0)], 0, {0}), alphabet={"a"})
+        assert d1.symmetric_difference(d2).is_empty()

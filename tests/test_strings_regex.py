@@ -1,0 +1,85 @@
+"""Tests for the regex parser and Thompson compilation (DTD content models)."""
+
+import pytest
+
+from repro.strings import (
+    Concat,
+    Epsilon,
+    RegexSyntaxError,
+    Star,
+    Symbol,
+    Union,
+    parse_regex,
+)
+
+
+class TestParsing:
+    def test_symbol(self):
+        assert parse_regex("recipe") == Symbol("recipe")
+
+    def test_epsilon_spellings(self):
+        assert parse_regex("eps") == Epsilon()
+        assert parse_regex("epsilon") == Epsilon()
+        assert parse_regex("ε") == Epsilon()
+        assert parse_regex("") == Epsilon()
+
+    def test_concat_dot_and_juxtaposition(self):
+        dotted = parse_regex("a . b")
+        juxta = parse_regex("a b")
+        middle_dot = parse_regex("a · b")
+        assert dotted == juxta == middle_dot == Concat(Symbol("a"), Symbol("b"))
+
+    def test_union_binds_weaker_than_concat(self):
+        assert parse_regex("a b + c") == Union(Concat(Symbol("a"), Symbol("b")), Symbol("c"))
+
+    def test_star_binds_tightest(self):
+        assert parse_regex("a b*") == Concat(Symbol("a"), Star(Symbol("b")))
+        assert parse_regex("(a b)*") == Star(Concat(Symbol("a"), Symbol("b")))
+
+    def test_paper_content_models(self):
+        # Example 2.3 content models parse.
+        for source in [
+            "recipe*",
+            "description . ingredients . instructions . comments",
+            "item*",
+            "(br + text)*",
+            "eps",
+            "negative . positive",
+            "comment*",
+            "text",
+        ]:
+            parse_regex(source)
+
+    def test_errors(self):
+        for bad in ["(a", "a)", "*", "+a", "a $ b"]:
+            with pytest.raises(RegexSyntaxError):
+                parse_regex(bad)
+
+    def test_symbols(self):
+        assert parse_regex("(br + text)* a?").symbols() == {"br", "text", "a"}
+
+
+class TestCompilation:
+    @pytest.mark.parametrize(
+        "source,accepted,rejected",
+        [
+            ("a*", [(), ("a",), ("a", "a", "a")], [("b",)]),
+            ("a + b", [("a",), ("b",)], [(), ("a", "b")]),
+            ("a . b", [("a", "b")], [("a",), ("b", "a")]),
+            ("a?", [(), ("a",)], [("a", "a")]),
+            ("(a + b)* c", [("c",), ("a", "b", "c")], [(), ("c", "a")]),
+            ("eps", [()], [("a",)]),
+            ("empty", [], [(), ("a",)]),
+        ],
+    )
+    def test_semantics(self, source, accepted, rejected):
+        nfa = parse_regex(source).to_nfa()
+        for word in accepted:
+            assert nfa.accepts(word), "%s should accept %r" % (source, word)
+        for word in rejected:
+            assert not nfa.accepts(word), "%s should reject %r" % (source, word)
+
+    def test_round_trip_through_str(self):
+        for source in ["a*", "a + b c", "(a + b)*", "a? b"]:
+            expression = parse_regex(source)
+            assert parse_regex(str(expression)) == expression

@@ -1,0 +1,123 @@
+"""Tests for navigation, text content, and the subsequence relation."""
+
+import pytest
+
+from repro.trees import (
+    anc_str,
+    document_order,
+    frontier,
+    is_ancestor,
+    is_subsequence,
+    lca,
+    leaves,
+    parse_tree,
+    subsequence_witness,
+    text_content,
+    text_nodes,
+    text_values,
+    tree,
+)
+
+
+RECIPE_FRAGMENT = parse_tree(
+    'recipes(recipe(description("d1") ingredients(item("i1") item("i2"))'
+    ' instructions("s1" br "s2") comments(negative(comment("c1")) positive(comment("c2")))))'
+)
+
+
+class TestAncStr:
+    def test_root(self):
+        assert anc_str(RECIPE_FRAGMENT, (1,)) == ("recipes",)
+
+    def test_paper_example(self):
+        # The ancestor path of the positive node is
+        # recipes recipe comments positive (paper, Example 2.1).
+        positive = next(
+            n for n in RECIPE_FRAGMENT.nodes() if RECIPE_FRAGMENT.label_at(n) == "positive"
+        )
+        assert anc_str(RECIPE_FRAGMENT, positive) == (
+            "recipes",
+            "recipe",
+            "comments",
+            "positive",
+        )
+
+    def test_ends_with_text_value(self):
+        d1 = next(iter(text_nodes(RECIPE_FRAGMENT)))
+        assert anc_str(RECIPE_FRAGMENT, d1) == ("recipes", "recipe", "description", "d1")
+
+
+class TestLcaAndOrder:
+    def test_lca(self):
+        assert lca((1, 1, 2), (1, 1, 3)) == (1, 1)
+        assert lca((1, 1), (1, 1, 3)) == (1, 1)
+        assert lca((1,), (1, 2)) == (1,)
+
+    def test_is_ancestor(self):
+        assert is_ancestor((1,), (1, 2, 3))
+        assert is_ancestor((1, 2), (1, 2))
+        assert not is_ancestor((1, 2), (1, 3))
+
+    def test_document_order(self):
+        assert document_order((1, 1), (1, 2)) == -1
+        assert document_order((1,), (1, 1)) == -1  # ancestors first
+        assert document_order((1, 2), (1, 2)) == 0
+        assert document_order((2,), (1, 9, 9)) == 1
+
+
+class TestTextContent:
+    def test_text_values_in_document_order(self):
+        assert text_values(RECIPE_FRAGMENT) == ("d1", "i1", "i2", "s1", "s2", "c1", "c2")
+
+    def test_text_content_concatenation(self):
+        assert text_content(RECIPE_FRAGMENT) == "d1i1i2s1s2c1c2"
+        assert text_content(RECIPE_FRAGMENT, separator=" ") == "d1 i1 i2 s1 s2 c1 c2"
+
+    def test_no_text(self):
+        assert text_values(tree("a", tree("b"))) == ()
+
+    def test_frontier_contains_text_and_labels(self):
+        t = parse_tree('a(b "x" c(d))')
+        assert frontier(t) == ("b", "x", "d")
+        # text_content is the Text-subsequence of the frontier (paper, §2)
+        assert text_values(t) == ("x",)
+
+    def test_leaves(self):
+        t = parse_tree("a(b c(d))")
+        assert list(leaves(t)) == [(1, 1), (1, 2, 1)]
+
+
+class TestSubsequence:
+    def test_basic(self):
+        assert is_subsequence((), ("a", "b"))
+        assert is_subsequence(("a",), ("a", "b"))
+        assert is_subsequence(("a", "b"), ("a", "x", "b"))
+        assert not is_subsequence(("b", "a"), ("a", "b"))
+        assert not is_subsequence(("a", "a"), ("a",))
+
+    def test_equal_sequences(self):
+        assert is_subsequence(("a", "b"), ("a", "b"))
+
+    def test_empty_haystack(self):
+        assert is_subsequence((), ())
+        assert not is_subsequence(("a",), ())
+
+    def test_witness(self):
+        assert subsequence_witness(("a", "b"), ("a", "x", "b")) == (0, 2)
+        assert subsequence_witness(("x",), ("a",)) is None
+        assert subsequence_witness((), ("a",)) == ()
+
+    def test_witness_is_increasing(self):
+        w = subsequence_witness(("a", "a", "b"), ("a", "a", "a", "b"))
+        assert w is not None
+        assert list(w) == sorted(set(w))
+
+
+class TestDuplicatesMatter:
+    def test_copying_is_not_subsequence_of_unique(self):
+        # This is the heart of Definition 3.1: a copied value breaks
+        # the subsequence relation on value-unique trees.
+        assert not is_subsequence(("v", "v"), ("v",))
+
+    def test_swap_is_not_subsequence(self):
+        assert not is_subsequence(("g2", "g1"), ("g1", "g2"))

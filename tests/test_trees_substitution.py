@@ -1,0 +1,73 @@
+"""Tests for Text-substitutions and value-uniqueness (paper, §2-§3)."""
+
+import pytest
+
+from repro.trees import (
+    apply_substitution,
+    canonical_substitution,
+    is_value_unique,
+    make_value_unique,
+    parse_tree,
+    relabel_all_text,
+    text_values,
+)
+from repro.trees.substitution import fresh_text_values, substitutions_over
+
+
+T = parse_tree('a(b("v") c("v") "w")')
+
+
+class TestApplySubstitution:
+    def test_single_node(self):
+        result = apply_substitution(T, {(1, 1, 1): "x"})
+        assert text_values(result) == ("x", "v", "w")
+
+    def test_preserves_shape_and_sigma_labels(self):
+        result = apply_substitution(T, {(1, 3): "z"})
+        assert list(result.nodes()) == list(T.nodes())
+        assert result.label_at((1, 1)) == "b"
+
+    def test_rejects_non_text_nodes(self):
+        with pytest.raises(ValueError):
+            apply_substitution(T, {(1, 1): "x"})
+
+    def test_empty_substitution_is_identity(self):
+        assert apply_substitution(T, {}) == T
+
+
+class TestValueUniqueness:
+    def test_detection(self):
+        assert not is_value_unique(T)
+        assert is_value_unique(parse_tree('a("x" "y")'))
+        assert is_value_unique(parse_tree("a(b)"))  # no text at all
+
+    def test_make_value_unique(self):
+        unique = make_value_unique(T)
+        assert is_value_unique(unique)
+        assert list(unique.nodes()) == list(T.nodes())
+
+    def test_make_value_unique_document_order(self):
+        unique = make_value_unique(T)
+        assert text_values(unique) == ("txt0", "txt1", "txt2")
+
+
+class TestBulkSubstitutions:
+    def test_relabel_all(self):
+        result = relabel_all_text(T, "g")
+        assert text_values(result) == ("g", "g", "g")
+
+    def test_canonical(self):
+        assert canonical_substitution(T) == canonical_substitution(make_value_unique(T))
+
+    def test_canonical_distinguishes_shapes(self):
+        other = parse_tree('a(b("v") "w")')
+        assert canonical_substitution(T) != canonical_substitution(other)
+
+    def test_fresh_values_distinct(self):
+        supply = fresh_text_values()
+        first_ten = [next(supply) for _ in range(10)]
+        assert len(set(first_ten)) == 10
+
+    def test_substitutions_over_enumerates_all(self):
+        results = set(substitutions_over(parse_tree('a("x" "y")'), ["0", "1"]))
+        assert len(results) == 4

@@ -1,0 +1,206 @@
+"""Unit tests for the tree data model (paper, Section 2)."""
+
+import pytest
+
+from repro.trees import (
+    Tree,
+    hedge,
+    parse_tree,
+    serialize_tree,
+    text,
+    tree,
+)
+from repro.trees.tree import hedge_nodes, hedge_size, hedge_subtree
+
+
+class TestConstruction:
+    def test_leaf(self):
+        t = tree("a")
+        assert t.label == "a"
+        assert t.children == ()
+        assert not t.is_text
+        assert t.is_leaf
+
+    def test_text_leaf(self):
+        t = text("hello world")
+        assert t.is_text
+        assert t.label == "hello world"
+        assert t.is_leaf
+
+    def test_string_child_becomes_text(self):
+        t = tree("item", "100 g of butter")
+        assert t.children[0].is_text
+        assert t.children[0].label == "100 g of butter"
+
+    def test_iterable_children_are_spliced(self):
+        kids = [tree("x"), tree("y")]
+        t = tree("a", kids, tree("z"))
+        assert [c.label for c in t.children] == ["x", "y", "z"]
+
+    def test_text_node_with_children_rejected(self):
+        with pytest.raises(ValueError):
+            Tree("oops", [tree("a")], is_text=True)
+
+    def test_non_string_label_rejected(self):
+        with pytest.raises(TypeError):
+            Tree(42)  # type: ignore[arg-type]
+
+    def test_immutability(self):
+        t = tree("a")
+        with pytest.raises(AttributeError):
+            t.label = "b"
+        with pytest.raises(AttributeError):
+            del t.label
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        assert tree("a", tree("b")) == tree("a", tree("b"))
+        assert tree("a", tree("b")) != tree("a", tree("c"))
+
+    def test_text_flag_distinguishes(self):
+        assert text("a") != tree("a")
+
+    def test_hash_consistency(self):
+        t1 = tree("a", "v", tree("b"))
+        t2 = tree("a", "v", tree("b"))
+        assert hash(t1) == hash(t2)
+        assert len({t1, t2}) == 1
+
+
+class TestStructure:
+    def test_size(self):
+        t = tree("a", tree("b", tree("c")), "txt")
+        assert t.size == 4
+
+    def test_depth(self):
+        assert tree("a").depth() == 1
+        assert tree("a", tree("b", tree("c"))).depth() == 3
+
+
+class TestNodeAddressing:
+    def setup_method(self):
+        # a(b(c d) "t")
+        self.t = tree("a", tree("b", tree("c"), tree("d")), "t")
+
+    def test_nodes_in_document_order(self):
+        assert list(self.t.nodes()) == [
+            (1,),
+            (1, 1),
+            (1, 1, 1),
+            (1, 1, 2),
+            (1, 2),
+        ]
+
+    def test_subtree_and_labels(self):
+        assert self.t.label_at((1,)) == "a"
+        assert self.t.label_at((1, 1, 2)) == "d"
+        assert self.t.is_text_at((1, 2))
+        assert not self.t.is_text_at((1, 1))
+
+    def test_missing_address(self):
+        with pytest.raises(KeyError):
+            self.t.subtree((1, 3))
+        with pytest.raises(KeyError):
+            self.t.subtree((2,))
+        assert not self.t.has_node((1, 9))
+        assert self.t.has_node((1, 1, 1))
+
+    def test_children_and_parent(self):
+        assert list(self.t.children_of((1, 1))) == [(1, 1, 1), (1, 1, 2)]
+        assert self.t.parent_of((1, 1, 2)) == (1, 1)
+        assert self.t.parent_of((1,)) is None
+
+    def test_document_order_is_tuple_order(self):
+        nodes = list(self.t.nodes())
+        assert nodes == sorted(nodes)
+
+
+class TestReplace:
+    def test_replace_subtree(self):
+        t = tree("a", tree("b"), tree("c"))
+        replaced = t.replace((1, 1), tree("x", tree("y")))
+        assert serialize_tree(replaced) == "a(x(y) c)"
+
+    def test_replace_by_hedge_splices(self):
+        t = tree("a", tree("b"), tree("c"))
+        replaced = t.replace((1, 1), (tree("x"), tree("y")))
+        assert serialize_tree(replaced) == "a(x y c)"
+
+    def test_replace_by_empty_hedge_deletes(self):
+        t = tree("a", tree("b"), tree("c"))
+        replaced = t.replace((1, 2), ())
+        assert serialize_tree(replaced) == "a(b)"
+
+    def test_replace_root(self):
+        t = tree("a", tree("b"))
+        assert t.replace((1,), tree("z")) == tree("z")
+        with pytest.raises(ValueError):
+            t.replace((1,), (tree("x"), tree("y")))
+
+    def test_relabel(self):
+        t = tree("a", "v")
+        relabeled = t.relabel((1, 1), "w")
+        assert relabeled.children[0].label == "w"
+        assert relabeled.children[0].is_text
+
+    def test_original_untouched(self):
+        t = tree("a", tree("b"))
+        t.replace((1, 1), tree("z"))
+        assert serialize_tree(t) == "a(b)"
+
+
+class TestHedges:
+    def test_hedge_nodes(self):
+        h = hedge(tree("a", tree("b")), tree("c"))
+        assert list(hedge_nodes(h)) == [(1,), (1, 1), (2,)]
+
+    def test_hedge_subtree(self):
+        h = hedge(tree("a", tree("b")), tree("c"))
+        assert hedge_subtree(h, (2,)).label == "c"
+        assert hedge_subtree(h, (1, 1)).label == "b"
+        with pytest.raises(KeyError):
+            hedge_subtree(h, (3,))
+
+    def test_hedge_size(self):
+        h = hedge(tree("a", tree("b")), tree("c"))
+        assert hedge_size(h) == 3
+
+    def test_empty_hedge(self):
+        assert hedge_size(()) == 0
+        assert list(hedge_nodes(())) == []
+
+
+class TestParserRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a",
+            "a(b c)",
+            'a("hello world")',
+            'recipes(recipe(description("x") ingredients(item("y"))))',
+            'a("quote \\" inside")',
+            'a("back\\\\slash")',
+        ],
+    )
+    def test_round_trip(self, source):
+        t = parse_tree(source)
+        assert parse_tree(serialize_tree(t)) == t
+
+    def test_commas_allowed(self):
+        assert parse_tree("a(b, c)") == parse_tree("a(b c)")
+
+    def test_errors(self):
+        from repro.trees import TreeSyntaxError
+
+        for bad in ["", "a(", 'a("unterminated)', "a)b", "a b"]:
+            with pytest.raises(TreeSyntaxError):
+                parse_tree(bad)
+
+    def test_parse_hedge(self):
+        from repro.trees import parse_hedge
+
+        h = parse_hedge("a(b) c")
+        assert len(h) == 2
+        assert h[0].label == "a"
+        assert parse_hedge("") == ()

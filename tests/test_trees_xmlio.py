@@ -1,0 +1,68 @@
+"""Unit tests for the XML subset reader/writer."""
+
+import pytest
+
+from repro.trees import XmlSyntaxError, parse_tree, tree_to_xml, xml_to_tree
+
+
+class TestSerialization:
+    def test_simple_document(self):
+        t = parse_tree('note(body("hello"))')
+        xml = tree_to_xml(t)
+        assert "<note>" in xml and "<body>hello</body>" in xml
+        assert xml.startswith('<?xml version="1.0"?>')
+
+    def test_empty_element_self_closes(self):
+        assert "<br/>" in tree_to_xml(parse_tree("a(br)"))
+
+    def test_escaping(self):
+        t = parse_tree('a("x < y & z")')
+        xml = tree_to_xml(t)
+        assert "&lt;" in xml and "&amp;" in xml
+        assert xml_to_tree(xml) == t
+
+    def test_mixed_content_inline(self):
+        t = parse_tree('p("one" br "two")')
+        xml = tree_to_xml(t)
+        assert "<p>one<br/>two</p>" in xml
+
+    def test_text_root_rejected(self):
+        from repro.trees import text
+
+        with pytest.raises(ValueError):
+            tree_to_xml(text("loose"))
+
+
+class TestParsing:
+    def test_round_trip(self):
+        source = '<?xml version="1.0"?>\n<a><b>x</b><c/></a>'
+        assert xml_to_tree(source) == parse_tree('a(b("x") c)')
+
+    def test_comments_skipped(self):
+        assert xml_to_tree("<a><!-- note --><b/></a>") == parse_tree("a(b)")
+
+    def test_whitespace_between_elements_ignored(self):
+        assert xml_to_tree("<a>\n  <b/>\n</a>") == parse_tree("a(b)")
+
+    def test_entities(self):
+        t = xml_to_tree("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;s&apos;</a>")
+        assert t.children[0].label == "<tag> & \"q\" 's'"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a>",
+            "<a></b>",
+            "<a attr='x'/>",
+            "<a>&unknown;</a>",
+            "<a/><b/>",
+            "plain text",
+            "<a><!-- unterminated </a>",
+        ],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(XmlSyntaxError):
+            xml_to_tree(bad)
+
+    def test_declaration_optional(self):
+        assert xml_to_tree("<a/>") == parse_tree("a")

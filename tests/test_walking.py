@@ -1,0 +1,216 @@
+"""Tests for tree-jumping / walking / alternating automata (§5.3-5.4)."""
+
+import pytest
+
+from repro.automata import TEXT, universal_nta
+from repro.automata.enumerate import enumerate_trees
+from repro.mso import And, Child, Eq, ExistsFO, Lab, Not, Sibling
+from repro.trees import parse_tree
+from repro.walking import (
+    ATWA,
+    FALSE,
+    TJA,
+    TRUE,
+    TWA,
+    atom,
+    bounded_witness,
+    conj,
+    disj,
+    intersect_atwa,
+    move_formula,
+    tja_to_bta,
+    tja_to_nta,
+    union_atwa,
+)
+
+
+def any_node(var="x"):
+    return Eq(var, var)
+
+
+def descendant_jump():
+    """alpha(x, y): y is a proper descendant of x (an MSO jump)."""
+    from repro.mso import proper_ancestor
+
+    return proper_ancestor("x", "y")
+
+
+def reaches_b_tja() -> TJA:
+    """Jumps from the root to any descendant labelled b, then accepts."""
+    return TJA(
+        states={"q0", "qf"},
+        transitions=[("q0", any_node(), And(descendant_jump(), Lab("b", "y")), "qf")],
+        initial="q0",
+        finals={"qf"},
+    )
+
+
+class TestTJA:
+    def test_membership(self):
+        tja = reaches_b_tja()
+        assert tja.accepts(parse_tree("a(c(b))"))
+        assert not tja.accepts(parse_tree("a(c)"))
+        assert not tja.accepts(parse_tree("b"))  # root is not a proper descendant
+
+    def test_multi_hop(self):
+        # Walk child-by-child to a leaf: q0 moves down; accept on b-leaves.
+        tja = TJA(
+            states={"q0", "qf"},
+            transitions=[
+                ("q0", any_node(), Child("x", "y"), "q0"),
+                ("q0", Lab("b", "x"), Eq("x", "y"), "qf"),
+            ],
+            initial="q0",
+            finals={"qf"},
+        )
+        assert tja.accepts(parse_tree("a(a(b))"))
+        assert not tja.accepts(parse_tree("a(a(c))"))
+        assert tja.accepts(parse_tree("b"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TJA({"q"}, [("q", Lab("a", "y"), Eq("x", "y"), "q")], "q", set())
+        with pytest.raises(ValueError):
+            TJA({"q"}, [("q", Lab("a", "x"), Eq("x", "x"), "q")], "q", set())
+
+
+class TestCorollary59:
+    """TJA^MSO define exactly the regular tree languages."""
+
+    def test_tja_to_bta_agrees(self):
+        tja = reaches_b_tja()
+        sigma = ("a", "b", "c")
+        bta = tja_to_bta(tja, sigma)
+        from repro.automata import encode_tree
+
+        for t in enumerate_trees(universal_nta(set(sigma), allow_text=False), 4):
+            assert bta.accepts(encode_tree(t)) == tja.accepts(t), t
+
+    def test_tja_to_nta_agrees(self):
+        tja = reaches_b_tja()
+        sigma = ("a", "b")
+        nta = tja_to_nta(tja, sigma)
+        for t in enumerate_trees(universal_nta(set(sigma), allow_text=False), 4):
+            assert nta.accepts(t) == tja.accepts(t), t
+
+    def test_twa_local_moves(self):
+        # Walk: first-child, then next-sibling, accept if labelled b.
+        twa = TWA(
+            states={"q0", "q1", "qf"},
+            transitions=[
+                ("q0", any_node(), "first-child", "q1"),
+                ("q1", any_node(), "next-sibling", "q1"),
+                ("q1", Lab("b", "x"), "stay", "qf"),
+            ],
+            initial="q0",
+            finals={"qf"},
+        )
+        assert twa.accepts(parse_tree("a(c b)"))
+        assert twa.accepts(parse_tree("a(b)"))
+        assert not twa.accepts(parse_tree("a(c(b))"))  # b is not a child
+
+    def test_move_formulas(self):
+        from repro.mso import MSOEvaluator
+
+        t = parse_tree("a(b c)")
+        ev = MSOEvaluator(t)
+        assert ev.holds(move_formula("first-child"), {"x": (1,), "y": (1, 1)})
+        assert not ev.holds(move_formula("first-child"), {"x": (1,), "y": (1, 2)})
+        assert ev.holds(move_formula("next-sibling"), {"x": (1, 1), "y": (1, 2)})
+        assert ev.holds(move_formula("parent"), {"x": (1, 2), "y": (1,)})
+        assert ev.holds(move_formula("stay"), {"x": (1, 2), "y": (1, 2)})
+
+
+def has_b_atwa() -> ATWA:
+    """Accepts trees containing a b-node (walks down nondeterministically)."""
+    return ATWA(
+        states={"q", "qf"},
+        transitions=[
+            ("q", Lab("b", "x"), TRUE),
+            ("q", any_node(), disj(atom("first-child", "q"), atom("next-sibling", "q"))),
+        ],
+        initial="q",
+        finals=set(),
+    )
+
+
+def _all_leaves_c() -> ATWA:
+    """All leaves labelled c - alternation: first-child AND next-sibling
+    branches must both accept."""
+    leaf = Not(ExistsFO("lc__", Child("x", "lc__")))
+    inner = ExistsFO("lc__", Child("x", "lc__"))
+    has_next = ExistsFO("ns__", Sibling("x", "ns__"))
+    no_next = Not(ExistsFO("ns__", Sibling("x", "ns__")))
+    # State q: check the subtree at x and all its following siblings.
+    return ATWA(
+        states={"q"},
+        transitions=[
+            # Leaf labelled c, no next sibling: done.
+            ("q", And(And(leaf, Lab("c", "x")), no_next), TRUE),
+            # Leaf labelled c with a next sibling: continue right.
+            ("q", And(And(leaf, Lab("c", "x")), has_next), atom("next-sibling", "q")),
+            # Inner node, no next sibling: recurse into children.
+            ("q", And(inner, no_next), atom("first-child", "q")),
+            # Inner node with a next sibling: both branches must accept.
+            (
+                "q",
+                And(inner, has_next),
+                conj(atom("first-child", "q"), atom("next-sibling", "q")),
+            ),
+        ],
+        initial="q",
+        finals=set(),
+    )
+
+
+class TestATWA:
+    def test_existential_walk(self):
+        atwa = has_b_atwa()
+        assert atwa.accepts(parse_tree("b"))
+        assert atwa.accepts(parse_tree("a(c b(c))")) is True
+        assert not atwa.accepts(parse_tree("a(c c)"))
+
+    def test_alternation_universal_property(self):
+        atwa = _all_leaves_c()
+        assert atwa.accepts(parse_tree("c"))
+        assert atwa.accepts(parse_tree("a(c c)"))
+        assert atwa.accepts(parse_tree("a(b(c) c)"))
+        assert not atwa.accepts(parse_tree("a(c b)"))
+        assert not atwa.accepts(parse_tree("a(b(a) c)"))
+
+    def test_union_linear(self):
+        u = union_atwa(has_b_atwa(), _all_leaves_c())
+        assert u.size <= has_b_atwa().size + _all_leaves_c().size + 2
+        assert u.accepts(parse_tree("a(b)"))  # from has_b
+        assert u.accepts(parse_tree("a(c)"))  # from all_leaves_c
+        assert not u.accepts(parse_tree("a(a)"))
+
+    def test_intersection_linear(self):
+        both = intersect_atwa(has_b_atwa(), _all_leaves_c())
+        assert both.size <= has_b_atwa().size + _all_leaves_c().size + 2
+        assert both.accepts(parse_tree("a(b(c) c)"))
+        assert not both.accepts(parse_tree("a(c)"))  # no b
+        assert not both.accepts(parse_tree("a(b)"))  # leaf b
+
+    def test_infinite_loop_rejected(self):
+        # stay-loop: never accepts (least fixpoint excludes infinite runs).
+        loop = ATWA(
+            states={"q"},
+            transitions=[("q", Eq("x", "x"), atom("stay", "q"))],
+            initial="q",
+            finals=set(),
+        )
+        assert not loop.accepts(parse_tree("a"))
+
+    def test_bounded_witness(self):
+        atwa = intersect_atwa(has_b_atwa(), _all_leaves_c())
+        witness = bounded_witness(atwa, {"a", "b", "c"}, 4, allow_text=False)
+        assert witness is not None
+        assert atwa.accepts(witness)
+        assert bounded_witness(ATWA({"q"}, [], "q", set()), {"a"}, 3) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ATWA({"q"}, [("q", Eq("x", "x"), atom("stay", "nope"))], "q", set())
+        with pytest.raises(ValueError):
+            atom("teleport", "q")

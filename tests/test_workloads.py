@@ -1,0 +1,100 @@
+"""Tests for the benchmark workload families."""
+
+import random
+
+import pytest
+
+from repro.core import is_text_preserving, is_text_preserving_dtl
+from repro.mso import free_variables, mso_holds
+from repro.trees import parse_tree
+from repro.workloads import (
+    chain_instance,
+    counting_filter_dtl,
+    counting_schema,
+    nested_negation_sentence,
+    random_schema,
+    random_topdown,
+    wide_instance,
+)
+
+
+class TestScalingFamilies:
+    @pytest.mark.parametrize("n", [1, 3, 6])
+    def test_chain_instance(self, n):
+        transducer, schema = chain_instance(n)
+        assert not schema.is_empty()
+        witness = schema.witness()
+        assert witness is not None
+        assert witness.depth() == n + 1
+        # The family is text-preserving by construction.
+        assert is_text_preserving(transducer, schema)
+
+    @pytest.mark.parametrize("n", [1, 3, 6])
+    def test_wide_instance(self, n):
+        transducer, schema = wide_instance(n)
+        witness = schema.witness()
+        assert witness is not None
+        assert len(witness.children) == n
+        assert is_text_preserving(transducer, schema)
+
+    def test_sizes_grow_linearly(self):
+        sizes = [chain_instance(n)[0].size for n in (2, 4, 8)]
+        assert sizes[1] - sizes[0] > 0
+        assert (sizes[2] - sizes[1]) <= 3 * (sizes[1] - sizes[0])
+
+
+class TestCountingFilter:
+    def test_semantics(self):
+        transducer = counting_filter_dtl(2)  # at least 3 paragraphs
+        few = parse_tree('doc(sec(head("h") par("p1") par("p2")))')
+        many = parse_tree('doc(sec(head("h") par("p1") par("p2") par("p3")))')
+        assert transducer(few) == parse_tree("doc")
+        out = transducer(many)
+        assert out.label == "doc" and len(out.children) == 1
+
+    def test_schema_accepts_shapes(self):
+        schema = counting_schema()
+        assert schema.accepts(parse_tree('doc(sec(head("h") par("p")))'))
+        assert not schema.accepts(parse_tree('doc(par("p"))'))
+
+    def test_family_is_preserving(self):
+        # Filtering sections preserves text order for every n.
+        assert is_text_preserving_dtl(counting_filter_dtl(0), counting_schema())
+
+
+class TestNestedNegation:
+    def test_depth_zero(self):
+        sentence = nested_negation_sentence(0)
+        assert free_variables(sentence) == {}
+        assert mso_holds(parse_tree("a"), sentence)
+        assert not mso_holds(parse_tree("b"), sentence)
+
+    def test_depth_one_semantics(self):
+        # exists x1 with no child x0 violating lab_a(x0): some node all
+        # of whose children are a-labelled.
+        sentence = nested_negation_sentence(1)
+        assert mso_holds(parse_tree("b(a a)"), sentence)
+        assert mso_holds(parse_tree("b"), sentence)  # vacuously (leaf)
+        assert mso_holds(parse_tree("b(b(c))"), sentence)  # the c-leaf works
+
+    def test_depths_are_sentences(self):
+        for depth in range(4):
+            assert free_variables(nested_negation_sentence(depth)) == {}
+
+
+class TestRandomInstances:
+    def test_reproducible(self):
+        a = random_topdown(random.Random(7))
+        b = random_topdown(random.Random(7))
+        assert a.rules.keys() == b.rules.keys()
+
+    def test_random_schema_wellformed(self):
+        for seed in range(10):
+            schema = random_schema(random.Random(seed))
+            # Trim keeps it consistent; emptiness must not crash.
+            schema.is_empty()
+
+    def test_random_topdown_runs(self):
+        rng = random.Random(3)
+        transducer = random_topdown(rng)
+        transducer.apply(parse_tree('a(b("v") a)'))

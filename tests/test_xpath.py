@@ -1,0 +1,167 @@
+"""Tests for Core XPath: parser and Table 1 semantics."""
+
+import pytest
+
+from repro.paper import figure1_tree
+from repro.trees import parse_tree
+from repro.xpath import (
+    Axis,
+    AxisStar,
+    CHILD,
+    Compose,
+    Filter,
+    HasPath,
+    LabelTest,
+    XPathEvaluator,
+    XPathSyntaxError,
+    holds,
+    parse_node_expr,
+    parse_path_expr,
+)
+
+
+T = parse_tree('r(a(x y) b("v") a)')
+# Addresses: r=(1,), a=(1,1), x=(1,1,1), y=(1,1,2), b=(1,2), "v"=(1,2,1), a=(1,3)
+
+
+class TestParser:
+    def test_axes(self):
+        assert parse_path_expr("down") == Axis(CHILD)
+        assert parse_path_expr("child") == Axis(CHILD)
+        assert parse_path_expr("down*") == AxisStar(CHILD)
+
+    def test_compose_and_filter(self):
+        expression = parse_path_expr("down[a]/down")
+        assert expression == Compose(Filter(Axis(CHILD), LabelTest("a")), Axis(CHILD))
+
+    def test_union(self):
+        assert parse_path_expr("down | up") == parse_path_expr("down union up")
+
+    def test_star_only_on_axes(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_path_expr("(down/down)*")
+
+    def test_node_expressions(self):
+        assert parse_node_expr("a") == LabelTest("a")
+        assert parse_node_expr("<down>") == HasPath(Axis(CHILD))
+        parse_node_expr("not a and true")
+        parse_node_expr("a or b")
+
+    def test_example_515_pattern_parses(self):
+        parse_node_expr(
+            "recipe and <down[comments]/down[positive]/down[comment]"
+            "/right[comment]/right[comment]>"
+        )
+
+    def test_errors(self):
+        for bad in ["down/", "[a]", "<down", "down]", "a and", "not"]:
+            with pytest.raises(XPathSyntaxError):
+                parse_node_expr(bad) if "<" in bad or "and" in bad or bad == "not" else parse_path_expr(bad)
+
+
+class TestTable1Semantics:
+    """One test per Table 1 rule."""
+
+    def setup_method(self):
+        self.ev = XPathEvaluator(T)
+
+    def test_base_axis_child(self):
+        assert self.ev.related(parse_path_expr("down"), (1,), (1, 1))
+        assert not self.ev.related(parse_path_expr("down"), (1,), (1, 1, 1))
+
+    def test_base_axis_parent(self):
+        assert self.ev.related(parse_path_expr("up"), (1, 1), (1,))
+
+    def test_base_axis_siblings(self):
+        right = parse_path_expr("right")
+        assert self.ev.related(right, (1, 1), (1, 2))
+        assert not self.ev.related(right, (1, 1), (1, 3))  # immediate only
+        left = parse_path_expr("left")
+        assert self.ev.related(left, (1, 2), (1, 1))
+
+    def test_closure_reflexive_transitive(self):
+        down_star = parse_path_expr("down*")
+        assert self.ev.related(down_star, (1,), (1,))  # reflexive
+        assert self.ev.related(down_star, (1,), (1, 1, 2))  # transitive
+        assert not self.ev.related(down_star, (1, 1), (1, 2))
+
+    def test_self(self):
+        assert self.ev.related(parse_path_expr("self"), (1, 2), (1, 2))
+        assert not self.ev.related(parse_path_expr("self"), (1, 2), (1, 1))
+
+    def test_compose(self):
+        down_down = parse_path_expr("down/down")
+        assert self.ev.related(down_down, (1,), (1, 1, 1))
+        assert not self.ev.related(down_down, (1,), (1, 1))
+
+    def test_union(self):
+        either = parse_path_expr("down | right")
+        assert self.ev.related(either, (1, 1), (1, 1, 1))
+        assert self.ev.related(either, (1, 1), (1, 2))
+
+    def test_filter(self):
+        down_a = parse_path_expr("down[a]")
+        assert self.ev.related(down_a, (1,), (1, 1))
+        assert self.ev.related(down_a, (1,), (1, 3))
+        assert not self.ev.related(down_a, (1,), (1, 2))
+
+    def test_label_test(self):
+        assert self.ev.holds(parse_node_expr("a"), (1, 1))
+        assert not self.ev.holds(parse_node_expr("a"), (1, 2))
+
+    def test_label_test_never_matches_text(self):
+        # Even a text node whose value equals a label name.
+        t = parse_tree('r("a")')
+        assert not holds(t, parse_node_expr("a"), (1, 1))
+
+    def test_haspath(self):
+        has_child = parse_node_expr("<down>")
+        assert self.ev.holds(has_child, (1, 1))
+        assert not self.ev.holds(has_child, (1, 1, 1))
+
+    def test_true(self):
+        assert self.ev.holds(parse_node_expr("true"), (1, 2, 1))
+
+    def test_not(self):
+        assert self.ev.holds(parse_node_expr("not a"), (1, 2))
+        assert not self.ev.holds(parse_node_expr("not a"), (1, 1))
+
+    def test_and_or(self):
+        assert self.ev.holds(parse_node_expr("a and <down>"), (1, 1))
+        assert not self.ev.holds(parse_node_expr("a and <down>"), (1, 3))
+        assert self.ev.holds(parse_node_expr("a or b"), (1, 2))
+
+    def test_select_in_document_order(self):
+        targets = self.ev.select(parse_path_expr("down"), (1,))
+        assert targets == ((1, 1), (1, 2), (1, 3))
+
+
+class TestExample515Pattern:
+    def test_three_positive_comments_filter(self):
+        pattern = parse_node_expr(
+            "recipe and <down[comments]/down[positive]/down[comment]"
+            "/right[comment]/right[comment]>"
+        )
+        few = figure1_tree()  # recipes have at most one positive comment
+        ev = XPathEvaluator(few)
+        recipe_nodes = [n for n in few.nodes() if not few.is_text_at(n) and few.label_at(n) == "recipe"]
+        assert all(not ev.holds(pattern, n) for n in recipe_nodes)
+
+        many = parse_tree(
+            'recipes(recipe(description("d") ingredients instructions comments('
+            'negative positive(comment("c1") comment("c2") comment("c3")))))'
+        )
+        ev2 = XPathEvaluator(many)
+        recipe = (1, 1)
+        assert ev2.holds(pattern, recipe)
+
+    def test_exactly_two_comments_fail(self):
+        pattern = parse_node_expr(
+            "recipe and <down[comments]/down[positive]/down[comment]"
+            "/right[comment]/right[comment]>"
+        )
+        two = parse_tree(
+            'recipes(recipe(description("d") ingredients instructions comments('
+            'negative positive(comment("c1") comment("c2")))))'
+        )
+        assert not holds(two, pattern, (1, 1))
