@@ -13,7 +13,6 @@ EXPTIME-for-real: the full eleven-label recipes DTD exhausts memory —
 see EXPERIMENTS.md "practical envelope".)
 """
 
-import pytest
 
 from conftest import report, wall_time
 

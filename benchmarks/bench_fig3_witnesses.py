@@ -9,11 +9,10 @@ against the semantic oracle — the Lemma 4.5/4.6 equivalences made
 executable.
 """
 
-import pytest
 
 from conftest import report
 
-from repro.automata import TEXT, nta_from_rules, universal_nta
+from repro.automata import TEXT, nta_from_rules
 from repro.core import (
     TopDownTransducer,
     bounded_oracle,

@@ -10,7 +10,6 @@ construction (the exponential summary space) next to the flat PTIME
 decision.
 """
 
-import pytest
 
 from conftest import report, wall_time
 

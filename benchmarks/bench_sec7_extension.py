@@ -9,7 +9,6 @@ paths, and measures that adding protection leaves the decision in the
 same cost regime as E5.
 """
 
-import pytest
 
 from conftest import report, wall_time
 

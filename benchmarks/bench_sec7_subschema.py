@@ -11,7 +11,6 @@ encoding (the implemented route) measured against re-checking the safe
 language membership tree-by-tree (the non-constructive alternative).
 """
 
-import pytest
 
 from conftest import report, wall_time
 

@@ -15,7 +15,6 @@ rearranging / both) contingency counts.
 
 import random
 
-import pytest
 
 from conftest import report
 

@@ -13,7 +13,6 @@ Two series:
    substitution note 2).
 """
 
-import pytest
 
 from conftest import report, wall_time
 

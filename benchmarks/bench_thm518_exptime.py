@@ -11,7 +11,6 @@ flat — the tractability frontier of the paper's §1 table (PTIME for
 top-down vs EXPTIME for DTL^XPath).
 """
 
-import pytest
 
 from conftest import report, wall_time
 

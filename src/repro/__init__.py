@@ -25,6 +25,7 @@ See README.md for the architecture and DESIGN.md for the paper map.
 from .analysis import (
     counter_example,
     deletes_protected_text,
+    diagnose,
     is_copying,
     is_rearranging,
     is_text_preserving,
@@ -46,6 +47,7 @@ from .core.dtl_mso import MSOBinary, MSOUnary
 from .core.dtl_xpath import XPathBinary, XPathUnary, xpath_call
 from .core.oracle import bounded_oracle
 from .core.topdown import TopDownTransducer
+from .lint import Diagnostic, SourceInfo, SourceLocation
 from .schema import DTD, dtd_to_nta
 from .trees import (
     Tree,
@@ -113,5 +115,10 @@ __all__ = [
     "deletes_protected_text",
     "is_text_preserving_with_protection",
     "bounded_oracle",
+    # diagnostics (repro.lint)
+    "diagnose",
+    "Diagnostic",
+    "SourceInfo",
+    "SourceLocation",
     "__version__",
 ]

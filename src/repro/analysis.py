@@ -10,7 +10,7 @@ Section 4 pipeline) or a :class:`~repro.core.dtl.DTLTransducer`
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Iterable, List, Optional, Union
 
 from .automata.nta import NTA
 from .core.dtl import DTLTransducer
@@ -40,6 +40,8 @@ from .core.topdown_analysis import (
 from .core.topdown_analysis import (
     is_text_preserving as _is_text_preserving_topdown,
 )
+from .lint.diagnostics import Diagnostic, SourceInfo
+from .lint.engine import run_lint
 from .schema.dtd import DTD, dtd_to_nta
 from .trees.tree import Tree
 
@@ -51,6 +53,7 @@ __all__ = [
     "maximal_safe_subschema",
     "deletes_protected_text",
     "is_text_preserving_with_protection",
+    "diagnose",
 ]
 
 Transducer = Union[TopDownTransducer, DTLTransducer]
@@ -128,3 +131,38 @@ def is_text_preserving_with_protection(
     """Section 7 extension: text-preserving and deletion-free below all
     protected labels."""
     return _preserving_with_protection(transducer, _as_nta(schema), protected_labels)
+
+
+def diagnose(
+    transducer: Transducer,
+    schema: Schema,
+    protected_labels: Iterable[str] = (),
+    *,
+    sources: Optional[SourceInfo] = None,
+    codes: Optional[Iterable[str]] = None,
+    compute_subschema: bool = True,
+) -> List[Diagnostic]:
+    """Static analysis with explainable verdicts (the :mod:`repro.lint`
+    engine): coded findings instead of bare booleans.
+
+    Structural problems are TP1xx, schema problems TP2xx,
+    text-preservation violations TP3xx (localized to the offending rule,
+    with the smallest counter-example attached), and §7 safety findings
+    TP4xx.  ``schema`` accepts a DTD or an NTA; ``transducer`` must be a
+    :class:`~repro.core.topdown.TopDownTransducer` (DTL programs have no
+    rule-level localization — use the boolean deciders instead).
+    """
+    if isinstance(transducer, DTLTransducer):
+        raise TypeError(
+            "diagnose localizes blame via Section 4 path runs and supports "
+            "TopDownTransducer only; use is_text_preserving/counter_example "
+            "for DTL transducers"
+        )
+    return run_lint(
+        transducer,
+        schema,
+        protected_labels,
+        sources=sources,
+        codes=codes,
+        compute_subschema=compute_subschema,
+    )

@@ -14,7 +14,7 @@ closed under Text-substitutions, so this stays inside the language).
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 from ..strings.nfa import NFA
 from ..trees.tree import Tree

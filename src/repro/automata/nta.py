@@ -27,7 +27,6 @@ from typing import (
     FrozenSet,
     Hashable,
     Iterable,
-    Iterator,
     List,
     Optional,
     Sequence,
@@ -35,7 +34,7 @@ from typing import (
     Tuple,
 )
 
-from ..strings.nfa import EPSILON, NFA, literal_nfa, product_nfa, union_nfa
+from ..strings.nfa import EPSILON, NFA, union_nfa
 from ..trees.tree import Tree
 
 __all__ = ["NTA", "TEXT", "Run", "intersect_nta", "union_nta"]
@@ -267,6 +266,38 @@ class NTA:
                         seen.add(target)
                         stack.append(target)
         return frozenset(seen)
+
+    def productive_states(self) -> FrozenSet[State]:
+        """Synonym of :meth:`inhabited_states` under the schema-lint
+        vocabulary: states that can complete a subtree."""
+        return self.inhabited_states()
+
+    def unproductive_states(self) -> FrozenSet[State]:
+        """States no tree fragment can satisfy (dead weight; reported
+        by the ``TP201`` lint diagnostic)."""
+        return self.states - self.inhabited_states()
+
+    def unreachable_states(self) -> FrozenSet[State]:
+        """States never assigned in any accepting run (reported by the
+        ``TP202`` lint diagnostic)."""
+        return self.states - self.reachable_states()
+
+    def generated_labels(self) -> FrozenSet[str]:
+        """The labels of ``Sigma`` occurring in some tree of ``L(N)``.
+
+        A label is generated iff some reachable-and-inhabited state
+        pairs with it in ``delta`` via a horizontal word over inhabited
+        states (so the node sits inside a completable accepted tree).
+        """
+        inhabited = self.inhabited_states()
+        useful = self.reachable_states() & inhabited
+        generated: Set[str] = set()
+        for (state, symbol), horizontal in self.delta.items():
+            if symbol == TEXT or state not in useful or symbol in generated:
+                continue
+            if horizontal.accepts_empty_word() or horizontal.accepts_some_over(inhabited):
+                generated.add(symbol)
+        return frozenset(generated)
 
     def trim(self) -> "NTA":
         """Restrict to states both reachable and inhabited.

@@ -24,41 +24,87 @@ Commands::
     python -m repro validate  SCHEMA DOCUMENT.xml
     python -m repro transform TRANSDUCER DOCUMENT.xml
     python -m repro check     TRANSDUCER SCHEMA [--protect LABEL ...]
+    python -m repro lint      TRANSDUCER SCHEMA [--protect LABEL ...]
+                              [--format text|json] [--fail-on warning|error]
     python -m repro subschema TRANSDUCER SCHEMA [--protect LABEL ...]
 
 ``check`` prints the verdict (copying / rearranging / protected-label
-deletions) and, when unsafe, the smallest counter-example document as
-XML; its exit status is 0 iff the transformation is safe.
+deletions), cites the responsible lint diagnostic for every unsafe
+verdict, and, when unsafe, prints the smallest counter-example document
+as XML.  ``lint`` runs the full :mod:`repro.lint` diagnostics engine
+and renders coded findings (TP1xx structural, TP2xx schema, TP3xx
+preservation, TP4xx §7 safety) as text or JSON.
+
+Only the actual products (XML, JSON, reports) go to stdout; error
+messages and advisory chatter go to stderr, so stdout stays pipeable.
+
+Exit status, for CI use:
+
+====  ==========================================================
+0     success (``check``: safe; ``lint``: nothing at/above the
+      ``--fail-on`` threshold; ``validate``: document valid)
+1     analysis verdict failed (``check``: unsafe; ``lint``:
+      findings at/above threshold; ``validate``: invalid document;
+      ``subschema``: empty safe sub-schema)
+2     bad input (malformed/missing files, ``CliError``)
+====  ==========================================================
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from .analysis import (
     counter_example,
     deletes_protected_text,
+    diagnose,
     is_copying,
     is_rearranging,
     maximal_safe_subschema,
 )
 from .core.topdown import TopDownTransducer
+from .lint import SourceInfo, render_json, render_text, severity_order
 from .schema.dtd import DTD
 from .trees.parser import serialize_tree
 from .trees.xmlio import tree_to_xml, xml_to_tree
 
-__all__ = ["main", "load_schema", "load_transducer", "CliError"]
+__all__ = [
+    "main",
+    "load_schema",
+    "load_schema_ex",
+    "load_transducer",
+    "load_transducer_ex",
+    "LoadedSchema",
+    "LoadedTransducer",
+    "CliError",
+]
 
 
 class CliError(ValueError):
     """Raised for malformed input files; printed without a traceback."""
 
 
-def load_schema(path: str) -> DTD:
-    """Parse the line-oriented schema format into a DTD."""
+class LoadedSchema(NamedTuple):
+    """A parsed schema plus the source lines its labels came from."""
+
+    dtd: DTD
+    label_lines: Dict[str, int]
+
+
+class LoadedTransducer(NamedTuple):
+    """A parsed transducer plus the source lines of its rules/states."""
+
+    transducer: TopDownTransducer
+    rule_lines: Dict[Tuple[str, str], int]
+    state_lines: Dict[str, int]
+
+
+def load_schema_ex(path: str) -> LoadedSchema:
+    """Parse the line-oriented schema format, keeping source lines."""
     content: Dict[str, str] = {}
+    label_lines: Dict[str, int] = {}
     start: Set[str] = set()
     with open(path, encoding="utf-8") as handle:
         for number, raw in enumerate(handle, start=1):
@@ -79,20 +125,33 @@ def load_schema(path: str) -> DTD:
             if label in content:
                 raise CliError("%s:%d: duplicate content model for %r" % (path, number, label))
             content[label] = model
+            label_lines[label] = number
     if not start:
         raise CliError("%s: missing 'start' line" % path)
     try:
-        return DTD(content=content, start=start)
+        return LoadedSchema(DTD(content=content, start=start), label_lines)
     except ValueError as error:
         raise CliError("%s: %s" % (path, error)) from None
 
 
-def load_transducer(path: str) -> TopDownTransducer:
-    """Parse the transducer format into a top-down transducer."""
+def load_schema(path: str) -> DTD:
+    """Parse the line-oriented schema format into a DTD."""
+    return load_schema_ex(path).dtd
+
+
+def load_transducer_ex(path: str) -> LoadedTransducer:
+    """Parse the transducer format, keeping source lines."""
     initial: Optional[str] = None
     rules: Dict[Tuple[str, str], str] = {}
+    rule_lines: Dict[Tuple[str, str], int] = {}
     states: Set[str] = set()
+    state_lines: Dict[str, int] = {}
     pending: List[Tuple[int, str, str, str]] = []
+
+    def register_state(state: str, number: int) -> None:
+        states.add(state)
+        state_lines.setdefault(state, number)
+
     with open(path, encoding="utf-8") as handle:
         for number, raw in enumerate(handle, start=1):
             line = raw.split("#", 1)[0].strip()
@@ -105,11 +164,17 @@ def load_transducer(path: str) -> TopDownTransducer:
                 if initial is not None:
                     raise CliError("%s:%d: duplicate 'initial'" % (path, number))
                 initial = rest.strip()
-                states.add(initial)
+                if not initial:
+                    raise CliError("%s:%d: 'initial' needs a state name" % (path, number))
+                register_state(initial, number)
             elif keyword == "text":
-                for state in rest.split():
-                    states.add(state)
+                text_states = rest.split()
+                if not text_states:
+                    raise CliError("%s:%d: 'text' needs at least one state" % (path, number))
+                for state in text_states:
+                    register_state(state, number)
                     rules[(state, "text")] = "text"
+                    rule_lines[(state, "text")] = number
             elif keyword == "rule":
                 if "->" not in rest:
                     raise CliError("%s:%d: expected 'rule STATE LABEL -> rhs'" % (path, number))
@@ -118,7 +183,7 @@ def load_transducer(path: str) -> TopDownTransducer:
                 if len(head_parts) != 2:
                     raise CliError("%s:%d: expected 'rule STATE LABEL -> rhs'" % (path, number))
                 state, label = head_parts
-                states.add(state)
+                register_state(state, number)
                 pending.append((number, state, label, rhs))
             else:
                 raise CliError("%s:%d: unknown keyword %r" % (path, number, keyword))
@@ -128,10 +193,30 @@ def load_transducer(path: str) -> TopDownTransducer:
         if (state, label) in rules:
             raise CliError("%s:%d: duplicate rule for (%s, %s)" % (path, number, state, label))
         rules[(state, label)] = rhs
+        rule_lines[(state, label)] = number
     try:
-        return TopDownTransducer(states=states, rules=rules, initial=initial)
+        transducer = TopDownTransducer(states=states, rules=rules, initial=initial)
     except ValueError as error:
         raise CliError("%s: %s" % (path, error)) from None
+    return LoadedTransducer(transducer, rule_lines, state_lines)
+
+
+def load_transducer(path: str) -> TopDownTransducer:
+    """Parse the transducer format into a top-down transducer."""
+    return load_transducer_ex(path).transducer
+
+
+def _source_info(
+    transducer_path: str, loaded_transducer: LoadedTransducer,
+    schema_path: str, loaded_schema: LoadedSchema,
+) -> SourceInfo:
+    return SourceInfo(
+        transducer_path=transducer_path,
+        schema_path=schema_path,
+        rule_lines=loaded_transducer.rule_lines,
+        state_lines=loaded_transducer.state_lines,
+        label_lines=loaded_schema.label_lines,
+    )
 
 
 def _load_document(path: str):
@@ -157,15 +242,20 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     if len(result) == 1:
         sys.stdout.write(tree_to_xml(result[0]))
     else:
-        print("<!-- transduction produced a hedge of %d trees -->" % len(result))
+        # Advisory chatter goes to stderr; stdout stays pipeable XML.
+        print(
+            "<!-- transduction produced a hedge of %d trees -->" % len(result),
+            file=sys.stderr,
+        )
         for t in result:
             sys.stdout.write(tree_to_xml(t))
     return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    transducer = load_transducer(args.transducer)
-    dtd = load_schema(args.schema)
+    loaded_transducer = load_transducer_ex(args.transducer)
+    loaded_schema = load_schema_ex(args.schema)
+    transducer, dtd = loaded_transducer.transducer, loaded_schema.dtd
     copying = is_copying(transducer, dtd)
     rearranging = is_rearranging(transducer, dtd)
     print("copying over the schema:     %s" % ("YES" if copying else "no"))
@@ -184,7 +274,44 @@ def _cmd_check(args: argparse.Namespace) -> int:
             % (label, "DELETED on some document" if deletes else "always kept")
         )
         safe = safe and not deletes
+    if not safe:
+        # Cite the responsible diagnostics for every unsafe verdict.
+        diagnostics = diagnose(
+            transducer,
+            dtd,
+            args.protect or (),
+            sources=_source_info(
+                args.transducer, loaded_transducer, args.schema, loaded_schema
+            ),
+            codes=("TP301", "TP302", "TP401"),
+            compute_subschema=False,
+        )
+        if diagnostics:
+            print("diagnostics (see 'python -m repro lint' for the full report):")
+            for diagnostic in diagnostics:
+                where = " [%s]" % diagnostic.location if diagnostic.location else ""
+                print("  %s%s: %s" % (diagnostic.code, where, diagnostic.message))
     return 0 if safe else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    loaded_transducer = load_transducer_ex(args.transducer)
+    loaded_schema = load_schema_ex(args.schema)
+    diagnostics = diagnose(
+        loaded_transducer.transducer,
+        loaded_schema.dtd,
+        args.protect or (),
+        sources=_source_info(
+            args.transducer, loaded_transducer, args.schema, loaded_schema
+        ),
+    )
+    if args.format == "json":
+        sys.stdout.write(render_json(diagnostics) + "\n")
+    else:
+        sys.stdout.write(render_text(diagnostics))
+    threshold = severity_order(args.fail_on)
+    failed = any(severity_order(d.severity) >= threshold for d in diagnostics)
+    return 1 if failed else 0
 
 
 def _cmd_subschema(args: argparse.Namespace) -> int:
@@ -240,6 +367,23 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("schema")
     check.add_argument("--protect", action="append", metavar="LABEL")
     check.set_defaults(func=_cmd_check)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis with coded, explainable diagnostics"
+    )
+    lint.add_argument("transducer")
+    lint.add_argument("schema")
+    lint.add_argument("--protect", action="append", metavar="LABEL")
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--fail-on", choices=("warning", "error"), default="error",
+        help="exit non-zero when findings at/above this severity exist "
+        "(default: error)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     subschema = sub.add_parser("subschema", help="compute the maximal safe sub-schema")
     subschema.add_argument("transducer")

@@ -20,8 +20,7 @@ Definitions implemented:
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..trees.navigation import is_subsequence, text_nodes, text_values
 from ..trees.substitution import (

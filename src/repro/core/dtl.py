@@ -23,7 +23,7 @@ the pattern languages where satisfiability is decidable (see
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..trees.tree import Hedge, Node, Tree
 

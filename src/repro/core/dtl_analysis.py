@@ -27,25 +27,13 @@ schema automaton; witnesses come out of the product's emptiness check.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..automata.bta import BTA, intersect_bta
 from ..automata.fcns import decode_tree, nta_to_bta
 from ..automata.nta import NTA, TEXT
-from ..mso.ast import (
-    And,
-    Child,
-    Eq,
-    ExistsFO,
-    ExistsSO,
-    Formula,
-    In,
-    Lab,
-    Not,
-    Or,
-    Sibling,
-)
-from ..mso.compile import compile_mso, encode_marked
+from ..mso.ast import And, Eq, ExistsFO, ExistsSO, Formula, In, Lab, Not, Or
+from ..mso.compile import compile_mso
 from ..mso.relations import doc_before as _doc_before
 from ..mso.relations import is_root as _root
 from ..trees.substitution import make_value_unique
@@ -143,8 +131,6 @@ def reach_formula(transducer: DTLTransducer, q: str, q_target: str, x: str, y: s
     for state in states:
         quantified = ExistsSO(set_var[state], quantified)
     return Not(quantified)
-
-
 
 
 def _reach_text(transducer: DTLTransducer, q: str, x: str, z: str) -> Optional[Formula]:

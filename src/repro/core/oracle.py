@@ -12,7 +12,7 @@ in this repository is backed by an oracle comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Optional
 
 from ..automata.enumerate import enumerate_trees
 from ..automata.nta import NTA

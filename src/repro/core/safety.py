@@ -19,10 +19,11 @@ protection folds into the same maximal-sub-schema construction.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..automata.bta import BTA, intersect_bta, union_bta
-from ..automata.fcns import bta_to_nta, decode_tree, nta_to_bta, valid_encoding_bta
+from ..automata.fcns import bta_to_nta, nta_to_bta, valid_encoding_bta
 from ..automata.nta import NTA, TEXT
 from ..mso.ast import And, ExistsFO, Formula, Lab, Not, Or
 from ..mso.compile import compile_mso
@@ -45,6 +46,9 @@ __all__ = [
     "protection_violation_nta",
     "deletes_protected_text",
     "protected_violation_path",
+    "protected_violation_witness",
+    "ProtectionReport",
+    "protection_report",
     "is_text_preserving_with_protection",
     "path_marked_nta",
 ]
@@ -228,6 +232,83 @@ def protected_violation_path(
     if word is None:
         return None
     return tuple(str(symbol) for symbol in word)
+
+
+def protected_violation_witness(
+    transducer: Transducer, nta: NTA, label: str
+) -> Optional[Tree]:
+    """A smallest value-unique schema tree on which the transducer
+    deletes a text value below a ``label``-node, or ``None``."""
+    from ..automata.nta import intersect_nta
+
+    witness = intersect_nta(protection_violation_nta(transducer, nta, label), nta).witness()
+    if witness is None:
+        return None
+    return make_value_unique(witness)
+
+
+@dataclass(frozen=True)
+class ProtectionReport:
+    """Why the transducer deletes protected text (§7), localized.
+
+    Attributes
+    ----------
+    label:
+        The protected label.
+    path:
+        A shortest deleted text path passing below a ``label``-node
+        (ancestor labels ending ``text``) that the schema realizes.
+    sites:
+        The ``(state, label)`` pairs where the last surviving path runs
+        die: either no rule (or a deleting rule) applies there, or —
+        when the second component is ``"text"`` — the state lacks a
+        value-copying text rule.
+    witness:
+        A smallest value-unique schema tree exhibiting the deletion,
+        or ``None``.
+    """
+
+    label: str
+    path: Tuple[str, ...]
+    sites: Tuple[Tuple[str, str], ...]
+    witness: Optional[Tree]
+
+
+def protection_report(
+    transducer: TopDownTransducer, nta: NTA, label: str
+) -> Optional[ProtectionReport]:
+    """Localize a protected-text deletion for a top-down transducer, or
+    ``None`` when text below ``label`` is always kept."""
+    if not isinstance(transducer, TopDownTransducer):
+        raise TypeError(
+            "protection_report localizes via path runs and only supports "
+            "TopDownTransducer; use deletes_protected_text for DTL"
+        )
+    path = protected_violation_path(transducer, nta, label)
+    if path is None:
+        return None
+    labels = path[:-1]
+    # Walk the path with the set of states reachable by path-run
+    # prefixes; the deletion site is where the last survivors die.
+    survivors: Set[str] = {transducer.initial}
+    sites: Tuple[Tuple[str, str], ...] = ()
+    for symbol in labels:
+        step: Set[str] = set()
+        for state in survivors:
+            step.update(transducer.rhs_frontier_states(state, symbol))
+        if not step:
+            sites = tuple(sorted((state, symbol) for state in survivors))
+            break
+        survivors = step
+    else:
+        # Every prefix survives, so the text rule itself is missing.
+        sites = tuple(sorted((state, TEXT) for state in survivors))
+    return ProtectionReport(
+        label=label,
+        path=path,
+        sites=sites,
+        witness=protected_violation_witness(transducer, nta, label),
+    )
 
 
 def is_text_preserving_with_protection(

@@ -24,11 +24,11 @@ Everything here is polynomial in ``|T| + |N|``.
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..automata.nta import NTA, TEXT, intersect_nta, union_nta
-from ..strings.nfa import EPSILON, NFA
+from ..strings.nfa import NFA
 from ..trees.substitution import make_value_unique
 from ..trees.tree import Tree
 from .topdown import TopDownTransducer
@@ -45,6 +45,12 @@ __all__ = [
     "is_text_preserving",
     "copying_witness_path",
     "counter_example",
+    "CopyingReport",
+    "copying_report",
+    "copying_counter_example",
+    "RearrangingFinding",
+    "rearranging_findings",
+    "rearranging_counter_example",
 ]
 
 State = Hashable
@@ -266,7 +272,9 @@ def copying_nta(
 
 
 def rearranging_nta(
-    transducer: TopDownTransducer, alphabet: Optional[Iterable[str]] = None
+    transducer: TopDownTransducer,
+    alphabet: Optional[Iterable[str]] = None,
+    violation_filter: Optional[Callable[[str, str, str, str], bool]] = None,
 ) -> NTA:
     """Lemma 4.10's automaton ``M``: an NTA accepting exactly the trees
     on which the transducer rearranges (condition of Lemma 4.6).
@@ -280,6 +288,13 @@ def rearranging_nta(
     * ``("f", q)`` — inside the split subtree: some text path run from
       ``q`` must end at a text leaf below;
     * the wildcard ``d``.
+
+    ``violation_filter(state, symbol, q1_next, q2_next)`` — when given —
+    restricts *where* the order violation may be introduced: only rules
+    ``(state, symbol)`` whose frontier offers ``q2_next`` strictly
+    before ``q1_next`` and for which the filter returns ``True`` may
+    start a violation.  This localizes rearranging to individual rules
+    (used by the :mod:`repro.lint` diagnostics engine).
     """
     alphabet = set(alphabet) if alphabet is not None else set(transducer.alphabet)
     alphabet |= set(transducer.alphabet)
@@ -343,6 +358,10 @@ def rearranging_nta(
                         if (q1_next, q2_next) in seen_pairs:
                             continue
                         seen_pairs.add((q1_next, q2_next))
+                        if violation_filter is not None and not violation_filter(
+                            q, symbol, q1_next, q2_next
+                        ):
+                            continue
                         patterns.append(_pattern_nfa([p_state(q1_next, q2_next)], _D))
                         patterns.append(
                             _pattern_nfa([f_state(q1_next), f_state(q2_next)], _D)
@@ -420,3 +439,159 @@ def counter_example(transducer: TopDownTransducer, nta: NTA) -> Optional[Tree]:
     if witness is None:
         return None
     return make_value_unique(witness)
+
+
+# ---------------------------------------------------------------------------
+# Explainable verdicts (the witness internals behind the booleans)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CopyingReport:
+    """Why the transducer copies over the schema (Lemma 4.5).
+
+    Attributes
+    ----------
+    path:
+        A shortest witness text path, ancestor labels ending ``text``.
+    runs:
+        The distinct path runs of the transducer on ``path`` (state
+        sequences, one state longer than the label part of the path).
+    rule:
+        The offending rule ``(state, label)``: where two runs diverge
+        (condition (1) of Lemma 4.5), or the doubling rule whose rhs
+        mentions the successor state twice (condition (2)).
+    kind:
+        ``"divergence"`` or ``"doubling"``.
+    witness:
+        A smallest value-unique schema tree on which the transducer
+        copies, or ``None`` when the schema language below the path is
+        degenerate.
+    """
+
+    path: Tuple[str, ...]
+    runs: Tuple[Tuple[str, ...], ...]
+    rule: Tuple[str, str]
+    kind: str
+    witness: Optional[Tree]
+
+
+def copying_counter_example(transducer: TopDownTransducer, nta: NTA) -> Optional[Tree]:
+    """A smallest value-unique schema tree on which the transducer
+    *copies* (not merely fails preservation), or ``None``."""
+    universe = set(nta.alphabet) | set(transducer.alphabet)
+    witness = intersect_nta(copying_nta(transducer, universe), nta).witness()
+    if witness is None:
+        return None
+    return make_value_unique(witness)
+
+
+def copying_report(transducer: TopDownTransducer, nta: NTA) -> Optional[CopyingReport]:
+    """Localize copying: the witness path, its path runs, and the rule
+    to blame — or ``None`` when the transducer does not copy over
+    ``L(nta)``."""
+    word = copying_nfa(transducer, nta).shortest_word()
+    if word is None:
+        return None
+    path = tuple(str(symbol) for symbol in word)
+    labels = path[:-1]
+    runs = tuple(sorted(set(transducer.path_runs(labels))))
+    rule: Optional[Tuple[str, str]] = None
+    kind = "doubling"
+    if len(runs) >= 2:
+        # Condition (1): two distinct path runs.  Blame the rule at the
+        # earliest divergence point over all run pairs.
+        best: Optional[Tuple[int, Tuple[str, str]]] = None
+        for i1 in range(len(runs)):
+            for i2 in range(i1 + 1, len(runs)):
+                r1, r2 = runs[i1], runs[i2]
+                for i in range(1, len(r1)):
+                    if r1[i] != r2[i]:
+                        if best is None or i < best[0]:
+                            best = (i, (r1[i - 1], labels[i - 1]))
+                        break
+        if best is not None:
+            kind = "divergence"
+            rule = best[1]
+    if rule is None:
+        # Condition (2): a doubling rule along some (single) run.
+        for run in runs:
+            for i in range(1, len(run)):
+                if transducer.rhs_state_multiplicity(run[i - 1], labels[i - 1], run[i]) >= 2:
+                    rule = (run[i - 1], labels[i - 1])
+                    break
+            if rule is not None:
+                break
+    assert rule is not None, "copying NFA accepted a path with no Lemma 4.5 evidence"
+    return CopyingReport(
+        path=path,
+        runs=runs,
+        rule=rule,
+        kind=kind,
+        witness=copying_counter_example(transducer, nta),
+    )
+
+
+@dataclass(frozen=True)
+class RearrangingFinding:
+    """One rule-level cause of rearranging (Lemma 4.6).
+
+    ``rule``'s right-hand-side frontier offers ``pair[0]`` in an
+    earlier output slot than ``pair[1]``, yet on some schema tree the
+    run through ``pair[0]`` reaches a text leaf *to the right of* the
+    leaf reached through ``pair[1]`` — so their values swap order in
+    the output.  ``witness`` is a smallest value-unique schema tree
+    exhibiting exactly this rule's violation.
+    """
+
+    rule: Tuple[str, str]
+    pair: Tuple[str, str]
+    witness: Tree
+
+
+def rearranging_counter_example(transducer: TopDownTransducer, nta: NTA) -> Optional[Tree]:
+    """A smallest value-unique schema tree on which the transducer
+    *rearranges*, or ``None``."""
+    universe = set(nta.alphabet) | set(transducer.alphabet)
+    witness = intersect_nta(rearranging_nta(transducer, universe), nta).witness()
+    if witness is None:
+        return None
+    return make_value_unique(witness)
+
+
+def rearranging_findings(
+    transducer: TopDownTransducer, nta: NTA
+) -> Tuple[RearrangingFinding, ...]:
+    """All rule-level causes of rearranging over ``L(nta)``, smallest
+    witnesses first; empty when the transducer does not rearrange.
+
+    Runs the Lemma 4.10 construction once per candidate ``(rule,
+    frontier-pair)`` with the order violation pinned to that site, so
+    every returned finding is independently witnessed.
+    """
+    universe = set(nta.alphabet) | set(transducer.alphabet)
+    if intersect_nta(rearranging_nta(transducer, universe), nta).is_empty():
+        return ()
+    findings: List[RearrangingFinding] = []
+    for (state, symbol), _rhs in sorted(transducer.rules.items()):
+        frontier = transducer.rhs_frontier_states(state, symbol)
+        pairs: Set[Tuple[str, str]] = set()
+        for j1 in range(len(frontier)):
+            for j2 in range(j1 + 1, len(frontier)):
+                pairs.add((frontier[j2], frontier[j1]))  # (q1_next, q2_next)
+        for q1_next, q2_next in sorted(pairs):
+            def pinned(q: str, a: str, t1: str, t2: str) -> bool:
+                return (q, a) == (state, symbol) and (t1, t2) == (q1_next, q2_next)
+
+            localized = rearranging_nta(transducer, universe, violation_filter=pinned)
+            witness = intersect_nta(localized, nta).witness()
+            if witness is not None:
+                findings.append(
+                    RearrangingFinding(
+                        rule=(state, symbol),
+                        pair=(q2_next, q1_next),
+                        witness=make_value_unique(witness),
+                    )
+                )
+    findings.sort(key=lambda f: (f.witness.size, f.rule, f.pair))
+    return tuple(findings)

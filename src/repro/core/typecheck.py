@@ -33,15 +33,14 @@ typechecking is the emptiness of its complement intersected with
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..automata.nta import NTA, TEXT, intersect_nta
 from ..schema.dtd import DTD
 from ..strings.dfa import DFA, determinize
 from ..strings.nfa import NFA
 from ..trees.tree import Tree
-from .topdown import OutputNode, RuleHedge, StateCall, TopDownTransducer
+from .topdown import StateCall, TopDownTransducer
 
 __all__ = [
     "Summary",

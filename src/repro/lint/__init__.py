@@ -1,0 +1,43 @@
+"""Static-analysis diagnostics for transducer/schema pairs.
+
+The package turns the paper's yes/no decision procedures into
+lint-grade findings with stable codes:
+
+* **TP1xx** — structural problems in the transducer (unreachable
+  states, dead rules under the schema, no-op rules, implicit
+  deletions);
+* **TP2xx** — problems in the schema itself (empty language,
+  non-productive or unreachable labels/states, empty content models);
+* **TP3xx** — text-preservation violations, localized to the offending
+  rule with the smallest counter-example attached (Lemmas 4.5/4.6);
+* **TP4xx** — Section 7 safety findings (deletions below protected
+  labels, maximal-safe-sub-schema shrinkage).
+
+Front doors: :func:`repro.analysis.diagnose` for the API and
+``python -m repro lint`` for the command line.
+"""
+
+from .diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    SourceInfo,
+    SourceLocation,
+    severity_order,
+)
+from .engine import LintContext, LintRule, default_rules, run_lint
+from .render import render_json, render_text, summary_counts
+
+__all__ = [
+    "Diagnostic",
+    "SourceInfo",
+    "SourceLocation",
+    "SEVERITIES",
+    "severity_order",
+    "LintContext",
+    "LintRule",
+    "default_rules",
+    "run_lint",
+    "render_text",
+    "render_json",
+    "summary_counts",
+]

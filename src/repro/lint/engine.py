@@ -1,0 +1,258 @@
+"""The lint registry and runner.
+
+:class:`LintContext` carries the analyzed transducer/schema pair and
+memoizes the shared machinery (the Lemma 4.8 configuration product,
+the Lemma 4.5/4.6 reports, §7 protection reports) so rules never
+recompute each other's work.  :func:`run_lint` executes a rule
+selection and returns diagnostics sorted most-severe first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..automata.nta import NTA, TEXT
+from ..core.safety import ProtectionReport, protection_report
+from ..core.topdown import TopDownTransducer
+from ..core.topdown_analysis import (
+    CopyingReport,
+    RearrangingFinding,
+    _useful_child_states,
+    copying_report,
+    rearranging_findings,
+)
+from ..schema.dtd import DTD, dtd_to_nta
+from .diagnostics import Diagnostic, SourceInfo, severity_order
+
+__all__ = ["LintRule", "LintContext", "default_rules", "run_lint"]
+
+Schema = Union[DTD, NTA]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registry entry: a stable code bound to a check function."""
+
+    code: str
+    name: str
+    severity: str
+    check: Callable[["LintContext"], Iterable[Diagnostic]]
+    #: When ``True`` the rule is skipped on empty schema languages
+    #: (every verdict would be vacuous noise; TP200 explains instead).
+    needs_schema: bool = True
+
+
+@dataclass
+class LintContext:
+    """Shared state handed to every rule check."""
+
+    transducer: TopDownTransducer
+    schema: Schema
+    protected_labels: Tuple[str, ...] = ()
+    sources: SourceInfo = field(default_factory=SourceInfo)
+    compute_subschema: bool = True
+
+    def __post_init__(self) -> None:
+        if isinstance(self.schema, DTD):
+            self.dtd: Optional[DTD] = self.schema
+            self.nta: NTA = dtd_to_nta(self.schema)
+        elif isinstance(self.schema, NTA):
+            self.dtd = None
+            self.nta = self.schema
+        else:
+            raise TypeError("schema must be a DTD or an NTA, got %r" % (self.schema,))
+        self._memo: Dict[str, Any] = {}
+
+    def _cached(self, key: str, compute: Callable[[], Any]) -> Any:
+        if key not in self._memo:
+            self._memo[key] = compute()
+        return self._memo[key]
+
+    # -- shared machinery -------------------------------------------------
+
+    def schema_is_empty(self) -> bool:
+        return self._cached("schema_empty", self.nta.is_empty)
+
+    def _configs(self) -> Tuple[Set[Tuple[str, str]], Dict[Tuple[str, str], Any], Dict[str, Any]]:
+        """The Lemma 4.8 configuration product: explore all pairs
+        ``(transducer state, schema state)`` reachable on valid
+        documents and classify every ``(state, label)`` event as
+        realizable (a rule fires), uncovered (no rule: implicit
+        deletion), or a text drop (no ``text`` rule)."""
+        return self._cached("configs", self._compute_configs)
+
+    def _compute_configs(self):
+        transducer, nta = self.transducer, self.nta
+        inhabited = nta.inhabited_states()
+        labels_of: Dict[Any, Set[str]] = {}
+        for (schema_state, symbol), horizontal in nta.delta.items():
+            if schema_state not in inhabited:
+                continue
+            if symbol == TEXT:
+                if horizontal.accepts_empty_word():
+                    labels_of.setdefault(schema_state, set()).add(TEXT)
+            elif horizontal.accepts_empty_word() or horizontal.accepts_some_over(inhabited):
+                labels_of.setdefault(schema_state, set()).add(symbol)
+        realizable: Set[Tuple[str, str]] = set()
+        uncovered: Dict[Tuple[str, str], Any] = {}
+        text_drops: Dict[str, Any] = {}
+        start = (transducer.initial, nta.initial)
+        seen = {start}
+        stack = [start]
+        while stack:
+            state, schema_state = stack.pop()
+            for label in labels_of.get(schema_state, ()):
+                if label == TEXT:
+                    if state in transducer.text_states:
+                        realizable.add((state, TEXT))
+                    else:
+                        text_drops.setdefault(state, schema_state)
+                    continue
+                if (state, label) not in transducer.rules:
+                    uncovered.setdefault((state, label), schema_state)
+                    continue
+                realizable.add((state, label))
+                children = _useful_child_states(nta, schema_state, label)
+                for target in set(transducer.rhs_frontier_states(state, label)):
+                    for child in children:
+                        config = (target, child)
+                        if config not in seen:
+                            seen.add(config)
+                            stack.append(config)
+        return realizable, uncovered, text_drops
+
+    def realizable_rules(self) -> Set[Tuple[str, str]]:
+        """``(state, label)`` pairs (including ``text``) that fire on
+        some valid document."""
+        return self._configs()[0]
+
+    def uncovered_pairs(self) -> Dict[Tuple[str, str], Any]:
+        """Reachable ``(state, label)`` pairs with no rule — implicit
+        deletions — mapped to an example schema state."""
+        return self._configs()[1]
+
+    def text_drop_states(self) -> Dict[str, Any]:
+        """States that reach text under the schema but lack a ``text``
+        rule, mapped to an example schema state."""
+        return self._configs()[2]
+
+    def empty_content_models(self) -> Set[str]:
+        """DTD labels whose content model accepts no word at all."""
+        def compute() -> Set[str]:
+            if self.dtd is None:
+                return set()
+            return {
+                label
+                for label in self.dtd.alphabet
+                if self.dtd.content_model(label).is_empty()
+            }
+
+        return self._cached("empty_models", compute)
+
+    def copying(self) -> Optional[CopyingReport]:
+        """The localized Lemma 4.5 copying report, or ``None``."""
+        return self._cached("copying", lambda: copying_report(self.transducer, self.nta))
+
+    def rearranging(self) -> Tuple[RearrangingFinding, ...]:
+        """The localized Lemma 4.6 rearranging findings (may be empty)."""
+        return self._cached(
+            "rearranging", lambda: rearranging_findings(self.transducer, self.nta)
+        )
+
+    def protection(self, label: str) -> Optional[ProtectionReport]:
+        """The §7 protection report for one protected label."""
+        return self._cached(
+            "protection:%s" % label,
+            lambda: protection_report(self.transducer, self.nta, label),
+        )
+
+    def is_unsafe(self) -> bool:
+        """Whether any TP3xx/TP401 condition holds."""
+        if self.copying() is not None or self.rearranging():
+            return True
+        return any(self.protection(label) is not None for label in self.protected_labels)
+
+
+def default_rules() -> Tuple[LintRule, ...]:
+    """All built-in rules, in code order (TP1xx, TP2xx, TP3xx, TP4xx)."""
+    from . import rules_safety, rules_schema, rules_topdown
+
+    return rules_topdown.rules() + rules_schema.rules() + rules_safety.rules()
+
+
+def _sort_key(diagnostic: Diagnostic) -> Tuple[int, str, int, str]:
+    line = diagnostic.location.line if diagnostic.location and diagnostic.location.line else 0
+    return (-severity_order(diagnostic.severity), diagnostic.code, line, diagnostic.message)
+
+
+def run_lint(
+    transducer: TopDownTransducer,
+    schema: Schema,
+    protected_labels: Iterable[str] = (),
+    *,
+    sources: Optional[SourceInfo] = None,
+    codes: Optional[Iterable[str]] = None,
+    compute_subschema: bool = True,
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Diagnostic]:
+    """Run the diagnostics engine on a transducer/schema pair.
+
+    Parameters
+    ----------
+    transducer:
+        A :class:`~repro.core.topdown.TopDownTransducer`.  (DTL
+        transducers have no rule-level localization; use the boolean
+        deciders in :mod:`repro.analysis` for those.)
+    schema:
+        A :class:`~repro.schema.dtd.DTD` or an
+        :class:`~repro.automata.nta.NTA`.
+    protected_labels:
+        Labels whose text must never be deleted (§7) — enables TP401.
+    sources:
+        Optional ``file:line`` maps from the CLI loaders.
+    codes:
+        Restrict to a subset of diagnostic codes.
+    compute_subschema:
+        Whether TP402 may run the (exponential) §7 sub-schema
+        construction on unsafe pairs.
+    rules:
+        Override the rule registry (defaults to :func:`default_rules`).
+
+    Returns diagnostics sorted most-severe first, then by code.
+    """
+    if not isinstance(transducer, TopDownTransducer):
+        raise TypeError(
+            "the lint engine localizes blame via Section 4 path runs and "
+            "currently supports TopDownTransducer only; got %r" % (transducer,)
+        )
+    context = LintContext(
+        transducer=transducer,
+        schema=schema,
+        protected_labels=tuple(dict.fromkeys(protected_labels)),
+        sources=sources if sources is not None else SourceInfo(),
+        compute_subschema=compute_subschema,
+    )
+    selected = tuple(rules) if rules is not None else default_rules()
+    if codes is not None:
+        wanted = set(codes)
+        selected = tuple(rule for rule in selected if rule.code in wanted)
+    schema_empty = context.schema_is_empty()
+    diagnostics: List[Diagnostic] = []
+    for rule in selected:
+        if schema_empty and rule.needs_schema:
+            continue
+        diagnostics.extend(rule.check(context))
+    diagnostics.sort(key=_sort_key)
+    return diagnostics

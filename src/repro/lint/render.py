@@ -1,0 +1,60 @@
+"""Rendering diagnostics as human-readable text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from ..trees.parser import serialize_tree
+from .diagnostics import SEVERITIES, Diagnostic
+
+__all__ = ["render_text", "render_json", "summary_counts"]
+
+_PLURAL = {"info": "notes", "warning": "warnings", "error": "errors"}
+_SINGULAR = {"info": "note", "warning": "warning", "error": "error"}
+
+
+def summary_counts(diagnostics: Sequence[Diagnostic]) -> Dict[str, int]:
+    """Counts per severity, with all severities present."""
+    counts = {severity: 0 for severity in SEVERITIES}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity] += 1
+    return counts
+
+
+def _summary_line(diagnostics: Sequence[Diagnostic]) -> str:
+    counts = summary_counts(diagnostics)
+    parts = []
+    for severity in reversed(SEVERITIES):  # errors first
+        count = counts[severity]
+        word = _SINGULAR[severity] if count == 1 else _PLURAL[severity]
+        parts.append("%d %s" % (count, word))
+    return ", ".join(parts)
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """The classic compiler-style listing: one ``file:line: severity
+    CODE: message`` block per finding, a summary line at the end."""
+    lines: List[str] = []
+    for diagnostic in diagnostics:
+        prefix = "%s: " % diagnostic.location if diagnostic.location is not None else ""
+        lines.append(
+            "%s%s %s: %s"
+            % (prefix, diagnostic.severity, diagnostic.code, diagnostic.message)
+        )
+        if diagnostic.path is not None:
+            lines.append("    text path: %s" % "/".join(diagnostic.path))
+        if diagnostic.witness is not None:
+            lines.append("    counter-example: %s" % serialize_tree(diagnostic.witness))
+    lines.append(_summary_line(diagnostics))
+    return "\n".join(lines) + "\n"
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """A stable JSON document: ``{"version", "summary", "diagnostics"}``."""
+    payload = {
+        "version": 1,
+        "summary": summary_counts(diagnostics),
+        "diagnostics": [diagnostic.to_dict() for diagnostic in diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

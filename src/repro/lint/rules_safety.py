@@ -1,0 +1,150 @@
+"""TP3xx/TP4xx — preservation and Section 7 safety diagnostics.
+
+* **TP301** copying, localized to the offending rule and path run
+  (Lemma 4.5), with the smallest counter-example document attached;
+* **TP302** rearranging, localized per rule and frontier pair
+  (Lemma 4.6), with per-rule smallest counter-examples;
+* **TP401** deletion of text below a protected label (§7), with the
+  deletion site (where the last path runs die) and a witness document;
+* **TP402** maximal-safe-sub-schema report: when the transformation is
+  unsafe, how much of the schema remains safe (§7).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Tuple
+
+from ..core.safety import maximal_safe_subschema
+from ..trees.parser import serialize_tree
+from .diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import LintContext, LintRule
+
+__all__ = ["rules"]
+
+
+def _format_path(path: Tuple[str, ...]) -> str:
+    return "/".join(path)
+
+
+def _check_copying(ctx: "LintContext") -> Iterator[Diagnostic]:
+    report = ctx.copying()
+    if report is None:
+        return
+    state, label = report.rule
+    if report.kind == "divergence":
+        cause = (
+            "two distinct path runs pass through it on the text path %s, so one "
+            "text value is output at least twice (Lemma 4.5(1))"
+            % _format_path(report.path)
+        )
+    else:
+        cause = (
+            "its right-hand side mentions the successor state twice, doubling "
+            "the text below the path %s (Lemma 4.5(2))" % _format_path(report.path)
+        )
+    yield Diagnostic(
+        code="TP301",
+        severity="error",
+        message="the transducer copies text over the schema: rule (%s, %s) — %s"
+        % (state, label, cause),
+        rule=report.rule,
+        location=ctx.sources.rule_location(report.rule),
+        path=report.path,
+        witness=report.witness,
+        data={"kind": report.kind, "runs": [list(run) for run in report.runs]},
+    )
+
+
+def _check_rearranging(ctx: "LintContext") -> Iterator[Diagnostic]:
+    for finding in ctx.rearranging():
+        state, label = finding.rule
+        early, late = finding.pair
+        yield Diagnostic(
+            code="TP302",
+            severity="error",
+            message=(
+                "the transducer rearranges text over the schema: rule (%s, %s) "
+                "puts state %s in an earlier output slot than %s, yet %s reaches "
+                "text lying to the right of text reached by %s, so two values "
+                "swap order (Lemma 4.6)" % (state, label, early, late, early, late)
+            ),
+            rule=finding.rule,
+            location=ctx.sources.rule_location(finding.rule),
+            witness=finding.witness,
+            data={"earlier_output_state": early, "later_output_state": late},
+        )
+
+
+def _check_protected_deletions(ctx: "LintContext") -> Iterator[Diagnostic]:
+    for label in ctx.protected_labels:
+        report = ctx.protection(label)
+        if report is None:
+            continue
+        sites = ", ".join("(%s, %s)" % site for site in report.sites)
+        site_rule = report.sites[0] if report.sites else None
+        location = None
+        if site_rule is not None:
+            # The site names a *missing* rule, so rule_location rarely has
+            # a line; fall back to where the state was first mentioned.
+            location = ctx.sources.rule_location(site_rule)
+            if location is None or location.line is None:
+                location = ctx.sources.state_location(site_rule[0]) or location
+        yield Diagnostic(
+            code="TP401",
+            severity="error",
+            message=(
+                "text below protected <%s> is deleted on some valid document: "
+                "along the text path %s every path run dies at %s"
+                % (label, _format_path(report.path), sites)
+            ),
+            rule=site_rule,
+            location=location,
+            path=report.path,
+            witness=report.witness,
+            data={"protected_label": label, "sites": ["%s/%s" % site for site in report.sites]},
+        )
+
+
+def _check_subschema_shrinkage(ctx: "LintContext") -> Iterator[Diagnostic]:
+    if not ctx.compute_subschema or not ctx.is_unsafe():
+        return
+    safe = maximal_safe_subschema(ctx.transducer, ctx.nta, ctx.protected_labels)
+    if safe.is_empty():
+        yield Diagnostic(
+            code="TP402",
+            severity="warning",
+            message=(
+                "the maximal safe sub-schema is EMPTY: the transformation is "
+                "unsafe on every valid document (§7)"
+            ),
+            data={"safe_states": 0, "schema_states": len(ctx.nta.states)},
+        )
+        return
+    witness = safe.witness()
+    sample = "" if witness is None else "; smallest safe document: %s" % serialize_tree(witness)
+    yield Diagnostic(
+        code="TP402",
+        severity="info",
+        message=(
+            "the transformation is unsafe on the full schema but safe on a "
+            "non-empty sub-schema (NTA with %d states, size %d)%s (§7)"
+            % (len(safe.states), safe.size, sample)
+        ),
+        data={"safe_states": len(safe.states), "safe_size": safe.size,
+              "schema_states": len(ctx.nta.states),
+              "smallest_safe_document": None if witness is None else serialize_tree(witness)},
+    )
+
+
+def rules() -> Tuple["LintRule", ...]:
+    """The TP3xx/TP4xx rule registry entries."""
+    from .engine import LintRule
+
+    return (
+        LintRule("TP301", "copying", "error", _check_copying),
+        LintRule("TP302", "rearranging", "error", _check_rearranging),
+        LintRule("TP401", "protected-deletion", "error", _check_protected_deletions),
+        LintRule("TP402", "subschema-shrinkage", "info", _check_subschema_shrinkage),
+    )

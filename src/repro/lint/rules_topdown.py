@@ -1,0 +1,140 @@
+"""TP1xx — structural diagnostics for the transducer under the schema.
+
+* **TP101** unreachable states (no chain of rules from the initial
+  state mentions them);
+* **TP102** dead rules: the ``(state, label)`` pair is unrealizable
+  under the schema — the Lemma 4.8 product of the schema's path
+  automaton with the transducer's never reaches that configuration;
+* **TP103** no-op rules with an empty right-hand side (equivalent to
+  having no rule at all, i.e. an implicit deletion written as a rule);
+* **TP104** uncovered ``(state, label)`` pairs that *are* reachable
+  under the schema: the subtree is silently deleted.  This is the
+  idiomatic selection mechanism of uniform transducers, so it is an
+  informational note, not a warning;
+* **TP105** states that reach text nodes under the schema but lack a
+  value-copying ``text`` rule: the values are silently dropped.
+
+Duplicate rules cannot be represented in a
+:class:`~repro.core.topdown.TopDownTransducer` (rules are keyed by
+``(state, label)``); the CLI loader rejects duplicated and shadowing
+lines at parse time with a ``file:line`` error.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+from ..automata.nta import TEXT
+from .diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import LintContext, LintRule
+
+__all__ = ["rules"]
+
+
+def _check_unreachable_states(ctx: "LintContext") -> Iterator[Diagnostic]:
+    transducer = ctx.transducer
+    reachable = transducer.reachable_states()
+    for state in sorted(transducer.states - reachable):
+        yield Diagnostic(
+            code="TP101",
+            severity="warning",
+            message=(
+                "state %r is unreachable: no chain of rules from the initial "
+                "state %r ever calls it" % (state, transducer.initial)
+            ),
+            location=ctx.sources.state_location(state),
+            data={"state": state},
+        )
+
+
+def _check_dead_rules(ctx: "LintContext") -> Iterator[Diagnostic]:
+    transducer = ctx.transducer
+    realizable = ctx.realizable_rules()
+    reachable = transducer.reachable_states()
+    all_rules: List[Tuple[str, str]] = sorted(
+        list(transducer.rules) + [(state, TEXT) for state in transducer.text_states]
+    )
+    for state, label in all_rules:
+        if state not in reachable:
+            continue  # TP101 already explains every rule of this state
+        if (state, label) in realizable:
+            continue
+        if label == TEXT:
+            detail = "state %r never processes a text node on any valid document" % state
+        else:
+            detail = (
+                "no valid document reaches state %r at a <%s> node "
+                "(Lemma 4.8 path-automaton product)" % (state, label)
+            )
+        yield Diagnostic(
+            code="TP102",
+            severity="warning",
+            message="rule (%s, %s) can never fire: %s" % (state, label, detail),
+            rule=(state, label),
+            location=ctx.sources.rule_location((state, label)),
+        )
+
+
+def _check_noop_rules(ctx: "LintContext") -> Iterator[Diagnostic]:
+    for (state, label), rhs in sorted(ctx.transducer.rules.items()):
+        if rhs:
+            continue
+        yield Diagnostic(
+            code="TP103",
+            severity="warning",
+            message=(
+                "rule (%s, %s) has an empty right-hand side: it behaves exactly "
+                "like having no rule (the subtree is deleted); drop it or keep "
+                "the deletion implicit" % (state, label)
+            ),
+            rule=(state, label),
+            location=ctx.sources.rule_location((state, label)),
+        )
+
+
+def _check_implicit_deletions(ctx: "LintContext") -> Iterator[Diagnostic]:
+    uncovered = ctx.uncovered_pairs()
+    for (state, label), schema_state in sorted(uncovered.items()):
+        yield Diagnostic(
+            code="TP104",
+            severity="info",
+            message=(
+                "no rule for (%s, %s): <%s> subtrees reached in state %r are "
+                "silently deleted (fine if the deletion is intended)"
+                % (state, label, label, state)
+            ),
+            rule=(state, label),
+            location=ctx.sources.state_location(state),
+            data={"schema_state": repr(schema_state)},
+        )
+
+
+def _check_text_drops(ctx: "LintContext") -> Iterator[Diagnostic]:
+    for state, schema_state in sorted(ctx.text_drop_states().items()):
+        yield Diagnostic(
+            code="TP105",
+            severity="info",
+            message=(
+                "state %r reaches text nodes on valid documents but has no "
+                "'text' rule: those text values are dropped" % state
+            ),
+            rule=(state, TEXT),
+            location=ctx.sources.state_location(state),
+            data={"schema_state": repr(schema_state)},
+        )
+
+
+def rules() -> Tuple["LintRule", ...]:
+    """The TP1xx rule registry entries."""
+    from .engine import LintRule
+
+    return (
+        LintRule("TP101", "unreachable-state", "warning", _check_unreachable_states,
+                 needs_schema=False),
+        LintRule("TP102", "dead-rule", "warning", _check_dead_rules),
+        LintRule("TP103", "noop-rule", "warning", _check_noop_rules, needs_schema=False),
+        LintRule("TP104", "implicit-deletion", "info", _check_implicit_deletions),
+        LintRule("TP105", "text-dropped", "info", _check_text_drops),
+    )

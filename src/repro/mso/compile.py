@@ -28,7 +28,7 @@ non-elementary tower — measured in benchmark E8.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..automata.bta import BTA, BTree, intersect_bta, union_bta
 from ..automata.fcns import decode_tree
@@ -46,7 +46,6 @@ from .ast import (
     Lab,
     Not,
     Or,
-    SO,
     Sibling,
     free_variables,
 )

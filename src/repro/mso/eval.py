@@ -12,7 +12,7 @@ pattern evaluator for DTL^MSO on example documents.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, Mapping, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple, Union
 
 from ..trees.tree import Node, Tree
 from .ast import (

@@ -13,7 +13,7 @@ how all decision procedures consume schemas.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple, Union
 
 from ..automata.nta import NTA, TEXT
 from ..strings.nfa import NFA

@@ -14,7 +14,6 @@ from typing import (
     FrozenSet,
     Hashable,
     Iterable,
-    Iterator,
     List,
     Optional,
     Sequence,

@@ -12,7 +12,6 @@ inputs and say so.
 
 from __future__ import annotations
 
-import itertools
 from typing import (
     AbstractSet,
     Dict,

@@ -24,14 +24,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterator, List, Tuple
 
-from .nfa import (
-    EPSILON,
-    NFA,
-    concat_nfa,
-    literal_nfa,
-    star_nfa,
-    union_nfa,
-)
+from .nfa import NFA, concat_nfa, literal_nfa, star_nfa, union_nfa
 
 __all__ = [
     "Regex",

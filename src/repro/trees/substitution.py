@@ -11,7 +11,7 @@ text values are pairwise distinct.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, Iterator
+from typing import Dict, Iterable, Iterator
 
 from .navigation import text_nodes, text_values
 from .tree import Node, Tree

@@ -19,8 +19,7 @@ and the bounded emptiness is cross-checked against it in tests.
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..mso.ast import Formula, free_variables
 from ..mso.eval import MSOEvaluator

@@ -22,7 +22,7 @@ next-sibling, parent, previous-sibling and stay (the paper's TWA^MSO).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..automata.bta import BTA
 from ..automata.fcns import bta_to_nta

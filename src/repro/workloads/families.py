@@ -18,7 +18,7 @@ cost against input size and check the paper's complexity claims:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..automata.build import nta_from_rules
 from ..automata.nta import NTA, TEXT

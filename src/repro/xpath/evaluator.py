@@ -14,7 +14,6 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..trees.tree import Node, Tree
 from .ast import (
-    AXES,
     AndPred,
     Axis,
     AxisStar,

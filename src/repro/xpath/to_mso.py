@@ -18,7 +18,6 @@ the substitution note regarding the paper's 2ATWA route).
 from __future__ import annotations
 
 import itertools
-from typing import Iterator
 
 from ..mso.ast import (
     And,

@@ -21,7 +21,7 @@ from repro.automata import (
     valid_encoding_bta,
 )
 from repro.automata.fcns import decode_hedge
-from repro.trees import parse_tree, text, tree
+from repro.trees import parse_tree, tree
 
 
 class TestEncoding:

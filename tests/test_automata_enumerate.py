@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.automata import TEXT, nta_from_rules, universal_nta
 from repro.automata.enumerate import count_trees, enumerate_trees, sample_tree

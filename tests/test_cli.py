@@ -91,6 +91,8 @@ class TestLoaders:
             "initial q0\nfrobnicate q0",
             "initial q0\nrule q0 a -> a\nrule q0 a -> b",  # duplicate rule
             "initial q0\ninitial q1",
+            "initial\nrule q0 a -> a",  # bare 'initial' line
+            "initial q0\nrule q0 a -> a(q)\ntext",  # 'text' without states
         ],
     )
     def test_transducer_errors(self, tmp_path, bad):
@@ -98,6 +100,22 @@ class TestLoaders:
         path.write_text(bad)
         with pytest.raises(CliError):
             load_transducer(str(path))
+
+    def test_bare_initial_points_at_line(self, tmp_path):
+        path = tmp_path / "bad.tdx"
+        path.write_text("# comment\ninitial\n")
+        with pytest.raises(CliError) as excinfo:
+            load_transducer(str(path))
+        assert "%s:2" % path in str(excinfo.value)
+        assert "initial" in str(excinfo.value)
+
+    def test_empty_text_line_points_at_line(self, tmp_path):
+        path = tmp_path / "bad.tdx"
+        path.write_text("initial q0\nrule q0 a -> a(q)\ntext\n")
+        with pytest.raises(CliError) as excinfo:
+            load_transducer(str(path))
+        assert "%s:3" % path in str(excinfo.value)
+        assert "text" in str(excinfo.value)
 
 
 class TestCommands:
@@ -127,6 +145,13 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "copying over the schema:     YES" in out
         assert "<recipes>" in out  # the counter-example document
+
+    def test_check_unsafe_cites_diagnostic(self, files, capsys):
+        assert main(["check", files["buggy"], files["schema"]]) == 1
+        out = capsys.readouterr().out
+        assert "diagnostics" in out
+        assert "TP301" in out
+        assert "buggy.tdx" in out  # the file:line citation
 
     def test_check_with_protection(self, files, capsys):
         code = main(["check", files["select"], files["schema"], "--protect", "comments"])

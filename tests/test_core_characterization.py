@@ -15,7 +15,7 @@ from repro.core import (
     theorem_3_3_holds,
 )
 from repro.paper import example42_transducer, figure1_tree
-from repro.trees import Tree, parse_tree, text, tree
+from repro.trees import Tree, parse_tree, tree
 
 
 def as_transduction(transducer):

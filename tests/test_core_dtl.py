@@ -10,10 +10,10 @@ from repro.core.dtl import (
     NonTerminationError,
 )
 from repro.core.dtl_mso import MSOBinary, MSOUnary
-from repro.core.dtl_xpath import XPathBinary, XPathUnary, xpath_call
+from repro.core.dtl_xpath import xpath_call
 from repro.mso import And, Child, Lab
 from repro.paper import example42_transducer, example515_dtl, figure1_tree
-from repro.trees import parse_tree, serialize_tree, text_values, tree
+from repro.trees import parse_tree, serialize_tree, text_values
 from repro.xpath import parse_node_expr, parse_path_expr
 
 
@@ -151,7 +151,7 @@ class TestTopDownEmbedding:
 
 
 def _convert_rhs(uniform, state, symbol):
-    from repro.core.topdown import OutputNode, StateCall
+    from repro.core.topdown import StateCall
 
     def convert(item):
         if isinstance(item, StateCall):

@@ -7,7 +7,7 @@ the suite; transducers are kept tiny on purpose.
 
 import pytest
 
-from repro.automata import TEXT, nta_from_rules, universal_nta
+from repro.automata import TEXT, nta_from_rules
 from repro.core import (
     Call,
     DTLTransducer,

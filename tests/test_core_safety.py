@@ -1,8 +1,7 @@
 """Tests for Section 7: maximal safe sub-schemas and protected labels."""
 
-import pytest
 
-from repro.automata import TEXT, intersect_nta, nta_from_rules, universal_nta
+from repro.automata import TEXT, intersect_nta, nta_from_rules
 from repro.automata.enumerate import enumerate_trees
 from repro.core import Call, DTLTransducer, TopDownTransducer, is_text_preserving
 from repro.core.characterization import is_text_preserving_on

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core import TopDownTransducer
-from repro.paper import example23_dtd, example42_transducer, figure1_tree, figure2_output
-from repro.trees import parse_tree, serialize_tree, text, text_values, tree
+from repro.paper import example42_transducer, figure1_tree, figure2_output
+from repro.trees import parse_tree, text_values
 
 
 class TestFigure2:

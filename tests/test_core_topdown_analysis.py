@@ -10,7 +10,6 @@ from repro.automata import TEXT, nta_from_rules, universal_nta
 from repro.core import (
     TopDownTransducer,
     bounded_oracle,
-    copying_nfa,
     copying_nta,
     copying_witness_path,
     counter_example,
@@ -20,12 +19,11 @@ from repro.core import (
     is_text_preserving,
     is_text_preserving_on,
     path_automaton,
-    rearranging_nta,
     transducer_path_automaton,
 )
-from repro.paper import example23_dtd, example42_transducer, figure1_tree
+from repro.paper import example23_dtd, example42_transducer
 from repro.schema import dtd_to_nta
-from repro.trees import is_subsequence, make_value_unique, parse_tree, text_values
+from repro.trees import is_subsequence, make_value_unique, text_values
 
 
 RECIPES_NTA = dtd_to_nta(example23_dtd())

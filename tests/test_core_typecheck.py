@@ -4,7 +4,6 @@ Every static verdict is cross-validated against brute force: run the
 transducer on enumerated inputs and validate the output directly.
 """
 
-import pytest
 
 from repro.automata import TEXT, nta_from_rules
 from repro.automata.enumerate import enumerate_trees
@@ -18,7 +17,6 @@ from repro.core.typecheck import (
 )
 from repro.paper import example23_dtd, example42_transducer, figure1_tree
 from repro.schema import DTD, dtd_to_nta
-from repro.trees import parse_tree
 
 
 def figure2_dtd() -> DTD:

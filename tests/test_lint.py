@@ -1,0 +1,510 @@
+"""Tests for the diagnostics engine (``repro.lint``) and its CLI front-end.
+
+Every diagnostic code gets a minimal fixture that triggers exactly it;
+the shipped example files act as the regression corpus (``select.tdx``
+stays free of warnings/errors, ``swap_comments.tdx`` reports its
+intended TP302 with a counter-example).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import DTD, TopDownTransducer, diagnose, nta_from_rules
+from repro.cli import main
+from repro.core.dtl import DTLTransducer
+from repro.lint import (
+    Diagnostic,
+    SourceInfo,
+    SourceLocation,
+    render_json,
+    render_text,
+    run_lint,
+    severity_order,
+    summary_counts,
+)
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "files"
+
+DOC = DTD({"doc": "item*", "item": "text"}, start={"doc"})
+
+IDENTITY = TopDownTransducer(
+    states={"q0", "q"},
+    rules={
+        ("q0", "doc"): "doc(q)",
+        ("q", "item"): "item(q)",
+        ("q", "text"): "text",
+    },
+    initial="q0",
+)
+
+
+def codes_of(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestDiagnosticModel:
+    def test_severity_order(self):
+        assert severity_order("info") < severity_order("warning") < severity_order("error")
+        with pytest.raises(ValueError):
+            severity_order("fatal")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="TP999", severity="nope", message="x")
+
+    def test_source_location_str(self):
+        assert str(SourceLocation("a.tdx", 3)) == "a.tdx:3"
+        assert str(SourceLocation("a.tdx")) == "a.tdx"
+
+    def test_to_dict_includes_rule_and_witness(self):
+        from repro import parse_tree
+
+        d = Diagnostic(
+            code="TP301",
+            severity="error",
+            message="m",
+            rule=("q", "a"),
+            location=SourceLocation("t.tdx", 7),
+            path=("a", "text"),
+            witness=parse_tree('a("v")'),
+            data={"kind": "doubling"},
+        )
+        out = d.to_dict()
+        assert out["rule"] == {"state": "q", "label": "a"}
+        assert out["location"] == {"path": "t.tdx", "line": 7}
+        assert out["path"] == ["a", "text"]
+        assert out["witness"] == 'a("v")'
+        assert "<a>" in out["witness_xml"]
+        assert out["data"] == {"kind": "doubling"}
+
+
+class TestCleanPair:
+    def test_identity_is_clean(self):
+        assert diagnose(IDENTITY, DOC) == []
+
+    def test_dtl_is_rejected(self):
+        dtl = DTLTransducer.__new__(DTLTransducer)  # no need for a valid program
+        with pytest.raises(TypeError):
+            diagnose(dtl, DOC)
+
+    def test_non_transducer_rejected(self):
+        with pytest.raises(TypeError):
+            run_lint(object(), DOC)
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(TypeError):
+            run_lint(IDENTITY, object())
+
+
+class TestStructuralRules:
+    def test_tp101_unreachable_state(self):
+        t = TopDownTransducer(
+            states={"q0", "q", "qzombie"},
+            rules={
+                ("q0", "doc"): "doc(q)",
+                ("q", "item"): "item(q)",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        [d] = diagnose(t, DOC)
+        assert d.code == "TP101"
+        assert d.severity == "warning"
+        assert "qzombie" in d.message
+
+    def test_tp102_dead_rule(self):
+        t = TopDownTransducer(
+            states={"q0", "q"},
+            rules={
+                ("q0", "doc"): "doc(q)",
+                ("q", "doc"): "doc(q)",  # doc never occurs below doc
+                ("q", "item"): "item(q)",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        [d] = diagnose(t, DOC)
+        assert d.code == "TP102"
+        assert d.rule == ("q", "doc")
+
+    def test_tp102_dead_text_rule(self):
+        t = TopDownTransducer(
+            states={"q0", "q"},
+            rules={
+                ("q0", "doc"): "doc(q)",
+                ("q0", "text"): "text",  # the root is never a text node
+                ("q", "item"): "item(q)",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        [d] = diagnose(t, DOC)
+        assert d.code == "TP102"
+        assert d.rule == ("q0", "text")
+
+    def test_tp103_empty_rhs(self):
+        t = TopDownTransducer(
+            states={"q0", "q"},
+            rules={
+                ("q0", "doc"): "doc(q)",
+                ("q", "item"): "",  # explicit no-op
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        assert "TP103" in codes_of(diagnose(t, DOC))
+
+    def test_tp104_implicit_deletion_is_info(self):
+        # q has no rule for item, so every <item> is silently deleted;
+        # it never reaches the text below, so no other code fires.
+        t = TopDownTransducer(
+            states={"q0", "q"},
+            rules={("q0", "doc"): "doc(q)"},
+            initial="q0",
+        )
+        [d] = diagnose(t, DOC)
+        assert d.code == "TP104"
+        assert d.severity == "info"
+        assert d.rule == ("q", "item")
+
+    def test_tp105_text_dropped(self):
+        t = TopDownTransducer(
+            states={"q0", "q", "qv"},
+            rules={
+                ("q0", "doc"): "doc(q)",
+                ("q", "item"): "item(qv)",  # qv has no text rule
+            },
+            initial="q0",
+        )
+        diagnostics = diagnose(t, DOC)
+        drops = [d for d in diagnostics if d.code == "TP105"]
+        assert len(drops) == 1
+        assert drops[0].rule == ("qv", "text")
+        assert drops[0].severity == "info"
+
+
+class TestSchemaRules:
+    def test_tp200_empty_schema_suppresses_vacuous_rules(self):
+        # doc requires an infinite chain of docs: the language is empty.
+        empty = DTD({"doc": "doc"}, start={"doc"})
+        diagnostics = diagnose(IDENTITY, empty)
+        assert "TP200" in codes_of(diagnostics)
+        assert all(d.code.startswith(("TP1", "TP2")) for d in diagnostics)
+
+    def test_tp201_non_productive_label(self):
+        dtd = DTD({"doc": "item*", "item": "text", "loop": "loop"}, start={"doc"})
+        found = [d for d in diagnose(IDENTITY, dtd) if d.code == "TP201"]
+        assert [d.data["label"] for d in found] == ["loop"]
+
+    def test_tp202_unreachable_label(self):
+        dtd = DTD({"doc": "item*", "item": "text", "orphan": "text"}, start={"doc"})
+        found = [d for d in diagnose(IDENTITY, dtd) if d.code == "TP202"]
+        assert [d.data["label"] for d in found] == ["orphan"]
+
+    def test_tp203_empty_content_model(self):
+        dtd = DTD({"doc": "item*", "item": "text", "cursed": "empty"}, start={"doc"})
+        diagnostics = diagnose(IDENTITY, dtd)
+        found = [d for d in diagnostics if d.code == "TP203"]
+        assert [d.data["label"] for d in found] == ["cursed"]
+        # No double report as non-productive or unreachable:
+        assert "TP201" not in codes_of(diagnostics)
+        assert "TP202" not in codes_of(diagnostics)
+
+    def test_tp204_never_generated_nta_label(self):
+        nta = nta_from_rules(
+            alphabet={"doc", "ghost"},
+            rules={("q", "doc"): "eps"},
+            initial="q",
+        )
+        t = TopDownTransducer(
+            states={"q0"}, rules={("q0", "doc"): "doc(q0)"}, initial="q0"
+        )
+        found = [d for d in diagnose(t, nta) if d.code == "TP204"]
+        assert [d.data["label"] for d in found] == ["ghost"]
+
+
+class TestPreservationRules:
+    def test_tp301_doubling(self):
+        t = TopDownTransducer(
+            states={"q0", "q"},
+            rules={
+                ("q0", "doc"): "doc(q q)",
+                ("q", "item"): "item(q)",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        found = [d for d in diagnose(t, DOC) if d.code == "TP301"]
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == "error"
+        assert d.rule == ("q0", "doc")
+        assert d.witness is not None and DOC.is_valid(d.witness)
+        assert d.path is not None and d.path[-1] == "text"
+        assert d.data["kind"] == "doubling"
+
+    def test_tp302_rearranging_localized(self):
+        schema = DTD({"doc": "a . b", "a": "text", "b": "text"}, start={"doc"})
+        swap = TopDownTransducer(
+            states={"q0", "qa", "qb", "v"},
+            rules={
+                ("q0", "doc"): "doc(qb qa)",
+                ("qa", "a"): "a(v)",
+                ("qb", "b"): "b(v)",
+                ("v", "text"): "text",
+            },
+            initial="q0",
+        )
+        found = [d for d in diagnose(swap, schema) if d.code == "TP302"]
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == "error"
+        assert d.rule == ("q0", "doc")
+        assert d.witness is not None and schema.is_valid(d.witness)
+        assert {d.data["earlier_output_state"], d.data["later_output_state"]} == {"qa", "qb"}
+
+    def test_tp401_protected_deletion(self):
+        dropper = TopDownTransducer(
+            states={"q0"},
+            rules={("q0", "doc"): "doc(q0)"},
+            initial="q0",
+        )
+        found = [
+            d
+            for d in diagnose(dropper, DOC, protected_labels=["item"])
+            if d.code == "TP401"
+        ]
+        assert len(found) == 1
+        d = found[0]
+        assert d.severity == "error"
+        assert d.data["protected_label"] == "item"
+        assert d.witness is not None and DOC.is_valid(d.witness)
+
+    def test_tp401_not_reported_when_safe(self):
+        assert diagnose(IDENTITY, DOC, protected_labels=["item"]) == []
+
+    def test_tp402_reported_only_for_unsafe_pairs(self):
+        t = TopDownTransducer(
+            states={"q0", "q"},
+            rules={
+                ("q0", "doc"): "doc(q q)",
+                ("q", "item"): "item(q)",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        with_sub = [d for d in diagnose(t, DOC) if d.code == "TP402"]
+        assert len(with_sub) == 1
+        assert "safe_states" in with_sub[0].data
+        without = diagnose(t, DOC, compute_subschema=False)
+        assert "TP402" not in codes_of(without)
+
+
+class TestEngine:
+    def test_codes_filter(self):
+        t = TopDownTransducer(
+            states={"q0", "q", "qzombie"},
+            rules={
+                ("q0", "doc"): "doc(q q)",
+                ("q", "item"): "item(q)",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        only = diagnose(t, DOC, codes=["TP101"])
+        assert codes_of(only) == ["TP101"]
+
+    def test_sorted_most_severe_first(self):
+        t = TopDownTransducer(
+            states={"q0", "q", "qzombie"},
+            rules={
+                ("q0", "doc"): "doc(q q)",  # TP301 error
+                ("q", "item"): "item(q)",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        diagnostics = diagnose(t, DOC, compute_subschema=False)
+        ranks = [severity_order(d.severity) for d in diagnostics]
+        assert ranks == sorted(ranks, reverse=True)
+        assert diagnostics[0].code == "TP301"
+
+    def test_sources_give_locations(self):
+        sources = SourceInfo(
+            transducer_path="t.tdx",
+            schema_path="s.schema",
+            rule_lines={("q", "item"): 4},
+            state_lines={"q": 4},
+        )
+        t = TopDownTransducer(
+            states={"q0", "q"},
+            rules={
+                ("q0", "doc"): "doc(q)",
+                ("q", "doc"): "doc(q)",
+                ("q", "item"): "item(q)",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        [d] = diagnose(t, DOC, sources=sources)
+        assert d.code == "TP102"
+        assert d.location == SourceLocation("t.tdx", None)  # (q, doc) has no line
+        sources2 = SourceInfo(transducer_path="t.tdx", rule_lines={("q", "doc"): 9})
+        [d2] = diagnose(t, DOC, sources=sources2)
+        assert str(d2.location) == "t.tdx:9"
+
+
+class TestRendering:
+    def _sample(self):
+        return [
+            Diagnostic(
+                code="TP102",
+                severity="warning",
+                message="rule (q, a) can never fire",
+                rule=("q", "a"),
+                location=SourceLocation("t.tdx", 3),
+            ),
+            Diagnostic(code="TP104", severity="info", message="note"),
+        ]
+
+    def test_summary_counts(self):
+        assert summary_counts(self._sample()) == {"info": 1, "warning": 1, "error": 0}
+
+    def test_render_text(self):
+        out = render_text(self._sample())
+        assert "t.tdx:3: warning TP102: rule (q, a) can never fire" in out
+        assert out.rstrip().endswith("0 errors, 1 warning, 1 note")
+
+    def test_render_text_attaches_witness(self):
+        from repro import parse_tree
+
+        out = render_text(
+            [
+                Diagnostic(
+                    code="TP301",
+                    severity="error",
+                    message="copies",
+                    path=("doc", "text"),
+                    witness=parse_tree('doc("v")'),
+                )
+            ]
+        )
+        assert "    text path: doc/text" in out
+        assert '    counter-example: doc("v")' in out
+
+    def test_render_json(self):
+        payload = json.loads(render_json(self._sample()))
+        assert payload["version"] == 1
+        assert payload["summary"] == {"info": 1, "warning": 1, "error": 0}
+        assert [d["code"] for d in payload["diagnostics"]] == ["TP102", "TP104"]
+
+
+class TestExampleCorpus:
+    """The shipped examples are the lint regression corpus."""
+
+    def test_select_has_no_warnings_or_errors(self):
+        code = main(
+            ["lint", str(EXAMPLES / "select.tdx"), str(EXAMPLES / "recipes.schema"),
+             "--fail-on", "warning"]
+        )
+        assert code == 0
+
+    def test_swap_comments_reports_tp302(self, capsys):
+        code = main(
+            [
+                "lint",
+                str(EXAMPLES / "swap_comments.tdx"),
+                str(EXAMPLES / "recipes.schema"),
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        errors = [d for d in payload["diagnostics"] if d["severity"] == "error"]
+        assert [d["code"] for d in errors] == ["TP302"]
+        assert errors[0]["rule"] == {"state": "qsel", "label": "comments"}
+        assert "swap_comments.tdx" in errors[0]["location"]["path"]
+        assert "comments" in errors[0]["witness"]
+
+
+class TestCliLint:
+    SCHEMA = "start doc\ndoc -> item*\nitem -> text\n"
+    CLEAN = (
+        "initial q0\n"
+        "rule q0 doc -> doc(q)\n"
+        "rule q item -> item(q)\n"
+        "text q\n"
+    )
+    ZOMBIE = CLEAN + "rule qzombie item -> item(qzombie)\n"
+    DOUBLING = (
+        "initial q0\n"
+        "rule q0 doc -> doc(q q)\n"
+        "rule q item -> item(q)\n"
+        "text q\n"
+    )
+
+    @pytest.fixture
+    def files(self, tmp_path):
+        paths = {}
+        for name, content in [
+            ("doc.schema", self.SCHEMA),
+            ("clean.tdx", self.CLEAN),
+            ("zombie.tdx", self.ZOMBIE),
+            ("doubling.tdx", self.DOUBLING),
+        ]:
+            path = tmp_path / name
+            path.write_text(content)
+            paths[name] = str(path)
+        return paths
+
+    def test_clean_exits_zero(self, files, capsys):
+        assert main(["lint", files["clean.tdx"], files["doc.schema"]]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_warning_passes_under_default_fail_on(self, files, capsys):
+        assert main(["lint", files["zombie.tdx"], files["doc.schema"]]) == 0
+        assert "TP101" in capsys.readouterr().out
+
+    def test_fail_on_warning_tightens(self, files):
+        code = main(
+            ["lint", files["zombie.tdx"], files["doc.schema"], "--fail-on", "warning"]
+        )
+        assert code == 1
+
+    def test_error_fails_and_names_rule(self, files, capsys):
+        assert main(["lint", files["doubling.tdx"], files["doc.schema"]]) == 1
+        out = capsys.readouterr().out
+        assert "TP301" in out
+        assert "counter-example:" in out
+        assert "doubling.tdx:2" in out  # the rule's own line
+
+    def test_json_is_machine_readable(self, files, capsys):
+        main(["lint", files["doubling.tdx"], files["doc.schema"], "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        # Doubling both copies (TP301) and rearranges (TP302).
+        assert payload["summary"]["error"] >= 1
+        assert payload["diagnostics"][0]["code"] == "TP301"
+
+    def test_protect_enables_tp401(self, files, tmp_path, capsys):
+        dropper = tmp_path / "dropper.tdx"
+        dropper.write_text("initial q0\nrule q0 doc -> doc(q0)\n")
+        code = main(
+            ["lint", str(dropper), files["doc.schema"], "--protect", "item"]
+        )
+        assert code == 1
+        assert "TP401" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["lint", "/nonexistent.tdx", "/nonexistent.schema"]) == 2
+        err = capsys.readouterr().err
+        assert "error" in err
+
+    def test_diagnostics_go_to_stdout_errors_to_stderr(self, files, capsys):
+        main(["lint", files["doubling.tdx"], files["doc.schema"]])
+        captured = capsys.readouterr()
+        assert "TP301" in captured.out
+        assert captured.err == ""

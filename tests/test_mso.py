@@ -13,7 +13,6 @@ from repro.mso import (
     Lab,
     MSOEvaluator,
     Not,
-    Or,
     SO,
     Sibling,
     compile_mso,

@@ -1,6 +1,5 @@
 """Tests for the derived MSO relations (root, ancestry, document order)."""
 
-import pytest
 
 from repro.mso import (
     MSOEvaluator,

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.automata import TEXT, intersect_nta, nta_from_rules, union_nta
-from repro.strings import NFA, determinize, minimize, parse_regex
+from repro.strings import determinize, minimize, parse_regex
 from repro.trees import Tree
 
 LABELS = ("a", "b")

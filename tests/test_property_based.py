@@ -2,7 +2,6 @@
 invariants."""
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.automata import decode_tree, encode_tree

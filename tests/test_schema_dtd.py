@@ -5,7 +5,7 @@ import pytest
 from repro.automata import TEXT
 from repro.paper import example23_dtd, figure1_tree
 from repro.schema import DTD, dtd_to_nta
-from repro.trees import parse_tree, tree
+from repro.trees import parse_tree
 
 
 class TestValidation:

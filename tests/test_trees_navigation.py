@@ -1,6 +1,5 @@
 """Tests for navigation, text content, and the subsequence relation."""
 
-import pytest
 
 from repro.trees import (
     anc_str,

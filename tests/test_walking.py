@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.automata import TEXT, universal_nta
+from repro.automata import universal_nta
 from repro.automata.enumerate import enumerate_trees
 from repro.mso import And, Child, Eq, ExistsFO, Lab, Not, Sibling
 from repro.trees import parse_tree
 from repro.walking import (
     ATWA,
-    FALSE,
     TJA,
     TRUE,
     TWA,
