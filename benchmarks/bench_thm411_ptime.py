@@ -16,7 +16,7 @@ import math
 
 import pytest
 
-from conftest import report
+from conftest import report, wall_time
 
 from repro.core import is_text_preserving
 from repro.core.topdown_analysis import copying_nfa, path_automaton
@@ -49,8 +49,6 @@ class TestPtimeScaling:
         sizes = SIZES if family == "chain" else WIDE_SIZES
         for n in sizes:
             transducer, schema = make(n)
-            from conftest import wall_time
-
             verdict, seconds = wall_time(is_text_preserving, transducer, schema)
             assert verdict  # both families are text-preserving
             rows.append((n, transducer.size, schema.size, "%.4f" % seconds))
@@ -80,8 +78,6 @@ class TestPtimeScaling:
     def test_ablation_product_order(self, benchmark_or_timer):
         """A1: building M over the trimmed schema path automaton vs the
         raw one (the product construction of Lemma 4.9)."""
-        from conftest import wall_time
-
         transducer, schema = wide_instance(16)
         _m, direct = wall_time(copying_nfa, transducer, schema)
 
@@ -102,7 +98,6 @@ class TestPtimeScaling:
     def test_ablation_emptiness(self, benchmark_or_timer):
         """A2: emptiness via the inhabited-state fixpoint on the raw
         product vs after trimming."""
-        from conftest import wall_time
         from repro.automata import intersect_nta
         from repro.core.topdown_analysis import rearranging_nta
 

@@ -4,11 +4,24 @@ Each ``bench_*.py`` regenerates one artifact of the paper (figure,
 table, example, or complexity claim) per the experiment index in
 DESIGN.md, printing the series it measures so the harness output can be
 compared against EXPERIMENTS.md.
+
+Every ``benchmark_or_timer`` measurement additionally runs under a
+:mod:`repro.obs` recorder; the measured seconds plus the recorded
+counters/gauges of each test are written to ``BENCH_results.json`` at
+the repo root when the session ends, so benchmark numbers are
+machine-readable (and CI archives them as an artifact).
 """
 
+import json
+import os
 import time
 
 import pytest
+
+from repro import obs
+
+#: One entry per benchmark_or_timer measurement, in execution order.
+_RESULTS = []
 
 
 def report(title, rows, header=None):
@@ -28,16 +41,41 @@ def wall_time(fn, *args, **kwargs):
 
 
 @pytest.fixture
-def benchmark_or_timer(benchmark):
+def benchmark_or_timer(benchmark, request):
     """Run a thunk under pytest-benchmark when it is active, otherwise
     once with a wall-clock timer; returns the measured seconds either
-    way, so the bench files double as plain tests."""
+    way, so the bench files double as plain tests.
+
+    The thunk runs under a fresh :mod:`repro.obs` recorder, and the
+    measurement (test id, seconds, counters, gauges) is appended to the
+    session's ``BENCH_results.json``."""
 
     def run(fn):
-        if benchmark.enabled:
-            benchmark.pedantic(fn, rounds=1, iterations=1)
-            return benchmark.stats.stats.mean
-        _result, seconds = wall_time(fn)
+        with obs.recording() as recorder:
+            if benchmark.enabled:
+                benchmark.pedantic(fn, rounds=1, iterations=1)
+                seconds = benchmark.stats.stats.mean
+            else:
+                _result, seconds = wall_time(fn)
+        _RESULTS.append(
+            {
+                "test": request.node.nodeid,
+                "seconds": seconds,
+                "counters": dict(recorder.counters),
+                "gauges": dict(recorder.gauges),
+            }
+        )
         return seconds
 
     return run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the collected measurements next to the repo root."""
+    if not _RESULTS:
+        return
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    payload = {"version": 1, "results": _RESULTS}
+    with open(os.path.join(root, "BENCH_results.json"), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")

@@ -34,6 +34,7 @@ from typing import (
     Tuple,
 )
 
+from .. import obs
 from ..strings.nfa import EPSILON, NFA, union_nfa
 from ..trees.tree import Tree
 
@@ -94,6 +95,10 @@ class NTA:
                 raise ValueError("transition for unknown symbol %r" % (symbol,))
             if not isinstance(horizontal, NFA):
                 raise TypeError("horizontal languages must be NFAs")
+        if obs.enabled():
+            obs.add("nta.created")
+            obs.add("nta.states_created", len(self.states))
+            obs.add("nta.rules_created", len(self.delta))
 
     # -- introspection -----------------------------------------------------
 
@@ -439,6 +444,9 @@ def intersect_nta(left: NTA, right: NTA) -> NTA:
                 continue
             paired = _pair_horizontal(l_horizontal, r_horizontal)
             delta[((l_state, r_state), symbol)] = paired
+    if obs.enabled():
+        obs.add("nta.intersections")
+        obs.add("nta.intersection_states", len(states))
     return NTA(states, alphabet, delta, (left.initial, right.initial))
 
 
@@ -472,6 +480,7 @@ def _pair_horizontal(left: NFA, right: NFA) -> NFA:
 def union_nta(left: NTA, right: NTA) -> NTA:
     """NTA for ``L(left) ∪ L(right)`` (fresh root state that offers both
     root horizontal languages)."""
+    obs.add("nta.unions")
     left = left.rename_states("L")
     right = right.rename_states("R")
     fresh = ("U", 0)

@@ -24,16 +24,26 @@ Commands::
     python -m repro validate  SCHEMA DOCUMENT.xml
     python -m repro transform TRANSDUCER DOCUMENT.xml
     python -m repro check     TRANSDUCER SCHEMA [--protect LABEL ...]
+                              [--stats] [--trace FILE.json]
     python -m repro lint      TRANSDUCER SCHEMA [--protect LABEL ...]
                               [--format text|json] [--fail-on warning|error]
+                              [--stats] [--trace FILE.json]
     python -m repro subschema TRANSDUCER SCHEMA [--protect LABEL ...]
+    python -m repro profile   TRANSDUCER SCHEMA [--protect LABEL ...]
+                              [--trace FILE.json]
 
 ``check`` prints the verdict (copying / rearranging / protected-label
 deletions), cites the responsible lint diagnostic for every unsafe
 verdict, and, when unsafe, prints the smallest counter-example document
 as XML.  ``lint`` runs the full :mod:`repro.lint` diagnostics engine
 and renders coded findings (TP1xx structural, TP2xx schema, TP3xx
-preservation, TP4xx §7 safety) as text or JSON.
+preservation, TP4xx §7 safety) as text or JSON.  ``profile`` runs the
+full Theorem 4.11 decision under :mod:`repro.obs` instrumentation and
+prints the span tree (phase wall times, automaton sizes, counters).
+
+On ``check``/``lint``, ``--stats`` prints the recorded span tree and
+counters to stderr and ``--trace FILE.json`` writes a Chrome
+``trace_event`` file (open in ``chrome://tracing`` or Perfetto).
 
 Only the actual products (XML, JSON, reports) go to stdout; error
 messages and advisory chatter go to stderr, so stdout stays pipeable.
@@ -53,9 +63,12 @@ Exit status, for CI use:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+import time
 from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
+from . import obs
 from .analysis import (
     counter_example,
     deletes_protected_text,
@@ -66,7 +79,7 @@ from .analysis import (
 )
 from .core.topdown import TopDownTransducer
 from .lint import SourceInfo, render_json, render_text, severity_order
-from .schema.dtd import DTD
+from .schema.dtd import DTD, dtd_to_nta
 from .trees.parser import serialize_tree
 from .trees.xmlio import tree_to_xml, xml_to_tree
 
@@ -252,10 +265,41 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     return 0
 
 
+def _wants_observation(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "trace", None)) or bool(getattr(args, "stats", False))
+
+
+def _finish_observation(recorder: Optional[obs.Recorder], args: argparse.Namespace) -> None:
+    """Emit the recorded run: trace file, then stats to stderr."""
+    if recorder is None:
+        return
+    if getattr(args, "trace", None):
+        obs.write_chrome_trace(recorder, args.trace)
+        print("wrote Chrome trace to %s" % args.trace, file=sys.stderr)
+    if getattr(args, "stats", False):
+        sys.stderr.write(obs.render_text(recorder))
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     loaded_transducer = load_transducer_ex(args.transducer)
     loaded_schema = load_schema_ex(args.schema)
     transducer, dtd = loaded_transducer.transducer, loaded_schema.dtd
+    with contextlib.ExitStack() as stack:
+        recorder: Optional[obs.Recorder] = None
+        if _wants_observation(args):
+            recorder = stack.enter_context(obs.recording())
+        status = _run_check(args, transducer, dtd, loaded_transducer, loaded_schema)
+    _finish_observation(recorder, args)
+    return status
+
+
+def _run_check(
+    args: argparse.Namespace,
+    transducer: TopDownTransducer,
+    dtd: DTD,
+    loaded_transducer: LoadedTransducer,
+    loaded_schema: LoadedSchema,
+) -> int:
     copying = is_copying(transducer, dtd)
     rearranging = is_rearranging(transducer, dtd)
     print("copying over the schema:     %s" % ("YES" if copying else "no"))
@@ -297,18 +341,26 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     loaded_transducer = load_transducer_ex(args.transducer)
     loaded_schema = load_schema_ex(args.schema)
-    diagnostics = diagnose(
-        loaded_transducer.transducer,
-        loaded_schema.dtd,
-        args.protect or (),
-        sources=_source_info(
-            args.transducer, loaded_transducer, args.schema, loaded_schema
-        ),
-    )
+    # Always record: the engine's memo hit/miss counters feed the JSON
+    # report, and --stats/--trace reuse the same run.
+    with obs.recording() as recorder:
+        diagnostics = diagnose(
+            loaded_transducer.transducer,
+            loaded_schema.dtd,
+            args.protect or (),
+            sources=_source_info(
+                args.transducer, loaded_transducer, args.schema, loaded_schema
+            ),
+        )
     if args.format == "json":
-        sys.stdout.write(render_json(diagnostics) + "\n")
+        stats = {
+            "memo_hits": int(recorder.counters.get("lint.memo.hits", 0)),
+            "memo_misses": int(recorder.counters.get("lint.memo.misses", 0)),
+        }
+        sys.stdout.write(render_json(diagnostics, stats=stats) + "\n")
     else:
         sys.stdout.write(render_text(diagnostics))
+    _finish_observation(recorder if _wants_observation(args) else None, args)
     threshold = severity_order(args.fail_on)
     failed = any(severity_order(d.severity) >= threshold for d in diagnostics)
     return 1 if failed else 0
@@ -345,6 +397,64 @@ def _cmd_subschema(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    transducer = load_transducer(args.transducer)
+    dtd = load_schema(args.schema)
+    nta = dtd_to_nta(dtd)
+    universe = set(nta.alphabet) | set(transducer.alphabet)
+    from .automata.nta import intersect_nta
+    from .core.topdown_analysis import (
+        copying_nfa,
+        path_automaton,
+        rearranging_nta,
+        transducer_path_automaton,
+    )
+
+    wall_start = time.perf_counter_ns()
+    with obs.recording() as recorder:
+        # Explicit top-level phases over the Theorem 4.11 pipeline; the
+        # library's own spans nest beneath them.
+        with obs.span("phase.path_automata") as sp:
+            schema_paths = path_automaton(nta)
+            kept_paths = transducer_path_automaton(transducer)
+            sp.set("schema_path_states", len(schema_paths.states))
+            sp.set("transducer_path_states", len(kept_paths.states))
+        with obs.span("phase.product") as sp:
+            copying_product = copying_nfa(transducer, nta)
+            rearranging_product = intersect_nta(
+                rearranging_nta(transducer, universe), nta
+            )
+            sp.set("copying_states", len(copying_product.states))
+            sp.set("rearranging_states", len(rearranging_product.states))
+        with obs.span("phase.emptiness") as sp:
+            copying = not copying_product.is_empty()
+            rearranging = not rearranging_product.is_empty()
+            sp.set("copying", copying)
+            sp.set("rearranging", rearranging)
+        for label in args.protect or ():
+            with obs.span("phase.protection") as sp:
+                sp.set("label", label)
+                sp.set("deletes", deletes_protected_text(transducer, dtd, label))
+    wall_ns = time.perf_counter_ns() - wall_start
+    sys.stdout.write(obs.render_text(recorder))
+    covered_ns = sum(
+        root.duration_ns for root in recorder.spans if root.name.startswith("phase.")
+    )
+    print("")
+    print(
+        "phase coverage: %.1f%% of %.3f ms total wall time"
+        % (100.0 * covered_ns / wall_ns if wall_ns else 100.0, wall_ns / 1e6)
+    )
+    print(
+        "verdict: copying=%s rearranging=%s text-preserving=%s"
+        % (copying, rearranging, not copying and not rearranging)
+    )
+    if args.trace:
+        obs.write_chrome_trace(recorder, args.trace)
+        print("wrote Chrome trace to %s" % args.trace, file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -366,6 +476,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("transducer")
     check.add_argument("schema")
     check.add_argument("--protect", action="append", metavar="LABEL")
+    _add_observation_flags(check)
     check.set_defaults(func=_cmd_check)
 
     lint = sub.add_parser(
@@ -383,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when findings at/above this severity exist "
         "(default: error)",
     )
+    _add_observation_flags(lint)
     lint.set_defaults(func=_cmd_lint)
 
     subschema = sub.add_parser("subschema", help="compute the maximal safe sub-schema")
@@ -394,7 +506,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", metavar="FILE.json", help="write the sub-schema NTA as JSON"
     )
     subschema.set_defaults(func=_cmd_subschema)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the decision pipeline under instrumentation and print "
+        "the span tree",
+    )
+    profile.add_argument("transducer")
+    profile.add_argument("schema")
+    profile.add_argument("--protect", action="append", metavar="LABEL")
+    profile.add_argument(
+        "--trace", metavar="FILE.json",
+        help="also write a Chrome trace_event file of the run",
+    )
+    profile.set_defaults(func=_cmd_profile)
     return parser
+
+
+def _add_observation_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--stats", action="store_true",
+        help="print the recorded span tree and counters to stderr",
+    )
+    sub_parser.add_argument(
+        "--trace", metavar="FILE.json",
+        help="write a Chrome trace_event file of the run",
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -29,10 +29,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..automata.bta import BTA, intersect_bta
 from ..automata.fcns import decode_tree, nta_to_bta
 from ..automata.nta import NTA, TEXT
-from ..mso.ast import And, Eq, ExistsFO, ExistsSO, Formula, In, Lab, Not, Or
+from ..mso.ast import And, Eq, ExistsFO, ExistsSO, Formula, In, Lab, Not, Or, formula_size
 from ..mso.compile import compile_mso
 from ..mso.relations import doc_before as _doc_before
 from ..mso.relations import is_root as _root
@@ -305,21 +306,47 @@ def _restricted(sentence: Optional[Formula], transducer: DTLTransducer, nta: NTA
         return None
     # Align alphabets: drop the (empty) mark component, then intersect
     # with the schema automaton.
-    plain = bta.image(lambda lab: lab[0])
-    schema = nta_to_bta(nta)
-    return intersect_bta(plain, schema).trim()
+    with obs.span("dtl.schema_product") as sp:
+        plain = bta.image(lambda lab: lab[0])
+        schema = nta_to_bta(nta)
+        product = intersect_bta(plain, schema).trim()
+        sp.set("states", len(product.states))
+        return product
+
+
+def _decide_sentence(
+    phase: str, sentence: Optional[Formula], transducer: DTLTransducer, nta: NTA
+) -> bool:
+    """Shared shape of the two §5 deciders: build the sentence, compile
+    and restrict it, then test emptiness — each step its own span."""
+    with obs.span(phase) as sp:
+        if sentence is not None and obs.enabled():
+            sp.set("sentence_size", formula_size(sentence))
+        product = _restricted(sentence, transducer, nta)
+        if product is None:
+            sp.set("verdict", False)
+            return False
+        with obs.span("dtl.emptiness") as sp_empty:
+            sp_empty.set("states", len(product.states))
+            empty = product.is_empty()
+        sp.set("verdict", not empty)
+        return not empty
 
 
 def is_copying_dtl(transducer: DTLTransducer, nta: NTA) -> bool:
     """Lemma 5.4 + §5.3: whether the transducer copies over ``L(nta)``."""
-    product = _restricted(copying_sentence(transducer), transducer, nta)
-    return product is not None and not product.is_empty()
+    with obs.span("dtl.sentence") as sp:
+        sp.set("kind", "copying")
+        sentence = copying_sentence(transducer)
+    return _decide_sentence("dtl.copying", sentence, transducer, nta)
 
 
 def is_rearranging_dtl(transducer: DTLTransducer, nta: NTA) -> bool:
     """Lemma 5.5 + §5.3: whether the transducer rearranges over ``L(nta)``."""
-    product = _restricted(rearranging_sentence(transducer), transducer, nta)
-    return product is not None and not product.is_empty()
+    with obs.span("dtl.sentence") as sp:
+        sp.set("kind", "rearranging")
+        sentence = rearranging_sentence(transducer)
+    return _decide_sentence("dtl.rearranging", sentence, transducer, nta)
 
 
 def is_text_preserving_dtl(transducer: DTLTransducer, nta: NTA) -> bool:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from .. import obs
 from ..automata.bta import BTA, intersect_bta, union_bta
 from ..automata.fcns import bta_to_nta, nta_to_bta, valid_encoding_bta
 from ..automata.nta import NTA, TEXT
@@ -76,17 +77,23 @@ def maximal_safe_subschema(
     Exponential in the worst case (one complementation), as expected:
     the result is ``L(N) ∖ (counter-examples ∪ protection violations)``.
     """
-    alphabet = tuple(sorted(set(nta.alphabet)))
-    bad = _counter_example_bta_any(transducer, nta)
-    for label in sorted(set(protected_labels)):
-        violations = protection_violation_nta(transducer, nta, label)
-        bad = union_bta(bad, nta_to_bta(violations))
-    # Complement relative to valid single-tree encodings over the
-    # schema's alphabet, then restrict to the schema.
-    complement = bad.restrict_alphabet(set(alphabet) | {TEXT}).complement()
-    valid = valid_encoding_bta(alphabet)
-    safe = intersect_bta(intersect_bta(complement, valid), nta_to_bta(nta)).trim()
-    return bta_to_nta(safe, alphabet)
+    with obs.span("safety.subschema") as sp:
+        alphabet = tuple(sorted(set(nta.alphabet)))
+        with obs.span("safety.counter_examples"):
+            bad = _counter_example_bta_any(transducer, nta)
+        for label in sorted(set(protected_labels)):
+            violations = protection_violation_nta(transducer, nta, label)
+            bad = union_bta(bad, nta_to_bta(violations))
+        # Complement relative to valid single-tree encodings over the
+        # schema's alphabet, then restrict to the schema.
+        with obs.span("safety.complement") as comp:
+            complement = bad.restrict_alphabet(set(alphabet) | {TEXT}).complement()
+            comp.set("states", len(complement.states))
+            obs.add("safety.complement_states", len(complement.states))
+        valid = valid_encoding_bta(alphabet)
+        safe = intersect_bta(intersect_bta(complement, valid), nta_to_bta(nta)).trim()
+        sp.set("states", len(safe.states))
+        return bta_to_nta(safe, alphabet)
 
 
 # ---------------------------------------------------------------------------
@@ -166,18 +173,22 @@ def protection_violation_nta(
     :func:`repro.automata.nta.intersect_nta` or use
     :func:`maximal_safe_subschema` / :func:`deletes_protected_text`.)
     """
-    alphabet = sorted(set(nta.alphabet) | {label})
-    if isinstance(transducer, TopDownTransducer):
-        protected = _protected_paths_nfa(alphabet, label)
-        kept = transducer_path_automaton(transducer)
-        deleted = _complement_nfa(kept, set(alphabet) | {TEXT})
-        violating_paths = product_nfa(protected, deleted)
-        return path_marked_nta(violating_paths, alphabet)
-    sentence = _dtl_protection_sentence(transducer, label)
-    sigma = tuple(sorted(set(analysis_alphabet(transducer, nta)) | {label}))
-    pattern = compile_mso(sentence, sigma)
-    plain = pattern.bta.image(lambda lab: lab[0])
-    return bta_to_nta(plain.trim(), alphabet)
+    with obs.span("safety.protection_nta") as sp:
+        sp.set("label", label)
+        alphabet = sorted(set(nta.alphabet) | {label})
+        if isinstance(transducer, TopDownTransducer):
+            protected = _protected_paths_nfa(alphabet, label)
+            kept = transducer_path_automaton(transducer)
+            deleted = _complement_nfa(kept, set(alphabet) | {TEXT})
+            violating_paths = product_nfa(protected, deleted)
+            obs.add("safety.protection_checks")
+            return path_marked_nta(violating_paths, alphabet)
+        sentence = _dtl_protection_sentence(transducer, label)
+        sigma = tuple(sorted(set(analysis_alphabet(transducer, nta)) | {label}))
+        pattern = compile_mso(sentence, sigma)
+        plain = pattern.bta.image(lambda lab: lab[0])
+        obs.add("safety.protection_checks")
+        return bta_to_nta(plain.trim(), alphabet)
 
 
 def _dtl_protection_sentence(transducer: DTLTransducer, label: str) -> Formula:
@@ -214,7 +225,13 @@ def deletes_protected_text(transducer: Transducer, nta: NTA, label: str) -> bool
     ``label``-node."""
     from ..automata.nta import intersect_nta
 
-    return not intersect_nta(protection_violation_nta(transducer, nta, label), nta).is_empty()
+    with obs.span("safety.protection") as sp:
+        sp.set("label", label)
+        violations = protection_violation_nta(transducer, nta, label)
+        with obs.span("safety.emptiness"):
+            verdict = not intersect_nta(violations, nta).is_empty()
+        sp.set("verdict", verdict)
+        return verdict
 
 
 def protected_violation_path(
@@ -223,15 +240,17 @@ def protected_violation_path(
     """For top-down transducers: a witness text path (ending in
     ``text``) below ``label`` that the transducer deletes on some schema
     tree, or ``None``."""
-    alphabet = sorted(set(nta.alphabet) | {label})
-    protected = _protected_paths_nfa(alphabet, label)
-    kept = transducer_path_automaton(transducer)
-    deleted = _complement_nfa(kept, set(alphabet) | {TEXT})
-    schema_paths = path_automaton(nta)
-    word = product_nfa(product_nfa(protected, deleted), schema_paths).shortest_word()
-    if word is None:
-        return None
-    return tuple(str(symbol) for symbol in word)
+    with obs.span("safety.protection_path") as sp:
+        sp.set("label", label)
+        alphabet = sorted(set(nta.alphabet) | {label})
+        protected = _protected_paths_nfa(alphabet, label)
+        kept = transducer_path_automaton(transducer)
+        deleted = _complement_nfa(kept, set(alphabet) | {TEXT})
+        schema_paths = path_automaton(nta)
+        word = product_nfa(product_nfa(protected, deleted), schema_paths).shortest_word()
+        if word is None:
+            return None
+        return tuple(str(symbol) for symbol in word)
 
 
 def protected_violation_witness(

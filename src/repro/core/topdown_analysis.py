@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..automata.nta import NTA, TEXT, intersect_nta, union_nta
 from ..strings.nfa import NFA
 from ..trees.substitution import make_value_unique
@@ -79,21 +80,27 @@ def path_automaton(nta: NTA) -> NFA:
     NTA's states plus an accepting sink, and reading a label moves to a
     possible child state within a completable accepted tree.
     """
-    transitions: List[Tuple[State, str, State]] = []
-    inhabited = nta.inhabited_states()
-    if nta.initial not in inhabited:
-        return NFA({nta.initial, _ACC}, set(nta.alphabet) | {TEXT}, [], nta.initial, {_ACC})
-    for (state, symbol), _horizontal in nta.delta.items():
-        if state not in inhabited:
-            continue
-        if symbol == TEXT:
-            if nta.allows_empty(state, TEXT):
-                transitions.append((state, TEXT, _ACC))
-            continue
-        for child in _useful_child_states(nta, state, symbol):
-            transitions.append((state, symbol, child))
-    states = set(inhabited) | {_ACC, nta.initial}
-    return NFA(states, set(nta.alphabet) | {TEXT}, transitions, nta.initial, {_ACC})
+    with obs.span("ptime.path_automaton") as sp:
+        transitions: List[Tuple[State, str, State]] = []
+        inhabited = nta.inhabited_states()
+        if nta.initial not in inhabited:
+            return NFA(
+                {nta.initial, _ACC}, set(nta.alphabet) | {TEXT}, [], nta.initial, {_ACC}
+            )
+        for (state, symbol), _horizontal in nta.delta.items():
+            if state not in inhabited:
+                continue
+            if symbol == TEXT:
+                if nta.allows_empty(state, TEXT):
+                    transitions.append((state, TEXT, _ACC))
+                continue
+            for child in _useful_child_states(nta, state, symbol):
+                transitions.append((state, symbol, child))
+        states = set(inhabited) | {_ACC, nta.initial}
+        sp.set("states", len(states))
+        sp.set("transitions", len(transitions))
+        obs.add("ptime.path_automaton_states", len(states))
+        return NFA(states, set(nta.alphabet) | {TEXT}, transitions, nta.initial, {_ACC})
 
 
 def transducer_path_automaton(transducer: TopDownTransducer) -> NFA:
@@ -104,15 +111,19 @@ def transducer_path_automaton(transducer: TopDownTransducer) -> NFA:
             "this is the Section 4 (top-down) pipeline; for DTL transducers "
             "use repro.is_text_preserving or repro.core.dtl_analysis"
         )
-    transitions: List[Tuple[State, str, State]] = []
-    for (state, symbol), _rhs in transducer.rules.items():
-        for target in set(transducer.rhs_frontier_states(state, symbol)):
-            transitions.append((state, symbol, target))
-    for state in transducer.text_states:
-        transitions.append((state, TEXT, _ACC))
-    states = set(transducer.states) | {_ACC}
-    alphabet = set(transducer.alphabet) | {TEXT}
-    return NFA(states, alphabet, transitions, transducer.initial, {_ACC})
+    with obs.span("ptime.transducer_path_automaton") as sp:
+        transitions: List[Tuple[State, str, State]] = []
+        for (state, symbol), _rhs in transducer.rules.items():
+            for target in set(transducer.rhs_frontier_states(state, symbol)):
+                transitions.append((state, symbol, target))
+        for state in transducer.text_states:
+            transitions.append((state, TEXT, _ACC))
+        states = set(transducer.states) | {_ACC}
+        alphabet = set(transducer.alphabet) | {TEXT}
+        sp.set("states", len(states))
+        sp.set("transitions", len(transitions))
+        obs.add("ptime.path_automaton_states", len(states))
+        return NFA(states, alphabet, transitions, transducer.initial, {_ACC})
 
 
 # ---------------------------------------------------------------------------
@@ -150,38 +161,49 @@ def copying_nfa(transducer: TopDownTransducer, nta: NTA) -> NFA:
     end in value-copying rules after having diverged, or after some
     rule on the shared prefix offered the next state twice.
     """
-    schema = path_automaton(nta)
-    alphabet = set(nta.alphabet) | {TEXT}
-    initial = (schema.initial, transducer.initial, transducer.initial, 0)
-    states: Set[State] = {initial, _ACC}
-    transitions: List[Tuple[State, str, State]] = []
-    stack: List[Tuple[State, str, str, int]] = [initial]
-    seen: Set[State] = {initial}
-    while stack:
-        current = stack.pop()
-        s_n, q1, q2, flag = current
-        for symbol in schema.symbols_from(s_n):
-            if symbol == TEXT:
-                if flag == 1 and q1 in transducer.text_states and q2 in transducer.text_states:
-                    transitions.append((current, TEXT, _ACC))
-                continue
-            schema_targets = schema.step(s_n, symbol)
-            if not schema_targets:
-                continue
-            for t1, t2, new_flag in _pair_steps(transducer, q1, q2, symbol, flag):
-                for s_target in schema_targets:
-                    nxt = (s_target, t1, t2, new_flag)
-                    transitions.append((current, symbol, nxt))
-                    if nxt not in seen:
-                        seen.add(nxt)
-                        states.add(nxt)
-                        stack.append(nxt)
-    return NFA(states, alphabet, transitions, initial, {_ACC})
+    with obs.span("ptime.copying_product") as sp:
+        schema = path_automaton(nta)
+        alphabet = set(nta.alphabet) | {TEXT}
+        initial = (schema.initial, transducer.initial, transducer.initial, 0)
+        states: Set[State] = {initial, _ACC}
+        transitions: List[Tuple[State, str, State]] = []
+        stack: List[Tuple[State, str, str, int]] = [initial]
+        seen: Set[State] = {initial}
+        while stack:
+            current = stack.pop()
+            s_n, q1, q2, flag = current
+            for symbol in schema.symbols_from(s_n):
+                if symbol == TEXT:
+                    if flag == 1 and q1 in transducer.text_states and q2 in transducer.text_states:
+                        transitions.append((current, TEXT, _ACC))
+                    continue
+                schema_targets = schema.step(s_n, symbol)
+                if not schema_targets:
+                    continue
+                for t1, t2, new_flag in _pair_steps(transducer, q1, q2, symbol, flag):
+                    for s_target in schema_targets:
+                        nxt = (s_target, t1, t2, new_flag)
+                        transitions.append((current, symbol, nxt))
+                        if nxt not in seen:
+                            seen.add(nxt)
+                            states.add(nxt)
+                            stack.append(nxt)
+        sp.set("states", len(states))
+        sp.set("transitions", len(transitions))
+        obs.add("ptime.product_states", len(states))
+        obs.add("ptime.product_transitions", len(transitions))
+        return NFA(states, alphabet, transitions, initial, {_ACC})
 
 
 def is_copying(transducer: TopDownTransducer, nta: NTA) -> bool:
     """Lemma 4.9: PTIME test whether the transducer copies over ``L(nta)``."""
-    return not copying_nfa(transducer, nta).is_empty()
+    with obs.span("ptime.copying") as sp:
+        product = copying_nfa(transducer, nta)
+        with obs.span("ptime.emptiness") as sp_empty:
+            sp_empty.set("automaton", "copying_nfa")
+            empty = product.is_empty()
+        sp.set("verdict", not empty)
+        return not empty
 
 
 def copying_witness_path(
@@ -268,6 +290,7 @@ def copying_nta(
             if combined is not None:
                 delta[((q1, q2, flag), symbol)] = combined
     states = pair_states | {_D, initial}
+    obs.add("ptime.product_states", len(states))
     return NTA(states, alphabet, delta, initial)
 
 
@@ -296,6 +319,19 @@ def rearranging_nta(
     start a violation.  This localizes rearranging to individual rules
     (used by the :mod:`repro.lint` diagnostics engine).
     """
+    with obs.span("ptime.rearranging_nta") as sp:
+        result = _rearranging_nta_impl(transducer, alphabet, violation_filter)
+        sp.set("states", len(result.states))
+        sp.set("rules", len(result.delta))
+        obs.add("ptime.product_states", len(result.states))
+        return result
+
+
+def _rearranging_nta_impl(
+    transducer: TopDownTransducer,
+    alphabet: Optional[Iterable[str]],
+    violation_filter: Optional[Callable[[str, str, str, str], bool]],
+) -> NTA:
     alphabet = set(alphabet) if alphabet is not None else set(transducer.alphabet)
     alphabet |= set(transducer.alphabet)
     delta: Dict[Tuple[State, str], NFA] = {}
@@ -405,19 +441,31 @@ def rearranging_nta(
 def is_rearranging(transducer: TopDownTransducer, nta: NTA) -> bool:
     """Lemma 4.10: PTIME test whether the transducer rearranges over
     ``L(nta)``."""
-    universe = set(nta.alphabet) | set(transducer.alphabet)
-    return not intersect_nta(rearranging_nta(transducer, universe), nta).is_empty()
+    with obs.span("ptime.rearranging") as sp:
+        universe = set(nta.alphabet) | set(transducer.alphabet)
+        witness_nta = rearranging_nta(transducer, universe)
+        with obs.span("ptime.schema_product") as sp_product:
+            product = intersect_nta(witness_nta, nta)
+            sp_product.set("states", len(product.states))
+        with obs.span("ptime.emptiness") as sp_empty:
+            sp_empty.set("automaton", "rearranging_product")
+            empty = product.is_empty()
+        sp.set("verdict", not empty)
+        return not empty
 
 
 def counter_example_nta(transducer: TopDownTransducer, nta: NTA) -> NTA:
     """The regular language of counter-examples (Section 7): trees of
     ``L(nta)`` on which the transducer copies or rearranges — i.e., is
     not text-preserving (Theorem 3.3)."""
-    universe = set(nta.alphabet) | set(transducer.alphabet)
-    bad = union_nta(
-        copying_nta(transducer, universe), rearranging_nta(transducer, universe)
-    )
-    return intersect_nta(bad, nta)
+    with obs.span("ptime.counter_example_nta") as sp:
+        universe = set(nta.alphabet) | set(transducer.alphabet)
+        bad = union_nta(
+            copying_nta(transducer, universe), rearranging_nta(transducer, universe)
+        )
+        product = intersect_nta(bad, nta)
+        sp.set("states", len(product.states))
+        return product
 
 
 def is_text_preserving(transducer: TopDownTransducer, nta: NTA) -> bool:

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..automata.nta import NTA, TEXT, intersect_nta
 from ..schema.dtd import DTD
 from ..strings.dfa import DFA, determinize
@@ -86,6 +87,12 @@ class _OutputType:
             label: determinize(dtd.content_model(label).without_epsilon(), alphabet=alphabet)
             for label in self.labels
         }
+        if obs.enabled():
+            obs.add("typecheck.content_dfas", len(self.dfas))
+            obs.add(
+                "typecheck.content_dfa_states",
+                sum(len(dfa.states) for dfa in self.dfas.values()),
+            )
         # Canonical state indexing per DFA for compact summaries.
         self.state_index: Dict[str, Dict[object, int]] = {}
         self.states_of: Dict[str, List[object]] = {}
@@ -255,6 +262,18 @@ def inverse_type_nta(
     worst case — the EXPTIME construction); horizontal languages are
     DFAs computing the running product of child summaries.
     """
+    with obs.span("typecheck.inverse_type") as sp:
+        result = _inverse_type_nta_impl(transducer, output_dtd, input_alphabet, accept_valid)
+        sp.set("states", len(result.states))
+        return result
+
+
+def _inverse_type_nta_impl(
+    transducer: TopDownTransducer,
+    output_dtd: DTD,
+    input_alphabet: Iterable[str],
+    accept_valid: bool,
+) -> NTA:
     out = _output_type(output_dtd)
     evaluator = _Evaluator(transducer, out)
     sigma = tuple(sorted(set(input_alphabet)))
@@ -309,6 +328,10 @@ def inverse_type_nta(
             vector = work_vectors.pop()
             for product in list(products):
                 pair(product, vector)
+
+    if obs.enabled():
+        obs.add("typecheck.vectors", len(vectors))
+        obs.add("typecheck.products", len(products))
 
     # Name the states compactly.
     vector_name = {vector: ("v", i) for i, vector in enumerate(sorted(vectors, key=repr))}
@@ -369,10 +392,16 @@ def typechecks(
 ) -> bool:
     """Whether ``T(t)`` is valid w.r.t. the output DTD for *every*
     ``t ∈ L(input_schema)`` (EXPTIME in general)."""
-    bad = inverse_type_nta(
-        transducer, output_dtd, input_schema.alphabet, accept_valid=False
-    )
-    return intersect_nta(bad, input_schema).is_empty()
+    with obs.span("typecheck.decide") as sp:
+        bad = inverse_type_nta(
+            transducer, output_dtd, input_schema.alphabet, accept_valid=False
+        )
+        with obs.span("typecheck.emptiness") as inner:
+            product = intersect_nta(bad, input_schema)
+            inner.set("states", len(product.states))
+            verdict = product.is_empty()
+        sp.set("verdict", verdict)
+        return verdict
 
 
 def typecheck_counter_example(
@@ -380,7 +409,8 @@ def typecheck_counter_example(
 ) -> Optional[Tree]:
     """A smallest input tree whose output violates the output DTD, or
     ``None`` when the transducer typechecks."""
-    bad = inverse_type_nta(
-        transducer, output_dtd, input_schema.alphabet, accept_valid=False
-    )
-    return intersect_nta(bad, input_schema).witness()
+    with obs.span("typecheck.counter_example"):
+        bad = inverse_type_nta(
+            transducer, output_dtd, input_schema.alphabet, accept_valid=False
+        )
+        return intersect_nta(bad, input_schema).witness()

@@ -23,6 +23,7 @@ from typing import (
     Union,
 )
 
+from .. import obs
 from ..automata.nta import NTA, TEXT
 from ..core.safety import ProtectionReport, protection_report
 from ..core.topdown import TopDownTransducer
@@ -74,11 +75,23 @@ class LintContext:
         else:
             raise TypeError("schema must be a DTD or an NTA, got %r" % (self.schema,))
         self._memo: Dict[str, Any] = {}
+        self.memo_hits: int = 0
+        self.memo_misses: int = 0
 
     def _cached(self, key: str, compute: Callable[[], Any]) -> Any:
         if key not in self._memo:
+            self.memo_misses += 1
+            obs.add("lint.memo.misses")
             self._memo[key] = compute()
+        else:
+            self.memo_hits += 1
+            obs.add("lint.memo.hits")
         return self._memo[key]
+
+    def memo_stats(self) -> Dict[str, int]:
+        """Hit/miss counts of the shared-machinery memo — how much work
+        the rules reused instead of recomputing."""
+        return {"hits": self.memo_hits, "misses": self.memo_misses}
 
     # -- shared machinery -------------------------------------------------
 
@@ -248,11 +261,19 @@ def run_lint(
     if codes is not None:
         wanted = set(codes)
         selected = tuple(rule for rule in selected if rule.code in wanted)
-    schema_empty = context.schema_is_empty()
-    diagnostics: List[Diagnostic] = []
-    for rule in selected:
-        if schema_empty and rule.needs_schema:
-            continue
-        diagnostics.extend(rule.check(context))
-    diagnostics.sort(key=_sort_key)
-    return diagnostics
+    with obs.span("lint.run") as sp:
+        schema_empty = context.schema_is_empty()
+        diagnostics: List[Diagnostic] = []
+        for rule in selected:
+            if schema_empty and rule.needs_schema:
+                continue
+            with obs.span("lint.rule") as rule_span:
+                rule_span.set("code", rule.code)
+                diagnostics.extend(rule.check(context))
+        diagnostics.sort(key=_sort_key)
+        if obs.enabled():
+            sp.set("rules", len(selected))
+            sp.set("diagnostics", len(diagnostics))
+            sp.set("memo_hits", context.memo_hits)
+            sp.set("memo_misses", context.memo_misses)
+        return diagnostics

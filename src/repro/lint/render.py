@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..trees.parser import serialize_tree
 from .diagnostics import SEVERITIES, Diagnostic
@@ -50,11 +50,17 @@ def render_text(diagnostics: Sequence[Diagnostic]) -> str:
     return "\n".join(lines) + "\n"
 
 
-def render_json(diagnostics: Sequence[Diagnostic]) -> str:
-    """A stable JSON document: ``{"version", "summary", "diagnostics"}``."""
+def render_json(
+    diagnostics: Sequence[Diagnostic], stats: Optional[Dict[str, int]] = None
+) -> str:
+    """A stable JSON document: ``{"version", "summary", "diagnostics"}``,
+    plus a ``"stats"`` object (engine memo hit/miss counts etc.) when
+    given."""
     payload = {
         "version": 1,
         "summary": summary_counts(diagnostics),
         "diagnostics": [diagnostic.to_dict() for diagnostic in diagnostics],
     }
+    if stats is not None:
+        payload["stats"] = dict(stats)
     return json.dumps(payload, indent=2, sort_keys=False)

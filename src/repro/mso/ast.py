@@ -36,6 +36,8 @@ __all__ = [
     "variable_kinds",
     "rename_variable",
     "substitute_free",
+    "formula_size",
+    "negation_nesting",
     "FO",
     "SO",
 ]
@@ -331,6 +333,55 @@ def _walk(formula: Formula, bound: FrozenSet[str]) -> Iterator[Tuple[str, str, b
         yield from _walk(formula.inner, bound | {formula.var})
     else:
         raise TypeError("unknown formula %r" % (formula,))
+
+
+def formula_size(formula: Formula) -> int:
+    """The number of AST nodes — the ``|phi|`` of the complexity
+    statements (and the size driver of the compiled automata)."""
+    size = 0
+    stack = [formula]
+    while stack:
+        f = stack.pop()
+        size += 1
+        for attr in ("inner", "left", "right"):
+            child = getattr(f, attr, None)
+            if isinstance(child, Formula):
+                stack.append(child)
+    return size
+
+
+def negation_nesting(formula: Formula) -> int:
+    """The maximum nesting depth of negations.
+
+    Each negation may determinize during compilation, so this is the
+    height of the classical non-elementary tower (measured in E8); the
+    instrumentation layer keys per-stage automaton sizes by it.
+    """
+    cached = formula.__dict__.get("_neg_nesting")
+    if cached is not None:
+        return cached
+    # Iterative post-order: the DTL sentences build long left-deep
+    # And-chains that would overflow a recursive walk.
+    stack = [(formula, False)]
+    while stack:
+        f, expanded = stack.pop()
+        if f.__dict__.get("_neg_nesting") is not None:
+            continue
+        children = [
+            child
+            for attr in ("inner", "left", "right")
+            if isinstance(child := getattr(f, attr, None), Formula)
+        ]
+        if expanded:
+            depth = max((child.__dict__["_neg_nesting"] for child in children), default=0)
+            if isinstance(f, Not):
+                depth += 1
+            f.__dict__["_neg_nesting"] = depth
+        else:
+            stack.append((f, True))
+            for child in children:
+                stack.append((child, False))
+    return formula.__dict__["_neg_nesting"]
 
 
 def variable_kinds(formula: Formula) -> Dict[str, str]:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
+from .. import obs
 from ..automata.bta import BTA, BTree, intersect_bta, union_bta
 from ..automata.fcns import decode_tree
 from ..automata.nta import TEXT
@@ -47,7 +48,9 @@ from .ast import (
     Not,
     Or,
     Sibling,
+    formula_size,
     free_variables,
+    negation_nesting,
 )
 
 __all__ = [
@@ -398,7 +401,15 @@ def compile_mso(
     text placeholder is implicit).
     """
     sigma_tuple = tuple(sorted(set(sigma) - {TEXT}))
-    return _compile(formula, sigma_tuple, trim)
+    if not obs.enabled():
+        return _compile(formula, sigma_tuple, trim)
+    with obs.span("mso.compile") as sp:
+        sp.set("formula_size", formula_size(formula))
+        sp.set("negation_nesting", negation_nesting(formula))
+        sp.set("sigma", len(sigma_tuple))
+        result = _compile(formula, sigma_tuple, trim)
+        sp.set("bta_states", len(result.bta.states))
+        return result
 
 
 def _compile(formula: Formula, sigma: Tuple[str, ...], trim: bool) -> CompiledPattern:
@@ -406,6 +417,7 @@ def _compile(formula: Formula, sigma: Tuple[str, ...], trim: bool) -> CompiledPa
         return _compile_uncached(formula, sigma, trim)
     cached = _COMPILE_CACHE.get((formula, sigma))
     if cached is not None:
+        obs.add("mso.compile.cache_hits")
         return cached
     # Alpha-normalize the free variables so that formulas differing only
     # in marker names share one compilation: compile the canonical
@@ -427,6 +439,8 @@ def _compile(formula: Formula, sigma: Tuple[str, ...], trim: bool) -> CompiledPa
     if canonical_pattern is None:
         canonical_pattern = _compile_uncached(canonical, sigma, trim)
         _COMPILE_CACHE[canonical_key] = canonical_pattern
+    else:
+        obs.add("mso.compile.cache_hits")
     inverse = {canon: var for var, canon in mapping.items()}
 
     def rename(label: MarkedLabel) -> MarkedLabel:
@@ -441,10 +455,13 @@ def _compile(formula: Formula, sigma: Tuple[str, ...], trim: bool) -> CompiledPa
 
 def _compile_uncached(formula: Formula, sigma: Tuple[str, ...], trim: bool) -> CompiledPattern:
     free = free_variables(formula)
+    obs.add("mso.compile.cache_misses")
 
     def finish(bta: BTA) -> CompiledPattern:
         if trim:
             bta = bta.trim()
+        if obs.enabled():
+            obs.gauge_max("mso.max_bta_states", len(bta.states))
         return CompiledPattern(bta, free, sigma, formula)
 
     if isinstance(formula, Lab):
@@ -467,6 +484,14 @@ def _compile_uncached(formula: Formula, sigma: Tuple[str, ...], trim: bool) -> C
     if isinstance(formula, Not):
         inner = _compile(formula.inner, sigma, trim)
         complemented = inner.bta.complement()
+        if obs.enabled():
+            # The determinization step: record the blow-up per negation
+            # nesting depth (the stage sizes of the non-elementary tower).
+            depth = negation_nesting(formula)
+            obs.add("mso.negations")
+            obs.add("mso.negation.input_states", len(inner.bta.states))
+            obs.add("mso.negation.output_states", len(complemented.states))
+            obs.gauge_max("mso.negation.depth%d.states" % depth, len(complemented.states))
         return finish(intersect_bta(complemented, _universe(sigma, free)))
     if isinstance(formula, (And, Or)):
         left = _compile(formula.left, sigma, trim)
@@ -474,9 +499,12 @@ def _compile_uncached(formula: Formula, sigma: Tuple[str, ...], trim: bool) -> C
         lifted_left = _lift(left, free)
         lifted_right = _lift(right, free)
         if isinstance(formula, And):
+            obs.add("mso.products")
             return finish(intersect_bta(lifted_left, lifted_right))
+        obs.add("mso.unions")
         return finish(union_bta(lifted_left, lifted_right))
     if isinstance(formula, (ExistsFO, ExistsSO)):
+        obs.add("mso.projections")
         inner = _compile(formula.inner, sigma, trim)
         if formula.var not in inner.free:
             # Vacuous quantification over a variable that does not occur:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Iterable, Mapping, Tuple, Union
 
+from .. import obs
 from ..trees.tree import Node, Tree
 from .ast import (
     And,
@@ -90,23 +91,31 @@ class MSOEvaluator:
         if isinstance(formula, ExistsFO):
             saved = env.get(formula.var)
             had = formula.var in env
-            for node in self.nodes:
-                env[formula.var] = node
-                if self._eval(formula.inner, env):
-                    _restore(env, formula.var, saved, had)
-                    return True
-            _restore(env, formula.var, saved, had)
-            return False
+            tried = 0
+            try:
+                for node in self.nodes:
+                    tried += 1
+                    env[formula.var] = node
+                    if self._eval(formula.inner, env):
+                        return True
+                return False
+            finally:
+                obs.add("mso.eval.fo_candidates", tried)
+                _restore(env, formula.var, saved, had)
         if isinstance(formula, ExistsSO):
             saved = env.get(formula.var)
             had = formula.var in env
-            for subset in _subsets(self.nodes):
-                env[formula.var] = subset
-                if self._eval(formula.inner, env):
-                    _restore(env, formula.var, saved, had)
-                    return True
-            _restore(env, formula.var, saved, had)
-            return False
+            tried = 0
+            try:
+                for subset in _subsets(self.nodes):
+                    tried += 1
+                    env[formula.var] = subset
+                    if self._eval(formula.inner, env):
+                        return True
+                return False
+            finally:
+                obs.add("mso.eval.so_subsets", tried)
+                _restore(env, formula.var, saved, had)
         raise TypeError("unknown formula %r" % (formula,))
 
     def satisfying_nodes(self, formula: Formula, var: str) -> Tuple[Node, ...]:

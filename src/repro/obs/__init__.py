@@ -1,0 +1,75 @@
+"""Zero-dependency instrumentation for the decision procedures.
+
+The complexity results this repo reproduces are *about* automaton
+growth: the PTIME pipeline of Theorem 4.11 lives or dies on the size of
+the Lemma 4.8 path automata and their products, the EXPTIME and
+non-elementary results (Theorems 5.18/5.12) on MSO-compiled automaton
+blow-up.  This package makes that growth observable:
+
+* ``obs.span(name)`` — a context-local span tree with wall time and
+  attached attributes (``with obs.span("ptime.product") as sp:
+  sp.set("states", n)``);
+* ``obs.add(name)`` / ``obs.set_gauge(name, value)`` — typed counters
+  and gauges per subsystem (``nta.*``, ``ptime.*``, ``mso.*``,
+  ``xpath.*``, ``typecheck.*``, ``safety.*``, ``lint.*``,
+  ``oracle.*``);
+* exporters — text tree, round-trippable JSON, and Chrome
+  ``trace_event`` JSON for ``chrome://tracing`` / Perfetto.
+
+Nothing records unless a recorder is installed::
+
+    from repro import obs
+
+    with obs.recording() as rec:
+        is_text_preserving(transducer, schema)
+    print(obs.render_text(rec))
+
+When no recorder is active every instrumentation point is a single
+ContextVar read and truthiness check — the E5 family shows no
+measurable slowdown with instrumentation disabled.
+
+CLI surface: ``python -m repro profile TDX SCHEMA`` and the
+``--trace FILE`` / ``--stats`` flags on ``check`` and ``lint``.
+"""
+
+from .export import (
+    from_dict,
+    render_json,
+    render_text,
+    spans_from_chrome_trace,
+    to_chrome_trace,
+    to_dict,
+    write_chrome_trace,
+)
+from .recorder import (
+    NULL_SPAN,
+    Recorder,
+    Span,
+    add,
+    current,
+    enabled,
+    gauge_max,
+    recording,
+    set_gauge,
+    span,
+)
+
+__all__ = [
+    "Span",
+    "Recorder",
+    "recording",
+    "current",
+    "enabled",
+    "span",
+    "add",
+    "set_gauge",
+    "gauge_max",
+    "NULL_SPAN",
+    "render_text",
+    "to_dict",
+    "from_dict",
+    "render_json",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "spans_from_chrome_trace",
+]

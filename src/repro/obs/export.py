@@ -1,0 +1,227 @@
+"""Exporters for recorded runs: text tree, JSON, Chrome trace_event.
+
+Three views of one :class:`~repro.obs.recorder.Recorder`:
+
+* :func:`render_text` — an indented span tree with per-phase wall time,
+  percentage of the enclosing span, and attributes, followed by the
+  counter/gauge tables.  This is what ``python -m repro profile``
+  prints.
+* :func:`to_dict` / :func:`render_json` — a faithful JSON document
+  (``from_dict`` round-trips it), for archiving alongside benchmark
+  numbers.
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON object
+  format (complete ``"X"`` events plus one metadata event), loadable in
+  ``chrome://tracing`` and Perfetto.  Span ids/parents ride in ``args``
+  so :func:`spans_from_chrome_trace` can rebuild the tree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .recorder import Recorder, Span
+
+__all__ = [
+    "render_text",
+    "to_dict",
+    "from_dict",
+    "render_json",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "spans_from_chrome_trace",
+]
+
+
+def _format_duration(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return "%.3f s" % (ns / 1e9)
+    if ns >= 1_000_000:
+        return "%.2f ms" % (ns / 1e6)
+    return "%.1f us" % (ns / 1e3)
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join("%s=%s" % (k, attrs[k]) for k in sorted(attrs))
+    return "  {%s}" % inner
+
+
+def _render_span(span: Span, parent_ns: Optional[int], indent: int, lines: List[str]) -> None:
+    share = ""
+    if parent_ns:
+        share = " (%4.1f%%)" % (100.0 * span.duration_ns / parent_ns)
+    lines.append(
+        "%s%s  %s%s%s"
+        % ("  " * indent, span.name, _format_duration(span.duration_ns), share,
+           _format_attrs(span.attrs))
+    )
+    for child in span.children:
+        _render_span(child, span.duration_ns, indent + 1, lines)
+
+
+def render_text(recorder: Recorder) -> str:
+    """The human-readable report: span tree, counters, gauges."""
+    lines: List[str] = []
+    for root in recorder.spans:
+        _render_span(root, None, 0, lines)
+    if recorder.counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(name) for name in recorder.counters)
+        for name in sorted(recorder.counters):
+            value = recorder.counters[name]
+            shown = "%d" % value if float(value).is_integer() else "%g" % value
+            lines.append("  %-*s  %s" % (width, name, shown))
+    if recorder.gauges:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(name) for name in recorder.gauges)
+        for name in sorted(recorder.gauges):
+            lines.append("  %-*s  %g" % (width, name, recorder.gauges[name]))
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# JSON (round-trippable)
+# ---------------------------------------------------------------------------
+
+
+def _span_to_dict(span: Span) -> Dict[str, Any]:
+    return {
+        "name": span.name,
+        "start_ns": span.start_ns,
+        "duration_ns": span.duration_ns,
+        "attrs": dict(span.attrs),
+        "children": [_span_to_dict(child) for child in span.children],
+    }
+
+
+def _span_from_dict(payload: Dict[str, Any]) -> Span:
+    span = Span(payload["name"], start_ns=payload["start_ns"])
+    span.end_ns = payload["start_ns"] + payload["duration_ns"]
+    span.attrs = dict(payload.get("attrs", {}))
+    span.children = [_span_from_dict(child) for child in payload.get("children", ())]
+    return span
+
+
+def to_dict(recorder: Recorder) -> Dict[str, Any]:
+    """A JSON-ready document of the whole run."""
+    return {
+        "version": 1,
+        "spans": [_span_to_dict(root) for root in recorder.spans],
+        "counters": dict(recorder.counters),
+        "gauges": dict(recorder.gauges),
+    }
+
+
+def from_dict(payload: Dict[str, Any]) -> Recorder:
+    """Rebuild a recorder from :func:`to_dict` output."""
+    rec = Recorder()
+    rec.spans = [_span_from_dict(span) for span in payload.get("spans", ())]
+    rec.counters = dict(payload.get("counters", {}))
+    rec.gauges = dict(payload.get("gauges", {}))
+    return rec
+
+
+def render_json(recorder: Recorder) -> str:
+    return json.dumps(to_dict(recorder), indent=2, sort_keys=False)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(recorder: Recorder, process_name: str = "repro") -> Dict[str, Any]:
+    """The ``trace_event`` JSON object format.
+
+    Every span becomes a complete (``"ph": "X"``) event with
+    microsecond timestamps relative to the earliest span; counters
+    become one ``"C"`` event each at the end of the run so Perfetto
+    draws them as a final value track.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    origin_ns = min((root.start_ns for root in recorder.spans), default=0)
+    next_id = [0]
+
+    def emit(span: Span, parent_id: Optional[int]) -> None:
+        span_id = next_id[0]
+        next_id[0] += 1
+        args: Dict[str, Any] = dict(span.attrs)
+        args["id"] = span_id
+        if parent_id is not None:
+            args["parent"] = parent_id
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": (span.start_ns - origin_ns) / 1e3,
+                "dur": span.duration_ns / 1e3,
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+        for child in span.children:
+            emit(child, span_id)
+
+    for root in recorder.spans:
+        emit(root, None)
+    end_ts = max(
+        (event["ts"] + event["dur"] for event in events if event["ph"] == "X"),
+        default=0.0,
+    )
+    for name in sorted(recorder.counters):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": end_ts,
+                "pid": 1,
+                "tid": 1,
+                "args": {"value": recorder.counters[name]},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(recorder: Recorder, path: str, process_name: str = "repro") -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(recorder, process_name), handle, indent=2)
+
+
+def spans_from_chrome_trace(payload: Dict[str, Any]) -> List[Span]:
+    """Rebuild the span forest from :func:`to_chrome_trace` output
+    (the ``id``/``parent`` args carry the tree; counters are ignored)."""
+    by_id: Dict[int, Span] = {}
+    roots: List[Span] = []
+    parents: List[Dict[str, Any]] = []
+    for event in payload.get("traceEvents", ()):
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args", {}))
+        span_id = args.pop("id")
+        parent_id = args.pop("parent", None)
+        start_ns = int(round(event["ts"] * 1e3))
+        span = Span(event["name"], start_ns=start_ns)
+        span.end_ns = start_ns + int(round(event["dur"] * 1e3))
+        span.attrs = args
+        by_id[span_id] = span
+        parents.append({"id": span_id, "parent": parent_id})
+    for link in parents:
+        span = by_id[link["id"]]
+        if link["parent"] is None:
+            roots.append(span)
+        else:
+            by_id[link["parent"]].children.append(span)
+    return roots

@@ -1,0 +1,251 @@
+"""The instrumentation core: context-local span trees and counters.
+
+One :class:`Recorder` holds everything observed during one run — a tree
+of timed :class:`Span` objects plus flat counter/gauge registries.  The
+active recorder lives in a :class:`contextvars.ContextVar`, so
+
+* runs are isolated per context (no cross-test or cross-thread
+  leakage);
+* when no recorder is installed every entry point degrades to a single
+  truthiness check: :func:`span` returns a shared immutable null span,
+  :func:`add` / :func:`set_gauge` return immediately.
+
+Instrumented code therefore never checks a flag itself::
+
+    with obs.span("ptime.copying_product") as sp:
+        nfa = build_product(...)
+        sp.set("states", len(nfa.states))
+        obs.add("ptime.product_states", len(nfa.states))
+
+Counter *names* are dotted, subsystem-first (``nta.created``,
+``mso.compile.cache_hits``, ``lint.memo.hits``), so exports group
+naturally.  Heavy loops should count locally and report once at span
+end — the enabled-mode overhead is then one span per phase, not one
+call per state.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Recorder",
+    "recording",
+    "current",
+    "enabled",
+    "span",
+    "add",
+    "set_gauge",
+    "gauge_max",
+    "NULL_SPAN",
+]
+
+
+class Span:
+    """One timed phase: name, wall-clock bounds, attributes, children.
+
+    Durations are integer nanoseconds (``time.perf_counter_ns``);
+    :attr:`duration_s` converts.  A span still open has ``end_ns is
+    None``.
+    """
+
+    __slots__ = ("name", "start_ns", "end_ns", "attrs", "children")
+
+    def __init__(self, name: str, start_ns: Optional[int] = None) -> None:
+        self.name = name
+        self.start_ns = time.perf_counter_ns() if start_ns is None else start_ns
+        self.end_ns: Optional[int] = None
+        self.attrs: Dict[str, Any] = {}
+        self.children: List["Span"] = []
+
+    @property
+    def duration_ns(self) -> int:
+        end = self.end_ns if self.end_ns is not None else time.perf_counter_ns()
+        return end - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an attribute (automaton sizes, counts, verdicts)."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        rec = _RECORDER.get()
+        if rec is not None:
+            rec._close(self)
+
+    def __repr__(self) -> str:
+        return "Span(%r, %.3fms, %d children)" % (
+            self.name,
+            self.duration_ns / 1e6,
+            len(self.children),
+        )
+
+
+class _NullSpan:
+    """The shared disabled-mode span: every operation is a no-op.
+
+    A single instance (:data:`NULL_SPAN`) is returned by :func:`span`
+    whenever no recorder is active, so disabled instrumentation costs
+    one ContextVar read and a truthiness check — nothing is allocated.
+    """
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Collected observations of one run."""
+
+    __slots__ = ("spans", "counters", "gauges", "_stack")
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []  # top-level (root) spans, in order
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self._stack: List[Span] = []
+
+    # -- span plumbing (driven by the module-level API) -------------------
+
+    def _open(self, name: str) -> Span:
+        opened = Span(name)
+        if self._stack:
+            self._stack[-1].children.append(opened)
+        else:
+            self.spans.append(opened)
+        self._stack.append(opened)
+        return opened
+
+    def _close(self, closing: Span) -> None:
+        closing.end_ns = time.perf_counter_ns()
+        # Unwind to the matching frame so a missed __exit__ deeper down
+        # (e.g. an exception swallowed around a with-block) cannot
+        # corrupt the nesting of outer spans.
+        while self._stack:
+            top = self._stack.pop()
+            if top is closing:
+                break
+            if top.end_ns is None:
+                top.end_ns = closing.end_ns
+
+    # -- registries --------------------------------------------------------
+
+    def add(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        if name not in self.gauges or self.gauges[name] < value:
+            self.gauges[name] = value
+
+    # -- convenience -------------------------------------------------------
+
+    def total_duration_ns(self) -> int:
+        return sum(root.duration_ns for root in self.spans)
+
+    def find(self, name: str) -> Optional[Span]:
+        """The first span (depth-first) with the given name."""
+        stack = list(reversed(self.spans))
+        while stack:
+            node = stack.pop()
+            if node.name == name:
+                return node
+            stack.extend(reversed(node.children))
+        return None
+
+    def __repr__(self) -> str:
+        return "Recorder(spans=%d, counters=%d, gauges=%d)" % (
+            len(self.spans),
+            len(self.counters),
+            len(self.gauges),
+        )
+
+
+_RECORDER: ContextVar[Optional[Recorder]] = ContextVar("repro_obs_recorder", default=None)
+
+
+@contextmanager
+def recording() -> Iterator[Recorder]:
+    """Install a fresh recorder for the dynamic extent of the block.
+
+    Nested ``recording()`` blocks shadow the outer recorder (the outer
+    one sees nothing from the inner block), matching the context-local
+    isolation the tests rely on.
+    """
+    rec = Recorder()
+    token = _RECORDER.set(rec)
+    try:
+        yield rec
+    finally:
+        _RECORDER.reset(token)
+
+
+def current() -> Optional[Recorder]:
+    """The active recorder, or ``None`` when instrumentation is off."""
+    return _RECORDER.get()
+
+
+def enabled() -> bool:
+    """Whether a recorder is active in this context."""
+    return _RECORDER.get() is not None
+
+
+def span(name: str) -> Any:
+    """Open a span under the active recorder (or the shared null span).
+
+    Usable both as a context manager and, when the caller needs the
+    handle, via ``with obs.span(...) as sp: sp.set(...)``.
+    """
+    rec = _RECORDER.get()
+    if rec is None:
+        return NULL_SPAN
+    return rec._open(name)
+
+
+def add(name: str, value: float = 1) -> None:
+    """Increment a counter on the active recorder (no-op when off)."""
+    rec = _RECORDER.get()
+    if rec is not None:
+        rec.add(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active recorder (no-op when off)."""
+    rec = _RECORDER.get()
+    if rec is not None:
+        rec.set_gauge(name, value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Raise a gauge to ``value`` if it is below it (no-op when off)."""
+    rec = _RECORDER.get()
+    if rec is not None:
+        rec.gauge_max(name, value)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 
+from .. import obs
 from ..mso.ast import (
     And,
     Child,
@@ -32,6 +33,7 @@ from ..mso.ast import (
     Sibling,
     forall_fo,
     forall_so,
+    formula_size,
     implies,
 )
 from .ast import (
@@ -104,7 +106,14 @@ def path_expr_to_mso(
     expression: PathExpr, x: str, y: str, fresh: FreshVars = None
 ) -> Formula:
     """The binary MSO formula ``alpha(x, y)``."""
-    fresh = fresh or FreshVars()
+    if fresh is None:
+        # A top-level translation: record the XPath → MSO size blow-up
+        # (the driver of the Theorem 5.18 EXPTIME compilation cost).
+        result = path_expr_to_mso(expression, x, y, FreshVars())
+        if obs.enabled():
+            obs.add("xpath.translations")
+            obs.add("xpath.mso_formula_size", formula_size(result))
+        return result
     if isinstance(expression, Axis):
         return _axis_formula(expression.axis, x, y, fresh)
     if isinstance(expression, AxisStar):
@@ -135,7 +144,12 @@ def path_expr_to_mso(
 
 def node_expr_to_mso(expression: NodeExpr, x: str, fresh: FreshVars = None) -> Formula:
     """The unary MSO formula ``phi(x)``."""
-    fresh = fresh or FreshVars()
+    if fresh is None:
+        result = node_expr_to_mso(expression, x, FreshVars())
+        if obs.enabled():
+            obs.add("xpath.translations")
+            obs.add("xpath.mso_formula_size", formula_size(result))
+        return result
     if isinstance(expression, LabelTest):
         return Lab(expression.label, x)
     if isinstance(expression, HasPath):
