@@ -31,6 +31,11 @@ Commands::
     python -m repro subschema TRANSDUCER SCHEMA [--protect LABEL ...]
     python -m repro profile   TRANSDUCER SCHEMA [--protect LABEL ...]
                               [--trace FILE.json]
+    python -m repro bench-report [--baseline REF] [--candidate REF]
+                              [--history DIR] [--format text|json|markdown]
+                              [--fail-on-regression] [--threshold FRAC]
+                              [--timing-floor SECONDS] [--limit N]
+                              [--output FILE]
 
 ``check`` prints the verdict (copying / rearranging / protected-label
 deletions), cites the responsible lint diagnostic for every unsafe
@@ -45,6 +50,15 @@ On ``check``/``lint``, ``--stats`` prints the recorded span tree and
 counters to stderr and ``--trace FILE.json`` writes a Chrome
 ``trace_event`` file (open in ``chrome://tracing`` or Perfetto).
 
+``bench-report`` loads the benchmark trajectory recorded by ``pytest
+benchmarks/`` into ``benchmarks/history/``, compares a candidate run
+against a baseline (noise-aware timing detector + exact work-counter
+detector; see :mod:`repro.obs.bench`), renders the trajectory in the
+chosen format, and — with ``--fail-on-regression`` — exits ``1`` on
+confirmed regressions, which is the CI gate.  ``REF`` accepts
+``latest``, ``previous``, a negative index (``-2``), a git sha prefix,
+or a path to a stored run JSON (e.g. a committed baseline).
+
 Only the actual products (XML, JSON, reports) go to stdout; error
 messages and advisory chatter go to stderr, so stdout stays pipeable.
 
@@ -52,11 +66,14 @@ Exit status, for CI use:
 
 ====  ==========================================================
 0     success (``check``: safe; ``lint``: nothing at/above the
-      ``--fail-on`` threshold; ``validate``: document valid)
+      ``--fail-on`` threshold; ``validate``: document valid;
+      ``bench-report``: no confirmed regression)
 1     analysis verdict failed (``check``: unsafe; ``lint``:
       findings at/above threshold; ``validate``: invalid document;
-      ``subschema``: empty safe sub-schema)
-2     bad input (malformed/missing files, ``CliError``)
+      ``subschema``: empty safe sub-schema; ``bench-report
+      --fail-on-regression``: confirmed regressions)
+2     bad input (malformed/missing files, missing history,
+      ``CliError``)
 ====  ==========================================================
 """
 
@@ -455,6 +472,36 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from .obs import bench
+
+    history = bench.BenchHistory(args.history)
+    runs = history.load()
+    try:
+        candidate = bench.resolve_ref(runs, args.candidate)
+        baseline = bench.resolve_ref(runs, args.baseline or "previous",
+                                     relative_to=candidate)
+    except ValueError as error:
+        raise CliError(str(error)) from None
+    comparison = bench.compare_runs(
+        baseline,
+        candidate,
+        threshold=args.threshold,
+        timing_floor_s=args.timing_floor,
+    )
+    rendered = bench.render_report(runs, comparison, fmt=args.format,
+                                   limit=args.limit)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print("wrote %s" % args.output, file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+    if args.fail_on_regression and comparison.has_regressions:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -520,6 +567,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a Chrome trace_event file of the run",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    bench_report = sub.add_parser(
+        "bench-report",
+        help="compare benchmark runs from the history store and flag "
+        "regressions (timing + exact work counters)",
+    )
+    bench_report.add_argument(
+        "--history", default="benchmarks/history", metavar="DIR",
+        help="history directory written by pytest benchmarks/ "
+        "(default: benchmarks/history)",
+    )
+    bench_report.add_argument(
+        "--baseline", metavar="REF",
+        help="baseline run: latest | previous | -N | sha prefix | path "
+        "to a run JSON (default: previous)",
+    )
+    bench_report.add_argument(
+        "--candidate", metavar="REF",
+        help="candidate run, same forms (default: latest)",
+    )
+    bench_report.add_argument(
+        "--format", choices=("text", "json", "markdown"), default="text",
+        help="output format (default: text)",
+    )
+    bench_report.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when confirmed regressions are found (CI gate)",
+    )
+    bench_report.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRAC",
+        help="relative timing threshold (default: 0.25 = +25%%)",
+    )
+    bench_report.add_argument(
+        "--timing-floor", type=float, default=0.05, metavar="SECONDS",
+        help="skip timing comparison for tests whose medians are below "
+        "this (default: 0.05s); work counters are always compared",
+    )
+    bench_report.add_argument(
+        "--limit", type=int, default=0, metavar="N",
+        help="show at most N rows per section (default: all)",
+    )
+    bench_report.add_argument(
+        "--output", metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    bench_report.set_defaults(func=_cmd_bench_report)
     return parser
 
 

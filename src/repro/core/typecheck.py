@@ -262,9 +262,13 @@ def inverse_type_nta(
     worst case — the EXPTIME construction); horizontal languages are
     DFAs computing the running product of child summaries.
     """
-    with obs.span("typecheck.inverse_type") as sp:
+    with obs.span("typecheck.inverse_type") as sp, obs.track_peak_memory():
         result = _inverse_type_nta_impl(transducer, output_dtd, input_alphabet, accept_valid)
         sp.set("states", len(result.states))
+        if obs.enabled():
+            # The EXPTIME blow-up gauge: peak reachable-vector automaton
+            # size across every inverse-type construction of the run.
+            obs.gauge_max("typecheck.inverse_type_states", len(result.states))
         return result
 
 
@@ -392,7 +396,7 @@ def typechecks(
 ) -> bool:
     """Whether ``T(t)`` is valid w.r.t. the output DTD for *every*
     ``t ∈ L(input_schema)`` (EXPTIME in general)."""
-    with obs.span("typecheck.decide") as sp:
+    with obs.span("typecheck.decide") as sp, obs.track_peak_memory():
         bad = inverse_type_nta(
             transducer, output_dtd, input_schema.alphabet, accept_valid=False
         )

@@ -403,12 +403,13 @@ def compile_mso(
     sigma_tuple = tuple(sorted(set(sigma) - {TEXT}))
     if not obs.enabled():
         return _compile(formula, sigma_tuple, trim)
-    with obs.span("mso.compile") as sp:
+    with obs.span("mso.compile") as sp, obs.track_peak_memory():
         sp.set("formula_size", formula_size(formula))
         sp.set("negation_nesting", negation_nesting(formula))
         sp.set("sigma", len(sigma_tuple))
         result = _compile(formula, sigma_tuple, trim)
         sp.set("bta_states", len(result.bta.states))
+        obs.gauge_max("mso.compile.automaton_states", len(result.bta.states))
         return result
 
 

@@ -28,10 +28,24 @@ When no recorder is active every instrumentation point is a single
 ContextVar read and truthiness check — the E5 family shows no
 measurable slowdown with instrumentation disabled.
 
-CLI surface: ``python -m repro profile TDX SCHEMA`` and the
-``--trace FILE`` / ``--stats`` flags on ``check`` and ``lint``.
+CLI surface: ``python -m repro profile TDX SCHEMA``, the
+``--trace FILE`` / ``--stats`` flags on ``check`` and ``lint``, and
+``python -m repro bench-report`` over the stored benchmark trajectory
+(see :mod:`repro.obs.bench`).
 """
 
+from . import bench
+from .bench import (
+    BenchEntry,
+    BenchHistory,
+    BenchRun,
+    Comparison,
+    Finding,
+    RunProvenance,
+    collect_provenance,
+    compare_runs,
+    render_report,
+)
 from .export import (
     from_dict,
     render_json,
@@ -41,6 +55,7 @@ from .export import (
     to_dict,
     write_chrome_trace,
 )
+from .memory import PEAK_MEMORY_GAUGE, track_peak_memory
 from .recorder import (
     NULL_SPAN,
     Recorder,
@@ -55,6 +70,18 @@ from .recorder import (
 )
 
 __all__ = [
+    "bench",
+    "BenchEntry",
+    "BenchHistory",
+    "BenchRun",
+    "Comparison",
+    "Finding",
+    "RunProvenance",
+    "collect_provenance",
+    "compare_runs",
+    "render_report",
+    "track_peak_memory",
+    "PEAK_MEMORY_GAUGE",
     "Span",
     "Recorder",
     "recording",

@@ -1,0 +1,75 @@
+"""Benchmark trajectory and regression detection over recorded runs.
+
+PR 2's recorder made every decision procedure *observable*; this
+package makes the observations *comparable*.  One benchmark session
+produces one :class:`BenchRun` (provenance + per-test timing samples,
+work counters, and gauges); :class:`BenchHistory` keeps the last N runs
+under ``benchmarks/history/``; :func:`compare_runs` pits a candidate
+against a baseline with a noise-aware timing detector and an *exact*
+work-counter detector (counters are deterministic, so one unit of
+growth is a confirmed regression — no timer noise to argue with); and
+:func:`render_report` renders the trajectory as text, markdown, or
+JSON for the ``python -m repro bench-report`` gate.
+
+Typical flow::
+
+    pytest benchmarks/bench_thm411_ptime.py          # run 1 (baseline)
+    pytest benchmarks/bench_thm411_ptime.py          # run 2 (candidate)
+    python -m repro bench-report --fail-on-regression
+"""
+
+from .detect import (
+    DEFAULT_GAUGE_THRESHOLD,
+    DEFAULT_IQR_FACTOR,
+    DEFAULT_TIMING_FLOOR_S,
+    DEFAULT_TIMING_THRESHOLD,
+    Comparison,
+    Finding,
+    compare_runs,
+    detect_counters,
+    detect_gauges,
+    detect_timing,
+    iqr,
+)
+from .history import (
+    DEFAULT_HISTORY_KEEP,
+    BenchEntry,
+    BenchHistory,
+    BenchRun,
+    load_run,
+    median,
+    merge_runs,
+    resolve_ref,
+    write_run,
+)
+from .provenance import UNKNOWN_SHA, RunProvenance, collect_provenance
+from .report import render_report, sparkline, trajectory
+
+__all__ = [
+    "BenchEntry",
+    "BenchRun",
+    "BenchHistory",
+    "RunProvenance",
+    "collect_provenance",
+    "UNKNOWN_SHA",
+    "load_run",
+    "write_run",
+    "merge_runs",
+    "resolve_ref",
+    "median",
+    "iqr",
+    "Finding",
+    "Comparison",
+    "compare_runs",
+    "detect_timing",
+    "detect_counters",
+    "detect_gauges",
+    "render_report",
+    "sparkline",
+    "trajectory",
+    "DEFAULT_HISTORY_KEEP",
+    "DEFAULT_TIMING_THRESHOLD",
+    "DEFAULT_IQR_FACTOR",
+    "DEFAULT_TIMING_FLOOR_S",
+    "DEFAULT_GAUGE_THRESHOLD",
+]

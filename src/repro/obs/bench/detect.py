@@ -1,0 +1,268 @@
+"""Regression detection between two benchmark runs.
+
+Two detectors with deliberately different epistemics:
+
+* **Timing** is noisy, so the timing detector is noise-aware: it
+  compares medians over the repeat samples and only flags a candidate
+  outside the baseline's IQR band *and* beyond a relative threshold.
+  Sub-floor tests (median under ``timing_floor_s``) are skipped
+  entirely — a 300-microsecond measurement on a shared CI runner
+  carries no signal.
+
+* **Work counters** (``ptime.product_states``,
+  ``nta.intersection_states``, ``mso.eval.fo_candidates``, ...) are
+  deterministic functions of the code and the input family, so the
+  counter detector is *exact*: any growth, even by one unit, is a true
+  regression — the decidable analogue of typechecking a performance
+  property, immune to timer noise.
+
+Gauges (``mem.peak_kb``, ``mso.compile.automaton_states``) sit in
+between — allocator behaviour wobbles — so they use the relative
+threshold but no noise band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .history import BenchEntry, BenchRun, median
+
+__all__ = [
+    "Finding",
+    "Comparison",
+    "compare_runs",
+    "detect_timing",
+    "detect_counters",
+    "detect_gauges",
+    "iqr",
+    "DEFAULT_TIMING_THRESHOLD",
+    "DEFAULT_IQR_FACTOR",
+    "DEFAULT_TIMING_FLOOR_S",
+    "DEFAULT_GAUGE_THRESHOLD",
+]
+
+DEFAULT_TIMING_THRESHOLD = 0.25  # +25% on the median
+DEFAULT_IQR_FACTOR = 1.5  # Tukey's fence over the baseline spread
+DEFAULT_TIMING_FLOOR_S = 0.05  # medians under 50ms carry no timing signal
+DEFAULT_GAUGE_THRESHOLD = 0.25
+
+
+def _quantile(ordered: List[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def iqr(samples: List[float]) -> float:
+    """The interquartile range of the samples (0 for < 2 samples)."""
+    if len(samples) < 2:
+        return 0.0
+    ordered = sorted(samples)
+    return _quantile(ordered, 0.75) - _quantile(ordered, 0.25)
+
+
+@dataclass
+class Finding:
+    """One detected delta on one metric of one test."""
+
+    test: str
+    kind: str  # "timing" | "counter" | "gauge"
+    metric: str  # "seconds", or the counter/gauge name
+    baseline: float
+    candidate: float
+    severity: str  # "regression" | "improvement"
+    detail: str = ""
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline (inf when the baseline is zero)."""
+        if self.baseline == 0:
+            return float("inf") if self.candidate else 1.0
+        return self.candidate / self.baseline
+
+    @property
+    def delta_percent(self) -> float:
+        return (self.ratio - 1.0) * 100.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "test": self.test,
+            "kind": self.kind,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "severity": self.severity,
+            "ratio": self.ratio if self.ratio != float("inf") else None,
+            "detail": self.detail,
+        }
+
+
+def detect_timing(
+    test: str,
+    baseline_samples: List[float],
+    candidate_samples: List[float],
+    threshold: float = DEFAULT_TIMING_THRESHOLD,
+    iqr_factor: float = DEFAULT_IQR_FACTOR,
+    timing_floor_s: float = DEFAULT_TIMING_FLOOR_S,
+) -> Optional[Finding]:
+    """Noise-aware timing comparison; ``None`` when inside the band."""
+    base_median = median(baseline_samples)
+    cand_median = median(candidate_samples)
+    if base_median < timing_floor_s and cand_median < timing_floor_s:
+        return None
+    band = max(threshold * base_median, iqr_factor * iqr(baseline_samples))
+    detail = "median %d samples, band +-%.4fs (%.0f%% / %.1fxIQR)" % (
+        len(candidate_samples),
+        band,
+        threshold * 100.0,
+        iqr_factor,
+    )
+    if cand_median > base_median + band:
+        return Finding(test, "timing", "seconds", base_median, cand_median,
+                       "regression", detail)
+    if cand_median < base_median - band:
+        return Finding(test, "timing", "seconds", base_median, cand_median,
+                       "improvement", detail)
+    return None
+
+
+def detect_counters(
+    test: str,
+    baseline: Dict[str, float],
+    candidate: Dict[str, float],
+) -> List[Finding]:
+    """Exact comparison of the deterministic work counters: *any*
+    growth is a regression (1-unit growth included)."""
+    findings: List[Finding] = []
+    for name in sorted(set(baseline) & set(candidate)):
+        before, after = baseline[name], candidate[name]
+        if after > before:
+            findings.append(
+                Finding(test, "counter", name, before, after, "regression",
+                        "deterministic work counter: any growth is real")
+            )
+        elif after < before:
+            findings.append(
+                Finding(test, "counter", name, before, after, "improvement",
+                        "deterministic work counter")
+            )
+    return findings
+
+
+def detect_gauges(
+    test: str,
+    baseline: Dict[str, float],
+    candidate: Dict[str, float],
+    threshold: float = DEFAULT_GAUGE_THRESHOLD,
+) -> List[Finding]:
+    """Thresholded comparison of gauges (peaks wobble; counters don't)."""
+    findings: List[Finding] = []
+    for name in sorted(set(baseline) & set(candidate)):
+        before, after = baseline[name], candidate[name]
+        if before <= 0:
+            continue
+        if after > before * (1.0 + threshold):
+            findings.append(
+                Finding(test, "gauge", name, before, after, "regression",
+                        "gauge beyond +%.0f%%" % (threshold * 100.0))
+            )
+        elif after < before * (1.0 - threshold):
+            findings.append(
+                Finding(test, "gauge", name, before, after, "improvement", "")
+            )
+    return findings
+
+
+@dataclass
+class Comparison:
+    """A full candidate-vs-baseline comparison."""
+
+    baseline: BenchRun
+    candidate: BenchRun
+    findings: List[Finding] = field(default_factory=list)
+    added_tests: List[str] = field(default_factory=list)
+    removed_tests: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "regression"]
+
+    @property
+    def improvements(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "improvement"]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    @property
+    def same_commit(self) -> bool:
+        return self.candidate.provenance.same_commit(self.baseline.provenance)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "baseline": self.baseline.provenance.to_dict(),
+            "candidate": self.candidate.provenance.to_dict(),
+            "same_commit": self.same_commit,
+            "regressions": [f.to_dict() for f in self.regressions],
+            "improvements": [f.to_dict() for f in self.improvements],
+            "added_tests": list(self.added_tests),
+            "removed_tests": list(self.removed_tests),
+        }
+
+
+def _worst_first(finding: Finding) -> tuple:
+    # Regressions before improvements, then by how bad it is; exact
+    # counter evidence outranks equally-sized timing wobble.
+    kind_rank = {"counter": 0, "gauge": 1, "timing": 2}
+    ratio = finding.ratio if finding.ratio != float("inf") else 1e18
+    badness = ratio if finding.severity == "regression" else 1.0 / max(ratio, 1e-18)
+    return (
+        0 if finding.severity == "regression" else 1,
+        -badness,
+        kind_rank.get(finding.kind, 3),
+        finding.test,
+        finding.metric,
+    )
+
+
+def compare_runs(
+    baseline: BenchRun,
+    candidate: BenchRun,
+    threshold: float = DEFAULT_TIMING_THRESHOLD,
+    iqr_factor: float = DEFAULT_IQR_FACTOR,
+    timing_floor_s: float = DEFAULT_TIMING_FLOOR_S,
+    gauge_threshold: float = DEFAULT_GAUGE_THRESHOLD,
+) -> Comparison:
+    """Run both detectors over every test present in both runs."""
+    comparison = Comparison(baseline=baseline, candidate=candidate)
+    base_entries, cand_entries = baseline.entries, candidate.entries
+    comparison.added_tests = sorted(set(cand_entries) - set(base_entries))
+    comparison.removed_tests = sorted(set(base_entries) - set(cand_entries))
+    for test in sorted(set(base_entries) & set(cand_entries)):
+        before: BenchEntry = base_entries[test]
+        after: BenchEntry = cand_entries[test]
+        timing = detect_timing(
+            test, before.samples, after.samples,
+            threshold=threshold, iqr_factor=iqr_factor,
+            timing_floor_s=timing_floor_s,
+        )
+        if timing is not None:
+            comparison.findings.append(timing)
+        comparison.findings.extend(
+            detect_counters(test, before.counters, after.counters)
+        )
+        comparison.findings.extend(
+            detect_gauges(test, before.gauges, after.gauges,
+                          threshold=gauge_threshold)
+        )
+    comparison.findings.sort(key=_worst_first)
+    return comparison

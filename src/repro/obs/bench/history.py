@@ -1,0 +1,273 @@
+"""The benchmark run model and the on-disk trajectory store.
+
+One :class:`BenchRun` = one benchmark session: a
+:class:`~repro.obs.bench.provenance.RunProvenance` plus one
+:class:`BenchEntry` per measured test (timing samples, the work
+counters of the first repeat, gauges).  :class:`BenchHistory` persists
+runs under ``benchmarks/history/`` — one JSON file per run, named
+``run-<utc-stamp>-<sha8>.json`` so a plain filename sort is
+chronological — and prunes the directory to the newest ``keep`` runs.
+
+The stored payload is the same ``version: 2`` document written to
+``BENCH_results.json``, so a history file and the repo-root results
+file are interchangeable inputs to ``python -m repro bench-report``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional
+
+from .provenance import RunProvenance
+
+__all__ = [
+    "BenchEntry",
+    "BenchRun",
+    "BenchHistory",
+    "median",
+    "resolve_ref",
+    "DEFAULT_HISTORY_KEEP",
+]
+
+#: How many runs the history directory retains by default.
+DEFAULT_HISTORY_KEEP = 20
+
+RESULTS_VERSION = 2
+
+
+def median(samples: List[float]) -> float:
+    """The sample median (mean of the two middle values when even)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass
+class BenchEntry:
+    """One test's measurement within a run."""
+
+    test: str
+    samples: List[float]  # seconds, one per repeat, in execution order
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """The run's representative time: the median over repeats."""
+        return median(self.samples)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "test": self.test,
+            "seconds": self.seconds,
+            "samples": list(self.samples),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BenchEntry":
+        samples = payload.get("samples")
+        if not samples:
+            # Legacy (version 1) entries recorded a single ``seconds``.
+            seconds = payload.get("seconds", 0.0)
+            samples = [float(seconds)]
+        return cls(
+            test=str(payload["test"]),
+            samples=[float(sample) for sample in samples],
+            counters={str(k): float(v) for k, v in payload.get("counters", {}).items()},
+            gauges={str(k): float(v) for k, v in payload.get("gauges", {}).items()},
+        )
+
+
+@dataclass
+class BenchRun:
+    """One benchmark session: provenance plus entries keyed by test id."""
+
+    provenance: RunProvenance
+    entries: Dict[str, BenchEntry] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": RESULTS_VERSION,
+            "provenance": self.provenance.to_dict(),
+            "results": [entry.to_dict() for entry in self.entries.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BenchRun":
+        raw_provenance = payload.get("provenance")
+        provenance = (
+            RunProvenance.from_dict(raw_provenance)
+            if raw_provenance
+            else RunProvenance.unknown()
+        )
+        entries: Dict[str, BenchEntry] = {}
+        for raw in payload.get("results", ()):
+            entry = BenchEntry.from_dict(raw)
+            entries[entry.test] = entry
+        return cls(provenance=provenance, entries=entries)
+
+
+def load_run(path: str) -> Optional[BenchRun]:
+    """Read a run document (either format version), ``None`` if absent
+    or unparseable."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return BenchRun.from_dict(payload)
+
+
+def write_run(run: BenchRun, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(run.to_dict(), handle, indent=2)
+        handle.write("\n")
+
+
+def merge_runs(existing: Optional[BenchRun], fresh: BenchRun) -> BenchRun:
+    """Merge a fresh (possibly partial) session into the stored results.
+
+    Running only a subset of the benchmark files must not drop every
+    other test's numbers, so same-commit entries are carried over and
+    re-measured tests overwritten.  Entries from a *different* commit
+    are discarded — mixing two code versions in one run document would
+    poison counter comparisons.
+    """
+    if existing is None or not fresh.provenance.same_commit(existing.provenance):
+        return fresh
+    entries = dict(existing.entries)
+    entries.update(fresh.entries)
+    return BenchRun(provenance=fresh.provenance, entries=entries)
+
+
+class BenchHistory:
+    """Append-only (pruned) store of benchmark runs in a directory."""
+
+    def __init__(self, directory: str, keep: int = DEFAULT_HISTORY_KEEP) -> None:
+        self.directory = directory
+        self.keep = max(1, int(keep))
+
+    # -- paths -------------------------------------------------------------
+
+    def paths(self) -> List[str]:
+        """All run files, oldest first (filenames sort chronologically)."""
+        try:
+            names = sorted(
+                name
+                for name in os.listdir(self.directory)
+                if name.startswith("run-") and name.endswith(".json")
+            )
+        except OSError:
+            return []
+        return [os.path.join(self.directory, name) for name in names]
+
+    def _filename_for(self, run: BenchRun) -> str:
+        stamp = datetime.fromtimestamp(
+            run.provenance.timestamp, tz=timezone.utc
+        ).strftime("%Y%m%dT%H%M%S.%fZ")
+        return "run-%s-%s.json" % (stamp, run.provenance.short_sha)
+
+    # -- store -------------------------------------------------------------
+
+    def append(self, run: BenchRun) -> str:
+        """Persist a run and prune to the newest ``keep``; returns the
+        written path."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(self.directory, self._filename_for(run))
+        suffix = 0
+        while os.path.exists(path):
+            # Two runs stamped within the same microsecond: disambiguate.
+            suffix += 1
+            path = os.path.join(
+                self.directory,
+                self._filename_for(run).replace(".json", "-%d.json" % suffix),
+            )
+        write_run(run, path)
+        self.prune()
+        return path
+
+    def prune(self) -> List[str]:
+        """Delete all but the newest ``keep`` runs; returns what was
+        removed."""
+        paths = self.paths()
+        doomed = paths[: -self.keep] if len(paths) > self.keep else []
+        for path in doomed:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        return doomed
+
+    def load(self) -> List[BenchRun]:
+        """All stored runs, oldest first (unreadable files skipped)."""
+        runs: List[BenchRun] = []
+        for path in self.paths():
+            run = load_run(path)
+            if run is not None:
+                runs.append(run)
+        return runs
+
+
+def resolve_ref(
+    runs: List[BenchRun],
+    ref: Optional[str],
+    relative_to: Optional[BenchRun] = None,
+) -> BenchRun:
+    """Resolve a baseline/candidate reference against loaded history.
+
+    Accepted forms: ``latest``, ``previous`` (the run before
+    ``relative_to``, default the latest), a negative index like ``-2``
+    (second-newest), a git sha prefix (newest matching run), or a path
+    to a run JSON file (e.g. a committed baseline or
+    ``BENCH_results.json``).
+    """
+    if ref and (os.sep in ref or ref.endswith(".json")) and os.path.exists(ref):
+        run = load_run(ref)
+        if run is None:
+            raise ValueError("unreadable run file %r" % ref)
+        return run
+    if not runs:
+        raise ValueError("no benchmark history runs found")
+    if ref is None or ref == "latest":
+        return runs[-1]
+    if ref == "previous":
+        pivot = relative_to if relative_to is not None else runs[-1]
+        candidates = [run for run in runs if run is not pivot]
+        if not candidates:
+            raise ValueError(
+                "need at least two stored runs to compare (run the "
+                "benchmark suite again, or pass --baseline FILE)"
+            )
+        earlier = [
+            run
+            for run in candidates
+            if run.provenance.timestamp <= pivot.provenance.timestamp
+        ]
+        return (earlier or candidates)[-1]
+    index: Optional[int]
+    try:
+        index = int(ref)
+    except ValueError:
+        index = None
+    if index is not None:
+        try:
+            return runs[index if index < 0 else index - 1]
+        except IndexError:
+            raise ValueError(
+                "run index %s out of range (have %d runs)" % (ref, len(runs))
+            ) from None
+    matches = [run for run in runs if run.provenance.git_sha.startswith(ref)]
+    if not matches:
+        raise ValueError("no stored run matches ref %r" % ref)
+    return matches[-1]

@@ -1,0 +1,126 @@
+"""Run provenance: who/what/when produced a benchmark run.
+
+A benchmark number without its commit is noise.  Every stored run
+carries a :class:`RunProvenance` — git sha, dirty flag, wall-clock
+timestamp, interpreter/platform, and the repeat count of the timing
+protocol — so the trajectory store can answer "did *this commit* make
+Theorem 4.11 slower" rather than "did some run at some point".
+
+The timestamp is **injected** by the caller (``collect_provenance``
+takes it as a required argument) instead of being read ambiently inside
+the library, so tests and replayed sessions produce byte-identical
+provenance and history filenames stay deterministic under test.
+"""
+
+from __future__ import annotations
+
+import platform as _platform
+import subprocess
+import sys
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Any, Dict, Optional
+
+__all__ = ["RunProvenance", "collect_provenance", "UNKNOWN_SHA"]
+
+#: Sha recorded when the run directory is not a git checkout (or git is
+#: unavailable); comparisons treat it as matching nothing.
+UNKNOWN_SHA = "unknown"
+
+
+@dataclass(frozen=True)
+class RunProvenance:
+    """Identity of one benchmark run."""
+
+    git_sha: str
+    git_dirty: bool
+    timestamp: float  # seconds since the epoch, UTC
+    python: str
+    platform: str
+    repeats: int
+
+    @property
+    def short_sha(self) -> str:
+        return self.git_sha[:8] if self.git_sha != UNKNOWN_SHA else UNKNOWN_SHA
+
+    @property
+    def timestamp_iso(self) -> str:
+        return (
+            datetime.fromtimestamp(self.timestamp, tz=timezone.utc)
+            .strftime("%Y-%m-%dT%H:%M:%SZ")
+        )
+
+    def same_commit(self, other: "RunProvenance") -> bool:
+        """Whether both runs come from the same (known) commit."""
+        return self.git_sha == other.git_sha and self.git_sha != UNKNOWN_SHA
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "git_sha": self.git_sha,
+            "git_dirty": self.git_dirty,
+            "timestamp": self.timestamp,
+            "timestamp_iso": self.timestamp_iso,
+            "python": self.python,
+            "platform": self.platform,
+            "repeats": self.repeats,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunProvenance":
+        return cls(
+            git_sha=str(payload.get("git_sha", UNKNOWN_SHA)),
+            git_dirty=bool(payload.get("git_dirty", False)),
+            timestamp=float(payload.get("timestamp", 0.0)),
+            python=str(payload.get("python", "")),
+            platform=str(payload.get("platform", "")),
+            repeats=int(payload.get("repeats", 1)),
+        )
+
+    @classmethod
+    def unknown(cls) -> "RunProvenance":
+        """Placeholder for legacy payloads recorded before provenance."""
+        return cls(UNKNOWN_SHA, False, 0.0, "", "", 1)
+
+
+def _git(repo_root: Optional[str], *argv: str) -> Optional[str]:
+    try:
+        completed = subprocess.run(
+            ("git",) + argv,
+            cwd=repo_root,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.decode("utf-8", "replace")
+
+
+def collect_provenance(
+    timestamp: float,
+    repeats: int = 1,
+    repo_root: Optional[str] = None,
+) -> RunProvenance:
+    """Collect the provenance of a run happening *now-as-told*.
+
+    ``timestamp`` is required (injected): the caller decides what clock
+    a run is stamped with.  Git queries degrade gracefully — outside a
+    checkout the sha is :data:`UNKNOWN_SHA` and the dirty flag False.
+    """
+    sha_out = _git(repo_root, "rev-parse", "HEAD")
+    sha = sha_out.strip() if sha_out else UNKNOWN_SHA
+    dirty = False
+    if sha != UNKNOWN_SHA:
+        status = _git(repo_root, "status", "--porcelain")
+        dirty = bool(status and status.strip())
+    return RunProvenance(
+        git_sha=sha,
+        git_dirty=dirty,
+        timestamp=timestamp,
+        python="%d.%d.%d" % sys.version_info[:3],
+        platform=_platform.platform(),
+        repeats=max(1, int(repeats)),
+    )

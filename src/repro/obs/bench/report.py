@@ -1,0 +1,260 @@
+"""Rendering the benchmark trajectory and a regression verdict.
+
+Three formats off one comparison:
+
+* ``text`` — what ``python -m repro bench-report`` prints: run
+  provenance, a per-test sparkline over the stored history (median
+  seconds, oldest to newest), and the findings worst-first;
+* ``markdown`` — the same as tables, uploaded by CI as the
+  ``bench-report`` artifact;
+* ``json`` — the machine-readable comparison document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .detect import Comparison, Finding
+from .history import BenchRun
+
+__all__ = ["render_report", "sparkline", "trajectory"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"  # ▁▂▃▄▅▆▇█
+
+
+def sparkline(values: List[Optional[float]]) -> str:
+    """A unicode block sparkline of the series (gaps render as spaces,
+    empty input as '')."""
+    points = [value for value in values if value is not None]
+    if not points:
+        return ""
+    low, high = min(points), max(points)
+    if high <= low:
+        return _BLOCKS[3] * len(values)
+    out = []
+    for value in values:
+        if value is None:
+            out.append(" ")
+            continue
+        index = int((value - low) / (high - low) * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[index])
+    return "".join(out)
+
+
+def trajectory(runs: List[BenchRun]) -> Dict[str, List[Optional[float]]]:
+    """Per-test median-seconds series across the runs (oldest first);
+    ``None`` marks runs that did not measure the test."""
+    tests: List[str] = []
+    seen = set()
+    for run in runs:
+        for test in run.entries:
+            if test not in seen:
+                seen.add(test)
+                tests.append(test)
+    return {
+        test: [
+            run.entries[test].seconds if test in run.entries else None
+            for run in runs
+        ]
+        for test in tests
+    }
+
+
+def _format_value(finding: Finding, value: float) -> str:
+    if finding.kind == "timing":
+        return "%.4fs" % value
+    if float(value).is_integer():
+        return "%d" % value
+    return "%.2f" % value
+
+
+def _format_delta(finding: Finding) -> str:
+    if finding.ratio == float("inf"):
+        return "+inf"
+    return "%+.1f%%" % finding.delta_percent
+
+
+def _provenance_line(label: str, run: BenchRun) -> str:
+    prov = run.provenance
+    dirty = " (dirty)" if prov.git_dirty else ""
+    return "%-10s %s%s  %s  py%s  repeats=%d  %d tests" % (
+        label + ":",
+        prov.short_sha,
+        dirty,
+        prov.timestamp_iso,
+        prov.python,
+        prov.repeats,
+        len(run.entries),
+    )
+
+
+def _short_test(test: str, width: int = 0) -> str:
+    # "benchmarks/bench_x.py::TestY::test_z[p]" → "bench_x.py::test_z[p]"
+    path, _, rest = test.partition("::")
+    name = rest.rsplit("::", 1)[-1] if rest else ""
+    filename = path.rsplit("/", 1)[-1]
+    short = "%s::%s" % (filename, name) if name else filename
+    if width and len(short) > width:
+        # Keep the tail: the parametrization id is the distinguishing part.
+        return "…" + short[-(width - 1):]
+    return short
+
+
+def _findings_lines(findings: List[Finding]) -> List[str]:
+    lines = []
+    for finding in findings:
+        lines.append(
+            "  %-7s  %-32s  %s -> %s  (%s)  %s"
+            % (
+                finding.kind.upper(),
+                finding.metric,
+                _format_value(finding, finding.baseline),
+                _format_value(finding, finding.candidate),
+                _format_delta(finding),
+                _short_test(finding.test),
+            )
+        )
+    return lines
+
+
+def _render_text(runs: List[BenchRun], comparison: Comparison, limit: int) -> str:
+    lines: List[str] = []
+    lines.append("benchmark trajectory: %d stored run%s"
+                 % (len(runs), "" if len(runs) == 1 else "s"))
+    lines.append(_provenance_line("baseline", comparison.baseline))
+    lines.append(_provenance_line("candidate", comparison.candidate))
+    if comparison.same_commit:
+        lines.append("same commit on both sides: timing noise self-check")
+    series = trajectory(runs)
+    shown = sorted(comparison.candidate.entries)
+    if limit:
+        shown = shown[:limit]
+    if runs and shown:
+        lines.append("")
+        lines.append("per-test trend (median seconds, oldest -> newest):")
+        width = max(
+            (len(_short_test(test, 60)) for test in shown), default=0
+        )
+        for test in shown:
+            values = series.get(test, [])
+            latest = comparison.candidate.entries[test].seconds
+            lines.append(
+                "  %-*s  %10.4fs  %s"
+                % (width, _short_test(test, 60), latest, sparkline(values))
+            )
+    regressions = comparison.regressions
+    improvements = comparison.improvements
+    if limit:
+        regressions = regressions[:limit]
+        improvements = improvements[:limit]
+    if regressions:
+        lines.append("")
+        lines.append("regressions (worst first):")
+        lines.extend(_findings_lines(regressions))
+    if improvements:
+        lines.append("")
+        lines.append("improvements:")
+        lines.extend(_findings_lines(improvements))
+    if comparison.added_tests:
+        lines.append("")
+        lines.append("new tests (no baseline): %d" % len(comparison.added_tests))
+    if comparison.removed_tests:
+        lines.append("tests missing from the candidate: %d"
+                     % len(comparison.removed_tests))
+    lines.append("")
+    if comparison.has_regressions:
+        lines.append("%d regression%s detected."
+                     % (len(comparison.regressions),
+                        "" if len(comparison.regressions) == 1 else "s"))
+    else:
+        lines.append("no regressions detected.")
+    return "\n".join(lines) + "\n"
+
+
+def _markdown_findings(title: str, findings: List[Finding]) -> List[str]:
+    lines = ["", "## %s" % title, ""]
+    if not findings:
+        lines.append("_none_")
+        return lines
+    lines.append("| kind | metric | test | baseline | candidate | delta |")
+    lines.append("|------|--------|------|---------:|----------:|------:|")
+    for finding in findings:
+        lines.append(
+            "| %s | `%s` | `%s` | %s | %s | %s |"
+            % (
+                finding.kind,
+                finding.metric,
+                _short_test(finding.test),
+                _format_value(finding, finding.baseline),
+                _format_value(finding, finding.candidate),
+                _format_delta(finding),
+            )
+        )
+    return lines
+
+
+def _render_markdown(runs: List[BenchRun], comparison: Comparison, limit: int) -> str:
+    base, cand = comparison.baseline.provenance, comparison.candidate.provenance
+    lines: List[str] = ["# Benchmark regression report", ""]
+    lines.append("| run | sha | dirty | timestamp | python | repeats | tests |")
+    lines.append("|-----|-----|-------|-----------|--------|--------:|------:|")
+    for label, run, prov in (
+        ("baseline", comparison.baseline, base),
+        ("candidate", comparison.candidate, cand),
+    ):
+        lines.append(
+            "| %s | `%s` | %s | %s | %s | %d | %d |"
+            % (label, prov.short_sha, "yes" if prov.git_dirty else "no",
+               prov.timestamp_iso, prov.python, prov.repeats, len(run.entries))
+        )
+    lines.append("")
+    lines.append(
+        "**Verdict:** %s"
+        % ("%d regression(s) detected" % len(comparison.regressions)
+           if comparison.has_regressions else "no regressions detected")
+    )
+    regressions = comparison.regressions
+    improvements = comparison.improvements
+    if limit:
+        regressions = regressions[:limit]
+        improvements = improvements[:limit]
+    lines.extend(_markdown_findings("Regressions (worst first)", regressions))
+    lines.extend(_markdown_findings("Improvements", improvements))
+    series = trajectory(runs)
+    shown = sorted(comparison.candidate.entries)
+    if limit:
+        shown = shown[:limit]
+    if shown:
+        lines.extend(["", "## Trajectory (median seconds over %d runs)" % len(runs), ""])
+        lines.append("| test | latest | trend |")
+        lines.append("|------|-------:|-------|")
+        for test in shown:
+            lines.append(
+                "| `%s` | %.4fs | %s |"
+                % (_short_test(test),
+                   comparison.candidate.entries[test].seconds,
+                   sparkline(series.get(test, [])))
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _render_json(runs: List[BenchRun], comparison: Comparison) -> str:
+    document: Dict[str, Any] = comparison.to_dict()
+    document["runs_in_history"] = len(runs)
+    document["trajectory"] = trajectory(runs)
+    return json.dumps(document, indent=2) + "\n"
+
+
+def render_report(
+    runs: List[BenchRun],
+    comparison: Comparison,
+    fmt: str = "text",
+    limit: int = 0,
+) -> str:
+    """Render the comparison (plus history context) in the format."""
+    if fmt == "json":
+        return _render_json(runs, comparison)
+    if fmt == "markdown":
+        return _render_markdown(runs, comparison, limit)
+    return _render_text(runs, comparison, limit)

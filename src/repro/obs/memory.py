@@ -1,0 +1,50 @@
+"""tracemalloc-backed peak-memory gauges for the recorder.
+
+The EXPTIME and non-elementary pipelines (Theorem 5.18's inverse-type
+construction, the MSO negation tower) are memory-bound long before they
+are time-bound, so the recorder's gauges carry an allocation peak:
+:func:`track_peak_memory` brackets a block and records the peak traced
+Python heap (KiB) into a gauge via ``gauge_max``.
+
+Cost model: when no recorder is active the context manager yields
+immediately — instrumentation stays free in normal runs.  With a
+recorder, tracemalloc is started only if nothing else is tracing yet
+(an enclosing probe or the benchmark harness may already be) and
+stopped again on exit; nested probes therefore share one trace and
+each records the peak observed so far, which ``gauge_max`` merges.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator
+
+from .recorder import current, gauge_max
+
+__all__ = ["track_peak_memory", "PEAK_MEMORY_GAUGE"]
+
+#: The default gauge name; KiB of peak traced Python heap.
+PEAK_MEMORY_GAUGE = "mem.peak_kb"
+
+
+@contextmanager
+def track_peak_memory(gauge_name: str = PEAK_MEMORY_GAUGE) -> Iterator[None]:
+    """Record the block's peak traced allocation into ``gauge_name``.
+
+    No-op (and allocation-free tracing-wise) when no recorder is
+    installed.
+    """
+    if current() is None:
+        yield
+        return
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    try:
+        yield
+    finally:
+        _current_bytes, peak_bytes = tracemalloc.get_traced_memory()
+        gauge_max(gauge_name, peak_bytes / 1024.0)
+        if started_here:
+            tracemalloc.stop()

@@ -1,0 +1,472 @@
+"""Tests for repro.obs.bench: provenance, history, detectors, report,
+the bench-report CLI, and the memory gauges."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.bench import (
+    BenchEntry,
+    BenchHistory,
+    BenchRun,
+    RunProvenance,
+    UNKNOWN_SHA,
+    collect_provenance,
+    compare_runs,
+    detect_counters,
+    detect_timing,
+    iqr,
+    load_run,
+    median,
+    merge_runs,
+    render_report,
+    resolve_ref,
+    sparkline,
+    trajectory,
+    write_run,
+)
+
+SHA_A = "a" * 40
+SHA_B = "b" * 40
+
+
+def make_run(sha=SHA_A, timestamp=1000.0, entries=None, repeats=3):
+    provenance = RunProvenance(
+        git_sha=sha, git_dirty=False, timestamp=timestamp,
+        python="3.11.0", platform="test", repeats=repeats,
+    )
+    entries = entries or {}
+    return BenchRun(
+        provenance=provenance,
+        entries={
+            test: BenchEntry(test=test, samples=list(samples),
+                             counters=dict(counters), gauges=dict(gauges))
+            for test, (samples, counters, gauges) in entries.items()
+        },
+    )
+
+
+BASE_ENTRIES = {
+    "bench_a.py::test_fast": ([0.10, 0.11, 0.10], {"ptime.product_states": 20}, {"mem.peak_kb": 90.0}),
+    "bench_a.py::test_tiny": ([0.001, 0.001, 0.001], {"nta.created": 2}, {}),
+}
+
+
+class TestProvenance:
+    def test_timestamp_is_injected_not_ambient(self):
+        prov = collect_provenance(timestamp=1234.5, repeats=7)
+        assert prov.timestamp == 1234.5
+        assert prov.repeats == 7
+        assert prov.timestamp_iso.endswith("Z")
+
+    def test_outside_a_checkout_degrades(self, tmp_path):
+        prov = collect_provenance(timestamp=0.0, repo_root=str(tmp_path))
+        assert prov.git_sha == UNKNOWN_SHA
+        assert not prov.git_dirty
+        assert prov.short_sha == UNKNOWN_SHA
+
+    def test_in_this_repo_finds_a_sha(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        prov = collect_provenance(timestamp=0.0, repo_root=root)
+        if prov.git_sha != UNKNOWN_SHA:  # git present in the environment
+            assert len(prov.git_sha) == 40
+            assert prov.short_sha == prov.git_sha[:8]
+
+    def test_unknown_shas_never_match(self):
+        first = RunProvenance(UNKNOWN_SHA, False, 0.0, "", "", 1)
+        second = RunProvenance(UNKNOWN_SHA, False, 1.0, "", "", 1)
+        assert not first.same_commit(second)
+        known = RunProvenance(SHA_A, False, 0.0, "", "", 1)
+        assert known.same_commit(known)
+
+    def test_round_trip(self):
+        prov = RunProvenance(SHA_A, True, 42.0, "3.11.0", "linux", 5)
+        assert RunProvenance.from_dict(prov.to_dict()) == prov
+
+
+class TestHistory:
+    def test_append_load_round_trip(self, tmp_path):
+        history = BenchHistory(str(tmp_path / "history"))
+        run = make_run(entries=BASE_ENTRIES)
+        path = history.append(run)
+        assert os.path.exists(path)
+        loaded = history.load()
+        assert len(loaded) == 1
+        entry = loaded[0].entries["bench_a.py::test_fast"]
+        assert entry.samples == [0.10, 0.11, 0.10]
+        assert entry.counters == {"ptime.product_states": 20}
+        assert entry.gauges == {"mem.peak_kb": 90.0}
+        assert loaded[0].provenance == run.provenance
+
+    def test_chronological_order_and_prune(self, tmp_path):
+        history = BenchHistory(str(tmp_path / "history"), keep=3)
+        for i in range(5):
+            history.append(make_run(timestamp=1000.0 + i))
+        runs = history.load()
+        assert len(runs) == 3  # pruned to the newest keep
+        stamps = [run.provenance.timestamp for run in runs]
+        assert stamps == sorted(stamps)
+        assert stamps[-1] == 1004.0 and stamps[0] == 1002.0
+
+    def test_same_microsecond_runs_do_not_collide(self, tmp_path):
+        history = BenchHistory(str(tmp_path / "history"))
+        history.append(make_run(timestamp=1000.0))
+        history.append(make_run(timestamp=1000.0))
+        assert len(history.load()) == 2
+
+    def test_loads_legacy_version1_payload(self, tmp_path):
+        legacy = {
+            "version": 1,
+            "results": [
+                {"test": "bench_a.py::t", "seconds": 0.5,
+                 "counters": {"c": 1}, "gauges": {}},
+            ],
+        }
+        path = tmp_path / "BENCH_results.json"
+        path.write_text(json.dumps(legacy))
+        run = load_run(str(path))
+        assert run is not None
+        assert run.provenance.git_sha == UNKNOWN_SHA
+        assert run.entries["bench_a.py::t"].samples == [0.5]
+        assert run.entries["bench_a.py::t"].seconds == 0.5
+
+    def test_missing_and_corrupt_files(self, tmp_path):
+        assert load_run(str(tmp_path / "nope.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_run(str(bad)) is None
+        assert BenchHistory(str(tmp_path / "missing")).load() == []
+
+
+class TestMerge:
+    def test_partial_run_keeps_other_entries(self):
+        existing = make_run(entries=BASE_ENTRIES, timestamp=1000.0)
+        fresh = make_run(
+            entries={"bench_b.py::test_new": ([0.2], {"x": 1}, {})},
+            timestamp=2000.0,
+        )
+        merged = merge_runs(existing, fresh)
+        assert set(merged.entries) == set(BASE_ENTRIES) | {"bench_b.py::test_new"}
+        assert merged.provenance.timestamp == 2000.0
+
+    def test_remeasured_entry_is_overwritten(self):
+        existing = make_run(entries=BASE_ENTRIES)
+        fresh = make_run(
+            entries={"bench_a.py::test_fast": ([0.3], {"ptime.product_states": 25}, {})},
+            timestamp=2000.0,
+        )
+        merged = merge_runs(existing, fresh)
+        assert merged.entries["bench_a.py::test_fast"].samples == [0.3]
+
+    def test_different_commit_discards_stale_entries(self):
+        existing = make_run(sha=SHA_A, entries=BASE_ENTRIES)
+        fresh = make_run(
+            sha=SHA_B,
+            entries={"bench_b.py::test_new": ([0.2], {}, {})},
+        )
+        merged = merge_runs(existing, fresh)
+        assert set(merged.entries) == {"bench_b.py::test_new"}
+
+    def test_no_existing(self):
+        fresh = make_run(entries=BASE_ENTRIES)
+        assert merge_runs(None, fresh) is fresh
+
+
+class TestTimingDetector:
+    def test_no_false_positive_on_iqr_jitter(self):
+        # Candidate median inside the baseline's noise band: silence.
+        baseline = [0.100, 0.110, 0.120, 0.105, 0.115]
+        band = 1.5 * iqr(baseline)
+        candidate = [s + band * 0.9 for s in baseline]
+        assert detect_timing("t", baseline, candidate,
+                             threshold=0.0, timing_floor_s=0.0) is None
+
+    def test_flags_beyond_threshold_and_band(self):
+        baseline = [0.100, 0.101, 0.102]
+        candidate = [0.200, 0.201, 0.202]
+        finding = detect_timing("t", baseline, candidate, timing_floor_s=0.0)
+        assert finding is not None and finding.severity == "regression"
+        assert finding.kind == "timing" and finding.metric == "seconds"
+        assert finding.baseline == pytest.approx(0.101)
+        assert finding.candidate == pytest.approx(0.201)
+        assert finding.delta_percent == pytest.approx(99.0, abs=1.0)
+
+    def test_improvement_direction(self):
+        finding = detect_timing("t", [1.0, 1.0, 1.0], [0.5, 0.5, 0.5],
+                                timing_floor_s=0.0)
+        assert finding is not None and finding.severity == "improvement"
+
+    def test_floor_skips_micro_measurements(self):
+        # 1ms -> 3ms is a 3x "regression" but pure noise territory.
+        assert detect_timing("t", [0.001], [0.003]) is None
+        # ...unless the candidate itself crosses the floor.
+        assert detect_timing("t", [0.001], [10.0]) is not None
+
+    def test_median_and_iqr_helpers(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+        assert median([]) == 0.0
+        assert iqr([1.0]) == 0.0
+        assert iqr([1.0, 1.0, 1.0, 1.0]) == 0.0
+
+
+class TestCounterDetector:
+    def test_one_unit_growth_is_flagged(self):
+        findings = detect_counters("t", {"ptime.product_states": 20},
+                                   {"ptime.product_states": 21})
+        assert len(findings) == 1
+        assert findings[0].severity == "regression"
+        assert findings[0].kind == "counter"
+        assert findings[0].candidate - findings[0].baseline == 1
+
+    def test_equal_counters_are_silent(self):
+        assert detect_counters("t", {"a": 5, "b": 7}, {"a": 5, "b": 7}) == []
+
+    def test_decrease_is_an_improvement(self):
+        findings = detect_counters("t", {"a": 10}, {"a": 8})
+        assert [f.severity for f in findings] == ["improvement"]
+
+    def test_new_and_missing_counters_are_ignored(self):
+        assert detect_counters("t", {"old": 1}, {"new": 99}) == []
+
+
+class TestCompareRuns:
+    def _pair(self, cand_entries):
+        baseline = make_run(entries=BASE_ENTRIES, timestamp=1000.0)
+        candidate = make_run(entries=cand_entries, timestamp=2000.0)
+        return baseline, candidate
+
+    def test_identical_runs_are_clean(self):
+        baseline, candidate = self._pair(BASE_ENTRIES)
+        comparison = compare_runs(baseline, candidate)
+        assert not comparison.has_regressions
+        assert comparison.same_commit
+        assert comparison.findings == []
+
+    def test_counter_regression_detected_and_sorted_first(self):
+        entries = dict(BASE_ENTRIES)
+        entries["bench_a.py::test_fast"] = (
+            [0.10, 0.11, 0.10], {"ptime.product_states": 21}, {"mem.peak_kb": 90.0},
+        )
+        comparison = compare_runs(*self._pair(entries))
+        assert comparison.has_regressions
+        assert comparison.regressions[0].metric == "ptime.product_states"
+
+    def test_added_and_removed_tests(self):
+        entries = {"bench_a.py::test_fast": BASE_ENTRIES["bench_a.py::test_fast"],
+                   "bench_c.py::test_added": ([0.1], {}, {})}
+        comparison = compare_runs(*self._pair(entries))
+        assert comparison.added_tests == ["bench_c.py::test_added"]
+        assert comparison.removed_tests == ["bench_a.py::test_tiny"]
+
+    def test_gauge_threshold(self):
+        entries = dict(BASE_ENTRIES)
+        entries["bench_a.py::test_fast"] = (
+            [0.10, 0.11, 0.10], {"ptime.product_states": 20}, {"mem.peak_kb": 200.0},
+        )
+        comparison = compare_runs(*self._pair(entries))
+        gauge_findings = [f for f in comparison.regressions if f.kind == "gauge"]
+        assert [f.metric for f in gauge_findings] == ["mem.peak_kb"]
+
+
+class TestResolveRef:
+    def _runs(self):
+        return [
+            make_run(sha=SHA_A, timestamp=1000.0),
+            make_run(sha=SHA_A, timestamp=2000.0),
+            make_run(sha=SHA_B, timestamp=3000.0),
+        ]
+
+    def test_latest_previous_and_index(self):
+        runs = self._runs()
+        assert resolve_ref(runs, None) is runs[-1]
+        assert resolve_ref(runs, "latest") is runs[-1]
+        assert resolve_ref(runs, "previous", relative_to=runs[-1]) is runs[1]
+        assert resolve_ref(runs, "-2") is runs[1]
+        assert resolve_ref(runs, "1") is runs[0]
+
+    def test_sha_prefix_picks_newest_match(self):
+        runs = self._runs()
+        assert resolve_ref(runs, SHA_A[:8]) is runs[1]
+        assert resolve_ref(runs, SHA_B[:8]) is runs[2]
+
+    def test_file_path(self, tmp_path):
+        run = make_run(entries=BASE_ENTRIES)
+        path = tmp_path / "baseline.json"
+        write_run(run, str(path))
+        resolved = resolve_ref([], str(path))
+        assert resolved.entries.keys() == run.entries.keys()
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            resolve_ref([], "latest")
+        with pytest.raises(ValueError):
+            resolve_ref(self._runs(), "deadbeef")
+        with pytest.raises(ValueError):
+            resolve_ref(self._runs(), "-9")
+        with pytest.raises(ValueError):
+            resolve_ref([make_run()], "previous")
+
+
+class TestReport:
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▄▄"
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert sparkline([1.0, None, 2.0])[1] == " "
+
+    def test_trajectory_marks_missing_runs(self):
+        runs = [
+            make_run(timestamp=1000.0,
+                     entries={"a": ([1.0], {}, {})}),
+            make_run(timestamp=2000.0,
+                     entries={"a": ([2.0], {}, {}), "b": ([3.0], {}, {})}),
+        ]
+        series = trajectory(runs)
+        assert series["a"] == [1.0, 2.0]
+        assert series["b"] == [None, 3.0]
+
+    def test_all_three_formats_render(self):
+        baseline = make_run(entries=BASE_ENTRIES, timestamp=1000.0)
+        entries = dict(BASE_ENTRIES)
+        entries["bench_a.py::test_fast"] = (
+            [0.10, 0.11, 0.10], {"ptime.product_states": 21}, {"mem.peak_kb": 90.0},
+        )
+        candidate = make_run(entries=entries, timestamp=2000.0)
+        comparison = compare_runs(baseline, candidate)
+        runs = [baseline, candidate]
+        text = render_report(runs, comparison, fmt="text")
+        assert "regressions (worst first):" in text
+        assert "ptime.product_states" in text
+        markdown = render_report(runs, comparison, fmt="markdown")
+        assert markdown.startswith("# Benchmark regression report")
+        assert "| counter | `ptime.product_states` |" in markdown
+        payload = json.loads(render_report(runs, comparison, fmt="json"))
+        assert payload["regressions"][0]["metric"] == "ptime.product_states"
+        assert payload["runs_in_history"] == 2
+        assert payload["same_commit"] is True
+
+
+class TestBenchReportCli:
+    def _seed_history(self, tmp_path, bump_counter=False):
+        history = BenchHistory(str(tmp_path / "history"))
+        history.append(make_run(entries=BASE_ENTRIES, timestamp=1000.0))
+        entries = dict(BASE_ENTRIES)
+        if bump_counter:
+            entries["bench_a.py::test_fast"] = (
+                [0.10, 0.11, 0.10], {"ptime.product_states": 21},
+                {"mem.peak_kb": 90.0},
+            )
+        history.append(make_run(entries=entries, timestamp=2000.0))
+        return str(tmp_path / "history")
+
+    def test_identical_runs_exit_zero(self, tmp_path, capsys):
+        history = self._seed_history(tmp_path)
+        status = main(["bench-report", "--history", history,
+                       "--fail-on-regression"])
+        assert status == 0
+        assert "no regressions detected." in capsys.readouterr().out
+
+    def test_counter_regression_exits_nonzero(self, tmp_path, capsys):
+        history = self._seed_history(tmp_path, bump_counter=True)
+        status = main(["bench-report", "--history", history,
+                       "--fail-on-regression"])
+        assert status == 1
+        assert "ptime.product_states" in capsys.readouterr().out
+
+    def test_without_flag_reports_but_exits_zero(self, tmp_path, capsys):
+        history = self._seed_history(tmp_path, bump_counter=True)
+        status = main(["bench-report", "--history", history])
+        assert status == 0
+        assert "1 regression detected." in capsys.readouterr().out
+
+    def test_json_and_markdown_formats(self, tmp_path, capsys):
+        history = self._seed_history(tmp_path, bump_counter=True)
+        assert main(["bench-report", "--history", history,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regressions"]
+        assert main(["bench-report", "--history", history,
+                     "--format", "markdown"]) == 0
+        assert "**Verdict:**" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        history = self._seed_history(tmp_path)
+        out = tmp_path / "report.md"
+        status = main(["bench-report", "--history", history,
+                       "--format", "markdown", "--output", str(out)])
+        assert status == 0
+        assert out.read_text().startswith("# Benchmark regression report")
+        captured = capsys.readouterr()
+        assert captured.out == ""  # report went to the file, not stdout
+
+    def test_baseline_file_ref(self, tmp_path, capsys):
+        history = self._seed_history(tmp_path)
+        baseline = tmp_path / "committed-baseline.json"
+        write_run(make_run(entries=BASE_ENTRIES, timestamp=500.0), str(baseline))
+        status = main(["bench-report", "--history", history,
+                       "--baseline", str(baseline), "--fail-on-regression"])
+        assert status == 0
+        capsys.readouterr()
+
+    def test_missing_history_is_a_cli_error(self, tmp_path, capsys):
+        status = main(["bench-report", "--history",
+                       str(tmp_path / "nowhere")])
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMemoryGauges:
+    def test_track_peak_memory_disabled_is_noop(self):
+        assert not obs.enabled()
+        with obs.track_peak_memory():
+            pass  # nothing recorded, nothing raised
+
+    def test_track_peak_memory_records_kib(self):
+        with obs.recording() as recorder:
+            with obs.track_peak_memory():
+                blob = [bytearray(64 * 1024) for _ in range(8)]  # ~512 KiB
+            del blob
+        assert recorder.gauges["mem.peak_kb"] > 256
+
+    def test_nested_probes_share_one_trace(self):
+        import tracemalloc
+
+        with obs.recording() as recorder:
+            with obs.track_peak_memory("outer.peak_kb"):
+                with obs.track_peak_memory("inner.peak_kb"):
+                    pass
+                assert tracemalloc.is_tracing()
+        assert not tracemalloc.is_tracing()
+        assert "outer.peak_kb" in recorder.gauges
+        assert "inner.peak_kb" in recorder.gauges
+
+    def test_mso_compile_populates_gauges(self):
+        from repro.mso.ast import ExistsFO, Lab, Not
+        from repro.mso.compile import clear_compile_cache, compile_mso
+
+        clear_compile_cache()
+        with obs.recording() as recorder:
+            compile_mso(Not(ExistsFO("x", Lab("a", "x"))), ("a",))
+        assert recorder.gauges["mem.peak_kb"] > 0
+        assert recorder.gauges["mso.compile.automaton_states"] >= 1
+
+    def test_typecheck_populates_gauges(self):
+        from repro.core.topdown import TopDownTransducer
+        from repro.core.typecheck import typechecks
+        from repro.schema.dtd import DTD, dtd_to_nta
+
+        dtd = DTD({"r": "text"}, start={"r"})
+        identity = TopDownTransducer(
+            states={"q0", "q"},
+            rules={("q0", "r"): "r(q)", ("q", "text"): "text"},
+            initial="q0",
+        )
+        with obs.recording() as recorder:
+            assert typechecks(identity, dtd_to_nta(dtd), dtd)
+        assert recorder.gauges["mem.peak_kb"] > 0
+        assert recorder.gauges["typecheck.inverse_type_states"] >= 1
