@@ -23,6 +23,7 @@ See README.md for the architecture and DESIGN.md for the paper map.
 """
 
 from .analysis import (
+    audit_corpus,
     counter_example,
     deletes_protected_text,
     diagnose,
@@ -120,5 +121,7 @@ __all__ = [
     "Diagnostic",
     "SourceInfo",
     "SourceLocation",
+    # batch auditing (repro.corpus)
+    "audit_corpus",
     "__version__",
 ]

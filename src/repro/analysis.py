@@ -54,6 +54,7 @@ __all__ = [
     "deletes_protected_text",
     "is_text_preserving_with_protection",
     "diagnose",
+    "audit_corpus",
 ]
 
 Transducer = Union[TopDownTransducer, DTLTransducer]
@@ -165,4 +166,33 @@ def diagnose(
         sources=sources,
         codes=codes,
         compute_subschema=compute_subschema,
+    )
+
+
+def audit_corpus(
+    corpus_dir: str,
+    *,
+    max_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+):
+    """Batch front door (the :mod:`repro.corpus` engine): discover every
+    (transducer, schema, protect) job of a corpus directory — from its
+    manifest or the ``*.tdx`` x ``*.schema`` convention — run them on a
+    process pool with per-job timeouts and failure isolation, and
+    return the :class:`~repro.corpus.runner.RunSummary` (worst verdicts
+    first).  Results are cached content-addressed under
+    ``corpus_dir/.repro-cache`` unless ``use_cache`` is false.
+    """
+    # Imported lazily: corpus pulls in the CLI loaders, which import
+    # this module.
+    from .corpus import discover_jobs, open_cache, run_corpus
+
+    cache = open_cache(corpus_dir, cache_dir) if use_cache else None
+    return run_corpus(
+        discover_jobs(corpus_dir),
+        max_workers=max_workers,
+        timeout=timeout,
+        cache=cache,
     )

@@ -24,6 +24,7 @@ Commands::
     python -m repro validate  SCHEMA DOCUMENT.xml
     python -m repro transform TRANSDUCER DOCUMENT.xml
     python -m repro check     TRANSDUCER SCHEMA [--protect LABEL ...]
+                              [--format text|json]
                               [--stats] [--trace FILE.json]
     python -m repro lint      TRANSDUCER SCHEMA [--protect LABEL ...]
                               [--format text|json] [--fail-on warning|error]
@@ -31,6 +32,11 @@ Commands::
     python -m repro subschema TRANSDUCER SCHEMA [--protect LABEL ...]
     python -m repro profile   TRANSDUCER SCHEMA [--protect LABEL ...]
                               [--trace FILE.json]
+    python -m repro batch     CORPUS_DIR [--jobs N] [--timeout S]
+                              [--cache-dir D] [--no-cache]
+                              [--format text|json|markdown]
+                              [--fail-on warning|error] [--output FILE]
+                              [--stats] [--trace FILE.json]
     python -m repro bench-report [--baseline REF] [--candidate REF]
                               [--history DIR] [--format text|json|markdown]
                               [--fail-on-regression] [--threshold FRAC]
@@ -40,11 +46,22 @@ Commands::
 ``check`` prints the verdict (copying / rearranging / protected-label
 deletions), cites the responsible lint diagnostic for every unsafe
 verdict, and, when unsafe, prints the smallest counter-example document
-as XML.  ``lint`` runs the full :mod:`repro.lint` diagnostics engine
-and renders coded findings (TP1xx structural, TP2xx schema, TP3xx
-preservation, TP4xx §7 safety) as text or JSON.  ``profile`` runs the
-full Theorem 4.11 decision under :mod:`repro.obs` instrumentation and
-prints the span tree (phase wall times, automaton sizes, counters).
+as XML; with ``--format json`` it instead emits the structured job
+object of :func:`repro.corpus.analyze_pair` — the same schema a corpus
+job produces.  ``lint`` runs the full :mod:`repro.lint` diagnostics
+engine and renders coded findings (TP1xx structural, TP2xx schema,
+TP3xx preservation, TP4xx §7 safety) as text or JSON.  ``profile`` runs
+the full Theorem 4.11 decision under :mod:`repro.obs` instrumentation
+and prints the span tree (phase wall times, automaton sizes, counters).
+
+``batch`` audits a whole corpus (see :mod:`repro.corpus`): jobs come
+from ``CORPUS_DIR/manifest.txt`` or the ``*.tdx`` x ``*.schema``
+directory convention, run in parallel worker processes with per-job
+timeouts and failure isolation, and results are cached content-
+addressed under ``CORPUS_DIR/.repro-cache`` so re-runs only recompute
+changed pairs.  ``--format json`` streams JSONL (one job object per
+line plus a summary trailer); ``text``/``markdown`` render worst
+verdicts first with a cache/timing footer.
 
 On ``check``/``lint``, ``--stats`` prints the recorded span tree and
 counters to stderr and ``--trace FILE.json`` writes a Chrome
@@ -67,14 +84,22 @@ Exit status, for CI use:
 ====  ==========================================================
 0     success (``check``: safe; ``lint``: nothing at/above the
       ``--fail-on`` threshold; ``validate``: document valid;
+      ``batch``: every job safe and clean at the threshold;
       ``bench-report``: no confirmed regression)
 1     analysis verdict failed (``check``: unsafe; ``lint``:
       findings at/above threshold; ``validate``: invalid document;
-      ``subschema``: empty safe sub-schema; ``bench-report
-      --fail-on-regression``: confirmed regressions)
+      ``subschema``: empty safe sub-schema; ``batch``: some job
+      unsafe, errored, timed out, or with findings at/above the
+      threshold; ``bench-report --fail-on-regression``: confirmed
+      regressions)
 2     bad input (malformed/missing files, missing history,
-      ``CliError``)
+      malformed corpus/manifest, ``CliError``)
 ====  ==========================================================
+
+Note the ``batch`` asymmetry, by design: a malformed *corpus* (missing
+directory, bad manifest line, nothing to do) is exit 2, but a malformed
+*pair inside* a healthy corpus is an isolated per-job ``error`` result
+and exit 1 — one broken file never blocks auditing the rest.
 """
 
 from __future__ import annotations
@@ -305,9 +330,27 @@ def _cmd_check(args: argparse.Namespace) -> int:
         recorder: Optional[obs.Recorder] = None
         if _wants_observation(args):
             recorder = stack.enter_context(obs.recording())
-        status = _run_check(args, transducer, dtd, loaded_transducer, loaded_schema)
+        if getattr(args, "format", "text") == "json":
+            status = _run_check_json(args, recorder)
+        else:
+            status = _run_check(args, transducer, dtd, loaded_transducer, loaded_schema)
     _finish_observation(recorder, args)
     return status
+
+
+def _run_check_json(args: argparse.Namespace, recorder: Optional[obs.Recorder]) -> int:
+    """``check --format json``: one corpus-job object on stdout (the
+    inputs were already loaded once, so malformed files exited 2
+    before reaching here)."""
+    import json
+
+    from .corpus import analyze_pair
+
+    result = analyze_pair(args.transducer, args.schema, args.protect or ())
+    if recorder is not None and result.observations:
+        obs.Snapshot.from_dict(result.observations).merge_into(recorder)
+    sys.stdout.write(json.dumps(result.to_dict(), indent=2, sort_keys=False) + "\n")
+    return 0 if result.verdict == "safe" else 1
 
 
 def _run_check(
@@ -472,6 +515,44 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from . import corpus
+
+    if args.jobs is not None and args.jobs < 1:
+        raise CliError("--jobs must be at least 1, got %d" % args.jobs)
+    if args.timeout is not None and args.timeout <= 0:
+        raise CliError("--timeout must be positive, got %g" % args.timeout)
+    try:
+        jobs = corpus.discover_jobs(args.corpus_dir)
+    except corpus.CorpusError as error:
+        raise CliError(str(error)) from None
+    cache = None if args.no_cache else corpus.open_cache(args.corpus_dir, args.cache_dir)
+
+    def progress(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    with contextlib.ExitStack() as stack:
+        recorder: Optional[obs.Recorder] = None
+        if _wants_observation(args):
+            recorder = stack.enter_context(obs.recording())
+        summary = corpus.run_corpus(
+            jobs,
+            max_workers=args.jobs,
+            timeout=args.timeout,
+            cache=cache,
+            progress=progress,
+        )
+    rendered = corpus.render(summary, args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print("wrote %s" % args.output, file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+    _finish_observation(recorder, args)
+    return 1 if summary.failing(args.fail_on) else 0
+
+
 def _cmd_bench_report(args: argparse.Namespace) -> int:
     from .obs import bench
 
@@ -523,6 +604,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("transducer")
     check.add_argument("schema")
     check.add_argument("--protect", action="append", metavar="LABEL")
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format; json emits the corpus-job object "
+        "(default: text)",
+    )
     _add_observation_flags(check)
     check.set_defaults(func=_cmd_check)
 
@@ -567,6 +653,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a Chrome trace_event file of the run",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    batch = sub.add_parser(
+        "batch",
+        help="audit a whole corpus of (transducer, schema) pairs in "
+        "parallel, with content-addressed result caching",
+    )
+    batch.add_argument("corpus_dir", metavar="CORPUS_DIR")
+    batch.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: min(cpu count, 8))",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-job timeout in seconds; a job over the limit is "
+        "reported as 'timeout' without affecting its siblings",
+    )
+    batch.add_argument(
+        "--cache-dir", default=None, metavar="D",
+        help="result cache location (default: CORPUS_DIR/.repro-cache)",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute everything; neither read nor write the cache",
+    )
+    batch.add_argument(
+        "--format", choices=("text", "json", "markdown"), default="text",
+        help="report format; json streams JSONL job objects plus a "
+        "summary trailer (default: text)",
+    )
+    batch.add_argument(
+        "--fail-on", choices=("warning", "error"), default="error",
+        help="exit non-zero when a safe job still has findings at/above "
+        "this severity; unsafe/error/timeout jobs always fail "
+        "(default: error)",
+    )
+    batch.add_argument(
+        "--output", metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    _add_observation_flags(batch)
+    batch.set_defaults(func=_cmd_batch)
 
     bench_report = sub.add_parser(
         "bench-report",

@@ -1,0 +1,162 @@
+"""Job discovery: manifests and the directory convention.
+
+A *corpus* is a directory of transducers and schemas to audit
+together.  Jobs — (transducer, schema, protected-labels) triples — come
+from one of two places:
+
+* **A manifest** (``manifest.txt`` or ``corpus.manifest`` in the corpus
+  directory): one job per line, ``#`` comments, paths relative to the
+  manifest::
+
+      # TRANSDUCER SCHEMA [PROTECTED_LABEL ...]
+      select.tdx recipes.schema
+      select.tdx recipes.schema comment   # same pair, now protecting <comment>
+
+* **The directory convention**, when no manifest exists: the full cross
+  product of every ``*.tdx`` against every ``*.schema`` found under the
+  corpus directory (recursively), with no protected labels.  This is
+  the Martens–Neven-style batch-audit shape: a library of
+  transformations against a library of schemas.
+
+Problems with the *corpus itself* (missing directory, unreadable or
+malformed manifest, no jobs at all) raise :class:`CorpusError` — the
+CLI maps that to exit code 2.  Problems with an individual pair
+(a ``.tdx`` that does not parse, a missing file named by a job) are
+deliberately *not* discovery errors: they surface as per-job ``error``
+results so one bad file never blocks the rest of the corpus.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["CorpusError", "JobSpec", "MANIFEST_NAMES", "parse_manifest", "discover_jobs"]
+
+#: Recognized manifest file names, tried in order.
+MANIFEST_NAMES: Tuple[str, ...] = ("manifest.txt", "corpus.manifest")
+
+
+class CorpusError(ValueError):
+    """The corpus itself is malformed (bad manifest, nothing to do)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One (transducer, schema, protected-labels) analysis job.
+
+    ``transducer_path``/``schema_path`` are the paths to open;
+    ``transducer_name``/``schema_name`` are the corpus-relative display
+    names used in job ids, reports, and tests.
+    """
+
+    transducer_path: str
+    schema_path: str
+    protect: Tuple[str, ...] = ()
+    transducer_name: str = ""
+    schema_name: str = ""
+    source_line: int = 0  # manifest line, 0 for convention-discovered jobs
+
+    def __post_init__(self) -> None:
+        if not self.transducer_name:
+            object.__setattr__(self, "transducer_name", os.path.basename(self.transducer_path))
+        if not self.schema_name:
+            object.__setattr__(self, "schema_name", os.path.basename(self.schema_path))
+
+    @property
+    def job_id(self) -> str:
+        """A human-readable, corpus-unique identifier."""
+        base = "%s x %s" % (self.transducer_name, self.schema_name)
+        if self.protect:
+            base += " [protect %s]" % ",".join(self.protect)
+        return base
+
+
+@dataclass
+class _ParsedLine:
+    number: int
+    tokens: List[str] = field(default_factory=list)
+
+
+def parse_manifest(path: str, base_dir: str) -> List[JobSpec]:
+    """Parse a manifest file into job specs (paths resolved against
+    ``base_dir``)."""
+    jobs: List[JobSpec] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = list(handle)
+    except OSError as error:
+        raise CorpusError("cannot read manifest %s: %s" % (path, error)) from None
+    for number, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if len(tokens) < 2:
+            raise CorpusError(
+                "%s:%d: expected 'TRANSDUCER SCHEMA [PROTECTED_LABEL ...]', got %r"
+                % (path, number, line)
+            )
+        transducer, schema = tokens[0], tokens[1]
+        protect = tuple(tokens[2:])
+        jobs.append(
+            JobSpec(
+                transducer_path=os.path.join(base_dir, transducer),
+                schema_path=os.path.join(base_dir, schema),
+                protect=protect,
+                transducer_name=transducer,
+                schema_name=schema,
+                source_line=number,
+            )
+        )
+    if not jobs:
+        raise CorpusError("%s: manifest defines no jobs" % path)
+    seen = set()
+    for job in jobs:
+        key = (job.transducer_name, job.schema_name, job.protect)
+        if key in seen:
+            raise CorpusError(
+                "%s:%d: duplicate job %s" % (path, job.source_line, job.job_id)
+            )
+        seen.add(key)
+    return jobs
+
+
+def _walk_suffix(corpus_dir: str, suffix: str) -> List[str]:
+    """Corpus-relative paths of files with the suffix, sorted."""
+    found: List[str] = []
+    for root, _dirs, files in os.walk(corpus_dir):
+        for name in files:
+            if name.endswith(suffix):
+                rel = os.path.relpath(os.path.join(root, name), corpus_dir)
+                found.append(rel.replace(os.sep, "/"))
+    return sorted(found)
+
+
+def discover_jobs(corpus_dir: str) -> List[JobSpec]:
+    """All jobs of a corpus: the manifest's, or the ``*.tdx`` x
+    ``*.schema`` cross product when no manifest exists."""
+    if not os.path.isdir(corpus_dir):
+        raise CorpusError("corpus directory %s does not exist" % corpus_dir)
+    for name in MANIFEST_NAMES:
+        manifest_path = os.path.join(corpus_dir, name)
+        if os.path.isfile(manifest_path):
+            return parse_manifest(manifest_path, corpus_dir)
+    transducers = _walk_suffix(corpus_dir, ".tdx")
+    schemas = _walk_suffix(corpus_dir, ".schema")
+    jobs = [
+        JobSpec(
+            transducer_path=os.path.join(corpus_dir, transducer),
+            schema_path=os.path.join(corpus_dir, schema),
+            transducer_name=transducer,
+            schema_name=schema,
+        )
+        for transducer in transducers
+        for schema in schemas
+    ]
+    if not jobs:
+        raise CorpusError(
+            "corpus %s has no manifest and no *.tdx/*.schema pairs" % corpus_dir
+        )
+    return jobs

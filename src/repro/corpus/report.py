@@ -1,0 +1,152 @@
+"""Corpus run reports: text, markdown, and JSONL.
+
+All three render the same :class:`~repro.corpus.runner.RunSummary`,
+worst verdicts first (``error`` > ``timeout`` > ``unsafe`` > ``safe``,
+then by finding counts), and end with the cache/timing footer the CI
+self-check greps — keep the ``N hits, M misses`` and ``hit rate``
+phrasing stable.
+
+The JSONL stream is one :meth:`JobResult.to_dict` object per line —
+byte-compatible with ``python -m repro check --format json`` on the
+same pair — followed by a single ``{"summary": ...}`` trailer object.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .runner import JobResult, RunSummary
+
+__all__ = ["render", "render_text", "render_markdown", "render_jsonl", "summary_dict"]
+
+
+def _findings_phrase(result: JobResult) -> str:
+    if result.verdict in ("error", "timeout"):
+        return result.error or result.verdict
+    parts: List[str] = []
+    if result.copying:
+        parts.append("copying")
+    if result.rearranging:
+        parts.append("rearranging")
+    if result.protected_deletions:
+        parts.append("deletes <%s> text" % ">,<".join(result.protected_deletions))
+    counts = result.severity_counts()
+    parts.append(
+        "%d errors, %d warnings, %d notes"
+        % (counts["error"], counts["warning"], counts["info"])
+    )
+    return "; ".join(parts)
+
+
+def _cache_tag(result: JobResult) -> str:
+    return "hit" if result.cache_hit else "miss"
+
+
+def summary_dict(summary: RunSummary) -> Dict[str, Any]:
+    """The JSON form of the run-level aggregate (the JSONL trailer)."""
+    slowest = summary.slowest()
+    return {
+        "summary": {
+            "jobs": len(summary.results),
+            "verdicts": summary.verdict_counts(),
+            "cache": {
+                "hits": summary.cache_hits,
+                "misses": summary.cache_misses,
+                "hit_rate": round(summary.hit_rate(), 4),
+            },
+            "wall_time_s": round(summary.wall_time_s, 6),
+            "analysis_time_s": round(summary.analysis_time_s, 6),
+            "workers": summary.workers,
+            "slowest_job": slowest.job_id if slowest else None,
+            "slowest_job_s": round(slowest.wall_time_s, 6) if slowest else None,
+            "engine": summary.engine,
+        }
+    }
+
+
+def _footer_lines(summary: RunSummary) -> List[str]:
+    counts = summary.verdict_counts()
+    lines = [
+        "verdicts: %d safe, %d unsafe, %d timeout, %d error"
+        % (counts["safe"], counts["unsafe"], counts["timeout"], counts["error"]),
+        "cache: %d hits, %d misses (%.1f%% hit rate)"
+        % (summary.cache_hits, summary.cache_misses, 100.0 * summary.hit_rate()),
+    ]
+    timing = "wall time: %.3fs engine, %.3fs analysis across %d workers" % (
+        summary.wall_time_s,
+        summary.analysis_time_s,
+        summary.workers,
+    )
+    slowest = summary.slowest()
+    if slowest is not None:
+        timing += "; slowest job: %s (%.3fs)" % (slowest.job_id, slowest.wall_time_s)
+    lines.append(timing)
+    return lines
+
+
+def render_text(summary: RunSummary) -> str:
+    """The terminal listing: one line per job, footer at the end."""
+    lines = ["corpus audit: %d jobs" % len(summary.results)]
+    width = max((len(result.job_id) for result in summary.results), default=0)
+    for result in summary.results:
+        lines.append(
+            "%-7s  %-*s  %s  [%s, %.3fs]"
+            % (
+                result.verdict.upper() if result.verdict != "safe" else "safe",
+                width,
+                result.job_id,
+                _findings_phrase(result),
+                _cache_tag(result),
+                result.wall_time_s,
+            )
+        )
+    lines.append("")
+    lines.extend(_footer_lines(summary))
+    return "\n".join(lines) + "\n"
+
+
+def render_markdown(summary: RunSummary) -> str:
+    """A report suitable for a CI artifact or PR comment."""
+    lines = [
+        "# Corpus audit",
+        "",
+        "%d jobs, engine `%s`." % (len(summary.results), summary.engine),
+        "",
+        "| verdict | job | findings | cache | time (s) |",
+        "|---|---|---|---|---|",
+    ]
+    for result in summary.results:
+        lines.append(
+            "| %s | `%s` | %s | %s | %.3f |"
+            % (
+                result.verdict,
+                result.job_id,
+                _findings_phrase(result).replace("|", "\\|"),
+                _cache_tag(result),
+                result.wall_time_s,
+            )
+        )
+    lines.append("")
+    for footer in _footer_lines(summary):
+        label, _, rest = footer.partition(":")
+        lines.append("**%s:**%s  " % (label, rest))
+    return "\n".join(lines) + "\n"
+
+
+def render_jsonl(summary: RunSummary) -> str:
+    """One job object per line plus the summary trailer."""
+    lines = [json.dumps(result.to_dict(), sort_keys=False) for result in summary.results]
+    lines.append(json.dumps(summary_dict(summary), sort_keys=False))
+    return "\n".join(lines) + "\n"
+
+
+def render(summary: RunSummary, fmt: str = "text") -> str:
+    """Dispatch on ``text`` / ``markdown`` / ``json`` (JSONL)."""
+    if fmt == "markdown":
+        return render_markdown(summary)
+    if fmt == "json":
+        return render_jsonl(summary)
+    if fmt == "text":
+        return render_text(summary)
+    raise ValueError("unknown report format %r" % (fmt,))

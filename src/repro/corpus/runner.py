@@ -1,0 +1,482 @@
+"""Parallel job execution with per-job timeouts and failure isolation.
+
+:func:`analyze_pair` is the single-pair analysis shared by the corpus
+engine and ``python -m repro check --format json``: it runs the full
+Theorem 4.11 decision plus the :mod:`repro.lint` diagnostics under a
+fresh :mod:`repro.obs` recorder and folds everything into one
+:class:`JobResult`.
+
+:func:`run_corpus` drives many jobs:
+
+* cache lookups happen in the parent (parsing is cheap; the expensive
+  part is the automata pipeline), misses are submitted to a
+  ``ProcessPoolExecutor``;
+* each worker enforces the per-job timeout *inside* the job via
+  ``signal.setitimer`` (worker processes run tasks on their main
+  thread, so SIGALRM interrupts even a hung automata construction);
+  the parent keeps a generous backstop deadline in case a worker dies
+  without reporting;
+* any per-job failure — parse error, analysis crash, timeout — becomes
+  a structured ``error``/``timeout`` result; nothing a single pair
+  does can take down the run;
+* per-job counters travel back as :class:`repro.obs.Snapshot` dicts and
+  are merged into the parent's recorder, so one ``--stats`` view
+  aggregates the batch.
+
+Timeout results are never cached (they are transient); parse errors
+are (they are deterministic consequences of the file's content).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..lint import severity_order
+from .cache import ENGINE_VERSION, ResultCache, job_cache_key
+from .manifest import JobSpec
+
+__all__ = [
+    "JobResult",
+    "RunSummary",
+    "VERDICT_RANK",
+    "analyze_pair",
+    "run_corpus",
+    "job_fails",
+]
+
+#: Report ordering: worst verdicts first.
+VERDICT_RANK: Dict[str, int] = {"error": 0, "timeout": 1, "unsafe": 2, "safe": 3}
+
+#: Test-only fault injection: ``"SUBSTR:SECONDS"`` makes workers sleep
+#: SECONDS before analysing any job whose transducer path contains
+#: SUBSTR — the only way to exercise the timeout path deterministically
+#: across the process boundary.
+FAULT_DELAY_ENV = "REPRO_CORPUS_TEST_DELAY"
+
+
+class _JobTimeout(BaseException):
+    """Raised by the in-worker SIGALRM handler; derives from
+    BaseException so no analysis-level ``except Exception`` can swallow
+    the deadline."""
+
+
+@dataclass
+class JobResult:
+    """The structured outcome of one (transducer, schema, protect) job."""
+
+    job_id: str
+    transducer: str
+    schema: str
+    protect: Tuple[str, ...] = ()
+    verdict: str = "error"  # safe | unsafe | error | timeout
+    copying: Optional[bool] = None
+    rearranging: Optional[bool] = None
+    protected_deletions: Tuple[str, ...] = ()
+    diagnostics: List[Dict[str, Any]] = field(default_factory=list)
+    counter_example_xml: Optional[str] = None
+    observations: Dict[str, Any] = field(default_factory=dict)  # obs.Snapshot.to_dict()
+    wall_time_s: float = 0.0
+    cache_hit: bool = False
+    error: Optional[str] = None
+    engine: str = ENGINE_VERSION
+
+    def severity_counts(self) -> Dict[str, int]:
+        counts = {"info": 0, "warning": 0, "error": 0}
+        for diagnostic in self.diagnostics:
+            severity = diagnostic.get("severity")
+            if severity in counts:
+                counts[severity] += 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The stable JSON object — also what ``check --format json``
+        prints, so one schema serves both paths."""
+        out: Dict[str, Any] = {
+            "version": 1,
+            "job_id": self.job_id,
+            "transducer": self.transducer,
+            "schema": self.schema,
+            "protect": list(self.protect),
+            "verdict": self.verdict,
+            "copying": self.copying,
+            "rearranging": self.rearranging,
+            "protected_deletions": list(self.protected_deletions),
+            "summary": self.severity_counts(),
+            "diagnostics": list(self.diagnostics),
+            "counter_example_xml": self.counter_example_xml,
+            "observations": dict(self.observations),
+            "wall_time_s": self.wall_time_s,
+            "cache_hit": self.cache_hit,
+            "engine": self.engine,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobResult":
+        return cls(
+            job_id=payload["job_id"],
+            transducer=payload.get("transducer", ""),
+            schema=payload.get("schema", ""),
+            protect=tuple(payload.get("protect", ())),
+            verdict=payload.get("verdict", "error"),
+            copying=payload.get("copying"),
+            rearranging=payload.get("rearranging"),
+            protected_deletions=tuple(payload.get("protected_deletions", ())),
+            diagnostics=list(payload.get("diagnostics", ())),
+            counter_example_xml=payload.get("counter_example_xml"),
+            observations=dict(payload.get("observations", {})),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            cache_hit=bool(payload.get("cache_hit", False)),
+            error=payload.get("error"),
+            engine=payload.get("engine", ENGINE_VERSION),
+        )
+
+
+def _sort_key(result: JobResult) -> Tuple[int, int, int, str]:
+    counts = result.severity_counts()
+    return (
+        VERDICT_RANK.get(result.verdict, 0),
+        -counts["error"],
+        -counts["warning"],
+        result.job_id,
+    )
+
+
+def job_fails(result: JobResult, fail_on: str = "error") -> bool:
+    """Whether a job counts against the exit code: non-``safe``
+    verdicts always do; ``safe`` jobs do when they carry diagnostics
+    at/above the threshold."""
+    if result.verdict != "safe":
+        return True
+    threshold = severity_order(fail_on)
+    return any(
+        severity_order(d.get("severity", "info")) >= threshold for d in result.diagnostics
+    )
+
+
+def analyze_pair(
+    transducer_path: str,
+    schema_path: str,
+    protect: Sequence[str] = (),
+    *,
+    job_id: Optional[str] = None,
+    transducer_name: Optional[str] = None,
+    schema_name: Optional[str] = None,
+) -> JobResult:
+    """Run the full single-pair analysis, catching per-pair failures
+    into an ``error`` result (timeouts — :class:`_JobTimeout` — always
+    propagate to the worker loop)."""
+    from ..analysis import (
+        counter_example,
+        deletes_protected_text,
+        diagnose,
+        is_copying,
+        is_rearranging,
+    )
+    from ..cli import CliError, load_schema_ex, load_transducer_ex
+    from ..lint import SourceInfo
+    from ..trees.xmlio import tree_to_xml
+
+    spec = JobSpec(
+        transducer_path=transducer_path,
+        schema_path=schema_path,
+        protect=tuple(protect),
+        transducer_name=transducer_name or "",
+        schema_name=schema_name or "",
+    )
+    result = JobResult(
+        job_id=job_id or spec.job_id,
+        transducer=spec.transducer_name,
+        schema=spec.schema_name,
+        protect=spec.protect,
+    )
+    start = time.perf_counter()
+    try:
+        with obs.recording() as recorder:
+            loaded_transducer = load_transducer_ex(transducer_path)
+            loaded_schema = load_schema_ex(schema_path)
+            transducer, dtd = loaded_transducer.transducer, loaded_schema.dtd
+            result.copying = is_copying(transducer, dtd)
+            result.rearranging = is_rearranging(transducer, dtd)
+            result.protected_deletions = tuple(
+                label
+                for label in spec.protect
+                if deletes_protected_text(transducer, dtd, label)
+            )
+            sources = SourceInfo(
+                transducer_path=transducer_path,
+                schema_path=schema_path,
+                rule_lines=loaded_transducer.rule_lines,
+                state_lines=loaded_transducer.state_lines,
+                label_lines=loaded_schema.label_lines,
+            )
+            result.diagnostics = [
+                diagnostic.to_dict()
+                for diagnostic in diagnose(transducer, dtd, spec.protect, sources=sources)
+            ]
+            if result.copying or result.rearranging:
+                witness = counter_example(transducer, dtd)
+                if witness is not None:
+                    result.counter_example_xml = tree_to_xml(witness).strip()
+            result.verdict = (
+                "unsafe"
+                if result.copying or result.rearranging or result.protected_deletions
+                else "safe"
+            )
+        result.observations = obs.Snapshot.from_recorder(recorder).to_dict()
+    except (CliError, FileNotFoundError, OSError, ValueError, TypeError) as error:
+        result.verdict = "error"
+        result.error = "%s: %s" % (type(error).__name__, error)
+    result.wall_time_s = time.perf_counter() - start
+    return result
+
+
+def _worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool entry point: one job in, one ``JobResult`` dict out.
+
+    Enforces the per-job timeout via ``setitimer`` where available
+    (Unix); a fired deadline yields a ``timeout`` result and leaves the
+    worker process healthy for the next job.
+    """
+    timeout = payload.get("timeout")
+    use_timer = bool(timeout) and hasattr(signal, "setitimer")
+
+    def on_alarm(_signum: int, _frame: Any) -> None:
+        raise _JobTimeout()
+
+    previous = None
+    if use_timer:
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, float(timeout))
+    start = time.perf_counter()
+    try:
+        _maybe_inject_delay(payload["transducer_path"])
+        result = analyze_pair(
+            payload["transducer_path"],
+            payload["schema_path"],
+            tuple(payload.get("protect", ())),
+            job_id=payload.get("job_id"),
+            transducer_name=payload.get("transducer_name"),
+            schema_name=payload.get("schema_name"),
+        )
+    except _JobTimeout:
+        result = JobResult(
+            job_id=payload.get("job_id", ""),
+            transducer=payload.get("transducer_name", ""),
+            schema=payload.get("schema_name", ""),
+            protect=tuple(payload.get("protect", ())),
+            verdict="timeout",
+            error="job exceeded the %.3gs timeout" % float(timeout),
+            wall_time_s=time.perf_counter() - start,
+        )
+    finally:
+        if use_timer:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    return result.to_dict()
+
+
+def _maybe_inject_delay(transducer_path: str) -> None:
+    spec = os.environ.get(FAULT_DELAY_ENV)
+    if not spec:
+        return
+    substring, _, seconds = spec.partition(":")
+    if substring and substring in transducer_path:
+        time.sleep(float(seconds))
+
+
+@dataclass
+class RunSummary:
+    """Everything a report needs about one corpus run."""
+
+    results: List[JobResult]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_time_s: float = 0.0  # end-to-end engine time
+    analysis_time_s: float = 0.0  # sum of per-job wall times (cached jobs excluded)
+    workers: int = 1
+    engine: str = ENGINE_VERSION
+
+    def verdict_counts(self) -> Dict[str, int]:
+        counts = {verdict: 0 for verdict in VERDICT_RANK}
+        for result in self.results:
+            counts[result.verdict] = counts.get(result.verdict, 0) + 1
+        return counts
+
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def slowest(self) -> Optional[JobResult]:
+        fresh = [result for result in self.results if not result.cache_hit]
+        if not fresh:
+            return None
+        return max(fresh, key=lambda result: result.wall_time_s)
+
+    def failing(self, fail_on: str = "error") -> List[JobResult]:
+        return [result for result in self.results if job_fails(result, fail_on)]
+
+
+def _spec_payload(spec: JobSpec, timeout: Optional[float]) -> Dict[str, Any]:
+    return {
+        "transducer_path": spec.transducer_path,
+        "schema_path": spec.schema_path,
+        "protect": list(spec.protect),
+        "job_id": spec.job_id,
+        "transducer_name": spec.transducer_name,
+        "schema_name": spec.schema_name,
+        "timeout": timeout,
+    }
+
+
+def _failure_result(spec: JobSpec, verdict: str, message: str) -> JobResult:
+    return JobResult(
+        job_id=spec.job_id,
+        transducer=spec.transducer_name,
+        schema=spec.schema_name,
+        protect=spec.protect,
+        verdict=verdict,
+        error=message,
+    )
+
+
+def run_corpus(
+    jobs: Sequence[JobSpec],
+    *,
+    max_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    cache: Optional[ResultCache] = None,
+    engine_version: str = ENGINE_VERSION,
+    progress: Optional[Callable[[str], None]] = None,
+) -> RunSummary:
+    """Execute all jobs — cached results resolve in the parent, the
+    rest fan out over worker processes — and return the sorted summary
+    (worst verdicts first)."""
+    say = progress or (lambda _message: None)
+    start = time.perf_counter()
+    results: List[JobResult] = []
+    pending: List[Tuple[JobSpec, Optional[str]]] = []
+    hits = 0
+    for spec in jobs:
+        key = job_cache_key(spec, engine_version) if cache is not None else None
+        if key is not None and cache is not None:
+            payload = cache.get(key)
+            if payload is not None:
+                cached = JobResult.from_dict(payload)
+                cached.cache_hit = True
+                results.append(cached)
+                hits += 1
+                continue
+        pending.append((spec, key))
+    misses = len(pending)
+    say(
+        "%d jobs: %d cache hits, %d to run"
+        % (len(jobs), hits, misses)
+    )
+
+    workers = 1
+    if pending:
+        workers = max_workers or min(os.cpu_count() or 1, 8)
+        workers = max(1, min(workers, len(pending)))
+        results.extend(
+            _execute_pending(pending, workers, timeout, cache, say)
+        )
+
+    recorder = obs.current()
+    if recorder is not None:
+        for result in results:
+            if result.observations:
+                obs.Snapshot.from_dict(result.observations).merge_into(recorder)
+        recorder.add("corpus.jobs.total", len(results))
+        recorder.add("corpus.cache.hits", hits)
+        recorder.add("corpus.cache.misses", misses)
+        for verdict, count in _count_verdicts(results).items():
+            if count:
+                recorder.add("corpus.verdict.%s" % verdict, count)
+
+    results.sort(key=_sort_key)
+    return RunSummary(
+        results=results,
+        cache_hits=hits,
+        cache_misses=misses,
+        wall_time_s=time.perf_counter() - start,
+        analysis_time_s=sum(r.wall_time_s for r in results if not r.cache_hit),
+        workers=workers,
+        engine=engine_version,
+    )
+
+
+def _count_verdicts(results: Sequence[JobResult]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for result in results:
+        counts[result.verdict] = counts.get(result.verdict, 0) + 1
+    return counts
+
+
+def _execute_pending(
+    pending: Sequence[Tuple[JobSpec, Optional[str]]],
+    workers: int,
+    timeout: Optional[float],
+    cache: Optional[ResultCache],
+    say: Callable[[str], None],
+) -> List[JobResult]:
+    """Fan the cache misses out over a process pool; every failure mode
+    (worker exception, dead worker, engine-level hang) degrades to a
+    structured per-job result."""
+    results: List[JobResult] = []
+    # The in-worker setitimer is the real per-job deadline; this outer
+    # bound only catches a worker dying so hard it never reports (e.g.
+    # the OOM killer), so it is deliberately loose.
+    backstop: Optional[float] = None
+    if timeout is not None:
+        waves = (len(pending) + workers - 1) // workers
+        backstop = timeout * waves + 30.0
+    pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+    futures = {
+        pool.submit(_worker, _spec_payload(spec, timeout)): (spec, key)
+        for spec, key in pending
+    }
+    done = set()
+    hung = False
+    try:
+        for future in concurrent.futures.as_completed(futures, timeout=backstop):
+            done.add(future)
+            spec, key = futures[future]
+            try:
+                result = JobResult.from_dict(future.result())
+            except Exception as error:  # worker died or result unpicklable
+                result = _failure_result(
+                    spec, "error", "worker failed: %s: %s" % (type(error).__name__, error)
+                )
+            if cache is not None and key is not None and result.verdict != "timeout":
+                stored = result.to_dict()
+                stored["cache_hit"] = False
+                cache.put(key, stored)
+            results.append(result)
+            if result.verdict != "safe":
+                say("%-7s %s" % (result.verdict, result.job_id))
+    except concurrent.futures.TimeoutError:
+        # A worker died without reporting; salvage what finished and
+        # abandon the pool rather than joining hung processes.
+        hung = True
+        for future, (spec, _key) in futures.items():
+            if future not in done:
+                future.cancel()
+                results.append(
+                    _failure_result(
+                        spec,
+                        "timeout",
+                        "job never reported within the engine backstop deadline",
+                    )
+                )
+    finally:
+        pool.shutdown(wait=not hung, cancel_futures=True)
+    return results

@@ -14,7 +14,10 @@ blow-up.  This package makes that growth observable:
   ``xpath.*``, ``typecheck.*``, ``safety.*``, ``lint.*``,
   ``oracle.*``);
 * exporters — text tree, round-trippable JSON, and Chrome
-  ``trace_event`` JSON for ``chrome://tracing`` / Perfetto.
+  ``trace_event`` JSON for ``chrome://tracing`` / Perfetto;
+* ``obs.Snapshot`` — a picklable, mergeable view of a recorder's
+  counters/gauges, used to ship per-job observations across the
+  :mod:`repro.corpus` worker-process boundary.
 
 Nothing records unless a recorder is installed::
 
@@ -68,6 +71,7 @@ from .recorder import (
     set_gauge,
     span,
 )
+from .snapshot import Snapshot
 
 __all__ = [
     "bench",
@@ -83,6 +87,7 @@ __all__ = [
     "track_peak_memory",
     "PEAK_MEMORY_GAUGE",
     "Span",
+    "Snapshot",
     "Recorder",
     "recording",
     "current",

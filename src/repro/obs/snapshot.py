@@ -1,0 +1,85 @@
+"""Portable, mergeable snapshots of a recorder's registries.
+
+A :class:`Snapshot` is the process-boundary form of a
+:class:`~repro.obs.recorder.Recorder`: just the counters, gauges, and
+total wall time — no span objects — so it pickles/JSON-serializes
+cheaply and merges associatively.  The corpus engine
+(:mod:`repro.corpus`) records each job under its own recorder inside a
+worker process, snapshots it, ships the dict across the
+``ProcessPoolExecutor`` boundary, and merges all job snapshots into the
+parent's recorder so one ``--stats`` view aggregates the whole batch.
+
+Merging follows the registry semantics: counters add, gauges keep the
+maximum (a gauge is a high-water mark across jobs), wall times add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+from .recorder import Recorder
+
+__all__ = ["Snapshot"]
+
+
+@dataclass
+class Snapshot:
+    """Counters + gauges + wall time of one recorded run, detached from
+    the span tree.  Round-trips through :meth:`to_dict` /
+    :meth:`from_dict` (plain JSON types only)."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    wall_time_ns: int = 0
+
+    @classmethod
+    def from_recorder(cls, recorder: Recorder) -> "Snapshot":
+        """Capture the recorder's registries and total root-span time."""
+        return cls(
+            counters=dict(recorder.counters),
+            gauges=dict(recorder.gauges),
+            wall_time_ns=recorder.total_duration_ns(),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready document (``from_dict`` round-trips it)."""
+        return {
+            "version": 1,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "wall_time_ns": int(self.wall_time_ns),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Snapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output."""
+        return cls(
+            counters={str(k): float(v) for k, v in dict(payload.get("counters", {})).items()},
+            gauges={str(k): float(v) for k, v in dict(payload.get("gauges", {})).items()},
+            wall_time_ns=int(payload.get("wall_time_ns", 0)),
+        )
+
+    def merge(self, other: "Snapshot") -> "Snapshot":
+        """A new snapshot combining both: counters add, gauges max,
+        wall times add."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            if name not in gauges or gauges[name] < value:
+                gauges[name] = value
+        return Snapshot(
+            counters=counters,
+            gauges=gauges,
+            wall_time_ns=self.wall_time_ns + other.wall_time_ns,
+        )
+
+    def merge_into(self, recorder: Recorder, prefix: str = "") -> None:
+        """Fold this snapshot into a live recorder (counters add,
+        gauges keep the maximum), optionally namespaced by ``prefix``."""
+        for name, value in self.counters.items():
+            recorder.add(prefix + name, value)
+        for name, value in self.gauges.items():
+            recorder.gauge_max(prefix + name, value)

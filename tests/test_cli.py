@@ -1,5 +1,7 @@
 """Tests for the command-line interface and its file formats."""
 
+import json
+
 import pytest
 
 from repro.cli import CliError, load_schema, load_transducer, main
@@ -158,6 +160,42 @@ class TestCommands:
         assert code == 1
         out = capsys.readouterr().out
         assert "DELETED" in out
+
+    def test_check_json_safe(self, files, capsys):
+        assert main(["check", files["select"], files["schema"], "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "safe"
+        assert payload["copying"] is False and payload["rearranging"] is False
+        # Info notes (e.g. the intentional comments deletion) are fine;
+        # nothing at warning level or above on the safe pair.
+        assert all(d["severity"] == "info" for d in payload["diagnostics"])
+
+    def test_check_json_unsafe_matches_corpus_job(self, files, capsys):
+        from repro.corpus import analyze_pair
+
+        assert main(["check", files["buggy"], files["schema"], "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "unsafe" and payload["copying"] is True
+        assert any(d["code"] == "TP301" for d in payload["diagnostics"])
+        assert payload["counter_example_xml"].startswith("<?xml")
+        # One schema serves both paths: identical to the corpus job
+        # object up to timing/observations.
+        job = analyze_pair(files["buggy"], files["schema"]).to_dict()
+        for volatile in ("wall_time_s", "observations"):
+            payload.pop(volatile), job.pop(volatile)
+        assert payload == job
+
+    def test_check_json_with_protection(self, files, capsys):
+        assert main(["check", files["select"], files["schema"],
+                     "--protect", "comments", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["protected_deletions"] == ["comments"]
+
+    def test_check_json_malformed_input_exits_2(self, files, tmp_path, capsys):
+        bad = tmp_path / "bad.tdx"
+        bad.write_text("nonsense\n")
+        assert main(["check", str(bad), files["schema"], "--format", "json"]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_subschema(self, files, capsys):
         code = main(["subschema", files["buggy"], files["schema"]])

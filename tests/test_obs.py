@@ -122,6 +122,48 @@ class TestCounters:
         assert inner.counters == {"seen.inner": 1}
 
 
+class TestSnapshot:
+    def test_from_recorder_and_round_trip(self):
+        with obs.recording() as recorder:
+            with obs.span("work"):
+                obs.add("jobs.done", 2)
+                obs.set_gauge("mem.peak_kb", 512)
+        snapshot = obs.Snapshot.from_recorder(recorder)
+        assert snapshot.counters == {"jobs.done": 2}
+        assert snapshot.gauges == {"mem.peak_kb": 512}
+        assert snapshot.wall_time_ns == recorder.total_duration_ns()
+        # The dict form survives JSON (the cross-process wire format).
+        payload = json.loads(json.dumps(snapshot.to_dict()))
+        restored = obs.Snapshot.from_dict(payload)
+        assert restored == snapshot
+
+    def test_from_dict_defaults(self):
+        snapshot = obs.Snapshot.from_dict({})
+        assert snapshot.counters == {} and snapshot.gauges == {}
+        assert snapshot.wall_time_ns == 0
+
+    def test_merge_semantics(self):
+        left = obs.Snapshot(counters={"a": 1, "b": 2}, gauges={"g": 5}, wall_time_ns=10)
+        right = obs.Snapshot(counters={"b": 3, "c": 4}, gauges={"g": 2, "h": 7},
+                             wall_time_ns=5)
+        merged = left.merge(right)
+        assert merged.counters == {"a": 1, "b": 5, "c": 4}
+        assert merged.gauges == {"g": 5, "h": 7}  # gauges keep the max
+        assert merged.wall_time_ns == 15
+        # merge() is non-destructive.
+        assert left.counters == {"a": 1, "b": 2}
+
+    def test_merge_into_recorder(self):
+        snapshot = obs.Snapshot(counters={"jobs": 2}, gauges={"peak": 9})
+        with obs.recording() as recorder:
+            obs.add("jobs", 1)
+            obs.set_gauge("peak", 4)
+            snapshot.merge_into(recorder)
+            snapshot.merge_into(recorder, prefix="corpus.")
+        assert recorder.counters == {"jobs": 3, "corpus.jobs": 2}
+        assert recorder.gauges == {"peak": 9, "corpus.peak": 9}
+
+
 class TestDisabledMode:
     def test_disabled_is_noop(self):
         assert not obs.enabled()
