@@ -26,22 +26,30 @@ Commands::
     python -m repro check     TRANSDUCER SCHEMA [--protect LABEL ...]
                               [--format text|json]
                               [--stats] [--trace FILE.json]
+                              [--log FILE.jsonl] [--log-level LEVEL]
     python -m repro lint      TRANSDUCER SCHEMA [--protect LABEL ...]
                               [--format text|json] [--fail-on warning|error]
                               [--stats] [--trace FILE.json]
+                              [--log FILE.jsonl] [--log-level LEVEL]
     python -m repro subschema TRANSDUCER SCHEMA [--protect LABEL ...]
     python -m repro profile   TRANSDUCER SCHEMA [--protect LABEL ...]
                               [--trace FILE.json]
+                              [--log FILE.jsonl] [--log-level LEVEL]
     python -m repro batch     CORPUS_DIR [--jobs N] [--timeout S]
                               [--cache-dir D] [--no-cache]
                               [--format text|json|markdown]
                               [--fail-on warning|error] [--output FILE]
                               [--stats] [--trace FILE.json]
+                              [--log FILE.jsonl] [--log-level LEVEL]
     python -m repro bench-report [--baseline REF] [--candidate REF]
                               [--history DIR] [--format text|json|markdown]
                               [--fail-on-regression] [--threshold FRAC]
                               [--timing-floor SECONDS] [--limit N]
                               [--output FILE]
+                              [--log FILE.jsonl] [--log-level LEVEL]
+    python -m repro report    [--trace FILE.json] [--log FILE.jsonl]
+                              [--history DIR] [--corpus FILE.jsonl]
+                              [--title T] [--output FILE.html]
 
 ``check`` prints the verdict (copying / rearranging / protected-label
 deletions), cites the responsible lint diagnostic for every unsafe
@@ -63,9 +71,15 @@ changed pairs.  ``--format json`` streams JSONL (one job object per
 line plus a summary trailer); ``text``/``markdown`` render worst
 verdicts first with a cache/timing footer.
 
-On ``check``/``lint``, ``--stats`` prints the recorded span tree and
-counters to stderr and ``--trace FILE.json`` writes a Chrome
-``trace_event`` file (open in ``chrome://tracing`` or Perfetto).
+Observability flags, shared across commands: ``--stats`` prints the
+recorded span tree and counters to stderr; ``--trace FILE.json``
+writes a Chrome ``trace_event`` file (open in ``chrome://tracing`` or
+Perfetto); ``--log FILE.jsonl`` writes the span-correlated structured
+event log (``--log-level`` sets the buffering threshold) — each line's
+``span_id`` joins against the trace file's ``args.id``, including
+events emitted inside ``batch`` worker processes.  ``report`` bundles
+a trace, a log, the benchmark trajectory, and a corpus JSONL report
+into one dependency-free HTML file for CI artifacts.
 
 ``bench-report`` loads the benchmark trajectory recorded by ``pytest
 benchmarks/`` into ``benchmarks/history/``, compares a candidate run
@@ -308,13 +322,30 @@ def _cmd_transform(args: argparse.Namespace) -> int:
 
 
 def _wants_observation(args: argparse.Namespace) -> bool:
-    return bool(getattr(args, "trace", None)) or bool(getattr(args, "stats", False))
+    return (
+        bool(getattr(args, "trace", None))
+        or bool(getattr(args, "stats", False))
+        or bool(getattr(args, "log", None))
+    )
+
+
+def _event_level(args: argparse.Namespace) -> Optional[int]:
+    """The recorder's event-buffering level: events buffer only when a
+    sink exists — ``--log`` writes them as JSONL, ``--trace`` embeds
+    them as instant markers on the span timeline.  ``None`` keeps
+    emission at the two-attribute-check no-op."""
+    if getattr(args, "log", None) or getattr(args, "trace", None):
+        return obs.LEVELS[getattr(args, "log_level", None) or "info"]
+    return None
 
 
 def _finish_observation(recorder: Optional[obs.Recorder], args: argparse.Namespace) -> None:
-    """Emit the recorded run: trace file, then stats to stderr."""
+    """Emit the recorded run: log JSONL, trace file, stats to stderr."""
     if recorder is None:
         return
+    if getattr(args, "log", None):
+        count = obs.write_log_jsonl(recorder, args.log)
+        print("wrote %d log events to %s" % (count, args.log), file=sys.stderr)
     if getattr(args, "trace", None):
         obs.write_chrome_trace(recorder, args.trace)
         print("wrote Chrome trace to %s" % args.trace, file=sys.stderr)
@@ -329,7 +360,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
     with contextlib.ExitStack() as stack:
         recorder: Optional[obs.Recorder] = None
         if _wants_observation(args):
-            recorder = stack.enter_context(obs.recording())
+            recorder = stack.enter_context(
+                obs.recording(log_level=_event_level(args))
+            )
+            stack.enter_context(obs.span("check.run"))
         if getattr(args, "format", "text") == "json":
             status = _run_check_json(args, recorder)
         else:
@@ -346,7 +380,10 @@ def _run_check_json(args: argparse.Namespace, recorder: Optional[obs.Recorder]) 
 
     from .corpus import analyze_pair
 
-    result = analyze_pair(args.transducer, args.schema, args.protect or ())
+    result = analyze_pair(
+        args.transducer, args.schema, args.protect or (),
+        log_level=_event_level(args),
+    )
     if recorder is not None and result.observations:
         obs.Snapshot.from_dict(result.observations).merge_into(recorder)
     sys.stdout.write(json.dumps(result.to_dict(), indent=2, sort_keys=False) + "\n")
@@ -402,8 +439,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     loaded_transducer = load_transducer_ex(args.transducer)
     loaded_schema = load_schema_ex(args.schema)
     # Always record: the engine's memo hit/miss counters feed the JSON
-    # report, and --stats/--trace reuse the same run.
-    with obs.recording() as recorder:
+    # report, and --stats/--trace/--log reuse the same run.
+    with obs.recording(log_level=_event_level(args)) as recorder:
         diagnostics = diagnose(
             loaded_transducer.transducer,
             loaded_schema.dtd,
@@ -471,7 +508,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
 
     wall_start = time.perf_counter_ns()
-    with obs.recording() as recorder:
+    with obs.recording(log_level=_event_level(args)) as recorder:
         # Explicit top-level phases over the Theorem 4.11 pipeline; the
         # library's own spans nest beneath them.
         with obs.span("phase.path_automata") as sp:
@@ -491,6 +528,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             rearranging = not rearranging_product.is_empty()
             sp.set("copying", copying)
             sp.set("rearranging", rearranging)
+            obs.info(
+                "profile",
+                "pipeline decided",
+                copying=copying,
+                rearranging=rearranging,
+                text_preserving=not (copying or rearranging),
+            )
         for label in args.protect or ():
             with obs.span("phase.protection") as sp:
                 sp.set("label", label)
@@ -509,6 +553,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         "verdict: copying=%s rearranging=%s text-preserving=%s"
         % (copying, rearranging, not copying and not rearranging)
     )
+    if args.log:
+        count = obs.write_log_jsonl(recorder, args.log)
+        print("wrote %d log events to %s" % (count, args.log), file=sys.stderr)
     if args.trace:
         obs.write_chrome_trace(recorder, args.trace)
         print("wrote Chrome trace to %s" % args.trace, file=sys.stderr)
@@ -528,19 +575,25 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         raise CliError(str(error)) from None
     cache = None if args.no_cache else corpus.open_cache(args.corpus_dir, args.cache_dir)
 
-    def progress(message: str) -> None:
-        print(message, file=sys.stderr)
-
+    # Live TTY progress on stderr; automatically silent when stderr or
+    # stdout is piped, so `batch --format json > out.jsonl` stays clean.
+    reporter = corpus.ProgressReporter()
     with contextlib.ExitStack() as stack:
         recorder: Optional[obs.Recorder] = None
         if _wants_observation(args):
-            recorder = stack.enter_context(obs.recording())
+            recorder = stack.enter_context(
+                obs.recording(log_level=_event_level(args))
+            )
+            # One root span anchoring the run: worker span forests graft
+            # beneath it, so every --log event — parent- or worker-side —
+            # resolves to a span in the --trace file.
+            stack.enter_context(obs.span("batch.run"))
         summary = corpus.run_corpus(
             jobs,
             max_workers=args.jobs,
             timeout=args.timeout,
             cache=cache,
-            progress=progress,
+            progress=reporter,
         )
     rendered = corpus.render(summary, args.format)
     if args.output:
@@ -556,30 +609,70 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_bench_report(args: argparse.Namespace) -> int:
     from .obs import bench
 
-    history = bench.BenchHistory(args.history)
-    runs = history.load()
-    try:
-        candidate = bench.resolve_ref(runs, args.candidate)
-        baseline = bench.resolve_ref(runs, args.baseline or "previous",
-                                     relative_to=candidate)
-    except ValueError as error:
-        raise CliError(str(error)) from None
-    comparison = bench.compare_runs(
-        baseline,
-        candidate,
-        threshold=args.threshold,
-        timing_floor_s=args.timing_floor,
-    )
-    rendered = bench.render_report(runs, comparison, fmt=args.format,
-                                   limit=args.limit)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(rendered)
-        print("wrote %s" % args.output, file=sys.stderr)
-    else:
-        sys.stdout.write(rendered)
+    with contextlib.ExitStack() as stack:
+        recorder: Optional[obs.Recorder] = None
+        if getattr(args, "log", None):
+            recorder = stack.enter_context(
+                obs.recording(log_level=_event_level(args))
+            )
+            stack.enter_context(obs.span("bench.report"))
+        history = bench.BenchHistory(args.history)
+        runs = history.load()
+        obs.info("bench.report", "history loaded",
+                 runs=len(runs), history=args.history)
+        try:
+            candidate = bench.resolve_ref(runs, args.candidate)
+            baseline = bench.resolve_ref(runs, args.baseline or "previous",
+                                         relative_to=candidate)
+        except ValueError as error:
+            obs.error("bench.report", "ref resolution failed", error=str(error))
+            raise CliError(str(error)) from None
+        comparison = bench.compare_runs(
+            baseline,
+            candidate,
+            threshold=args.threshold,
+            timing_floor_s=args.timing_floor,
+        )
+        obs.info(
+            "bench.report", "runs compared",
+            regressions=len(comparison.regressions),
+            improvements=len(comparison.improvements),
+        )
+        rendered = bench.render_report(runs, comparison, fmt=args.format,
+                                       limit=args.limit)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print("wrote %s" % args.output, file=sys.stderr)
+        else:
+            sys.stdout.write(rendered)
+    _finish_observation(recorder, args)
     if args.fail_on_regression and comparison.has_regressions:
         return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs import html as obs_html
+
+    generated = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
+    try:
+        rendered = obs_html.build_report(
+            trace_path=args.trace,
+            log_path=args.log,
+            history_dir=args.history,
+            corpus_path=args.corpus,
+            title=args.title,
+            generated=generated,
+        )
+    except ValueError as error:
+        raise CliError(str(error)) from None
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(rendered)
+    print(
+        "wrote %s (%d bytes)" % (args.output, len(rendered.encode("utf-8"))),
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -652,6 +745,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE.json",
         help="also write a Chrome trace_event file of the run",
     )
+    _add_log_flags(profile)
     profile.set_defaults(func=_cmd_profile)
 
     batch = sub.add_parser(
@@ -739,7 +833,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", metavar="FILE",
         help="write the report to FILE instead of stdout",
     )
+    _add_log_flags(bench_report)
     bench_report.set_defaults(func=_cmd_bench_report)
+
+    report = sub.add_parser(
+        "report",
+        help="render a self-contained HTML observability report "
+        "(span waterfall, counters, log, bench trends, corpus verdicts)",
+    )
+    report.add_argument(
+        "--trace", metavar="FILE.json",
+        help="Chrome trace_event file to render as a span waterfall",
+    )
+    report.add_argument(
+        "--log", metavar="FILE.jsonl",
+        help="structured log JSONL to include (written by --log)",
+    )
+    report.add_argument(
+        "--history", default="benchmarks/history", metavar="DIR",
+        help="benchmark history directory for trend sparklines "
+        "(default: benchmarks/history)",
+    )
+    report.add_argument(
+        "--corpus", metavar="FILE.jsonl",
+        help="corpus JSONL report (batch --format json --output ...) "
+        "for the verdict summary",
+    )
+    report.add_argument(
+        "--title", default="repro observability report",
+        help="document title",
+    )
+    report.add_argument(
+        "--output", default="obs.html", metavar="FILE.html",
+        help="where to write the report (default: obs.html)",
+    )
+    report.set_defaults(func=_cmd_report)
     return parser
 
 
@@ -751,6 +879,21 @@ def _add_observation_flags(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--trace", metavar="FILE.json",
         help="write a Chrome trace_event file of the run",
+    )
+    _add_log_flags(sub_parser)
+
+
+def _add_log_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--log", metavar="FILE.jsonl",
+        help="write span-correlated structured log events as JSONL "
+        "(each event's span_id joins against the --trace file)",
+    )
+    sub_parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum level buffered while --log/--trace is active "
+        "(default: info)",
     )
 
 

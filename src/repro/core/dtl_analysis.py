@@ -325,11 +325,15 @@ def _decide_sentence(
         product = _restricted(sentence, transducer, nta)
         if product is None:
             sp.set("verdict", False)
+            obs.info("dtl", "sentence decided trivially",
+                     phase=phase, verdict=False)
             return False
         with obs.span("dtl.emptiness") as sp_empty:
             sp_empty.set("states", len(product.states))
             empty = product.is_empty()
         sp.set("verdict", not empty)
+        obs.info("dtl", "sentence decided", phase=phase,
+                 verdict=not empty, product_states=len(product.states))
         return not empty
 
 

@@ -93,6 +93,10 @@ def maximal_safe_subschema(
         valid = valid_encoding_bta(alphabet)
         safe = intersect_bta(intersect_bta(complement, valid), nta_to_bta(nta)).trim()
         sp.set("states", len(safe.states))
+        obs.info("safety.subschema", "safe sub-schema computed",
+                 states=len(safe.states),
+                 complement_states=len(complement.states),
+                 empty=not safe.states)
         return bta_to_nta(safe, alphabet)
 
 

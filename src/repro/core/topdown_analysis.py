@@ -100,6 +100,8 @@ def path_automaton(nta: NTA) -> NFA:
         sp.set("states", len(states))
         sp.set("transitions", len(transitions))
         obs.add("ptime.path_automaton_states", len(states))
+        obs.debug("ptime.path_automaton", "schema path automaton built",
+                  states=len(states), transitions=len(transitions))
         return NFA(states, set(nta.alphabet) | {TEXT}, transitions, nta.initial, {_ACC})
 
 
@@ -123,6 +125,8 @@ def transducer_path_automaton(transducer: TopDownTransducer) -> NFA:
         sp.set("states", len(states))
         sp.set("transitions", len(transitions))
         obs.add("ptime.path_automaton_states", len(states))
+        obs.debug("ptime.path_automaton", "transducer path automaton built",
+                  states=len(states), transitions=len(transitions))
         return NFA(states, alphabet, transitions, transducer.initial, {_ACC})
 
 
@@ -192,6 +196,8 @@ def copying_nfa(transducer: TopDownTransducer, nta: NTA) -> NFA:
         sp.set("transitions", len(transitions))
         obs.add("ptime.product_states", len(states))
         obs.add("ptime.product_transitions", len(transitions))
+        obs.debug("ptime.copying", "copying product built",
+                  states=len(states), transitions=len(transitions))
         return NFA(states, alphabet, transitions, initial, {_ACC})
 
 
@@ -203,6 +209,8 @@ def is_copying(transducer: TopDownTransducer, nta: NTA) -> bool:
             sp_empty.set("automaton", "copying_nfa")
             empty = product.is_empty()
         sp.set("verdict", not empty)
+        obs.info("ptime.copying", "copying decided",
+                 copying=not empty, product_states=len(product.states))
         return not empty
 
 
@@ -451,6 +459,8 @@ def is_rearranging(transducer: TopDownTransducer, nta: NTA) -> bool:
             sp_empty.set("automaton", "rearranging_product")
             empty = product.is_empty()
         sp.set("verdict", not empty)
+        obs.info("ptime.rearranging", "rearranging decided",
+                 rearranging=not empty, product_states=len(product.states))
         return not empty
 
 

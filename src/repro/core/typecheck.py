@@ -269,6 +269,8 @@ def inverse_type_nta(
             # The EXPTIME blow-up gauge: peak reachable-vector automaton
             # size across every inverse-type construction of the run.
             obs.gauge_max("typecheck.inverse_type_states", len(result.states))
+        obs.debug("typecheck", "inverse-type automaton built",
+                  states=len(result.states), accept_valid=accept_valid)
         return result
 
 
@@ -405,6 +407,8 @@ def typechecks(
             inner.set("states", len(product.states))
             verdict = product.is_empty()
         sp.set("verdict", verdict)
+        obs.info("typecheck", "typecheck decided",
+                 typechecks=verdict, product_states=len(product.states))
         return verdict
 
 

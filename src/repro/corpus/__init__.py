@@ -46,6 +46,8 @@ from .report import render, render_jsonl, render_markdown, render_text, summary_
 from .runner import (
     VERDICT_RANK,
     JobResult,
+    ProgressListener,
+    ProgressReporter,
     RunSummary,
     analyze_pair,
     job_fails,
@@ -56,6 +58,8 @@ __all__ = [
     "CorpusError",
     "JobSpec",
     "JobResult",
+    "ProgressListener",
+    "ProgressReporter",
     "RunSummary",
     "MANIFEST_NAMES",
     "VERDICT_RANK",

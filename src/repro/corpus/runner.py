@@ -19,22 +19,35 @@ fresh :mod:`repro.obs` recorder and folds everything into one
 * any per-job failure — parse error, analysis crash, timeout — becomes
   a structured ``error``/``timeout`` result; nothing a single pair
   does can take down the run;
-* per-job counters travel back as :class:`repro.obs.Snapshot` dicts and
-  are merged into the parent's recorder, so one ``--stats`` view
-  aggregates the batch.
+* per-job counters — and, when the parent is logging, the worker's
+  buffered span-correlated log events and span trees — travel back as
+  :class:`repro.obs.Snapshot` dicts and are merged into the parent's
+  recorder, so one ``--stats`` view aggregates the batch and the
+  parent's ``--log`` JSONL / ``--trace`` file cover work done inside
+  the workers.
+
+Progress goes through a :class:`ProgressListener`: the engine reports
+run begin, every job completion, and a once-a-second heartbeat naming
+the slowest in-flight job; :class:`ProgressReporter` is the TTY
+implementation (single live line on stderr, auto-disabled when the
+output is piped so machine-read streams stay clean).
 
 Timeout results are never cached (they are transient); parse errors
 are (they are deterministic consequences of the file's content).
+Cached observations are stripped of events and spans before storage —
+a cache hit must never replay a stale log.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import os
+import shutil
 import signal
+import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
 from .. import obs
 from ..lint import severity_order
@@ -44,6 +57,8 @@ from .manifest import JobSpec
 __all__ = [
     "JobResult",
     "RunSummary",
+    "ProgressListener",
+    "ProgressReporter",
     "VERDICT_RANK",
     "analyze_pair",
     "run_corpus",
@@ -64,6 +79,160 @@ class _JobTimeout(BaseException):
     """Raised by the in-worker SIGALRM handler; derives from
     BaseException so no analysis-level ``except Exception`` can swallow
     the deadline."""
+
+
+class ProgressListener:
+    """The engine's progress interface; every method is a no-op so
+    implementations override only what they render.
+
+    ``in_flight`` in :meth:`heartbeat` is ``(job_id, elapsed_seconds)``
+    pairs for jobs currently observed running in a worker, slowest
+    first — the heartbeat fires even when nothing completes, so a hung
+    or near-timeout job is visible while it hangs, not after.
+    """
+
+    def begin(self, total: int, cache_hits: int, to_run: int) -> None:
+        pass
+
+    def job_done(self, result: "JobResult", done: int, to_run: int) -> None:
+        pass
+
+    def heartbeat(
+        self, done: int, to_run: int,
+        in_flight: List[Tuple[str, float]],
+    ) -> None:
+        pass
+
+    def message(self, text: str) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+class _CallableListener(ProgressListener):
+    """Adapter keeping the legacy ``progress=callable`` contract: the
+    same strings the engine always emitted, one call per message."""
+
+    def __init__(self, say: Callable[[str], None]) -> None:
+        self._say = say
+
+    def begin(self, total: int, cache_hits: int, to_run: int) -> None:
+        self._say("%d jobs: %d cache hits, %d to run" % (total, cache_hits, to_run))
+
+    def job_done(self, result: "JobResult", done: int, to_run: int) -> None:
+        if result.verdict != "safe":
+            self._say("%-7s %s" % (result.verdict, result.job_id))
+
+    def message(self, text: str) -> None:
+        self._say(text)
+
+
+class ProgressReporter(ProgressListener):
+    """TTY progress: one live status line on ``stream`` (stderr),
+    rewritten in place; non-``safe`` completions print as full lines
+    above it.  When ``live`` is false — the stream or stdout is piped —
+    the reporter is silent, so ``batch --format json > out.jsonl``
+    produces nothing but the report on stdout.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 live: Optional[bool] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        if live is None:
+            # Live rendering needs a terminal on the status stream, and
+            # stays out of the way entirely when stdout is being piped
+            # into a machine reader.
+            live = (
+                getattr(self.stream, "isatty", lambda: False)()
+                and getattr(sys.stdout, "isatty", lambda: False)()
+            )
+        self.live = live
+        self._total = 0
+        self._hits = 0
+        self._to_run = 0
+        self._done = 0
+        self._bad: Dict[str, int] = {}
+        self._line_open = False
+
+    # -- listener interface ------------------------------------------------
+
+    def begin(self, total: int, cache_hits: int, to_run: int) -> None:
+        self._total, self._hits, self._to_run = total, cache_hits, to_run
+        self._render("starting")
+
+    def job_done(self, result: "JobResult", done: int, to_run: int) -> None:
+        self._done = done
+        if result.verdict != "safe":
+            self._bad[result.verdict] = self._bad.get(result.verdict, 0) + 1
+            self._print_line(
+                "%-7s %s  (%.3fs)"
+                % (result.verdict, result.job_id, result.wall_time_s)
+            )
+        self._render("")
+
+    def heartbeat(
+        self, done: int, to_run: int,
+        in_flight: List[Tuple[str, float]],
+    ) -> None:
+        self._done = done
+        tail = ""
+        if in_flight:
+            job_id, elapsed = in_flight[0]
+            tail = "running %s (%.1fs)" % (job_id, elapsed)
+        self._render(tail)
+
+    def message(self, text: str) -> None:
+        self._print_line(text)
+        self._render("")
+
+    def finish(self) -> None:
+        self._clear()
+
+    # -- rendering ---------------------------------------------------------
+
+    def _status(self, tail: str) -> str:
+        parts = ["batch %d/%d done" % (self._done, self._to_run)]
+        if self._hits:
+            parts.append("%d cache hits" % self._hits)
+        for verdict in ("error", "timeout", "unsafe"):
+            if self._bad.get(verdict):
+                parts.append("%d %s" % (self._bad[verdict], verdict))
+        if tail:
+            parts.append(tail)
+        return " · ".join(parts)
+
+    def _render(self, tail: str) -> None:
+        if not self.live:
+            return
+        width = shutil.get_terminal_size(fallback=(80, 24)).columns
+        line = self._status(tail)[: max(1, width - 1)]
+        self.stream.write("\r\x1b[2K" + line)
+        self.stream.flush()
+        self._line_open = True
+
+    def _print_line(self, text: str) -> None:
+        if not self.live:
+            return
+        self._clear()
+        self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def _clear(self) -> None:
+        if self.live and self._line_open:
+            self.stream.write("\r\x1b[2K")
+            self.stream.flush()
+            self._line_open = False
+
+
+def _as_listener(
+    progress: Union[ProgressListener, Callable[[str], None], None]
+) -> ProgressListener:
+    if progress is None:
+        return ProgressListener()
+    if isinstance(progress, ProgressListener):
+        return progress
+    return _CallableListener(progress)
 
 
 @dataclass
@@ -170,20 +339,14 @@ def analyze_pair(
     job_id: Optional[str] = None,
     transducer_name: Optional[str] = None,
     schema_name: Optional[str] = None,
+    log_level: Optional[int] = None,
 ) -> JobResult:
     """Run the full single-pair analysis, catching per-pair failures
     into an ``error`` result (timeouts — :class:`_JobTimeout` — always
-    propagate to the worker loop)."""
-    from ..analysis import (
-        counter_example,
-        deletes_protected_text,
-        diagnose,
-        is_copying,
-        is_rearranging,
-    )
-    from ..cli import CliError, load_schema_ex, load_transducer_ex
-    from ..lint import SourceInfo
-    from ..trees.xmlio import tree_to_xml
+    propagate to the worker loop).  ``log_level`` turns on structured
+    event buffering under the job's recorder; the events ship back in
+    ``result.observations``."""
+    from ..cli import CliError
 
     spec = JobSpec(
         transducer_path=transducer_path,
@@ -199,43 +362,84 @@ def analyze_pair(
         protect=spec.protect,
     )
     start = time.perf_counter()
-    try:
-        with obs.recording() as recorder:
-            loaded_transducer = load_transducer_ex(transducer_path)
-            loaded_schema = load_schema_ex(schema_path)
-            transducer, dtd = loaded_transducer.transducer, loaded_schema.dtd
-            result.copying = is_copying(transducer, dtd)
-            result.rearranging = is_rearranging(transducer, dtd)
-            result.protected_deletions = tuple(
-                label
-                for label in spec.protect
-                if deletes_protected_text(transducer, dtd, label)
+    with obs.recording(log_level=log_level) as recorder:
+        with obs.span("corpus.job") as job_span:
+            job_span.set("job_id", result.job_id)
+            obs.info(
+                "corpus.job", "analysis started",
+                job_id=result.job_id, transducer=transducer_path,
+                schema=schema_path, protect=list(spec.protect),
             )
-            sources = SourceInfo(
-                transducer_path=transducer_path,
-                schema_path=schema_path,
-                rule_lines=loaded_transducer.rule_lines,
-                state_lines=loaded_transducer.state_lines,
-                label_lines=loaded_schema.label_lines,
-            )
-            result.diagnostics = [
-                diagnostic.to_dict()
-                for diagnostic in diagnose(transducer, dtd, spec.protect, sources=sources)
-            ]
-            if result.copying or result.rearranging:
-                witness = counter_example(transducer, dtd)
-                if witness is not None:
-                    result.counter_example_xml = tree_to_xml(witness).strip()
-            result.verdict = (
-                "unsafe"
-                if result.copying or result.rearranging or result.protected_deletions
-                else "safe"
-            )
-        result.observations = obs.Snapshot.from_recorder(recorder).to_dict()
-    except (CliError, FileNotFoundError, OSError, ValueError, TypeError) as error:
-        result.verdict = "error"
-        result.error = "%s: %s" % (type(error).__name__, error)
+            try:
+                result = _analyze_loaded(
+                    result, spec, transducer_path, schema_path
+                )
+            except (CliError, FileNotFoundError, OSError, ValueError, TypeError) as error:
+                result.verdict = "error"
+                result.error = "%s: %s" % (type(error).__name__, error)
+                obs.error(
+                    "corpus.job", "analysis failed",
+                    job_id=result.job_id, error=result.error,
+                )
+            else:
+                obs.info(
+                    "corpus.job", "analysis finished",
+                    job_id=result.job_id, verdict=result.verdict,
+                )
+            job_span.set("verdict", result.verdict)
+    result.observations = obs.Snapshot.from_recorder(recorder).to_dict()
     result.wall_time_s = time.perf_counter() - start
+    return result
+
+
+def _analyze_loaded(
+    result: JobResult,
+    spec: JobSpec,
+    transducer_path: str,
+    schema_path: str,
+) -> JobResult:
+    """The body of :func:`analyze_pair`, inside the job recorder/span."""
+    from ..analysis import (
+        counter_example,
+        deletes_protected_text,
+        diagnose,
+        is_copying,
+        is_rearranging,
+    )
+    from ..cli import load_schema_ex, load_transducer_ex
+    from ..lint import SourceInfo
+    from ..trees.xmlio import tree_to_xml
+
+    loaded_transducer = load_transducer_ex(transducer_path)
+    loaded_schema = load_schema_ex(schema_path)
+    transducer, dtd = loaded_transducer.transducer, loaded_schema.dtd
+    result.copying = is_copying(transducer, dtd)
+    result.rearranging = is_rearranging(transducer, dtd)
+    result.protected_deletions = tuple(
+        label
+        for label in spec.protect
+        if deletes_protected_text(transducer, dtd, label)
+    )
+    sources = SourceInfo(
+        transducer_path=transducer_path,
+        schema_path=schema_path,
+        rule_lines=loaded_transducer.rule_lines,
+        state_lines=loaded_transducer.state_lines,
+        label_lines=loaded_schema.label_lines,
+    )
+    result.diagnostics = [
+        diagnostic.to_dict()
+        for diagnostic in diagnose(transducer, dtd, spec.protect, sources=sources)
+    ]
+    if result.copying or result.rearranging:
+        witness = counter_example(transducer, dtd)
+        if witness is not None:
+            result.counter_example_xml = tree_to_xml(witness).strip()
+    result.verdict = (
+        "unsafe"
+        if result.copying or result.rearranging or result.protected_deletions
+        else "safe"
+    )
     return result
 
 
@@ -266,6 +470,7 @@ def _worker(payload: Dict[str, Any]) -> Dict[str, Any]:
             job_id=payload.get("job_id"),
             transducer_name=payload.get("transducer_name"),
             schema_name=payload.get("schema_name"),
+            log_level=payload.get("log_level"),
         )
     except _JobTimeout:
         result = JobResult(
@@ -325,7 +530,9 @@ class RunSummary:
         return [result for result in self.results if job_fails(result, fail_on)]
 
 
-def _spec_payload(spec: JobSpec, timeout: Optional[float]) -> Dict[str, Any]:
+def _spec_payload(
+    spec: JobSpec, timeout: Optional[float], log_level: Optional[int]
+) -> Dict[str, Any]:
     return {
         "transducer_path": spec.transducer_path,
         "schema_path": spec.schema_path,
@@ -334,6 +541,7 @@ def _spec_payload(spec: JobSpec, timeout: Optional[float]) -> Dict[str, Any]:
         "transducer_name": spec.transducer_name,
         "schema_name": spec.schema_name,
         "timeout": timeout,
+        "log_level": log_level,
     }
 
 
@@ -355,12 +563,19 @@ def run_corpus(
     timeout: Optional[float] = None,
     cache: Optional[ResultCache] = None,
     engine_version: str = ENGINE_VERSION,
-    progress: Optional[Callable[[str], None]] = None,
+    progress: Union[ProgressListener, Callable[[str], None], None] = None,
+    heartbeat: float = 1.0,
 ) -> RunSummary:
     """Execute all jobs — cached results resolve in the parent, the
     rest fan out over worker processes — and return the sorted summary
-    (worst verdicts first)."""
-    say = progress or (lambda _message: None)
+    (worst verdicts first).
+
+    ``progress`` accepts either a :class:`ProgressListener` or, for
+    backward compatibility, a plain ``callable(str)`` that receives the
+    legacy message strings.  ``heartbeat`` is the listener's tick
+    period in seconds while workers are busy.
+    """
+    listener = _as_listener(progress)
     start = time.perf_counter()
     results: List[JobResult] = []
     pending: List[Tuple[JobSpec, Optional[str]]] = []
@@ -377,18 +592,24 @@ def run_corpus(
                 continue
         pending.append((spec, key))
     misses = len(pending)
-    say(
-        "%d jobs: %d cache hits, %d to run"
-        % (len(jobs), hits, misses)
+    listener.begin(len(jobs), hits, misses)
+    obs.info(
+        "corpus.runner", "corpus run started",
+        jobs=len(jobs), cache_hits=hits, to_run=misses,
     )
 
     workers = 1
-    if pending:
-        workers = max_workers or min(os.cpu_count() or 1, 8)
-        workers = max(1, min(workers, len(pending)))
-        results.extend(
-            _execute_pending(pending, workers, timeout, cache, say)
-        )
+    try:
+        if pending:
+            workers = max_workers or min(os.cpu_count() or 1, 8)
+            workers = max(1, min(workers, len(pending)))
+            results.extend(
+                _execute_pending(
+                    pending, workers, timeout, cache, listener, heartbeat
+                )
+            )
+    finally:
+        listener.finish()
 
     recorder = obs.current()
     if recorder is not None:
@@ -403,7 +624,7 @@ def run_corpus(
                 recorder.add("corpus.verdict.%s" % verdict, count)
 
     results.sort(key=_sort_key)
-    return RunSummary(
+    summary = RunSummary(
         results=results,
         cache_hits=hits,
         cache_misses=misses,
@@ -412,6 +633,15 @@ def run_corpus(
         workers=workers,
         engine=engine_version,
     )
+    obs.info(
+        "corpus.runner", "corpus run finished",
+        jobs=len(results), wall_time_s=round(summary.wall_time_s, 6),
+        workers=workers, **{
+            "verdict_%s" % verdict: count
+            for verdict, count in summary.verdict_counts().items() if count
+        },
+    )
+    return summary
 
 
 def _count_verdicts(results: Sequence[JobResult]) -> Dict[str, int]:
@@ -426,57 +656,116 @@ def _execute_pending(
     workers: int,
     timeout: Optional[float],
     cache: Optional[ResultCache],
-    say: Callable[[str], None],
+    listener: ProgressListener,
+    heartbeat: float,
 ) -> List[JobResult]:
     """Fan the cache misses out over a process pool; every failure mode
     (worker exception, dead worker, engine-level hang) degrades to a
-    structured per-job result."""
+    structured per-job result.
+
+    The wait loop wakes at least every ``heartbeat`` seconds so the
+    listener can render live progress — done counts plus the slowest
+    job currently observed running — even while nothing completes.
+    """
+    log_level = None
+    recorder = obs.current()
+    if recorder is not None:
+        log_level = recorder.log_level
     results: List[JobResult] = []
     # The in-worker setitimer is the real per-job deadline; this outer
     # bound only catches a worker dying so hard it never reports (e.g.
     # the OOM killer), so it is deliberately loose.
-    backstop: Optional[float] = None
+    deadline: Optional[float] = None
     if timeout is not None:
         waves = (len(pending) + workers - 1) // workers
-        backstop = timeout * waves + 30.0
+        deadline = time.monotonic() + timeout * waves + 30.0
     pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
     futures = {
-        pool.submit(_worker, _spec_payload(spec, timeout)): (spec, key)
+        pool.submit(_worker, _spec_payload(spec, timeout, log_level)): (spec, key)
         for spec, key in pending
     }
-    done = set()
+    remaining = set(futures)
+    first_running: Dict[Any, float] = {}
+    to_run = len(pending)
     hung = False
     try:
-        for future in concurrent.futures.as_completed(futures, timeout=backstop):
-            done.add(future)
-            spec, key = futures[future]
-            try:
-                result = JobResult.from_dict(future.result())
-            except Exception as error:  # worker died or result unpicklable
-                result = _failure_result(
-                    spec, "error", "worker failed: %s: %s" % (type(error).__name__, error)
-                )
-            if cache is not None and key is not None and result.verdict != "timeout":
-                stored = result.to_dict()
-                stored["cache_hit"] = False
-                cache.put(key, stored)
-            results.append(result)
-            if result.verdict != "safe":
-                say("%-7s %s" % (result.verdict, result.job_id))
-    except concurrent.futures.TimeoutError:
-        # A worker died without reporting; salvage what finished and
-        # abandon the pool rather than joining hung processes.
-        hung = True
-        for future, (spec, _key) in futures.items():
-            if future not in done:
-                future.cancel()
-                results.append(
-                    _failure_result(
-                        spec,
-                        "timeout",
-                        "job never reported within the engine backstop deadline",
+        while remaining:
+            completed, remaining = concurrent.futures.wait(
+                remaining,
+                timeout=max(heartbeat, 0.05),
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            now = time.monotonic()
+            for future in completed:
+                spec, key = futures[future]
+                try:
+                    result = JobResult.from_dict(future.result())
+                except Exception as error:  # worker died or result unpicklable
+                    result = _failure_result(
+                        spec, "error",
+                        "worker failed: %s: %s" % (type(error).__name__, error),
                     )
+                if cache is not None and key is not None and result.verdict != "timeout":
+                    stored = result.to_dict()
+                    stored["cache_hit"] = False
+                    if result.observations:
+                        # Never cache the replayable state: a later hit
+                        # must not re-emit this run's log or spans.
+                        stored["observations"] = (
+                            obs.Snapshot.from_dict(result.observations)
+                            .without_replayable_state()
+                            .to_dict()
+                        )
+                    cache.put(key, stored)
+                results.append(result)
+                listener.job_done(result, len(results), to_run)
+                if result.verdict != "safe":
+                    obs.warning(
+                        "corpus.runner", "job finished %s" % result.verdict,
+                        job_id=result.job_id, verdict=result.verdict,
+                        wall_time_s=round(result.wall_time_s, 6),
+                        error=result.error,
+                    )
+            if remaining:
+                in_flight = sorted(
+                    (
+                        (futures[future][0].job_id,
+                         now - first_running.setdefault(future, now))
+                        for future in remaining
+                        if future.running()
+                    ),
+                    key=lambda item: -item[1],
                 )
+                listener.heartbeat(len(results), to_run, in_flight)
+                if not completed and in_flight:
+                    job_id, elapsed = in_flight[0]
+                    obs.debug(
+                        "corpus.runner", "heartbeat",
+                        done=len(results), to_run=to_run,
+                        slowest_in_flight=job_id,
+                        slowest_elapsed_s=round(elapsed, 3),
+                    )
+                if deadline is not None and now > deadline:
+                    # A worker died without reporting; salvage what
+                    # finished and abandon the pool rather than joining
+                    # hung processes.
+                    hung = True
+                    for future in remaining:
+                        spec, _key = futures[future]
+                        future.cancel()
+                        results.append(
+                            _failure_result(
+                                spec,
+                                "timeout",
+                                "job never reported within the engine "
+                                "backstop deadline",
+                            )
+                        )
+                        obs.error(
+                            "corpus.runner", "backstop deadline fired",
+                            job_id=spec.job_id,
+                        )
+                    break
     finally:
         pool.shutdown(wait=not hung, cancel_futures=True)
     return results

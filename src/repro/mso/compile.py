@@ -410,6 +410,9 @@ def compile_mso(
         result = _compile(formula, sigma_tuple, trim)
         sp.set("bta_states", len(result.bta.states))
         obs.gauge_max("mso.compile.automaton_states", len(result.bta.states))
+        obs.debug("mso.compile", "formula compiled",
+                  formula_size=formula_size(formula),
+                  bta_states=len(result.bta.states))
         return result
 
 

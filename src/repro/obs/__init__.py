@@ -53,10 +53,30 @@ from .export import (
     from_dict,
     render_json,
     render_text,
+    span_from_dict,
+    span_to_dict,
     spans_from_chrome_trace,
     to_chrome_trace,
     to_dict,
     write_chrome_trace,
+)
+from .log import (
+    DEBUG,
+    ERROR,
+    INFO,
+    LEVELS,
+    WARNING,
+    LogEvent,
+    debug,
+    error,
+    events_to_dicts,
+    info,
+    level_name,
+    log,
+    parse_level,
+    read_log_jsonl,
+    warning,
+    write_log_jsonl,
 )
 from .memory import PEAK_MEMORY_GAUGE, track_peak_memory
 from .recorder import (
@@ -101,7 +121,25 @@ __all__ = [
     "to_dict",
     "from_dict",
     "render_json",
+    "span_to_dict",
+    "span_from_dict",
     "to_chrome_trace",
     "write_chrome_trace",
     "spans_from_chrome_trace",
+    "DEBUG",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    "LEVELS",
+    "LogEvent",
+    "log",
+    "debug",
+    "info",
+    "warning",
+    "error",
+    "level_name",
+    "parse_level",
+    "events_to_dicts",
+    "write_log_jsonl",
+    "read_log_jsonl",
 ]

@@ -199,8 +199,13 @@ class BenchHistory:
 
     def prune(self) -> List[str]:
         """Delete all but the newest ``keep`` runs; returns what was
-        removed."""
-        paths = self.paths()
+        removed.  ``*-baseline.json`` runs are committed reference
+        points (the CI regression gate compares against them) and are
+        never pruned."""
+        paths = [
+            path for path in self.paths()
+            if not path.endswith("-baseline.json")
+        ]
         doomed = paths[: -self.keep] if len(paths) > self.keep else []
         for path in doomed:
             try:

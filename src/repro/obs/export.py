@@ -13,6 +13,12 @@ Three views of one :class:`~repro.obs.recorder.Recorder`:
   format (complete ``"X"`` events plus one metadata event), loadable in
   ``chrome://tracing`` and Perfetto.  Span ids/parents ride in ``args``
   so :func:`spans_from_chrome_trace` can rebuild the tree.
+
+Span ids are the *recorder's own* (:attr:`repro.obs.recorder.Span.span_id`)
+whenever present — the same ids structured log events reference — so a
+``--log`` JSONL line joins against a ``--trace`` file by ``span_id``.
+Buffered log events export as Chrome instant (``"i"``) events on the
+span timeline.
 """
 
 from __future__ import annotations
@@ -27,6 +33,8 @@ __all__ = [
     "to_dict",
     "from_dict",
     "render_json",
+    "span_to_dict",
+    "span_from_dict",
     "to_chrome_trace",
     "write_chrome_trace",
     "spans_from_chrome_trace",
@@ -88,40 +96,52 @@ def render_text(recorder: Recorder) -> str:
 # ---------------------------------------------------------------------------
 
 
-def _span_to_dict(span: Span) -> Dict[str, Any]:
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    """One span subtree as plain JSON types (ids included)."""
     return {
         "name": span.name,
+        "id": span.span_id,
+        "parent": span.parent_id,
         "start_ns": span.start_ns,
         "duration_ns": span.duration_ns,
         "attrs": dict(span.attrs),
-        "children": [_span_to_dict(child) for child in span.children],
+        "children": [span_to_dict(child) for child in span.children],
     }
 
 
-def _span_from_dict(payload: Dict[str, Any]) -> Span:
+def span_from_dict(payload: Dict[str, Any]) -> Span:
+    """Rebuild a span subtree from :func:`span_to_dict` output."""
     span = Span(payload["name"], start_ns=payload["start_ns"])
     span.end_ns = payload["start_ns"] + payload["duration_ns"]
+    span.span_id = payload.get("id")
+    span.parent_id = payload.get("parent")
     span.attrs = dict(payload.get("attrs", {}))
-    span.children = [_span_from_dict(child) for child in payload.get("children", ())]
+    span.children = [span_from_dict(child) for child in payload.get("children", ())]
     return span
 
 
 def to_dict(recorder: Recorder) -> Dict[str, Any]:
     """A JSON-ready document of the whole run."""
+    from .log import events_to_dicts
+
     return {
         "version": 1,
-        "spans": [_span_to_dict(root) for root in recorder.spans],
+        "spans": [span_to_dict(root) for root in recorder.spans],
         "counters": dict(recorder.counters),
         "gauges": dict(recorder.gauges),
+        "events": events_to_dicts(recorder),
     }
 
 
 def from_dict(payload: Dict[str, Any]) -> Recorder:
     """Rebuild a recorder from :func:`to_dict` output."""
+    from .log import LogEvent
+
     rec = Recorder()
-    rec.spans = [_span_from_dict(span) for span in payload.get("spans", ())]
+    rec.spans = [span_from_dict(span) for span in payload.get("spans", ())]
     rec.counters = dict(payload.get("counters", {}))
     rec.gauges = dict(payload.get("gauges", {}))
+    rec.events = [LogEvent.from_dict(event) for event in payload.get("events", ())]
     return rec
 
 
@@ -138,9 +158,16 @@ def to_chrome_trace(recorder: Recorder, process_name: str = "repro") -> Dict[str
     """The ``trace_event`` JSON object format.
 
     Every span becomes a complete (``"ph": "X"``) event with
-    microsecond timestamps relative to the earliest span; counters
-    become one ``"C"`` event each at the end of the run so Perfetto
-    draws them as a final value track.
+    microsecond timestamps relative to the earliest span; buffered log
+    events become instant (``"i"``) events at their emission point;
+    counters become one ``"C"`` event each at the end of the run so
+    Perfetto draws them as a final value track.
+
+    Span ``args`` carry ``id``/``parent`` — the recorder's own span
+    ids, the same ones ``--log`` JSONL events reference — so
+    :func:`spans_from_chrome_trace` can rebuild the tree and a log
+    line's ``span_id`` resolves against the trace.  Spans built by
+    hand (without a recorder) get fresh ids past the used range.
     """
     events: List[Dict[str, Any]] = [
         {
@@ -152,11 +179,25 @@ def to_chrome_trace(recorder: Recorder, process_name: str = "repro") -> Dict[str
         }
     ]
     origin_ns = min((root.start_ns for root in recorder.spans), default=0)
-    next_id = [0]
+
+    used: List[int] = []
+
+    def collect(span: Span) -> None:
+        if span.span_id is not None:
+            used.append(span.span_id)
+        for child in span.children:
+            collect(child)
+
+    for root in recorder.spans:
+        collect(root)
+    next_id = [max(used) + 1 if used else 0]
 
     def emit(span: Span, parent_id: Optional[int]) -> None:
-        span_id = next_id[0]
-        next_id[0] += 1
+        if span.span_id is not None:
+            span_id = span.span_id
+        else:
+            span_id = next_id[0]
+            next_id[0] += 1
         args: Dict[str, Any] = dict(span.attrs)
         args["id"] = span_id
         if parent_id is not None:
@@ -181,6 +222,20 @@ def to_chrome_trace(recorder: Recorder, process_name: str = "repro") -> Dict[str
         (event["ts"] + event["dur"] for event in events if event["ph"] == "X"),
         default=0.0,
     )
+    for record in recorder.events:
+        payload = record.to_dict()
+        perf_ns = getattr(record, "perf_ns", None)
+        events.append(
+            {
+                "name": payload["logger"] or "log",
+                "ph": "i",
+                "ts": (perf_ns - origin_ns) / 1e3 if perf_ns is not None else end_ts,
+                "pid": 1,
+                "tid": 1,
+                "s": "t",
+                "args": payload,
+            }
+        )
     for name in sorted(recorder.counters):
         events.append(
             {
@@ -215,6 +270,8 @@ def spans_from_chrome_trace(payload: Dict[str, Any]) -> List[Span]:
         start_ns = int(round(event["ts"] * 1e3))
         span = Span(event["name"], start_ns=start_ns)
         span.end_ns = start_ns + int(round(event["dur"] * 1e3))
+        span.span_id = span_id
+        span.parent_id = parent_id
         span.attrs = args
         by_id[span_id] = span
         parents.append({"id": span_id, "parent": parent_id})

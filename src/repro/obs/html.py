@@ -1,0 +1,502 @@
+"""Self-contained HTML observability report (``python -m repro report``).
+
+One static HTML file — no scripts, no external URLs, no dependencies —
+that a CI run can attach as an artifact and a human can open anywhere:
+
+* **span waterfall** from a Chrome ``--trace`` file (the recorder's own
+  span ids shown, so ``--log`` lines join against the rows);
+* **counter / gauge tables** from the same trace;
+* **structured log excerpt** from a ``--log`` JSONL file, levels
+  badged;
+* **benchmark sparklines** from the :mod:`repro.obs.bench` history
+  store (median seconds per test across runs, oldest → newest), or an
+  explicit "no benchmark history yet" notice when the store is empty;
+* **corpus verdict summary** from a ``batch --format json`` JSONL
+  report.
+
+Every section renders a placeholder when its input is absent, so
+``python -m repro report --output obs.html`` always succeeds.  Large
+inputs are truncated with an explicit "showing N of M" note — never
+silently.  Colors follow a single categorical accent for magnitude
+marks plus a labelled status palette (a verdict or level is always a
+text label next to its dot, never color alone); dark mode restyles via
+``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .bench.history import BenchHistory, BenchRun
+from .bench.report import trajectory
+from .export import spans_from_chrome_trace
+from .recorder import Span
+
+__all__ = ["build_report", "render_report_html"]
+
+#: Row caps per section — the artifact must stay well under 1 MB.
+MAX_WATERFALL_ROWS = 400
+MAX_LOG_ROWS = 500
+MAX_SPARKLINES = 40
+
+_STATUS_CLASS = {
+    "safe": "good",
+    "info": "accent",
+    "debug": "muted",
+    "warning": "warning",
+    "timeout": "warning",
+    "unsafe": "serious",
+    "error": "critical",
+}
+
+_CSS = """
+:root {
+  --surface: #fcfcfb;
+  --surface-raised: #f4f4f2;
+  --ink: #1a1a19;
+  --ink-secondary: #56565a;
+  --border: #e3e3df;
+  --accent: #2a78d6;
+  --good: #0ca30c;
+  --warning: #fab219;
+  --serious: #ec835a;
+  --critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19;
+    --surface-raised: #242422;
+    --ink: #f2f2ef;
+    --ink-secondary: #b4b4ae;
+    --border: #3a3a37;
+    --accent: #3987e5;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0 auto; padding: 2rem 1.5rem 4rem; max-width: 64rem;
+  background: var(--surface); color: var(--ink);
+  font: 15px/1.5 system-ui, sans-serif;
+}
+h1 { font-size: 1.45rem; margin: 0 0 0.25rem; }
+h2 { font-size: 1.1rem; margin: 2.25rem 0 0.5rem; }
+.meta, .note { color: var(--ink-secondary); font-size: 0.85rem; }
+.note { margin: 0.4rem 0; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85rem; }
+th, td {
+  text-align: left; padding: 0.3rem 0.7rem 0.3rem 0;
+  border-bottom: 1px solid var(--border); vertical-align: top;
+}
+th { color: var(--ink-secondary); font-weight: 600; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+code { font-size: 0.85em; }
+.wf { font-size: 0.8rem; }
+.wf-row { display: flex; align-items: center; gap: 0.6rem; padding: 1px 0; }
+.wf-name {
+  flex: 0 0 22rem; overflow: hidden; text-overflow: ellipsis;
+  white-space: nowrap; font-family: ui-monospace, monospace;
+}
+.wf-track { flex: 1; position: relative; height: 12px; }
+.wf-bar {
+  position: absolute; top: 2px; height: 8px; min-width: 2px;
+  background: var(--accent); border-radius: 4px;
+}
+.wf-dur {
+  flex: 0 0 6rem; text-align: right;
+  font-variant-numeric: tabular-nums; color: var(--ink-secondary);
+}
+.dot {
+  display: inline-block; width: 9px; height: 9px; border-radius: 50%;
+  margin-right: 0.4rem; vertical-align: baseline;
+  border: 1px solid var(--border);
+}
+.dot.good { background: var(--good); }
+.dot.warning { background: var(--warning); }
+.dot.serious { background: var(--serious); }
+.dot.critical { background: var(--critical); }
+.dot.accent { background: var(--accent); }
+.dot.muted { background: var(--ink-secondary); }
+.badges { display: flex; flex-wrap: wrap; gap: 0.75rem 1.5rem; margin: 0.75rem 0; }
+.badge {
+  background: var(--surface-raised); border: 1px solid var(--border);
+  border-radius: 6px; padding: 0.45rem 0.8rem;
+}
+.badge b { font-size: 1.2rem; margin-right: 0.35rem; }
+.spark { display: block; }
+.spark polyline {
+  fill: none; stroke: var(--accent); stroke-width: 2;
+  stroke-linejoin: round; stroke-linecap: round;
+}
+.spark circle { fill: var(--accent); }
+"""
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return "%.3f s" % (ns / 1e9)
+    if ns >= 1e6:
+        return "%.2f ms" % (ns / 1e6)
+    return "%.1f µs" % (ns / 1e3)
+
+
+def _fmt_num(value: float) -> str:
+    if float(value).is_integer():
+        return "%d" % value
+    return "%g" % value
+
+
+def _status_dot(label: str) -> str:
+    css = _STATUS_CLASS.get(label, "muted")
+    return '<span class="dot %s"></span>%s' % (css, _esc(label))
+
+
+def _placeholder(text: str) -> str:
+    return '<p class="note">%s</p>' % _esc(text)
+
+
+# ---------------------------------------------------------------------------
+# Sections
+# ---------------------------------------------------------------------------
+
+
+def _flatten(spans: Sequence[Span]) -> List[Tuple[int, Span]]:
+    rows: List[Tuple[int, Span]] = []
+
+    def walk(span: Span, depth: int) -> None:
+        rows.append((depth, span))
+        for child in span.children:
+            walk(child, depth + 1)
+
+    for root in spans:
+        walk(root, 0)
+    return rows
+
+
+def _section_waterfall(trace: Optional[Dict[str, Any]]) -> str:
+    if trace is None:
+        return _placeholder(
+            "No trace supplied — pass --trace FILE.json "
+            "(written by any command's --trace flag)."
+        )
+    spans = spans_from_chrome_trace(trace)
+    rows = _flatten(spans)
+    if not rows:
+        return _placeholder("The trace contains no spans.")
+    origin = min(span.start_ns for _, span in rows)
+    end = max(span.end_ns for _, span in rows)
+    total = max(end - origin, 1)
+    shown = rows[:MAX_WATERFALL_ROWS]
+    out = ['<div class="wf">']
+    for depth, span in shown:
+        left = 100.0 * (span.start_ns - origin) / total
+        width = max(100.0 * span.duration_ns / total, 0.15)
+        attrs = ", ".join(
+            "%s=%s" % (k, span.attrs[k]) for k in sorted(span.attrs)
+        )
+        tooltip = "span %s%s" % (
+            span.span_id if span.span_id is not None else "?",
+            (" — " + attrs) if attrs else "",
+        )
+        out.append(
+            '<div class="wf-row" title="%s">'
+            '<span class="wf-name" style="padding-left:%drem">%s</span>'
+            '<span class="wf-track"><span class="wf-bar" '
+            'style="left:%.2f%%;width:%.2f%%"></span></span>'
+            '<span class="wf-dur">%s</span></div>'
+            % (
+                _esc(tooltip), depth, _esc(span.name),
+                left, min(width, 100.0 - left if left < 100.0 else width),
+                _esc(_fmt_ns(span.duration_ns)),
+            )
+        )
+    out.append("</div>")
+    if len(rows) > len(shown):
+        out.append(
+            '<p class="note">showing %d of %d spans (deepest rows '
+            "truncated)</p>" % (len(shown), len(rows))
+        )
+    return "".join(out)
+
+
+def _trace_counters(trace: Optional[Dict[str, Any]]) -> Dict[str, float]:
+    counters: Dict[str, float] = {}
+    if trace is None:
+        return counters
+    for event in trace.get("traceEvents", ()):
+        if event.get("ph") == "C":
+            args = event.get("args", {})
+            if "value" in args:
+                counters[event["name"]] = args["value"]
+    return counters
+
+
+def _section_counters(counters: Dict[str, float]) -> str:
+    if not counters:
+        return _placeholder("No counters recorded in the trace.")
+    rows = "".join(
+        '<tr><td><code>%s</code></td><td class="num">%s</td></tr>'
+        % (_esc(name), _esc(_fmt_num(counters[name])))
+        for name in sorted(counters)
+    )
+    return (
+        '<table><tr><th>counter</th><th class="num">value</th></tr>%s'
+        "</table>" % rows
+    )
+
+
+def _section_log(events: Optional[List[Dict[str, Any]]]) -> str:
+    if events is None:
+        return _placeholder(
+            "No log supplied — pass --log FILE.jsonl "
+            "(written by any command's --log flag)."
+        )
+    if not events:
+        return _placeholder("The log file contains no events.")
+    shown = events[:MAX_LOG_ROWS]
+    rows = []
+    for event in shown:
+        fields = event.get("fields") or {}
+        detail = ", ".join("%s=%s" % (k, fields[k]) for k in sorted(fields))
+        rows.append(
+            "<tr><td>%s</td><td><code>%s</code></td><td>%s</td>"
+            '<td class="num">%s</td><td>%s</td></tr>'
+            % (
+                _status_dot(str(event.get("level", "info"))),
+                _esc(event.get("logger", "")),
+                _esc(event.get("message", "")),
+                _esc(event.get("span_id", "")),
+                _esc(detail),
+            )
+        )
+    out = [
+        "<table><tr><th>level</th><th>logger</th><th>message</th>"
+        '<th class="num">span</th><th>fields</th></tr>',
+        "".join(rows),
+        "</table>",
+    ]
+    if len(events) > len(shown):
+        out.append(
+            '<p class="note">showing first %d of %d events</p>'
+            % (len(shown), len(events))
+        )
+    return "".join(out)
+
+
+def _svg_sparkline(values: List[Optional[float]]) -> str:
+    """One inline SVG sparkline (single series — the row names it, so
+    no legend)."""
+    points = [(i, v) for i, v in enumerate(values) if v is not None]
+    if not points:
+        return ""
+    width, height, pad = 180, 36, 4
+    low = min(v for _, v in points)
+    high = max(v for _, v in points)
+    span = (high - low) or 1.0
+    xs = max(len(values) - 1, 1)
+
+    def xy(i: int, v: float) -> Tuple[float, float]:
+        x = pad + (width - 2 * pad) * i / xs
+        y = height - pad - (height - 2 * pad) * (v - low) / span
+        return x, y
+
+    coords = " ".join("%.1f,%.1f" % xy(i, v) for i, v in points)
+    lx, ly = xy(*points[-1])
+    return (
+        '<svg class="spark" width="%d" height="%d" viewBox="0 0 %d %d" '
+        'role="img" aria-label="median seconds, oldest to newest">'
+        '<polyline points="%s"/><circle cx="%.1f" cy="%.1f" r="3"/></svg>'
+        % (width, height, width, height, coords, lx, ly)
+    )
+
+
+def _section_bench(runs: List[BenchRun]) -> str:
+    if not runs:
+        return _placeholder(
+            "No benchmark history yet — run pytest benchmarks/ to record "
+            "the first trajectory point."
+        )
+    series = trajectory(runs)
+    names = list(series)[:MAX_SPARKLINES]
+    rows = []
+    for name in names:
+        values = series[name]
+        latest = next(
+            (v for v in reversed(values) if v is not None), None
+        )
+        rows.append(
+            "<tr><td><code>%s</code></td><td>%s</td>"
+            '<td class="num">%s</td></tr>'
+            % (
+                _esc(name),
+                _svg_sparkline(values),
+                "%.4f s" % latest if latest is not None else "—",
+            )
+        )
+    out = [
+        '<p class="note">%d runs, oldest → newest; line is the '
+        "median seconds per test.</p>" % len(runs),
+        "<table><tr><th>benchmark</th><th>trend</th>"
+        '<th class="num">latest</th></tr>',
+        "".join(rows),
+        "</table>",
+    ]
+    if len(series) > len(names):
+        out.append(
+            '<p class="note">showing %d of %d benchmarks</p>'
+            % (len(names), len(series))
+        )
+    return "".join(out)
+
+
+def _section_corpus(corpus: Optional[Dict[str, Any]]) -> str:
+    if corpus is None:
+        return _placeholder(
+            "No corpus report supplied — pass --corpus FILE.jsonl "
+            "(written by batch --format json --output FILE.jsonl)."
+        )
+    summary = corpus.get("summary", {})
+    verdicts = summary.get("verdicts", {})
+    badges = "".join(
+        '<span class="badge"><b>%d</b>%s</span>'
+        % (int(verdicts.get(verdict, 0)), _status_dot(verdict))
+        for verdict in ("safe", "unsafe", "timeout", "error")
+    )
+    cache = summary.get("cache", {})
+    notes = (
+        '<p class="note">%s jobs · cache %s hits / %s misses · '
+        "engine wall time %ss · %s workers</p>"
+        % (
+            _esc(summary.get("jobs", "?")),
+            _esc(cache.get("hits", "?")), _esc(cache.get("misses", "?")),
+            _esc(summary.get("wall_time_s", "?")),
+            _esc(summary.get("workers", "?")),
+        )
+    )
+    bad = [
+        job for job in corpus.get("jobs", ())
+        if job.get("verdict") != "safe"
+    ]
+    table = ""
+    if bad:
+        rows = "".join(
+            "<tr><td>%s</td><td><code>%s</code></td><td>%s</td></tr>"
+            % (
+                _status_dot(str(job.get("verdict", "error"))),
+                _esc(job.get("job_id", "")),
+                _esc(job.get("error") or ""),
+            )
+            for job in bad
+        )
+        table = (
+            "<table><tr><th>verdict</th><th>job</th><th>detail</th></tr>"
+            "%s</table>" % rows
+        )
+    return '<div class="badges">%s</div>%s%s' % (badges, notes, table)
+
+
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+
+
+def render_report_html(
+    *,
+    trace: Optional[Dict[str, Any]] = None,
+    log_events: Optional[List[Dict[str, Any]]] = None,
+    bench_runs: Optional[List[BenchRun]] = None,
+    corpus: Optional[Dict[str, Any]] = None,
+    title: str = "repro observability report",
+    generated: str = "",
+) -> str:
+    """Assemble the full document from already-loaded inputs (each
+    ``None`` input renders as an explicit placeholder)."""
+    sections = [
+        ("Span waterfall", _section_waterfall(trace)),
+        ("Counters", _section_counters(_trace_counters(trace))),
+        ("Structured log", _section_log(log_events)),
+        ("Benchmark trajectory", _section_bench(bench_runs or [])),
+        ("Latest corpus audit", _section_corpus(corpus)),
+    ]
+    body = "".join(
+        "<h2>%s</h2>%s" % (_esc(heading), content)
+        for heading, content in sections
+    )
+    meta = (
+        '<p class="meta">generated %s</p>' % _esc(generated)
+        if generated
+        else ""
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        '<meta name="viewport" content="width=device-width,initial-scale=1">'
+        "<title>%s</title><style>%s</style></head>"
+        "<body><h1>%s</h1>%s%s</body></html>\n"
+        % (_esc(title), _CSS, _esc(title), meta, body)
+    )
+
+
+def _load_corpus_jsonl(path: str) -> Dict[str, Any]:
+    """A ``batch --format json`` JSONL report: job objects, then a
+    ``{"summary": ...}`` trailer."""
+    jobs: List[Dict[str, Any]] = []
+    summary: Dict[str, Any] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if "summary" in payload and "job_id" not in payload:
+                summary = payload["summary"]
+            else:
+                jobs.append(payload)
+    return {"jobs": jobs, "summary": summary}
+
+
+def build_report(
+    *,
+    trace_path: Optional[str] = None,
+    log_path: Optional[str] = None,
+    history_dir: Optional[str] = None,
+    corpus_path: Optional[str] = None,
+    title: str = "repro observability report",
+    generated: str = "",
+) -> str:
+    """Load every available input from disk and render the document.
+
+    An explicitly-named file that does not exist raises ``OSError``
+    (the caller asked for it, so silence would lie); an absent
+    *default* — no history directory yet — renders its placeholder.
+    """
+    trace = None
+    if trace_path:
+        with open(trace_path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    log_events = None
+    if log_path:
+        with open(log_path, encoding="utf-8") as handle:
+            log_events = [
+                json.loads(line)
+                for line in handle
+                if line.strip()
+            ]
+    bench_runs: List[BenchRun] = []
+    if history_dir and os.path.isdir(history_dir):
+        bench_runs = BenchHistory(history_dir).load()
+    corpus = _load_corpus_jsonl(corpus_path) if corpus_path else None
+    return render_report_html(
+        trace=trace,
+        log_events=log_events,
+        bench_runs=bench_runs,
+        corpus=corpus,
+        title=title,
+        generated=generated,
+    )

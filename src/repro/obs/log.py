@@ -1,0 +1,252 @@
+"""Span-correlated structured logging.
+
+The missing glue between the span tree and a human diagnosing a run:
+a context-local, buffered event log where every event records which
+span was active when it was emitted.  Events live on the active
+:class:`~repro.obs.recorder.Recorder` (``recorder.events``), so
+
+* with no recorder installed, ``obs.info(...)`` is one ContextVar read
+  and a ``None`` check — the zero-overhead guarantee of the rest of
+  the instrumentation layer holds for logging too;
+* with a recorder installed but event logging off (``--stats`` or
+  ``--trace`` without ``--log``), emission is two attribute checks and
+  nothing is allocated;
+* with logging on, events buffer in order on the recorder and are
+  written as JSONL at the end of the run (``--log FILE``), one object
+  per line::
+
+      {"ts": 1754446800.1, "level": "info", "logger": "ptime.copying",
+       "message": "copying product built", "span_id": 4,
+       "parent_span_id": 2, "pid": 4711, "fields": {"states": 10}}
+
+``span_id`` / ``parent_span_id`` reference the recorder-scoped ids the
+Chrome-trace exporter embeds in ``args`` (see :mod:`repro.obs.export`),
+so a log line can be joined against a ``--trace`` file.  Events
+recorded inside corpus worker processes ship back inside
+:class:`~repro.obs.snapshot.Snapshot` and are re-parented into the
+parent recorder's id space, so the join holds across the
+``ProcessPoolExecutor`` boundary too.
+
+Levels follow the stdlib numbering (DEBUG 10 < INFO 20 < WARNING 30 <
+ERROR 40); an event below the recorder's ``log_level`` is dropped at
+the emission site.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
+
+from .recorder import Recorder, _RECORDER
+
+__all__ = [
+    "DEBUG",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    "LEVELS",
+    "LogEvent",
+    "level_name",
+    "parse_level",
+    "log",
+    "debug",
+    "info",
+    "warning",
+    "error",
+    "events_to_dicts",
+    "write_log_jsonl",
+    "read_log_jsonl",
+]
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+#: Name -> numeric level, the CLI ``--log-level`` vocabulary.
+LEVELS: Dict[str, int] = {
+    "debug": DEBUG,
+    "info": INFO,
+    "warning": WARNING,
+    "error": ERROR,
+}
+
+_NAMES: Dict[int, str] = {number: name for name, number in LEVELS.items()}
+
+
+def level_name(level: int) -> str:
+    """The canonical name for a numeric level (numbers off the scale
+    are clamped to the nearest named level)."""
+    if level in _NAMES:
+        return _NAMES[level]
+    for threshold in (ERROR, WARNING, INFO):
+        if level >= threshold:
+            return _NAMES[threshold]
+    return _NAMES[DEBUG]
+
+
+def parse_level(name: Union[str, int, None]) -> int:
+    """``"warning"`` -> 30 (numeric input passes through)."""
+    if name is None:
+        return INFO
+    if isinstance(name, int):
+        return name
+    try:
+        return LEVELS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            "unknown log level %r (expected one of %s)"
+            % (name, "/".join(LEVELS))
+        ) from None
+
+
+class LogEvent:
+    """One structured log record, pinned to the span that emitted it.
+
+    ``ts`` is wall-clock epoch seconds (the human clock); ``perf_ns``
+    is the same ``perf_counter_ns`` clock the spans use, so the event
+    can be placed on the span timeline in a Chrome trace.
+    """
+
+    __slots__ = ("ts", "level", "logger", "message", "fields",
+                 "span_id", "parent_span_id", "pid", "perf_ns")
+
+    def __init__(
+        self,
+        ts: float,
+        level: int,
+        logger: str,
+        message: str,
+        fields: Optional[Dict[str, Any]] = None,
+        span_id: Optional[int] = None,
+        parent_span_id: Optional[int] = None,
+        pid: Optional[int] = None,
+        perf_ns: Optional[int] = None,
+    ) -> None:
+        self.ts = ts
+        self.level = level
+        self.logger = logger
+        self.message = message
+        self.fields = fields or {}
+        self.span_id = span_id
+        self.parent_span_id = parent_span_id
+        self.pid = pid if pid is not None else os.getpid()
+        self.perf_ns = perf_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSONL object (stable key order, plain JSON types)."""
+        payload: Dict[str, Any] = {
+            "ts": self.ts,
+            "level": level_name(self.level),
+            "logger": self.logger,
+            "message": self.message,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+            "pid": self.pid,
+            "fields": dict(self.fields),
+        }
+        if self.perf_ns is not None:
+            payload["perf_ns"] = self.perf_ns
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "LogEvent":
+        return cls(
+            ts=float(payload.get("ts", 0.0)),
+            level=parse_level(payload.get("level", "info")),
+            logger=str(payload.get("logger", "")),
+            message=str(payload.get("message", "")),
+            fields=dict(payload.get("fields", {})),
+            span_id=payload.get("span_id"),
+            parent_span_id=payload.get("parent_span_id"),
+            pid=payload.get("pid"),
+            perf_ns=payload.get("perf_ns"),
+        )
+
+    def __repr__(self) -> str:
+        return "LogEvent(%s, %r, %r, span=%s)" % (
+            level_name(self.level), self.logger, self.message, self.span_id
+        )
+
+
+def log(level: int, logger: str, message: str, **fields: Any) -> None:
+    """Emit one event on the active recorder (no-op when logging is
+    off).  The active span's id and its parent's id are captured at the
+    call site."""
+    rec = _RECORDER.get()
+    if rec is None or rec.log_level is None or level < rec.log_level:
+        return
+    active = rec._stack[-1] if rec._stack else None
+    rec.events.append(
+        LogEvent(
+            ts=time.time(),
+            level=level,
+            logger=logger,
+            message=message,
+            fields=fields or None,
+            span_id=active.span_id if active is not None else None,
+            parent_span_id=active.parent_id if active is not None else None,
+            perf_ns=time.perf_counter_ns(),
+        )
+    )
+
+
+def debug(logger: str, message: str, **fields: Any) -> None:
+    log(DEBUG, logger, message, **fields)
+
+
+def info(logger: str, message: str, **fields: Any) -> None:
+    log(INFO, logger, message, **fields)
+
+
+def warning(logger: str, message: str, **fields: Any) -> None:
+    log(WARNING, logger, message, **fields)
+
+
+def error(logger: str, message: str, **fields: Any) -> None:
+    log(ERROR, logger, message, **fields)
+
+
+def events_to_dicts(recorder: Recorder) -> List[Dict[str, Any]]:
+    """The recorder's buffered events as JSONL-ready objects, in
+    emission order."""
+    return [event.to_dict() for event in recorder.events]
+
+
+def write_log_jsonl(recorder: Recorder, destination: Union[str, TextIO]) -> int:
+    """Write the buffered events as JSONL (one object per line, in
+    emission order); returns the number of events written."""
+    lines = [json.dumps(payload, sort_keys=False)
+             for payload in events_to_dicts(recorder)]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+    return len(lines)
+
+
+def read_log_jsonl(source: Union[str, TextIO, Iterable[str]]) -> List[LogEvent]:
+    """Parse a ``--log`` JSONL file back into events (blank lines are
+    skipped; a malformed line raises ``ValueError`` with its number)."""
+    if isinstance(source, str):
+        with open(source, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    events: List[LogEvent] = []
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            payload = json.loads(stripped)
+        except ValueError:
+            raise ValueError("line %d: not valid JSON" % number) from None
+        if not isinstance(payload, dict):
+            raise ValueError("line %d: expected a JSON object" % number)
+        events.append(LogEvent.from_dict(payload))
+    return events

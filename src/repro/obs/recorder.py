@@ -51,9 +51,15 @@ class Span:
     Durations are integer nanoseconds (``time.perf_counter_ns``);
     :attr:`duration_s` converts.  A span still open has ``end_ns is
     None``.
+
+    A span opened under a recorder carries a recorder-scoped
+    :attr:`span_id` (and its parent's id) so log events and trace
+    exports can reference it; a span built by hand has ``span_id is
+    None`` until an exporter assigns one.
     """
 
-    __slots__ = ("name", "start_ns", "end_ns", "attrs", "children")
+    __slots__ = ("name", "start_ns", "end_ns", "attrs", "children",
+                 "span_id", "parent_id")
 
     def __init__(self, name: str, start_ns: Optional[int] = None) -> None:
         self.name = name
@@ -61,6 +67,8 @@ class Span:
         self.end_ns: Optional[int] = None
         self.attrs: Dict[str, Any] = {}
         self.children: List["Span"] = []
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
 
     @property
     def duration_ns(self) -> int:
@@ -121,26 +129,50 @@ NULL_SPAN = _NullSpan()
 
 
 class Recorder:
-    """Collected observations of one run."""
+    """Collected observations of one run.
 
-    __slots__ = ("spans", "counters", "gauges", "_stack")
+    ``events`` is the structured log buffer (see :mod:`repro.obs.log`);
+    it only fills when :attr:`log_level` is set — a recorder installed
+    purely for spans/counters never pays for event objects.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("spans", "counters", "gauges", "events", "log_level",
+                 "_stack", "_next_span_id")
+
+    def __init__(self, log_level: Optional[int] = None) -> None:
         self.spans: List[Span] = []  # top-level (root) spans, in order
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        self.events: List[Any] = []  # LogEvent, kept untyped to avoid a cycle
+        self.log_level = log_level  # None = event logging off
         self._stack: List[Span] = []
+        self._next_span_id = 0
 
     # -- span plumbing (driven by the module-level API) -------------------
 
     def _open(self, name: str) -> Span:
         opened = Span(name)
+        opened.span_id = self._next_span_id
+        self._next_span_id += 1
         if self._stack:
-            self._stack[-1].children.append(opened)
+            parent = self._stack[-1]
+            opened.parent_id = parent.span_id
+            parent.children.append(opened)
         else:
             self.spans.append(opened)
         self._stack.append(opened)
         return opened
+
+    def claim_span_id(self) -> int:
+        """Reserve the next recorder-scoped span id (used when grafting
+        spans recorded elsewhere, e.g. worker snapshots)."""
+        claimed = self._next_span_id
+        self._next_span_id += 1
+        return claimed
+
+    def active_span(self) -> Optional[Span]:
+        """The innermost span currently open, if any."""
+        return self._stack[-1] if self._stack else None
 
     def _close(self, closing: Span) -> None:
         closing.end_ns = time.perf_counter_ns()
@@ -193,14 +225,16 @@ _RECORDER: ContextVar[Optional[Recorder]] = ContextVar("repro_obs_recorder", def
 
 
 @contextmanager
-def recording() -> Iterator[Recorder]:
+def recording(log_level: Optional[int] = None) -> Iterator[Recorder]:
     """Install a fresh recorder for the dynamic extent of the block.
 
     Nested ``recording()`` blocks shadow the outer recorder (the outer
     one sees nothing from the inner block), matching the context-local
-    isolation the tests rely on.
+    isolation the tests rely on.  Pass ``log_level`` (see
+    :mod:`repro.obs.log`) to also buffer structured log events at or
+    above that level.
     """
-    rec = Recorder()
+    rec = Recorder(log_level=log_level)
     token = _RECORDER.set(rec)
     try:
         yield rec

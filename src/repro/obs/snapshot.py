@@ -1,68 +1,155 @@
-"""Portable, mergeable snapshots of a recorder's registries.
+"""Portable, mergeable snapshots of a recorder's observations.
 
 A :class:`Snapshot` is the process-boundary form of a
-:class:`~repro.obs.recorder.Recorder`: just the counters, gauges, and
-total wall time — no span objects — so it pickles/JSON-serializes
-cheaply and merges associatively.  The corpus engine
-(:mod:`repro.corpus`) records each job under its own recorder inside a
-worker process, snapshots it, ships the dict across the
-``ProcessPoolExecutor`` boundary, and merges all job snapshots into the
-parent's recorder so one ``--stats`` view aggregates the whole batch.
+:class:`~repro.obs.recorder.Recorder`: counters, gauges, total wall
+time — and, since the unified observability layer, the buffered
+structured log events and the span forest, all as plain JSON types —
+so it pickles/JSON-serializes cheaply and merges associatively.  The
+corpus engine (:mod:`repro.corpus`) records each job under its own
+recorder inside a worker process, snapshots it, ships the dict across
+the ``ProcessPoolExecutor`` boundary, and merges all job snapshots
+into the parent's recorder so one ``--stats`` view aggregates the
+whole batch and one ``--log`` file carries the workers' events.
 
 Merging follows the registry semantics: counters add, gauges keep the
 maximum (a gauge is a high-water mark across jobs), wall times add.
+Events concatenate *in order* (self's first, then the other's — never
+reordered, never duplicated); span forests concatenate.  Because span
+ids are recorder-scoped, every merge re-ids the incoming spans into
+the receiving side's id space and rewrites the incoming events'
+``span_id``/``parent_span_id`` with the same mapping, so a worker
+event keeps pointing at the worker span that emitted it after the
+graft — which is what lets a ``--log`` line from inside a worker
+resolve against the parent's ``--trace`` file.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .recorder import Recorder
 
 __all__ = ["Snapshot"]
 
 
+def _collect_ids(spans: List[Dict[str, Any]]) -> List[int]:
+    ids: List[int] = []
+    stack = list(spans)
+    while stack:
+        node = stack.pop()
+        if node.get("id") is not None:
+            ids.append(node["id"])
+        stack.extend(node.get("children", ()))
+    return ids
+
+
+def _remap_spans(
+    spans: List[Dict[str, Any]], id_map: Dict[int, int]
+) -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    for node in spans:
+        copied = dict(node)
+        if copied.get("id") is not None:
+            copied["id"] = id_map.get(copied["id"], copied["id"])
+        if copied.get("parent") is not None:
+            copied["parent"] = id_map.get(copied["parent"], copied["parent"])
+        copied["children"] = _remap_spans(list(node.get("children", ())), id_map)
+        out.append(copied)
+    return out
+
+
+def _remap_events(
+    events: List[Dict[str, Any]], id_map: Dict[int, int]
+) -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    for event in events:
+        copied = dict(event)
+        for key in ("span_id", "parent_span_id"):
+            if copied.get(key) is not None:
+                copied[key] = id_map.get(copied[key], copied[key])
+        out.append(copied)
+    return out
+
+
 @dataclass
 class Snapshot:
-    """Counters + gauges + wall time of one recorded run, detached from
-    the span tree.  Round-trips through :meth:`to_dict` /
-    :meth:`from_dict` (plain JSON types only)."""
+    """Counters + gauges + wall time + events + spans of one recorded
+    run, as plain JSON types.  Round-trips through :meth:`to_dict` /
+    :meth:`from_dict`."""
 
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
     wall_time_ns: int = 0
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
     @classmethod
     def from_recorder(cls, recorder: Recorder) -> "Snapshot":
-        """Capture the recorder's registries and total root-span time."""
+        """Capture the recorder's registries, events, spans, and total
+        root-span time."""
+        from .export import span_to_dict
+        from .log import events_to_dicts
+
         return cls(
             counters=dict(recorder.counters),
             gauges=dict(recorder.gauges),
             wall_time_ns=recorder.total_duration_ns(),
+            events=events_to_dicts(recorder),
+            spans=[span_to_dict(root) for root in recorder.spans],
         )
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready document (``from_dict`` round-trips it)."""
-        return {
-            "version": 1,
+        out: Dict[str, Any] = {
+            "version": 2,
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "wall_time_ns": int(self.wall_time_ns),
         }
+        if self.events:
+            out["events"] = [dict(event) for event in self.events]
+        if self.spans:
+            out["spans"] = [dict(span) for span in self.spans]
+        return out
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Snapshot":
-        """Rebuild a snapshot from :meth:`to_dict` output."""
+        """Rebuild a snapshot from :meth:`to_dict` output (version 1
+        payloads — no events/spans — load fine)."""
         return cls(
             counters={str(k): float(v) for k, v in dict(payload.get("counters", {})).items()},
             gauges={str(k): float(v) for k, v in dict(payload.get("gauges", {})).items()},
             wall_time_ns=int(payload.get("wall_time_ns", 0)),
+            events=[dict(event) for event in payload.get("events", ())],
+            spans=[dict(span) for span in payload.get("spans", ())],
         )
+
+    def without_replayable_state(self) -> "Snapshot":
+        """A copy carrying only the registries — what a result cache
+        should store, so a cache hit never replays stale log events or
+        span trees as if the work had happened again."""
+        return Snapshot(
+            counters=dict(self.counters),
+            gauges=dict(self.gauges),
+            wall_time_ns=self.wall_time_ns,
+        )
+
+    def _id_map_for(self, taken: List[int]) -> Tuple[Dict[int, int], int]:
+        """A collision-free remapping of this snapshot's span ids into
+        a space where ``taken`` ids are already in use."""
+        base = max(taken) + 1 if taken else 0
+        mapping: Dict[int, int] = {}
+        for old in sorted(set(_collect_ids(self.spans))):
+            mapping[old] = base
+            base += 1
+        return mapping, base
 
     def merge(self, other: "Snapshot") -> "Snapshot":
         """A new snapshot combining both: counters add, gauges max,
-        wall times add."""
+        wall times add, events/spans concatenate in order (the other
+        side's span ids are re-numbered past this side's so the merged
+        document stays collision-free)."""
         counters = dict(self.counters)
         for name, value in other.counters.items():
             counters[name] = counters.get(name, 0) + value
@@ -70,16 +157,55 @@ class Snapshot:
         for name, value in other.gauges.items():
             if name not in gauges or gauges[name] < value:
                 gauges[name] = value
+        id_map, _ = other._id_map_for(_collect_ids(self.spans))
         return Snapshot(
             counters=counters,
             gauges=gauges,
             wall_time_ns=self.wall_time_ns + other.wall_time_ns,
+            events=[dict(event) for event in self.events]
+            + _remap_events(other.events, id_map),
+            spans=[dict(span) for span in self.spans]
+            + _remap_spans(other.spans, id_map),
         )
 
     def merge_into(self, recorder: Recorder, prefix: str = "") -> None:
-        """Fold this snapshot into a live recorder (counters add,
-        gauges keep the maximum), optionally namespaced by ``prefix``."""
+        """Fold this snapshot into a live recorder: counters add,
+        gauges keep the maximum (optionally namespaced by ``prefix``);
+        spans graft under the recorder's currently-open span (or as new
+        roots) with fresh recorder-scoped ids; events append to the
+        recorder's log buffer — when the recorder is logging at all —
+        with their span references rewritten by the same id mapping."""
+        from .export import span_from_dict
+        from .log import LogEvent
+
         for name, value in self.counters.items():
             recorder.add(prefix + name, value)
         for name, value in self.gauges.items():
             recorder.gauge_max(prefix + name, value)
+        if not self.events and not self.spans:
+            return
+        id_map: Dict[int, int] = {
+            old: recorder.claim_span_id()
+            for old in sorted(set(_collect_ids(self.spans)))
+        }
+        anchor = recorder.active_span()
+        anchor_id: Optional[int] = anchor.span_id if anchor is not None else None
+        for payload in _remap_spans(self.spans, id_map):
+            root = span_from_dict(payload)
+            root.parent_id = anchor_id
+            if anchor is not None:
+                anchor.children.append(root)
+            else:
+                recorder.spans.append(root)
+        if recorder.log_level is None:
+            return
+        for payload in _remap_events(self.events, id_map):
+            event = LogEvent.from_dict(payload)
+            if event.span_id is None and anchor_id is not None:
+                # An event emitted outside any worker span still lands
+                # somewhere resolvable: the span the graft hangs under.
+                event.span_id = anchor_id
+                event.parent_span_id = (
+                    anchor.parent_id if anchor is not None else None
+                )
+            recorder.events.append(event)
