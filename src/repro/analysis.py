@@ -142,14 +142,20 @@ def diagnose(
     sources: Optional[SourceInfo] = None,
     codes: Optional[Iterable[str]] = None,
     compute_subschema: bool = True,
+    passes: Optional[Iterable[str]] = None,
+    prefilter: bool = True,
 ) -> List[Diagnostic]:
     """Static analysis with explainable verdicts (the :mod:`repro.lint`
     engine): coded findings instead of bare booleans.
 
     Structural problems are TP1xx, schema problems TP2xx,
     text-preservation violations TP3xx (localized to the offending rule,
-    with the smallest counter-example attached), and §7 safety findings
-    TP4xx.  ``schema`` accepts a DTD or an NTA; ``transducer`` must be a
+    with the smallest counter-example attached), §7 safety findings
+    TP4xx, and dataflow findings TP5xx.  ``passes`` restricts the
+    dataflow pipeline; ``prefilter=False`` disables the sound
+    pre-filters gating the TP3xx decision procedures (findings are
+    identical either way).  ``schema`` accepts a DTD or an NTA;
+    ``transducer`` must be a
     :class:`~repro.core.topdown.TopDownTransducer` (DTL programs have no
     rule-level localization — use the boolean deciders instead).
     """
@@ -166,6 +172,8 @@ def diagnose(
         sources=sources,
         codes=codes,
         compute_subschema=compute_subschema,
+        passes=passes,
+        prefilter=prefilter,
     )
 
 

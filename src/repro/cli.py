@@ -28,7 +28,8 @@ Commands::
                               [--stats] [--trace FILE.json]
                               [--log FILE.jsonl] [--log-level LEVEL]
     python -m repro lint      TRANSDUCER SCHEMA [--protect LABEL ...]
-                              [--format text|json] [--fail-on warning|error]
+                              [--format text|json] [--fail-on SEVERITY]
+                              [--passes P1,P2] [--no-prefilter]
                               [--stats] [--trace FILE.json]
                               [--log FILE.jsonl] [--log-level LEVEL]
     python -m repro subschema TRANSDUCER SCHEMA [--protect LABEL ...]
@@ -38,7 +39,8 @@ Commands::
     python -m repro batch     CORPUS_DIR [--jobs N] [--timeout S]
                               [--cache-dir D] [--no-cache]
                               [--format text|json|markdown]
-                              [--fail-on warning|error] [--output FILE]
+                              [--fail-on SEVERITY] [--no-prefilter]
+                              [--output FILE]
                               [--stats] [--trace FILE.json]
                               [--log FILE.jsonl] [--log-level LEVEL]
     python -m repro bench-report [--baseline REF] [--candidate REF]
@@ -120,6 +122,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 import time
 from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
@@ -134,7 +137,8 @@ from .analysis import (
     maximal_safe_subschema,
 )
 from .core.topdown import TopDownTransducer
-from .lint import SourceInfo, render_json, render_text, severity_order
+from .lint import SEVERITIES, SourceInfo, render_json, render_text, severity_order
+from .lint.dataflow import NO_PREFILTER_ENV, pass_names
 from .schema.dtd import DTD, dtd_to_nta
 from .trees.parser import serialize_tree
 from .trees.xmlio import tree_to_xml, xml_to_tree
@@ -153,6 +157,39 @@ __all__ = [
 
 class CliError(ValueError):
     """Raised for malformed input files; printed without a traceback."""
+
+
+def _validate_fail_on(value: str) -> int:
+    """The severity threshold of ``--fail-on``, rejecting unknown
+    severities with the valid set (a silent typo would otherwise mean
+    the command never fails)."""
+    try:
+        return severity_order(value)
+    except ValueError:
+        raise CliError(
+            "unknown --fail-on severity %r; valid severities: %s"
+            % (value, ", ".join(SEVERITIES))
+        ) from None
+
+
+def _parse_passes(value: Optional[str]) -> Optional[Tuple[str, ...]]:
+    """Parse ``--passes a,b,c`` into a tuple, rejecting unknown pass
+    names with the valid set."""
+    if value is None:
+        return None
+    names = tuple(name.strip() for name in value.split(",") if name.strip())
+    if not names:
+        raise CliError(
+            "--passes needs at least one pass name; valid passes: %s"
+            % ", ".join(pass_names())
+        )
+    unknown = sorted(set(names) - set(pass_names()))
+    if unknown:
+        raise CliError(
+            "unknown dataflow pass %r; valid passes: %s"
+            % (unknown[0], ", ".join(pass_names()))
+        )
+    return names
 
 
 class LoadedSchema(NamedTuple):
@@ -436,6 +473,8 @@ def _run_check(
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    threshold = _validate_fail_on(args.fail_on)
+    passes = _parse_passes(args.passes)
     loaded_transducer = load_transducer_ex(args.transducer)
     loaded_schema = load_schema_ex(args.schema)
     # Always record: the engine's memo hit/miss counters feed the JSON
@@ -448,17 +487,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             sources=_source_info(
                 args.transducer, loaded_transducer, args.schema, loaded_schema
             ),
+            passes=passes,
+            prefilter=not args.no_prefilter,
         )
     if args.format == "json":
         stats = {
             "memo_hits": int(recorder.counters.get("lint.memo.hits", 0)),
             "memo_misses": int(recorder.counters.get("lint.memo.misses", 0)),
         }
+        stats.update(
+            (name, int(value))
+            for name, value in sorted(recorder.counters.items())
+            if name.startswith("dataflow.")
+        )
         sys.stdout.write(render_json(diagnostics, stats=stats) + "\n")
     else:
         sys.stdout.write(render_text(diagnostics))
     _finish_observation(recorder if _wants_observation(args) else None, args)
-    threshold = severity_order(args.fail_on)
     failed = any(severity_order(d.severity) >= threshold for d in diagnostics)
     return 1 if failed else 0
 
@@ -565,10 +610,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_batch(args: argparse.Namespace) -> int:
     from . import corpus
 
+    _validate_fail_on(args.fail_on)
     if args.jobs is not None and args.jobs < 1:
         raise CliError("--jobs must be at least 1, got %d" % args.jobs)
     if args.timeout is not None and args.timeout <= 0:
         raise CliError("--timeout must be positive, got %g" % args.timeout)
+    if args.no_prefilter:
+        # Pool workers inherit the environment, so the switch reaches the
+        # per-job lint runs on the other side of the process boundary.
+        os.environ[NO_PREFILTER_ENV] = "1"
     try:
         jobs = corpus.discover_jobs(args.corpus_dir)
     except corpus.CorpusError as error:
@@ -716,9 +766,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     lint.add_argument(
-        "--fail-on", choices=("warning", "error"), default="error",
-        help="exit non-zero when findings at/above this severity exist "
+        "--fail-on", default="error", metavar="SEVERITY",
+        help="exit non-zero when findings at/above this severity exist; "
+        "any registered severity (info, warning, error) is accepted "
         "(default: error)",
+    )
+    lint.add_argument(
+        "--passes", default=None, metavar="P1,P2",
+        help="run only these dataflow passes (comma-separated) plus their "
+        "dependencies; available: %s (default: all)" % ", ".join(pass_names()),
+    )
+    lint.add_argument(
+        "--no-prefilter", action="store_true",
+        help="disable the sound dataflow pre-filters gating the expensive "
+        "decision procedures (findings are identical either way)",
     )
     _add_observation_flags(lint)
     lint.set_defaults(func=_cmd_lint)
@@ -777,10 +838,16 @@ def build_parser() -> argparse.ArgumentParser:
         "summary trailer (default: text)",
     )
     batch.add_argument(
-        "--fail-on", choices=("warning", "error"), default="error",
+        "--fail-on", default="error", metavar="SEVERITY",
         help="exit non-zero when a safe job still has findings at/above "
-        "this severity; unsafe/error/timeout jobs always fail "
+        "this severity; unsafe/error/timeout jobs always fail; any "
+        "registered severity (info, warning, error) is accepted "
         "(default: error)",
+    )
+    batch.add_argument(
+        "--no-prefilter", action="store_true",
+        help="disable the sound dataflow pre-filters in every worker "
+        "(findings are identical either way)",
     )
     batch.add_argument(
         "--output", metavar="FILE",

@@ -25,7 +25,18 @@ Everything here is polynomial in ``|T| + |N|``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .. import obs
 from ..automata.nta import NTA, TEXT, intersect_nta, union_nta
@@ -33,6 +44,9 @@ from ..strings.nfa import NFA
 from ..trees.substitution import make_value_unique
 from ..trees.tree import Tree
 from .topdown import TopDownTransducer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..lint.dataflow import DataflowSummary, PrefilterArg
 
 __all__ = [
     "path_automaton",
@@ -58,6 +72,23 @@ State = Hashable
 
 #: The accepting sink of path automata (reached on reading ``text``).
 _ACC = ("acc",)
+
+
+def _resolve_prefilter(
+    transducer: TopDownTransducer, nta: NTA, prefilter: "PrefilterArg"
+) -> Optional["DataflowSummary"]:
+    """Resolve a ``prefilter=`` argument to a dataflow summary or
+    ``None`` (pre-filtering off).  Imported lazily: the dataflow
+    package depends on this module."""
+    from ..lint.dataflow import resolve_prefilter
+
+    return resolve_prefilter(transducer, nta, prefilter)
+
+
+def _log_skip(procedure: str, pass_name: str, **details: object) -> None:
+    from ..lint.dataflow import log_skip
+
+    log_skip(procedure, pass_name, **details)
 
 
 def _useful_child_states(nta: NTA, state: State, symbol: str) -> Set[State]:
@@ -156,7 +187,9 @@ def _pair_steps(
                 yield (t1, t2, 1 if doubled else 0)
 
 
-def copying_nfa(transducer: TopDownTransducer, nta: NTA) -> NFA:
+def copying_nfa(
+    transducer: TopDownTransducer, nta: NTA, prefilter: "PrefilterArg" = None
+) -> NFA:
     """Lemma 4.9's automaton ``M``: accepts the text paths of ``L(nta)``
     witnessing that the transducer copies.
 
@@ -164,7 +197,21 @@ def copying_nfa(transducer: TopDownTransducer, nta: NTA) -> NFA:
     transducer path automaton in lockstep; it accepts when the two runs
     end in value-copying rules after having diverged, or after some
     rule on the shared prefix offered the next state twice.
+
+    When a dataflow summary with the copy-degree pass is available (see
+    ``prefilter``), pair steps into non-text-productive states are
+    pruned.  This is exact: acceptance needs both runs to end in
+    value-copying text rules along schema-realizable events, which is
+    precisely text-productivity, and that set is backward-closed — so
+    the pruned region is never on an accepting path and even the BFS
+    shortest witness word is unchanged.
     """
+    summary = _resolve_prefilter(transducer, nta, prefilter)
+    productive = (
+        summary.text_productive
+        if summary is not None and summary.has_pass("copy-degree")
+        else None
+    )
     with obs.span("ptime.copying_product") as sp:
         schema = path_automaton(nta)
         alphabet = set(nta.alphabet) | {TEXT}
@@ -173,6 +220,7 @@ def copying_nfa(transducer: TopDownTransducer, nta: NTA) -> NFA:
         transitions: List[Tuple[State, str, State]] = []
         stack: List[Tuple[State, str, str, int]] = [initial]
         seen: Set[State] = {initial}
+        pruned = 0
         while stack:
             current = stack.pop()
             s_n, q1, q2, flag = current
@@ -185,6 +233,11 @@ def copying_nfa(transducer: TopDownTransducer, nta: NTA) -> NFA:
                 if not schema_targets:
                     continue
                 for t1, t2, new_flag in _pair_steps(transducer, q1, q2, symbol, flag):
+                    if productive is not None and (
+                        t1 not in productive or t2 not in productive
+                    ):
+                        pruned += 1
+                        continue
                     for s_target in schema_targets:
                         nxt = (s_target, t1, t2, new_flag)
                         transitions.append((current, symbol, nxt))
@@ -196,15 +249,29 @@ def copying_nfa(transducer: TopDownTransducer, nta: NTA) -> NFA:
         sp.set("transitions", len(transitions))
         obs.add("ptime.product_states", len(states))
         obs.add("ptime.product_transitions", len(transitions))
+        if productive is not None:
+            sp.set("pruned", pruned)
+            obs.add("ptime.product_pruned", pruned)
         obs.debug("ptime.copying", "copying product built",
                   states=len(states), transitions=len(transitions))
         return NFA(states, alphabet, transitions, initial, {_ACC})
 
 
-def is_copying(transducer: TopDownTransducer, nta: NTA) -> bool:
+def is_copying(
+    transducer: TopDownTransducer, nta: NTA, prefilter: "PrefilterArg" = None
+) -> bool:
     """Lemma 4.9: PTIME test whether the transducer copies over ``L(nta)``."""
+    summary = _resolve_prefilter(transducer, nta, prefilter)
     with obs.span("ptime.copying") as sp:
-        product = copying_nfa(transducer, nta)
+        if summary is not None and summary.copy_free:
+            # Every realizable rule has at most one text-productive
+            # frontier position, so neither Lemma 4.5 condition
+            # (divergence, doubling) can reach two text leaves.
+            sp.set("verdict", False)
+            _log_skip("is_copying", "copy-degree", max_copy_degree=summary.max_copy_degree)
+            obs.info("ptime.copying", "copying decided", copying=False, product_states=0)
+            return False
+        product = copying_nfa(transducer, nta, prefilter=summary if summary is not None else False)
         with obs.span("ptime.emptiness") as sp_empty:
             sp_empty.set("automaton", "copying_nfa")
             empty = product.is_empty()
@@ -215,11 +282,17 @@ def is_copying(transducer: TopDownTransducer, nta: NTA) -> bool:
 
 
 def copying_witness_path(
-    transducer: TopDownTransducer, nta: NTA
+    transducer: TopDownTransducer, nta: NTA, prefilter: "PrefilterArg" = None
 ) -> Optional[Tuple[str, ...]]:
     """A text path witnessing copying (labels ending in ``text``), or
     ``None`` when the transducer does not copy over ``L(nta)``."""
-    word = copying_nfa(transducer, nta).shortest_word()
+    summary = _resolve_prefilter(transducer, nta, prefilter)
+    if summary is not None and summary.copy_free:
+        _log_skip("copying_witness_path", "copy-degree")
+        return None
+    word = copying_nfa(
+        transducer, nta, prefilter=summary if summary is not None else False
+    ).shortest_word()
     if word is None:
         return None
     return tuple(str(symbol) for symbol in word)
@@ -446,12 +519,49 @@ def _rearranging_nta_impl(
     return NTA(states, alphabet, delta, initial)
 
 
-def is_rearranging(transducer: TopDownTransducer, nta: NTA) -> bool:
+def _productive_site_filter(
+    summary: "DataflowSummary",
+) -> Optional[Callable[[str, str, str, str], bool]]:
+    """A ``violation_filter`` admitting only sites the dataflow summary
+    cannot rule out: the rule fires on some valid document and both
+    branch states can route text to the output.  Exact for emptiness
+    checks against the schema: a product witness makes the site's rule
+    fire and both branches reach text on a valid document, so any
+    witnessed site passes the filter."""
+    if not (summary.has_pass("reachability") and summary.has_pass("copy-degree")):
+        return None
+    realizable = summary.realizable
+    productive = summary.text_productive
+
+    def allowed(state: str, symbol: str, q1_next: str, q2_next: str) -> bool:
+        return (
+            (state, symbol) in realizable
+            and q1_next in productive
+            and q2_next in productive
+        )
+
+    return allowed
+
+
+def is_rearranging(
+    transducer: TopDownTransducer, nta: NTA, prefilter: "PrefilterArg" = None
+) -> bool:
     """Lemma 4.10: PTIME test whether the transducer rearranges over
     ``L(nta)``."""
+    summary = _resolve_prefilter(transducer, nta, prefilter)
     with obs.span("ptime.rearranging") as sp:
+        if summary is not None and summary.has_pass("text-flow") and summary.order_safe:
+            # No realizable rule carries two text-productive frontier
+            # positions, so no Lemma 4.6 order violation can ever put
+            # text into the output through two branches.
+            sp.set("verdict", False)
+            _log_skip("is_rearranging", "text-flow")
+            obs.info("ptime.rearranging", "rearranging decided",
+                     rearranging=False, product_states=0)
+            return False
+        violation_filter = _productive_site_filter(summary) if summary is not None else None
         universe = set(nta.alphabet) | set(transducer.alphabet)
-        witness_nta = rearranging_nta(transducer, universe)
+        witness_nta = rearranging_nta(transducer, universe, violation_filter)
         with obs.span("ptime.schema_product") as sp_product:
             product = intersect_nta(witness_nta, nta)
             sp_product.set("states", len(product.states))
@@ -478,13 +588,21 @@ def counter_example_nta(transducer: TopDownTransducer, nta: NTA) -> NTA:
         return product
 
 
-def is_text_preserving(transducer: TopDownTransducer, nta: NTA) -> bool:
+def is_text_preserving(
+    transducer: TopDownTransducer, nta: NTA, prefilter: "PrefilterArg" = None
+) -> bool:
     """Theorem 4.11: PTIME decision whether the (admissible) top-down
     transducer is text-preserving over ``L(nta)``."""
-    return not is_copying(transducer, nta) and not is_rearranging(transducer, nta)
+    summary = _resolve_prefilter(transducer, nta, prefilter)
+    resolved: "PrefilterArg" = summary if summary is not None else False
+    return not is_copying(transducer, nta, prefilter=resolved) and not is_rearranging(
+        transducer, nta, prefilter=resolved
+    )
 
 
-def counter_example(transducer: TopDownTransducer, nta: NTA) -> Optional[Tree]:
+def counter_example(
+    transducer: TopDownTransducer, nta: NTA, prefilter: "PrefilterArg" = None
+) -> Optional[Tree]:
     """A smallest value-unique tree of ``L(nta)`` on which the
     transducer is not text-preserving, or ``None`` when it is
     text-preserving.
@@ -492,7 +610,21 @@ def counter_example(transducer: TopDownTransducer, nta: NTA) -> Optional[Tree]:
     The witness is made value-unique, so
     ``text_values(T(t))`` is concretely not a subsequence of
     ``text_values(t)``.
+
+    The pre-filter only ever skips the construction outright (when the
+    summary proves text preservation, the answer is ``None``); it never
+    alters the union NTA, so the chosen witness tree is byte-identical
+    with pre-filtering off.
     """
+    summary = _resolve_prefilter(transducer, nta, prefilter)
+    if (
+        summary is not None
+        and summary.copy_free
+        and summary.has_pass("text-flow")
+        and summary.order_safe
+    ):
+        _log_skip("counter_example", "copy-degree+text-flow")
+        return None
     witness = counter_example_nta(transducer, nta).witness()
     if witness is None:
         return None
@@ -544,11 +676,24 @@ def copying_counter_example(transducer: TopDownTransducer, nta: NTA) -> Optional
     return make_value_unique(witness)
 
 
-def copying_report(transducer: TopDownTransducer, nta: NTA) -> Optional[CopyingReport]:
+def copying_report(
+    transducer: TopDownTransducer, nta: NTA, prefilter: "PrefilterArg" = None
+) -> Optional[CopyingReport]:
     """Localize copying: the witness path, its path runs, and the rule
     to blame — or ``None`` when the transducer does not copy over
-    ``L(nta)``."""
-    word = copying_nfa(transducer, nta).shortest_word()
+    ``L(nta)``.
+
+    With a pre-filter the report is byte-identical: a ``copy_free``
+    summary proves the answer is ``None``, and in-product pruning
+    (see :func:`copying_nfa`) leaves the shortest witness unchanged.
+    """
+    summary = _resolve_prefilter(transducer, nta, prefilter)
+    if summary is not None and summary.copy_free:
+        _log_skip("copying_report", "copy-degree")
+        return None
+    word = copying_nfa(
+        transducer, nta, prefilter=summary if summary is not None else False
+    ).shortest_word()
     if word is None:
         return None
     path = tuple(str(symbol) for symbol in word)
@@ -618,7 +763,7 @@ def rearranging_counter_example(transducer: TopDownTransducer, nta: NTA) -> Opti
 
 
 def rearranging_findings(
-    transducer: TopDownTransducer, nta: NTA
+    transducer: TopDownTransducer, nta: NTA, prefilter: "PrefilterArg" = None
 ) -> Tuple[RearrangingFinding, ...]:
     """All rule-level causes of rearranging over ``L(nta)``, smallest
     witnesses first; empty when the transducer does not rearrange.
@@ -626,9 +771,19 @@ def rearranging_findings(
     Runs the Lemma 4.10 construction once per candidate ``(rule,
     frontier-pair)`` with the order violation pinned to that site, so
     every returned finding is independently witnessed.
+
+    The pre-filter drops only candidate sites whose pinned run is
+    provably empty (unrealizable rule, or a branch state that can never
+    route text to the output), so the findings — including each
+    witness — are byte-identical with pre-filtering off.
     """
+    summary = _resolve_prefilter(transducer, nta, prefilter)
+    if summary is not None and summary.has_pass("text-flow") and summary.order_safe:
+        _log_skip("rearranging_findings", "text-flow")
+        return ()
+    site_filter = _productive_site_filter(summary) if summary is not None else None
     universe = set(nta.alphabet) | set(transducer.alphabet)
-    if intersect_nta(rearranging_nta(transducer, universe), nta).is_empty():
+    if intersect_nta(rearranging_nta(transducer, universe, site_filter), nta).is_empty():
         return ()
     findings: List[RearrangingFinding] = []
     for (state, symbol), _rhs in sorted(transducer.rules.items()):
@@ -638,6 +793,11 @@ def rearranging_findings(
             for j2 in range(j1 + 1, len(frontier)):
                 pairs.add((frontier[j2], frontier[j1]))  # (q1_next, q2_next)
         for q1_next, q2_next in sorted(pairs):
+            if site_filter is not None and not site_filter(
+                state, symbol, q1_next, q2_next
+            ):
+                obs.add("ptime.rearranging_sites_pruned")
+                continue
             def pinned(q: str, a: str, t1: str, t2: str) -> bool:
                 return (q, a) == (state, symbol) and (t1, t2) == (q1_next, q2_next)
 

@@ -33,9 +33,12 @@ typechecking is the emptiness of its complement intersected with
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..lint.dataflow import PrefilterArg
 from ..automata.nta import NTA, TEXT, intersect_nta
 from ..schema.dtd import DTD
 from ..strings.dfa import DFA, determinize
@@ -394,13 +397,55 @@ def _inverse_type_nta_impl(
 
 
 def typechecks(
-    transducer: TopDownTransducer, input_schema: NTA, output_dtd: DTD
+    transducer: TopDownTransducer,
+    input_schema: NTA,
+    output_dtd: DTD,
+    prefilter: "PrefilterArg" = None,
 ) -> bool:
     """Whether ``T(t)`` is valid w.r.t. the output DTD for *every*
-    ``t ∈ L(input_schema)`` (EXPTIME in general)."""
+    ``t ∈ L(input_schema)`` (EXPTIME in general).
+
+    Two sound dataflow pre-filters (see :mod:`repro.lint.dataflow`):
+
+    * **Bad-label short-circuit.**  Every label in the summary's exact
+      ``output_labels`` set is emitted on some valid input (a realizable
+      rule fires there and its rhs labels are instantiated
+      unconditionally), so any such label outside the output DTD's
+      alphabet makes the output invalid on that input: the answer is
+      definitely ``False``, no inverse type needed.
+    * **Sigma restriction.**  The inverse-type construction only needs
+      the labels that occur in *some* tree of ``L(input_schema)``
+      (``generated_labels``), not the schema's declared alphabet:
+      trees using other labels are not in the intersection anyway.
+      Note the restriction must come from the schema, not from the
+      transducer's explored configurations — configuration exploration
+      stops below deleted subtrees, but the schema may force labels
+      there.
+    """
+    from ..lint.dataflow import log_skip, resolve_prefilter
+
+    summary = resolve_prefilter(transducer, input_schema, prefilter)
     with obs.span("typecheck.decide") as sp, obs.track_peak_memory():
+        sigma: Iterable[str] = input_schema.alphabet
+        if summary is not None:
+            if summary.has_pass("label-flow"):
+                bad_labels = sorted(summary.output_labels - set(output_dtd.alphabet))
+                if bad_labels:
+                    sp.set("verdict", False)
+                    log_skip(
+                        "typechecks", "label-flow", bad_label=bad_labels[0]
+                    )
+                    obs.info("typecheck", "typecheck decided",
+                             typechecks=False, product_states=0)
+                    return False
+            restricted = set(summary.schema_generated_labels)
+            obs.add(
+                "typecheck.sigma_pruned",
+                len(set(input_schema.alphabet) - restricted),
+            )
+            sigma = restricted
         bad = inverse_type_nta(
-            transducer, output_dtd, input_schema.alphabet, accept_valid=False
+            transducer, output_dtd, sigma, accept_valid=False
         )
         with obs.span("typecheck.emptiness") as inner:
             product = intersect_nta(bad, input_schema)

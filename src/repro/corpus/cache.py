@@ -46,7 +46,7 @@ __all__ = [
 
 #: Bumped whenever the analysis engine's semantics change; part of every
 #: cache key, so stale verdicts can never survive an engine upgrade.
-ENGINE_VERSION = "repro-1.0.0/corpus-1"
+ENGINE_VERSION = "repro-1.0.0/corpus-2"
 
 #: Default cache directory name, created inside the corpus directory.
 DEFAULT_CACHE_DIRNAME = ".repro-cache"

@@ -556,6 +556,65 @@ def _failure_result(spec: JobSpec, verdict: str, message: str) -> JobResult:
     )
 
 
+def _store_in_cache(
+    cache: Optional[ResultCache], key: Optional[str], result: "JobResult"
+) -> None:
+    """Cache a freshly computed result (identically for parent-inline
+    and worker-pool jobs); timeouts are transient and never stored."""
+    if cache is None or key is None or result.verdict == "timeout":
+        return
+    stored = result.to_dict()
+    stored["cache_hit"] = False
+    if result.observations:
+        # Never cache the replayable state: a later hit must not
+        # re-emit this run's log or spans.
+        stored["observations"] = (
+            obs.Snapshot.from_dict(result.observations)
+            .without_replayable_state()
+            .to_dict()
+        )
+    cache.put(key, stored)
+
+
+def _inline_if_proven_safe(
+    spec: JobSpec, log_level: Optional[int]
+) -> Optional["JobResult"]:
+    """Parent-side cheap-pass gate: when the dataflow passes prove the
+    pair copy-free and order-safe (and no labels are protected), every
+    expensive Theorem 4.11 procedure is guaranteed to short-circuit, so
+    the job runs inline here instead of paying a pool round-trip.
+
+    Returns ``None`` — run in a worker — for anything unproven or
+    unloadable, so broken pairs keep their per-job error isolation.
+    """
+    if spec.protect:
+        return None
+    from ..cli import load_schema_ex, load_transducer_ex
+    from ..lint.dataflow import analyze, log_skip, prefilter_enabled
+    from ..schema.dtd import dtd_to_nta
+
+    if not prefilter_enabled():
+        return None
+    try:
+        transducer = load_transducer_ex(spec.transducer_path).transducer
+        nta = dtd_to_nta(load_schema_ex(spec.schema_path).dtd)
+        summary = analyze(transducer, nta)
+    except Exception:
+        return None
+    if not (summary.copy_free and summary.order_safe):
+        return None
+    log_skip("corpus.pool_submit", "copy-degree+text-flow", job_id=spec.job_id)
+    return analyze_pair(
+        spec.transducer_path,
+        spec.schema_path,
+        spec.protect,
+        job_id=spec.job_id,
+        transducer_name=spec.transducer_name,
+        schema_name=spec.schema_name,
+        log_level=log_level,
+    )
+
+
 def run_corpus(
     jobs: Sequence[JobSpec],
     *,
@@ -598,14 +657,39 @@ def run_corpus(
         jobs=len(jobs), cache_hits=hits, to_run=misses,
     )
 
+    log_level = None
+    parent_recorder = obs.current()
+    if parent_recorder is not None:
+        log_level = parent_recorder.log_level
+
+    # Parent-side cheap-pass gate: jobs the dataflow passes prove safe
+    # run inline (their expensive procedures all short-circuit) instead
+    # of being shipped to a worker.  Skipped entirely under a per-job
+    # timeout — only the in-worker setitimer can enforce one.
+    pooled: List[Tuple[JobSpec, Optional[str]]] = []
+    prefiltered = 0
+    if timeout is None:
+        for spec, key in pending:
+            result = _inline_if_proven_safe(spec, log_level)
+            if result is None:
+                pooled.append((spec, key))
+                continue
+            _store_in_cache(cache, key, result)
+            results.append(result)
+            prefiltered += 1
+            listener.job_done(result, prefiltered, misses)
+    else:
+        pooled = list(pending)
+
     workers = 1
     try:
-        if pending:
+        if pooled:
             workers = max_workers or min(os.cpu_count() or 1, 8)
-            workers = max(1, min(workers, len(pending)))
+            workers = max(1, min(workers, len(pooled)))
             results.extend(
                 _execute_pending(
-                    pending, workers, timeout, cache, listener, heartbeat
+                    pooled, workers, timeout, cache, listener, heartbeat,
+                    done_offset=prefiltered, total=misses,
                 )
             )
     finally:
@@ -619,6 +703,8 @@ def run_corpus(
         recorder.add("corpus.jobs.total", len(results))
         recorder.add("corpus.cache.hits", hits)
         recorder.add("corpus.cache.misses", misses)
+        if prefiltered:
+            recorder.add("dataflow.corpus.prefiltered", prefiltered)
         for verdict, count in _count_verdicts(results).items():
             if count:
                 recorder.add("corpus.verdict.%s" % verdict, count)
@@ -658,6 +744,8 @@ def _execute_pending(
     cache: Optional[ResultCache],
     listener: ProgressListener,
     heartbeat: float,
+    done_offset: int = 0,
+    total: Optional[int] = None,
 ) -> List[JobResult]:
     """Fan the cache misses out over a process pool; every failure mode
     (worker exception, dead worker, engine-level hang) degrades to a
@@ -686,7 +774,7 @@ def _execute_pending(
     }
     remaining = set(futures)
     first_running: Dict[Any, float] = {}
-    to_run = len(pending)
+    to_run = len(pending) if total is None else total
     hung = False
     try:
         while remaining:
@@ -705,20 +793,9 @@ def _execute_pending(
                         spec, "error",
                         "worker failed: %s: %s" % (type(error).__name__, error),
                     )
-                if cache is not None and key is not None and result.verdict != "timeout":
-                    stored = result.to_dict()
-                    stored["cache_hit"] = False
-                    if result.observations:
-                        # Never cache the replayable state: a later hit
-                        # must not re-emit this run's log or spans.
-                        stored["observations"] = (
-                            obs.Snapshot.from_dict(result.observations)
-                            .without_replayable_state()
-                            .to_dict()
-                        )
-                    cache.put(key, stored)
+                _store_in_cache(cache, key, result)
                 results.append(result)
-                listener.job_done(result, len(results), to_run)
+                listener.job_done(result, done_offset + len(results), to_run)
                 if result.verdict != "safe":
                     obs.warning(
                         "corpus.runner", "job finished %s" % result.verdict,
@@ -736,7 +813,7 @@ def _execute_pending(
                     ),
                     key=lambda item: -item[1],
                 )
-                listener.heartbeat(len(results), to_run, in_flight)
+                listener.heartbeat(done_offset + len(results), to_run, in_flight)
                 if not completed and in_flight:
                     job_id, elapsed = in_flight[0]
                     obs.debug(

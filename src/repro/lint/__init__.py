@@ -11,12 +11,18 @@ lint-grade findings with stable codes:
 * **TP3xx** — text-preservation violations, localized to the offending
   rule with the smallest counter-example attached (Lemmas 4.5/4.6);
 * **TP4xx** — Section 7 safety findings (deletions below protected
-  labels, maximal-safe-sub-schema shrinkage).
+  labels, maximal-safe-sub-schema shrinkage);
+* **TP5xx** — dataflow findings from :mod:`repro.lint.dataflow`
+  (schema-starved states, copy amplification, order-inversion sites,
+  vacuous rules, root deletion).  The same summaries double as sound
+  pre-filters gating the expensive TP3xx decision procedures.
 
 Front doors: :func:`repro.analysis.diagnose` for the API and
 ``python -m repro lint`` for the command line.
 """
 
+from . import dataflow
+from .dataflow import DataflowSummary
 from .diagnostics import (
     SEVERITIES,
     Diagnostic,
@@ -28,6 +34,8 @@ from .engine import LintContext, LintRule, default_rules, run_lint
 from .render import render_json, render_text, summary_counts
 
 __all__ = [
+    "dataflow",
+    "DataflowSummary",
     "Diagnostic",
     "SourceInfo",
     "SourceLocation",

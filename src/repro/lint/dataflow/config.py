@@ -1,0 +1,52 @@
+"""Process-wide pre-filter switch.
+
+The dataflow summaries are *sound pre-filters*: they may prove a
+decision procedure's answer (or shrink its state space) but never
+change it.  This module controls whether the decision procedures in
+:mod:`repro.core` consult them by default.
+
+Two knobs, checked in order:
+
+* the ``REPRO_NO_PREFILTER`` environment variable (any non-empty
+  value disables pre-filtering) — set by ``--no-prefilter`` on the
+  CLI so worker processes inherit the choice;
+* :func:`set_prefilter` — the in-process override used by tests.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["prefilter_enabled", "set_prefilter", "prefilter_disabled", "NO_PREFILTER_ENV"]
+
+#: Environment variable disabling pre-filtering when non-empty.
+NO_PREFILTER_ENV = "REPRO_NO_PREFILTER"
+
+_enabled: bool = True
+
+
+def prefilter_enabled() -> bool:
+    """Whether decision procedures may consult dataflow summaries."""
+    if os.environ.get(NO_PREFILTER_ENV):
+        return False
+    return _enabled
+
+
+def set_prefilter(enabled: bool) -> None:
+    """Set the in-process pre-filter default (tests and the CLI)."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+@contextmanager
+def prefilter_disabled() -> Iterator[None]:
+    """Temporarily disable pre-filtering (soundness cross-checks)."""
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous

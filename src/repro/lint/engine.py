@@ -24,17 +24,19 @@ from typing import (
 )
 
 from .. import obs
-from ..automata.nta import NTA, TEXT
+from ..automata.nta import NTA
 from ..core.safety import ProtectionReport, protection_report
 from ..core.topdown import TopDownTransducer
 from ..core.topdown_analysis import (
     CopyingReport,
     RearrangingFinding,
-    _useful_child_states,
     copying_report,
     rearranging_findings,
 )
 from ..schema.dtd import DTD, dtd_to_nta
+from .dataflow import DataflowSummary, PrefilterArg
+from .dataflow import analyze as dataflow_analyze
+from .dataflow import dependency_closure, prefilter_enabled
 from .diagnostics import Diagnostic, SourceInfo, severity_order
 
 __all__ = ["LintRule", "LintContext", "default_rules", "run_lint"]
@@ -64,6 +66,13 @@ class LintContext:
     protected_labels: Tuple[str, ...] = ()
     sources: SourceInfo = field(default_factory=SourceInfo)
     compute_subschema: bool = True
+    #: Dataflow pass selection (``None`` = the full pipeline); closed
+    #: under dependencies by the pass manager.
+    passes: Optional[Tuple[str, ...]] = None
+    #: Whether the expensive decision procedures may consult the
+    #: dataflow summary as a sound pre-filter (also subject to the
+    #: global :func:`repro.lint.dataflow.prefilter_enabled` switch).
+    use_prefilter: bool = True
 
     def __post_init__(self) -> None:
         if isinstance(self.schema, DTD):
@@ -98,53 +107,38 @@ class LintContext:
     def schema_is_empty(self) -> bool:
         return self._cached("schema_empty", self.nta.is_empty)
 
+    def dataflow(self) -> DataflowSummary:
+        """The memoized dataflow summary (see :mod:`repro.lint.dataflow`).
+
+        Keyed globally by the identity of the ``(transducer, schema)``
+        pair, so contexts differing only in protect sets, sources, or
+        rule selection share one fixpoint run.
+        """
+        return self._cached(
+            "dataflow",
+            lambda: dataflow_analyze(
+                self.transducer, self.nta, self.passes, cache_token=self.schema
+            ),
+        )
+
+    def prefilter(self) -> PrefilterArg:
+        """The ``prefilter=`` argument handed to the decision
+        procedures: the dataflow summary when pre-filtering is on,
+        ``False`` (explicitly disabled) otherwise."""
+        if not self.use_prefilter or not prefilter_enabled():
+            return False
+        return self.dataflow()
+
     def _configs(self) -> Tuple[Set[Tuple[str, str]], Dict[Tuple[str, str], Any], Dict[str, Any]]:
-        """The Lemma 4.8 configuration product: explore all pairs
-        ``(transducer state, schema state)`` reachable on valid
-        documents and classify every ``(state, label)`` event as
-        realizable (a rule fires), uncovered (no rule: implicit
-        deletion), or a text drop (no ``text`` rule)."""
+        """The Lemma 4.8 configuration product, classified per
+        ``(state, label)`` event: realizable (a rule fires), uncovered
+        (no rule: implicit deletion), or a text drop (no ``text``
+        rule).  Computed by the dataflow reachability pass."""
         return self._cached("configs", self._compute_configs)
 
-    def _compute_configs(self):
-        transducer, nta = self.transducer, self.nta
-        inhabited = nta.inhabited_states()
-        labels_of: Dict[Any, Set[str]] = {}
-        for (schema_state, symbol), horizontal in nta.delta.items():
-            if schema_state not in inhabited:
-                continue
-            if symbol == TEXT:
-                if horizontal.accepts_empty_word():
-                    labels_of.setdefault(schema_state, set()).add(TEXT)
-            elif horizontal.accepts_empty_word() or horizontal.accepts_some_over(inhabited):
-                labels_of.setdefault(schema_state, set()).add(symbol)
-        realizable: Set[Tuple[str, str]] = set()
-        uncovered: Dict[Tuple[str, str], Any] = {}
-        text_drops: Dict[str, Any] = {}
-        start = (transducer.initial, nta.initial)
-        seen = {start}
-        stack = [start]
-        while stack:
-            state, schema_state = stack.pop()
-            for label in labels_of.get(schema_state, ()):
-                if label == TEXT:
-                    if state in transducer.text_states:
-                        realizable.add((state, TEXT))
-                    else:
-                        text_drops.setdefault(state, schema_state)
-                    continue
-                if (state, label) not in transducer.rules:
-                    uncovered.setdefault((state, label), schema_state)
-                    continue
-                realizable.add((state, label))
-                children = _useful_child_states(nta, schema_state, label)
-                for target in set(transducer.rhs_frontier_states(state, label)):
-                    for child in children:
-                        config = (target, child)
-                        if config not in seen:
-                            seen.add(config)
-                            stack.append(config)
-        return realizable, uncovered, text_drops
+    def _compute_configs(self) -> Tuple[Set[Tuple[str, str]], Dict[Tuple[str, str], Any], Dict[str, Any]]:
+        summary = self.dataflow()
+        return set(summary.realizable), dict(summary.uncovered), dict(summary.text_drops)
 
     def realizable_rules(self) -> Set[Tuple[str, str]]:
         """``(state, label)`` pairs (including ``text``) that fire on
@@ -176,12 +170,18 @@ class LintContext:
 
     def copying(self) -> Optional[CopyingReport]:
         """The localized Lemma 4.5 copying report, or ``None``."""
-        return self._cached("copying", lambda: copying_report(self.transducer, self.nta))
+        return self._cached(
+            "copying",
+            lambda: copying_report(self.transducer, self.nta, prefilter=self.prefilter()),
+        )
 
     def rearranging(self) -> Tuple[RearrangingFinding, ...]:
         """The localized Lemma 4.6 rearranging findings (may be empty)."""
         return self._cached(
-            "rearranging", lambda: rearranging_findings(self.transducer, self.nta)
+            "rearranging",
+            lambda: rearranging_findings(
+                self.transducer, self.nta, prefilter=self.prefilter()
+            ),
         )
 
     def protection(self, label: str) -> Optional[ProtectionReport]:
@@ -199,10 +199,15 @@ class LintContext:
 
 
 def default_rules() -> Tuple[LintRule, ...]:
-    """All built-in rules, in code order (TP1xx, TP2xx, TP3xx, TP4xx)."""
-    from . import rules_safety, rules_schema, rules_topdown
+    """All built-in rules, in code order (TP1xx ... TP5xx)."""
+    from . import rules_flow, rules_safety, rules_schema, rules_topdown
 
-    return rules_topdown.rules() + rules_schema.rules() + rules_safety.rules()
+    return (
+        rules_topdown.rules()
+        + rules_schema.rules()
+        + rules_safety.rules()
+        + rules_flow.rules()
+    )
 
 
 def _sort_key(diagnostic: Diagnostic) -> Tuple[int, str, int, str]:
@@ -219,6 +224,8 @@ def run_lint(
     codes: Optional[Iterable[str]] = None,
     compute_subschema: bool = True,
     rules: Optional[Sequence[LintRule]] = None,
+    passes: Optional[Iterable[str]] = None,
+    prefilter: bool = True,
 ) -> List[Diagnostic]:
     """Run the diagnostics engine on a transducer/schema pair.
 
@@ -242,6 +249,14 @@ def run_lint(
         construction on unsafe pairs.
     rules:
         Override the rule registry (defaults to :func:`default_rules`).
+    passes:
+        Restrict the dataflow pipeline to these passes (closed under
+        dependencies; ``None`` runs all five).  Unknown names raise
+        ``ValueError`` naming the valid set.
+    prefilter:
+        Whether the TP3xx decision procedures may consult the dataflow
+        summary as a sound pre-filter.  Findings are identical either
+        way; only the work differs.
 
     Returns diagnostics sorted most-severe first, then by code.
     """
@@ -250,12 +265,17 @@ def run_lint(
             "the lint engine localizes blame via Section 4 path runs and "
             "currently supports TopDownTransducer only; got %r" % (transducer,)
         )
+    selected_passes: Optional[Tuple[str, ...]] = None
+    if passes is not None:
+        selected_passes = dependency_closure(passes)  # validates names
     context = LintContext(
         transducer=transducer,
         schema=schema,
         protected_labels=tuple(dict.fromkeys(protected_labels)),
         sources=sources if sources is not None else SourceInfo(),
         compute_subschema=compute_subschema,
+        passes=selected_passes,
+        use_prefilter=prefilter,
     )
     selected = tuple(rules) if rules is not None else default_rules()
     if codes is not None:

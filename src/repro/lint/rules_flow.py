@@ -1,0 +1,137 @@
+"""TP5xx — dataflow diagnostics from :mod:`repro.lint.dataflow`.
+
+* **TP501** states the rule graph can reach but no valid document ever
+  does (the schema starves them) — reported per state, complementing
+  the per-rule TP102;
+* **TP502** copy amplification: a realizable rule calls the same
+  text-productive state twice or more, so every text value below is
+  emitted multiple times;
+* **TP503** order-inversion sites: a realizable rule carries two or
+  more text-productive frontier positions, so input text order is not
+  forced onto the output;
+* **TP504** vacuous rules: realizable, emit no labels, and every state
+  they call is provably silent — a deletion written as a live rule;
+* **TP505** root deletion: the schema allows a root label the initial
+  state has no rule for, so those valid documents transduce to the
+  empty hedge.
+
+TP502/TP503 are informational: they flag the *sites* the Lemma 4.5/4.6
+machinery will localize precisely (TP301/TP302 carry the verdicts and
+witnesses).  All five checks read one memoized
+:class:`~repro.lint.dataflow.DataflowSummary` — running the family
+adds no fixpoint re-runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Tuple
+
+from .diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import LintContext, LintRule
+
+__all__ = ["rules"]
+
+
+def _check_flow_unreachable(ctx: "LintContext") -> Iterator[Diagnostic]:
+    summary = ctx.dataflow()
+    for state in sorted(summary.unreachable_under_schema):
+        yield Diagnostic(
+            code="TP501",
+            severity="info",
+            message=(
+                "state %r is live in the rule graph but no valid document ever "
+                "reaches it: the schema starves every chain of rules leading "
+                "there (dataflow reachability pass)" % state
+            ),
+            location=ctx.sources.state_location(state),
+            data={"state": state, "pass": "reachability"},
+        )
+
+
+def _check_copy_amplification(ctx: "LintContext") -> Iterator[Diagnostic]:
+    summary = ctx.dataflow()
+    for rule, (state, count) in sorted(summary.amplifying_rules.items()):
+        yield Diagnostic(
+            code="TP502",
+            severity="info",
+            message=(
+                "rule (%s, %s) calls text-productive state %r %d times: every "
+                "text value reached below is emitted %d times (dataflow "
+                "copy-degree pass; TP301 localizes the Lemma 4.5 witness)"
+                % (rule[0], rule[1], state, count, count)
+            ),
+            rule=rule,
+            location=ctx.sources.rule_location(rule),
+            data={"state": state, "count": count, "pass": "copy-degree"},
+        )
+
+
+def _check_order_inversion(ctx: "LintContext") -> Iterator[Diagnostic]:
+    summary = ctx.dataflow()
+    for rule, (first, second) in summary.inversion_sites:
+        yield Diagnostic(
+            code="TP503",
+            severity="info",
+            message=(
+                "rule (%s, %s) has two text-carrying frontier positions "
+                "(%r, %r): input text can reach the output through both, so "
+                "the input's text order is not forced onto the output "
+                "(dataflow text-flow pass; TP302 localizes the Lemma 4.6 "
+                "witness)" % (rule[0], rule[1], first, second)
+            ),
+            rule=rule,
+            location=ctx.sources.rule_location(rule),
+            data={"states": [first, second], "pass": "text-flow"},
+        )
+
+
+def _check_vacuous_rules(ctx: "LintContext") -> Iterator[Diagnostic]:
+    summary = ctx.dataflow()
+    for rule in summary.vacuous_rules:
+        yield Diagnostic(
+            code="TP504",
+            severity="warning",
+            message=(
+                "rule (%s, %s) fires on valid documents but can never "
+                "contribute output: it emits no labels and every state it "
+                "calls is silent (emits nothing, copies no text); write the "
+                "deletion implicitly by dropping the rule (dataflow dead-rules "
+                "pass)" % (rule[0], rule[1])
+            ),
+            rule=rule,
+            location=ctx.sources.rule_location(rule),
+            data={"pass": "dead-rules"},
+        )
+
+
+def _check_root_deletion(ctx: "LintContext") -> Iterator[Diagnostic]:
+    summary = ctx.dataflow()
+    initial = ctx.transducer.initial
+    for label in sorted(summary.uncovered_root_labels):
+        yield Diagnostic(
+            code="TP505",
+            severity="warning",
+            message=(
+                "the schema allows root label <%s> but the initial state %r "
+                "has no rule for it: those valid documents transduce to the "
+                "empty hedge, not a tree (dataflow reachability pass)"
+                % (label, initial)
+            ),
+            location=ctx.sources.label_location(label),
+            data={"label": label, "pass": "reachability"},
+        )
+
+
+def rules() -> Tuple["LintRule", ...]:
+    """The TP5xx rule registry entries."""
+    from .engine import LintRule
+
+    return (
+        LintRule("TP501", "flow-unreachable", "info", _check_flow_unreachable),
+        LintRule("TP502", "flow-copy-amplification", "info", _check_copy_amplification),
+        LintRule("TP503", "flow-order-inversion", "info", _check_order_inversion),
+        LintRule("TP504", "flow-vacuous-rule", "warning", _check_vacuous_rules),
+        LintRule("TP505", "flow-root-deletion", "warning", _check_root_deletion),
+    )

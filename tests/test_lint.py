@@ -508,3 +508,148 @@ class TestCliLint:
         captured = capsys.readouterr()
         assert "TP301" in captured.out
         assert captured.err == ""
+
+    def test_fail_on_accepts_any_registered_severity(self, files):
+        assert main(
+            ["lint", files["zombie.tdx"], files["doc.schema"], "--fail-on", "info"]
+        ) == 1
+        assert main(
+            ["lint", files["clean.tdx"], files["doc.schema"], "--fail-on", "info"]
+        ) == 0
+
+    def test_fail_on_rejects_unknown_severity(self, files, capsys):
+        code = main(
+            ["lint", files["clean.tdx"], files["doc.schema"], "--fail-on", "fatal"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "fatal" in err and "info, warning, error" in err
+
+    def test_passes_selection_limits_flow_findings(self, files, capsys):
+        main(
+            ["lint", files["doubling.tdx"], files["doc.schema"],
+             "--format", "json", "--passes", "reachability"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        codes = [d["code"] for d in payload["diagnostics"]]
+        # The expensive TP301 decision still runs (and is still exact);
+        # the copy-degree findings need their pass.
+        assert "TP301" in codes and "TP502" not in codes
+        assert payload["stats"]["dataflow.passes_run"] == 1
+        assert "dataflow.pass.reachability.visited" in payload["stats"]
+
+    def test_passes_rejects_unknown_name(self, files, capsys):
+        code = main(
+            ["lint", files["clean.tdx"], files["doc.schema"], "--passes", "bogus"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "reachability" in err
+
+    def test_no_prefilter_findings_byte_identical(self, files, capsys):
+        main(["lint", files["doubling.tdx"], files["doc.schema"], "--format", "json"])
+        gated = json.loads(capsys.readouterr().out)["diagnostics"]
+        main(
+            ["lint", files["doubling.tdx"], files["doc.schema"],
+             "--format", "json", "--no-prefilter"]
+        )
+        ungated = json.loads(capsys.readouterr().out)["diagnostics"]
+        assert gated == ungated
+
+    def test_json_stats_carry_dataflow_counters(self, files, capsys):
+        main(["lint", files["clean.tdx"], files["doc.schema"], "--format", "json"])
+        stats = json.loads(capsys.readouterr().out)["stats"]
+        assert stats["dataflow.passes_run"] == 5
+        assert stats["dataflow.prefilter.skips"] >= 1
+
+
+class TestFlowRules:
+    """TP5xx: the dataflow diagnostics."""
+
+    SCHEMA = DTD({"doc": "item*", "item": "text"}, start={"doc"})
+
+    def flow_codes(self, transducer, schema=None):
+        return codes_of(
+            run_lint(
+                transducer,
+                schema or self.SCHEMA,
+                codes=("TP501", "TP502", "TP503", "TP504", "TP505"),
+            )
+        )
+
+    def test_clean_pair_has_no_flow_findings(self):
+        assert self.flow_codes(IDENTITY) == []
+
+    def test_tp501_schema_unreachable_state(self):
+        transducer = TopDownTransducer(
+            states={"q0", "q", "qdeep"},
+            rules={
+                ("q0", "doc"): "doc(q)",
+                ("q", "item"): "item(q)",
+                # 'doc' never occurs below 'doc' in the schema: qdeep is
+                # graph-reachable but never runs on a valid document.
+                ("q", "doc"): "doc(qdeep)",
+                ("qdeep", "item"): "item(qdeep)",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        findings = run_lint(transducer, self.SCHEMA, codes=("TP501",))
+        assert codes_of(findings) == ["TP501"]
+        assert findings[0].data["state"] == "qdeep"
+        assert findings[0].data["pass"] == "reachability"
+
+    def test_tp502_and_tp503_on_doubling(self):
+        doubling = TopDownTransducer(
+            states={"q0", "q"},
+            rules={
+                ("q0", "doc"): "doc(q q)",
+                ("q", "item"): "item(q)",
+                ("q", "text"): "text",
+            },
+            initial="q0",
+        )
+        findings = run_lint(doubling, self.SCHEMA, codes=("TP502", "TP503"))
+        assert codes_of(findings) == ["TP502", "TP503"]
+        amplification, inversion = findings
+        assert amplification.rule == ("q0", "doc")
+        assert amplification.data == {"state": "q", "count": 2, "pass": "copy-degree"}
+        assert inversion.data["states"] == ["q", "q"]
+
+    def test_tp503_without_tp502_on_distinct_states(self):
+        swapper = TopDownTransducer(
+            states={"q0", "qa", "qb"},
+            rules={
+                ("q0", "doc"): "doc(qa qb)",
+                ("qa", "item"): "item(qa)",
+                ("qa", "text"): "text",
+                ("qb", "item"): "item(qb)",
+                ("qb", "text"): "text",
+            },
+            initial="q0",
+        )
+        assert self.flow_codes(swapper) == ["TP503"]
+
+    def test_tp504_vacuous_rule(self):
+        transducer = TopDownTransducer(
+            states={"q0", "q", "qz"},
+            rules={
+                ("q0", "doc"): "doc(q)",
+                # Relabels every item into nothing but a call to a state
+                # that can never produce output.
+                ("q", "item"): "qz",
+            },
+            initial="q0",
+        )
+        findings = run_lint(transducer, self.SCHEMA, codes=("TP504",))
+        assert codes_of(findings) == ["TP504"]
+        assert findings[0].rule == ("q", "item")
+
+    def test_tp505_uncovered_root_label(self):
+        schema = DTD(
+            {"doc": "item*", "alt": "text", "item": "text"},
+            start={"doc", "alt"},
+        )
+        findings = run_lint(IDENTITY, schema, codes=("TP505",))
+        assert codes_of(findings) == ["TP505"]
+        assert findings[0].data == {"label": "alt", "pass": "reachability"}

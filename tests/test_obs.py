@@ -244,16 +244,33 @@ class TestExporters:
 class TestPipelineCounters:
     def test_ptime_pipeline_records(self):
         from repro.core.topdown_analysis import is_copying, is_rearranging
+        from repro.lint.dataflow import prefilter_disabled
         from repro.workloads import chain_instance
 
         transducer, schema = chain_instance(3)
-        with obs.recording() as recorder:
-            is_copying(transducer, schema)
-            is_rearranging(transducer, schema)
+        with prefilter_disabled():
+            with obs.recording() as recorder:
+                is_copying(transducer, schema)
+                is_rearranging(transducer, schema)
         assert recorder.find("ptime.copying") is not None
         assert recorder.find("ptime.emptiness") is not None
         assert recorder.counters["ptime.product_states"] > 0
         assert recorder.counters["nta.created"] > 0
+
+    def test_ptime_pipeline_prefilter_skips_recorded(self):
+        from repro.core.topdown_analysis import is_copying, is_rearranging
+        from repro.workloads import chain_instance
+
+        # chain instances are copy-free, so with pre-filtering on the
+        # expensive products are never built — the trace must say why.
+        transducer, schema = chain_instance(3)
+        with obs.recording(log_level=obs.INFO) as recorder:
+            assert is_copying(transducer, schema) is False
+            assert is_rearranging(transducer, schema) is False
+        assert recorder.counters["dataflow.prefilter.skips"] >= 2
+        assert recorder.counters["dataflow.passes_run"] > 0
+        skips = [e for e in recorder.events if e.logger == "dataflow.prefilter"]
+        assert {e.fields["responsible_pass"] for e in skips} == {"copy-degree", "text-flow"}
 
     def test_mso_compile_records(self):
         from repro.mso.ast import ExistsFO, Lab, Not

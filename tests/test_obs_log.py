@@ -227,15 +227,21 @@ class TestWorkerBoundary:
             assert event["span_id"] in ids
 
     def test_run_corpus_carries_worker_events_into_the_parent(self, files):
+        from repro.lint.dataflow import prefilter_disabled
+
         spec = JobSpec(
             transducer_path=files["select"],
             schema_path=files["schema"],
             transducer_name="select.tdx",
             schema_name="recipes.schema",
         )
+        # The dataflow gate would run this proven-safe job inline in the
+        # parent; force pool submission — this test is about shipping
+        # events across the worker boundary.
         with obs.recording(log_level=obs.INFO) as recorder:
             with obs.span("batch.run"):
-                run_corpus([spec], max_workers=1, cache=None)
+                with prefilter_disabled():
+                    run_corpus([spec], max_workers=1, cache=None)
         messages = [e.message for e in recorder.events]
         assert "corpus run started" in messages
         assert "analysis finished" in messages  # emitted inside the worker
