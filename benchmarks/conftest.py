@@ -96,6 +96,8 @@ def benchmark_or_timer(benchmark, request):
         samples = []
         counters = {}
         gauges = {}
+        labeled = {}
+        span_profile = []
         for repeat in range(_repeats()):
             with obs.recording() as recorder:
                 memory = (
@@ -113,12 +115,19 @@ def benchmark_or_timer(benchmark, request):
             if repeat == 0:
                 counters = dict(recorder.counters)
                 gauges = dict(recorder.gauges)
+                # First-repeat attribution + span shape: what
+                # ``bench-report --explain`` and ``trace-diff`` use to
+                # name the rules and spans behind a counter delta.
+                labeled = obs.labeled_to_jsonable(recorder.labeled)
+                span_profile = obs.span_profile_rows(recorder.spans)
         _ENTRIES.append(
             BenchEntry(
                 test=request.node.nodeid,
                 samples=samples,
                 counters=counters,
                 gauges=gauges,
+                labeled=labeled,
+                span_profile=span_profile,
             )
         )
         return samples[0]

@@ -47,10 +47,17 @@ Commands::
                               [--history DIR] [--format text|json|markdown]
                               [--fail-on-regression] [--threshold FRAC]
                               [--timing-floor SECONDS] [--limit N]
-                              [--output FILE]
+                              [--output FILE] [--explain]
                               [--log FILE.jsonl] [--log-level LEVEL]
+    python -m repro explain   TRANSDUCER SCHEMA [--protect LABEL ...]
+                              [--top N] [--format text|json|markdown]
+                              [--output FILE]
+    python -m repro trace-diff A.json B.json
+                              [--format text|json|markdown] [--limit N]
+                              [--output FILE]
     python -m repro report    [--trace FILE.json] [--log FILE.jsonl]
                               [--history DIR] [--corpus FILE.jsonl]
+                              [--baseline-trace FILE.json]
                               [--title T] [--output FILE.html]
 
 ``check`` prints the verdict (copying / rearranging / protected-label
@@ -90,7 +97,19 @@ detector; see :mod:`repro.obs.bench`), renders the trajectory in the
 chosen format, and — with ``--fail-on-regression`` — exits ``1`` on
 confirmed regressions, which is the CI gate.  ``REF`` accepts
 ``latest``, ``previous``, a negative index (``-2``), a git sha prefix,
-or a path to a stored run JSON (e.g. a committed baseline).
+or a path to a stored run JSON (e.g. a committed baseline).  With
+``--explain`` every regression is attributed: the top contributing
+rules by labeled-counter delta and the hottest diverging span path.
+
+``explain`` answers *where the states go*: it runs the full pair
+analysis and folds the labeled counter registry (per-rule product
+states, per-label inverse-type vectors, per-pass dataflow work; see
+:mod:`repro.obs.attr`) into hot-rule tables with coverage shares.
+``trace-diff`` answers *what changed between two runs*: it aligns two
+exported run files — Chrome traces, profile snapshots, or bench run
+JSONs, in any combination — by span name-path and counter name, and
+reports duration, counter, and attribution deltas worst-first (see
+:mod:`repro.obs.diff`).
 
 Only the actual products (XML, JSON, reports) go to stdout; error
 messages and advisory chatter go to stderr, so stdout stays pipeable.
@@ -101,7 +120,8 @@ Exit status, for CI use:
 0     success (``check``: safe; ``lint``: nothing at/above the
       ``--fail-on`` threshold; ``validate``: document valid;
       ``batch``: every job safe and clean at the threshold;
-      ``bench-report``: no confirmed regression)
+      ``bench-report``: no confirmed regression; ``explain`` /
+      ``trace-diff``: report rendered)
 1     analysis verdict failed (``check``: unsafe; ``lint``:
       findings at/above threshold; ``validate``: invalid document;
       ``subschema``: empty safe sub-schema; ``batch``: some job
@@ -500,6 +520,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             for name, value in sorted(recorder.counters.items())
             if name.startswith("dataflow.")
         )
+        # Key-sorted so the JSON is byte-stable across runs and Python
+        # hash seeds (golden files diff cleanly).
+        stats = {name: stats[name] for name in sorted(stats)}
         sys.stdout.write(render_json(diagnostics, stats=stats) + "\n")
     else:
         sys.stdout.write(render_text(diagnostics))
@@ -688,8 +711,15 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
             regressions=len(comparison.regressions),
             improvements=len(comparison.improvements),
         )
-        rendered = bench.render_report(runs, comparison, fmt=args.format,
-                                       limit=args.limit)
+        rendered = bench.render_report(
+            runs,
+            comparison,
+            fmt=args.format,
+            limit=args.limit,
+            explain=args.explain,
+            baseline_ref=args.baseline or "previous",
+            candidate_ref=args.candidate or "latest",
+        )
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
                 handle.write(rendered)
@@ -699,6 +729,56 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
     _finish_observation(recorder, args)
     if args.fail_on_regression and comparison.has_regressions:
         return 1
+    return 0
+
+
+def _write_or_print(rendered: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print("wrote %s" % output, file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """``explain``: run the full pair analysis and attribute the work
+    counters to the rules/sites responsible (see :mod:`repro.obs.attr`)."""
+    from .corpus import analyze_pair
+
+    # Load up-front so malformed inputs exit 2 with a parse error
+    # instead of surfacing as a job-level 'error' verdict.
+    load_transducer_ex(args.transducer)
+    load_schema_ex(args.schema)
+    result = analyze_pair(args.transducer, args.schema, args.protect or ())
+    if result.verdict == "error":
+        raise CliError("analysis failed: %s" % (result.error or "unknown error"))
+    if not result.observations:
+        raise CliError("analysis recorded no observations to attribute")
+    snapshot = obs.Snapshot.from_dict(result.observations)
+    tables = obs.attribution_tables(
+        snapshot.counters, snapshot.labeled, top=args.top
+    )
+    print(
+        "verdict: %s (%d labeled counters)" % (result.verdict, len(tables)),
+        file=sys.stderr,
+    )
+    _write_or_print(obs.render_attribution(tables, args.format), args.output)
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    """``trace-diff``: structurally align two exported runs and report
+    the divergence, worst first (see :mod:`repro.obs.diff`)."""
+    try:
+        profile_a = obs.load_run_profile(args.run_a)
+        profile_b = obs.load_run_profile(args.run_b)
+    except ValueError as error:
+        raise CliError(str(error)) from None
+    diff = obs.diff_profiles(profile_a, profile_b)
+    _write_or_print(
+        obs.render_diff(diff, fmt=args.format, limit=args.limit), args.output
+    )
     return 0
 
 
@@ -712,6 +792,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             log_path=args.log,
             history_dir=args.history,
             corpus_path=args.corpus,
+            baseline_trace_path=args.baseline_trace,
             title=args.title,
             generated=generated,
         )
@@ -900,8 +981,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", metavar="FILE",
         help="write the report to FILE instead of stdout",
     )
+    bench_report.add_argument(
+        "--explain", action="store_true",
+        help="attribute each regression: top contributing rules from the "
+        "labeled counters and the hottest diverging span path",
+    )
     _add_log_flags(bench_report)
     bench_report.set_defaults(func=_cmd_bench_report)
+
+    explain = sub.add_parser(
+        "explain",
+        help="attribute a pair's recorded work to the transducer rules "
+        "and call sites responsible (hot-rule tables)",
+    )
+    explain.add_argument("transducer")
+    explain.add_argument("schema")
+    explain.add_argument("--protect", action="append", metavar="LABEL")
+    explain.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="show at most N label combinations per counter (default: 10)",
+    )
+    explain.add_argument(
+        "--format", choices=("text", "json", "markdown"), default="text",
+        help="output format (default: text)",
+    )
+    explain.add_argument(
+        "--output", metavar="FILE",
+        help="write the attribution report to FILE instead of stdout",
+    )
+    explain.set_defaults(func=_cmd_explain)
+
+    trace_diff = sub.add_parser(
+        "trace-diff",
+        help="structurally diff two exported runs (Chrome trace, profile "
+        "snapshot, or bench run JSON), worst divergence first",
+    )
+    trace_diff.add_argument("run_a", metavar="A.json")
+    trace_diff.add_argument("run_b", metavar="B.json")
+    trace_diff.add_argument(
+        "--format", choices=("text", "json", "markdown"), default="text",
+        help="output format (default: text)",
+    )
+    trace_diff.add_argument(
+        "--limit", type=int, default=15, metavar="N",
+        help="show at most N rows per section (default: 15)",
+    )
+    trace_diff.add_argument(
+        "--output", metavar="FILE",
+        help="write the diff to FILE instead of stdout",
+    )
+    trace_diff.set_defaults(func=_cmd_trace_diff)
 
     report = sub.add_parser(
         "report",
@@ -925,6 +1054,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--corpus", metavar="FILE.jsonl",
         help="corpus JSONL report (batch --format json --output ...) "
         "for the verdict summary",
+    )
+    report.add_argument(
+        "--baseline-trace", metavar="FILE.json",
+        help="reference run to diff --trace against (adds the trace "
+        "diff section; same inputs as trace-diff)",
     )
     report.add_argument(
         "--title", default="repro observability report",

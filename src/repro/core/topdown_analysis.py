@@ -91,6 +91,39 @@ def _log_skip(procedure: str, pass_name: str, **details: object) -> None:
     log_skip(procedure, pass_name, **details)
 
 
+def _add_attributed_states(
+    rule_states: Dict[Tuple[str, str], int],
+    total: int,
+    site: str,
+    structural: Tuple[Tuple[str, int], ...] = (),
+) -> None:
+    """Report ``ptime.product_states`` with per-rule attribution.
+
+    The flat total is always exactly ``total``: each per-rule increment
+    carries ``rule=``/``site=`` labels, and the constant bookkeeping
+    states no rule discovered — the initial seed configuration and the
+    ``_ACC``/``_D`` sinks — are reported under parenthesized
+    pseudo-rules (``structural`` is their ``(role, count)`` list) so
+    the attribution table sums to the flat total instead of leaving a
+    silent gap.  Attribution never perturbs the exact flat counters
+    the bench gate compares.
+    """
+    attributed = 0
+    for (state, symbol), count in sorted(rule_states.items()):
+        obs.add("ptime.product_states", count,
+                rule="%s/%s" % (state, symbol), site=site)
+        attributed += count
+    for role, count in structural:
+        if count:
+            obs.add("ptime.product_states", count, rule=role, site=site)
+            attributed += count
+    remainder = total - attributed
+    if remainder:
+        # Safety net: any state neither a rule nor a declared
+        # structural role discovered stays in the flat total unlabeled.
+        obs.add("ptime.product_states", remainder)
+
+
 def _useful_child_states(nta: NTA, state: State, symbol: str) -> Set[State]:
     """States occurring in some horizontal word over inhabited states
     for ``delta(state, symbol)`` — the possible child states inside a
@@ -221,6 +254,8 @@ def copying_nfa(
         stack: List[Tuple[State, str, str, int]] = [initial]
         seen: Set[State] = {initial}
         pruned = 0
+        attribute = obs.enabled()
+        rule_states: Dict[Tuple[str, str], int] = {}
         while stack:
             current = stack.pop()
             s_n, q1, q2, flag = current
@@ -245,9 +280,15 @@ def copying_nfa(
                             seen.add(nxt)
                             states.add(nxt)
                             stack.append(nxt)
+                            if attribute:
+                                rule = (q1, symbol)
+                                rule_states[rule] = rule_states.get(rule, 0) + 1
         sp.set("states", len(states))
         sp.set("transitions", len(transitions))
-        obs.add("ptime.product_states", len(states))
+        _add_attributed_states(
+            rule_states, len(states), "copying_nfa",
+            structural=(("(seed)", 1), ("(accept)", 1)),
+        )
         obs.add("ptime.product_transitions", len(transitions))
         if productive is not None:
             sp.set("pruned", pruned)
@@ -354,6 +395,8 @@ def copying_nta(
     initial = (transducer.initial, transducer.initial, 0)
     work: List[Tuple[str, str, int]] = [initial]
     seen: Set[Tuple[str, str, int]] = {initial}
+    attribute = obs.enabled()
+    rule_states: Dict[Tuple[str, str], int] = {}
     while work:
         q1, q2, flag = work.pop()
         pair_states.add((q1, q2, flag))
@@ -367,11 +410,17 @@ def copying_nta(
                 if target not in seen:
                     seen.add(target)
                     work.append(target)
+                    if attribute:
+                        rule = (q1, symbol)
+                        rule_states[rule] = rule_states.get(rule, 0) + 1
             combined = _union_patterns(patterns, _D)
             if combined is not None:
                 delta[((q1, q2, flag), symbol)] = combined
     states = pair_states | {_D, initial}
-    obs.add("ptime.product_states", len(states))
+    _add_attributed_states(
+        rule_states, len(states), "copying_nta",
+        structural=(("(seed)", 1), ("(sink)", 1)),
+    )
     return NTA(states, alphabet, delta, initial)
 
 
@@ -401,10 +450,15 @@ def rearranging_nta(
     (used by the :mod:`repro.lint` diagnostics engine).
     """
     with obs.span("ptime.rearranging_nta") as sp:
-        result = _rearranging_nta_impl(transducer, alphabet, violation_filter)
+        result, rule_states = _rearranging_nta_impl(
+            transducer, alphabet, violation_filter
+        )
         sp.set("states", len(result.states))
         sp.set("rules", len(result.delta))
-        obs.add("ptime.product_states", len(result.states))
+        _add_attributed_states(
+            rule_states, len(result.states), "rearranging_nta",
+            structural=(("(seed)", 1), ("(sink)", 1)),
+        )
         return result
 
 
@@ -412,7 +466,7 @@ def _rearranging_nta_impl(
     transducer: TopDownTransducer,
     alphabet: Optional[Iterable[str]],
     violation_filter: Optional[Callable[[str, str, str, str], bool]],
-) -> NTA:
+) -> Tuple[NTA, Dict[Tuple[str, str], int]]:
     alphabet = set(alphabet) if alphabet is not None else set(transducer.alphabet)
     alphabet |= set(transducer.alphabet)
     delta: Dict[Tuple[State, str], NFA] = {}
@@ -422,25 +476,43 @@ def _rearranging_nta_impl(
     for symbol in alphabet:
         delta[(_D, symbol)] = _pattern_nfa([], _D)
 
+    # Attribution: every s/p/f state is credited to the transducer rule
+    # whose expansion first needed it (the initial s-state and ``_D``
+    # are the caller's ``(seed)``/``(sink)`` structural roles).
+    attribute = obs.enabled()
+    rule_states: Dict[Tuple[str, str], int] = {}
+    current_rule: List[Optional[Tuple[str, str]]] = [None]
+
+    def credit() -> None:
+        rule = current_rule[0]
+        if attribute and rule is not None:
+            rule_states[rule] = rule_states.get(rule, 0) + 1
+
     # f-states: reach a copied text value somewhere below.
     f_needed: Set[str] = set()
 
     def f_state(q: str) -> State:
-        f_needed.add(q)
+        if q not in f_needed:
+            f_needed.add(q)
+            credit()
         return ("f", q)
 
     # p-states: continue together, or split at the lca.
     p_needed: Set[Tuple[str, str]] = set()
 
     def p_state(q1: str, q2: str) -> State:
-        p_needed.add((q1, q2))
+        if (q1, q2) not in p_needed:
+            p_needed.add((q1, q2))
+            credit()
         return ("p", q1, q2)
 
     # s-states: agreement prefix.
     s_needed: Set[str] = set()
 
     def s_state(q: str) -> State:
-        s_needed.add(q)
+        if q not in s_needed:
+            s_needed.add(q)
+            credit()
         return ("s", q)
 
     initial = s_state(transducer.initial)
@@ -456,6 +528,7 @@ def _rearranging_nta_impl(
             done_s.add(q)
             changed = True
             for symbol in alphabet:
+                current_rule[0] = (q, symbol)
                 frontier = transducer.rhs_frontier_states(q, symbol)
                 if not frontier:
                     continue
@@ -488,6 +561,7 @@ def _rearranging_nta_impl(
             done_p.add((q1, q2))
             changed = True
             for symbol in alphabet:
+                current_rule[0] = (q1, symbol)
                 targets1 = set(transducer.rhs_frontier_states(q1, symbol))
                 targets2 = set(transducer.rhs_frontier_states(q2, symbol))
                 patterns = []
@@ -506,6 +580,7 @@ def _rearranging_nta_impl(
             if q in transducer.text_states:
                 delta[(("f", q), TEXT)] = eps_nfa
             for symbol in alphabet:
+                current_rule[0] = (q, symbol)
                 patterns = []
                 for q_next in set(transducer.rhs_frontier_states(q, symbol)):
                     patterns.append(_pattern_nfa([f_state(q_next)], _D))
@@ -516,7 +591,7 @@ def _rearranging_nta_impl(
     states |= {("s", q) for q in done_s}
     states |= {("p", q1, q2) for (q1, q2) in done_p}
     states |= {("f", q) for q in done_f}
-    return NTA(states, alphabet, delta, initial)
+    return NTA(states, alphabet, delta, initial), rule_states
 
 
 def _productive_site_filter(

@@ -306,10 +306,12 @@ def _inverse_type_nta_impl(
             products.add(candidate)
             work_products.append(candidate)
 
-    def found_vector(candidate: Tuple[Summary, ...]) -> None:
+    def found_vector(candidate: Tuple[Summary, ...]) -> bool:
         if candidate not in vectors:
             vectors.add(candidate)
             work_vectors.append(candidate)
+            return True
+        return False
 
     def pair(product: Tuple[Summary, ...], vector: Tuple[Summary, ...]) -> None:
         key = (product, vector)
@@ -321,6 +323,8 @@ def _inverse_type_nta_impl(
         transitions_h[key] = combined
         found_product(combined)
 
+    attribute = obs.enabled()
+    vectors_by_label: Dict[str, int] = {}
     while work_products or work_vectors:
         if work_products:
             product = work_products.pop()
@@ -332,14 +336,26 @@ def _inverse_type_nta_impl(
                     as_dict = dict(zip(evaluator.states, product))
                     vector = evaluator.combine(symbol, as_dict)
                     results[key2] = vector
-                    found_vector(vector)
+                    if found_vector(vector) and attribute:
+                        # A fresh summary vector, credited to the input
+                        # label whose combine step discovered it.
+                        vectors_by_label[symbol] = vectors_by_label.get(symbol, 0) + 1
         else:
             vector = work_vectors.pop()
             for product in list(products):
                 pair(product, vector)
 
     if obs.enabled():
-        obs.add("typecheck.vectors", len(vectors))
+        attributed = 0
+        for symbol in sorted(vectors_by_label):
+            obs.add("typecheck.vectors", vectors_by_label[symbol],
+                    label=symbol, site="inverse_type")
+            attributed += vectors_by_label[symbol]
+        # The seed text vector is the only vector no label discovered,
+        # so the flat total stays exactly len(vectors).
+        remainder = len(vectors) - attributed
+        if remainder:
+            obs.add("typecheck.vectors", remainder)
         obs.add("typecheck.products", len(products))
 
     # Name the states compactly.

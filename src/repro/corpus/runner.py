@@ -700,6 +700,16 @@ def run_corpus(
         for result in results:
             if result.observations:
                 obs.Snapshot.from_dict(result.observations).merge_into(recorder)
+            # Per-job rollups: the batch's wall time and work, labeled
+            # by the job that spent it (worker labeled counters merged
+            # above keep their own rule/pass attribution).
+            recorder.add(
+                "corpus.job.wall_time_ms",
+                round(result.wall_time_s * 1000.0, 3),
+                job=result.job_id, verdict=result.verdict,
+            )
+            if result.cache_hit:
+                recorder.add("corpus.job.cache_hits", 1, job=result.job_id)
         recorder.add("corpus.jobs.total", len(results))
         recorder.add("corpus.cache.hits", hits)
         recorder.add("corpus.cache.misses", misses)
@@ -707,7 +717,8 @@ def run_corpus(
             recorder.add("dataflow.corpus.prefiltered", prefiltered)
         for verdict, count in _count_verdicts(results).items():
             if count:
-                recorder.add("corpus.verdict.%s" % verdict, count)
+                recorder.add("corpus.verdict.%s" % verdict, count,
+                             verdict=verdict)
 
     results.sort(key=_sort_key)
     summary = RunSummary(

@@ -356,6 +356,15 @@ def run_passes(
                 obs.add("dataflow.pass.%s.iterations" % name, stat.iterations)
                 obs.add("dataflow.pass.%s.visited" % name, stat.visited)
                 obs.add("dataflow.pass.%s.facts" % name, stat.facts)
+                # Cross-pass aggregates with per-pass attribution: the
+                # flat totals sum over passes, the labels say which
+                # pass the work belongs to.
+                obs.add("dataflow.pass.iterations", stat.iterations,
+                        **{"pass": name, "site": "run_passes"})
+                obs.add("dataflow.pass.visited", stat.visited,
+                        **{"pass": name, "site": "run_passes"})
+                obs.add("dataflow.pass.facts", stat.facts,
+                        **{"pass": name, "site": "run_passes"})
         if obs.enabled():
             obs.add("dataflow.passes_run", len(selected))
             span.set("passes", len(selected))

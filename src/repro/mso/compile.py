@@ -466,6 +466,10 @@ def _compile_uncached(formula: Formula, sigma: Tuple[str, ...], trim: bool) -> C
             bta = bta.trim()
         if obs.enabled():
             obs.gauge_max("mso.max_bta_states", len(bta.states))
+            # Per-formula-node attribution of automaton growth: which
+            # connective (Not, And, ExistsSO, ...) the states belong to.
+            obs.add("mso.node_states", len(bta.states),
+                    node=type(formula).__name__, site="mso.compile")
         return CompiledPattern(bta, free, sigma, formula)
 
     if isinstance(formula, Lab):
@@ -494,7 +498,10 @@ def _compile_uncached(formula: Formula, sigma: Tuple[str, ...], trim: bool) -> C
             depth = negation_nesting(formula)
             obs.add("mso.negations")
             obs.add("mso.negation.input_states", len(inner.bta.states))
-            obs.add("mso.negation.output_states", len(complemented.states))
+            # Same flat total as always; the label splits the
+            # determinization blow-up by negation nesting depth.
+            obs.add("mso.negation.output_states", len(complemented.states),
+                    depth=depth, site="mso.compile")
             obs.gauge_max("mso.negation.depth%d.states" % depth, len(complemented.states))
         return finish(intersect_bta(complemented, _universe(sigma, free)))
     if isinstance(formula, (And, Or)):

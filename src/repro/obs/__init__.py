@@ -37,7 +37,14 @@ CLI surface: ``python -m repro profile TDX SCHEMA``, the
 (see :mod:`repro.obs.bench`).
 """
 
-from . import bench
+from . import attr, bench, diff
+from .attr import (
+    AttributionRow,
+    AttributionTable,
+    attribution_tables,
+    group_by_label,
+    render_attribution,
+)
 from .bench import (
     BenchEntry,
     BenchHistory,
@@ -78,23 +85,64 @@ from .log import (
     warning,
     write_log_jsonl,
 )
+from .diff import (
+    ProfileDelta,
+    ProfileDiff,
+    RunProfile,
+    SpanStat,
+    diff_profiles,
+    load_run_profile,
+    profile_from_payload,
+    profile_from_recorder,
+    render_diff,
+    span_profile_rows,
+)
 from .memory import PEAK_MEMORY_GAUGE, track_peak_memory
 from .recorder import (
     NULL_SPAN,
+    LabelKey,
     Recorder,
     Span,
     add,
     current,
     enabled,
     gauge_max,
+    label_key,
     recording,
     set_gauge,
     span,
 )
-from .snapshot import Snapshot
+from .snapshot import (
+    Snapshot,
+    labeled_from_jsonable,
+    labeled_to_jsonable,
+    merge_labeled,
+)
 
 __all__ = [
+    "attr",
     "bench",
+    "diff",
+    "AttributionRow",
+    "AttributionTable",
+    "attribution_tables",
+    "group_by_label",
+    "render_attribution",
+    "ProfileDelta",
+    "ProfileDiff",
+    "RunProfile",
+    "SpanStat",
+    "diff_profiles",
+    "load_run_profile",
+    "profile_from_payload",
+    "profile_from_recorder",
+    "render_diff",
+    "span_profile_rows",
+    "LabelKey",
+    "label_key",
+    "labeled_to_jsonable",
+    "labeled_from_jsonable",
+    "merge_labeled",
     "BenchEntry",
     "BenchHistory",
     "BenchRun",

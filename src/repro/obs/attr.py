@@ -1,0 +1,233 @@
+"""Work attribution: turning labeled counters into hot-rule tables.
+
+The flat counters answer *how much* work a run did
+(``ptime.product_states: 210``); the labeled registry kept next to them
+(:attr:`repro.obs.recorder.Recorder.labeled`) answers *where it went* —
+per transducer rule, per dataflow pass, per MSO formula node.  This
+module is the read side: it folds one run's flat + labeled registries
+into :class:`AttributionTable` rows with coverage shares, groups them
+by procedure (the dotted counter-name prefix), and renders the result
+as text, markdown, or JSON for ``python -m repro explain``.
+
+A table's ``coverage`` is the fraction of the flat total that carries
+labels at all.  Instrumented hot paths attribute every unit of work:
+states discovered by a transducer rule carry ``rule=state/symbol``
+labels, and the constant bookkeeping states (the initial seed, the
+``_ACC``/``_D`` sinks) carry parenthesized pseudo-rules such as
+``(seed)``/``(sink)`` — so coverage at or near 1.0 is the expected
+shape and a low value flags an instrumentation gap, not a property of
+the input.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .recorder import LabelKey
+
+__all__ = [
+    "AttributionRow",
+    "AttributionTable",
+    "attribution_tables",
+    "group_by_label",
+    "attribution_to_jsonable",
+    "render_attribution_text",
+    "render_attribution_markdown",
+    "render_attribution",
+]
+
+
+def _format_value(value: float) -> str:
+    return "%d" % value if float(value).is_integer() else "%g" % value
+
+
+def format_label_key(key: LabelKey) -> str:
+    """``rule=q0/recipe site=copying_nfa`` — stable, greppable."""
+    return " ".join("%s=%s" % (k, v) for k, v in key)
+
+
+@dataclass
+class AttributionRow:
+    """One label combination's share of a counter."""
+
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+    share: float  # of the flat total (0..1); 0 when the total is 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "labels": dict(self.labels),
+            "value": self.value,
+            "share": round(self.share, 6),
+        }
+
+
+@dataclass
+class AttributionTable:
+    """One counter's attribution: flat total, labeled coverage, top rows."""
+
+    counter: str
+    total: float
+    attributed: float
+    rows: List[AttributionRow] = field(default_factory=list)
+    hidden: int = 0  # rows beyond the top-K cut, folded into "other"
+
+    @property
+    def procedure(self) -> str:
+        """The subsystem prefix (``ptime``, ``typecheck``, ``mso``...)."""
+        return self.counter.split(".", 1)[0]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the flat total carrying labels (0..1)."""
+        return self.attributed / self.total if self.total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counter": self.counter,
+            "procedure": self.procedure,
+            "total": self.total,
+            "attributed": self.attributed,
+            "coverage": round(self.coverage, 6),
+            "rows": [row.to_dict() for row in self.rows],
+            "hidden_rows": self.hidden,
+        }
+
+
+def attribution_tables(
+    counters: Mapping[str, float],
+    labeled: Mapping[str, Mapping[LabelKey, float]],
+    top: int = 10,
+) -> List[AttributionTable]:
+    """One table per labeled counter, rows sorted hottest-first.
+
+    Ties break on the label key so the output is deterministic; rows
+    past ``top`` are dropped but counted in :attr:`AttributionTable.hidden`
+    (their mass stays visible through ``attributed``).
+    """
+    tables: List[AttributionTable] = []
+    for name in sorted(labeled):
+        by_key = labeled[name]
+        total = counters.get(name, sum(by_key.values()))
+        ordered = sorted(by_key.items(), key=lambda item: (-item[1], item[0]))
+        rows = [
+            AttributionRow(
+                labels=key,
+                value=value,
+                share=(value / total if total else 0.0),
+            )
+            for key, value in ordered[: max(top, 0)]
+        ]
+        tables.append(
+            AttributionTable(
+                counter=name,
+                total=total,
+                attributed=sum(by_key.values()),
+                rows=rows,
+                hidden=max(len(ordered) - max(top, 0), 0),
+            )
+        )
+    return tables
+
+
+def group_by_label(
+    by_key: Mapping[LabelKey, float], label: str
+) -> Dict[str, float]:
+    """Roll one counter's label combinations up along one dimension:
+    ``group_by_label(labeled["ptime.product_states"], "rule")`` sums
+    every combination sharing the same ``rule=`` value.  Combinations
+    without the dimension land under ``"(unlabeled)"``."""
+    out: Dict[str, float] = {}
+    for key, value in by_key.items():
+        bucket = dict(key).get(label, "(unlabeled)")
+        out[bucket] = out.get(bucket, 0) + value
+    return out
+
+
+def attribution_to_jsonable(
+    tables: List[AttributionTable]
+) -> List[Dict[str, Any]]:
+    return [table.to_dict() for table in tables]
+
+
+def _coverage_note(table: AttributionTable) -> str:
+    return "%s/%s attributed (%.1f%%)" % (
+        _format_value(table.attributed),
+        _format_value(table.total),
+        100.0 * table.coverage,
+    )
+
+
+def render_attribution_text(tables: List[AttributionTable]) -> str:
+    """The ``explain`` terminal view: per-procedure sections, one
+    aligned hot-rule table per counter."""
+    if not tables:
+        return "no labeled counters recorded\n"
+    lines: List[str] = []
+    current_procedure: Optional[str] = None
+    for table in tables:
+        if table.procedure != current_procedure:
+            if lines:
+                lines.append("")
+            lines.append("procedure %s" % table.procedure)
+            current_procedure = table.procedure
+        lines.append(
+            "  %s  total %s — %s"
+            % (table.counter, _format_value(table.total), _coverage_note(table))
+        )
+        if not table.rows:
+            continue
+        width = max(len(format_label_key(row.labels)) for row in table.rows)
+        for row in table.rows:
+            lines.append(
+                "    %-*s  %8s  %5.1f%%"
+                % (width, format_label_key(row.labels),
+                   _format_value(row.value), 100.0 * row.share)
+            )
+        if table.hidden:
+            lines.append("    ... %d more label combinations" % table.hidden)
+    return "\n".join(lines) + "\n"
+
+
+def render_attribution_markdown(tables: List[AttributionTable]) -> str:
+    if not tables:
+        return "_no labeled counters recorded_\n"
+    lines: List[str] = []
+    current_procedure: Optional[str] = None
+    for table in tables:
+        if table.procedure != current_procedure:
+            lines.append("## Procedure `%s`" % table.procedure)
+            lines.append("")
+            current_procedure = table.procedure
+        lines.append(
+            "### `%s` — total %s, %s"
+            % (table.counter, _format_value(table.total), _coverage_note(table))
+        )
+        lines.append("")
+        if table.rows:
+            lines.append("| labels | value | share |")
+            lines.append("| --- | ---: | ---: |")
+            for row in table.rows:
+                lines.append(
+                    "| `%s` | %s | %.1f%% |"
+                    % (format_label_key(row.labels),
+                       _format_value(row.value), 100.0 * row.share)
+                )
+            if table.hidden:
+                lines.append(
+                    "| _... %d more label combinations_ | | |" % table.hidden
+                )
+            lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def render_attribution(
+    tables: List[AttributionTable], fmt: str = "text"
+) -> str:
+    if fmt == "json":
+        return json.dumps(attribution_to_jsonable(tables), indent=2) + "\n"
+    if fmt == "markdown":
+        return render_attribution_markdown(tables)
+    return render_attribution_text(tables)

@@ -43,7 +43,7 @@ from .history import (
     write_run,
 )
 from .provenance import UNKNOWN_SHA, RunProvenance, collect_provenance
-from .report import render_report, sparkline, trajectory
+from .report import explain_findings, render_report, sparkline, trajectory
 
 __all__ = [
     "BenchEntry",
@@ -65,6 +65,7 @@ __all__ = [
     "detect_counters",
     "detect_gauges",
     "render_report",
+    "explain_findings",
     "sparkline",
     "trajectory",
     "DEFAULT_HISTORY_KEEP",

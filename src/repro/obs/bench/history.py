@@ -51,12 +51,21 @@ def median(samples: List[float]) -> float:
 
 @dataclass
 class BenchEntry:
-    """One test's measurement within a run."""
+    """One test's measurement within a run.
+
+    ``labeled`` is the first repeat's labeled-counter registry in JSON
+    form (see :func:`repro.obs.snapshot.labeled_to_jsonable`) and
+    ``span_profile`` its span name-path aggregates — both optional:
+    runs recorded before attribution existed load with them empty, and
+    ``bench-report --explain`` degrades to counter-only explanations.
+    """
 
     test: str
     samples: List[float]  # seconds, one per repeat, in execution order
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
+    labeled: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    span_profile: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def seconds(self) -> float:
@@ -64,13 +73,20 @@ class BenchEntry:
         return median(self.samples)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "test": self.test,
             "seconds": self.seconds,
             "samples": list(self.samples),
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
         }
+        if self.labeled:
+            out["labeled"] = {
+                name: list(rows) for name, rows in sorted(self.labeled.items())
+            }
+        if self.span_profile:
+            out["span_profile"] = [dict(row) for row in self.span_profile]
+        return out
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "BenchEntry":
@@ -84,6 +100,11 @@ class BenchEntry:
             samples=[float(sample) for sample in samples],
             counters={str(k): float(v) for k, v in payload.get("counters", {}).items()},
             gauges={str(k): float(v) for k, v in payload.get("gauges", {}).items()},
+            labeled={
+                str(name): [dict(row) for row in rows]
+                for name, rows in (payload.get("labeled") or {}).items()
+            },
+            span_profile=[dict(row) for row in payload.get("span_profile", ())],
         )
 
 

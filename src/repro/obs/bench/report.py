@@ -16,9 +16,9 @@ import json
 from typing import Any, Dict, List, Optional
 
 from .detect import Comparison, Finding
-from .history import BenchRun
+from .history import BenchEntry, BenchRun
 
-__all__ = ["render_report", "sparkline", "trajectory"]
+__all__ = ["render_report", "sparkline", "trajectory", "explain_findings"]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"  # ▁▂▃▄▅▆▇█
 
@@ -118,7 +118,160 @@ def _findings_lines(findings: List[Finding]) -> List[str]:
     return lines
 
 
-def _render_text(runs: List[BenchRun], comparison: Comparison, limit: int) -> str:
+# ---------------------------------------------------------------------------
+# Explaining regressions (bench-report --explain)
+# ---------------------------------------------------------------------------
+
+
+def _labeled_deltas(
+    base: Optional[BenchEntry], cand: Optional[BenchEntry], metric: str
+) -> List[Dict[str, Any]]:
+    """Per-label-combination deltas of one counter between two entries,
+    biggest increase first."""
+    from ..attr import format_label_key
+    from ..snapshot import labeled_from_jsonable
+
+    base_keys = labeled_from_jsonable(base.labeled if base else {}).get(metric, {})
+    cand_keys = labeled_from_jsonable(cand.labeled if cand else {}).get(metric, {})
+    deltas = []
+    for key in set(base_keys) | set(cand_keys):
+        delta = cand_keys.get(key, 0) - base_keys.get(key, 0)
+        deltas.append(
+            {
+                "labels": dict(key),
+                "label_text": format_label_key(key),
+                "baseline": base_keys.get(key, 0),
+                "candidate": cand_keys.get(key, 0),
+                "delta": delta,
+            }
+        )
+    deltas.sort(key=lambda row: (-row["delta"], row["label_text"]))
+    return deltas
+
+
+def _span_divergence(
+    base: Optional[BenchEntry], cand: Optional[BenchEntry]
+) -> List[Dict[str, Any]]:
+    """Span-path duration deltas between the two entries' stored span
+    profiles, worst divergence first."""
+    def rows_of(entry: Optional[BenchEntry]) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for row in (entry.span_profile if entry else ()):
+            out[str(row["path"])] = out.get(str(row["path"]), 0) + int(
+                row.get("duration_ns", 0)
+            )
+        return out
+
+    base_spans, cand_spans = rows_of(base), rows_of(cand)
+    deltas = []
+    for path in set(base_spans) | set(cand_spans):
+        delta_ns = cand_spans.get(path, 0) - base_spans.get(path, 0)
+        deltas.append(
+            {
+                "path": path,
+                "baseline_ns": base_spans.get(path),
+                "candidate_ns": cand_spans.get(path),
+                "delta_ns": delta_ns,
+                "status": (
+                    "added" if path not in base_spans
+                    else "removed" if path not in cand_spans
+                    else "changed"
+                ),
+            }
+        )
+    deltas.sort(key=lambda row: (-abs(row["delta_ns"]), row["path"]))
+    return deltas
+
+
+def explain_findings(
+    comparison: Comparison, top: int = 3
+) -> List[Dict[str, Any]]:
+    """Attribution for each regression: which labeled contributors grew
+    and which span diverged most — the 'why' behind the finding."""
+    explained: List[Dict[str, Any]] = []
+    for finding in comparison.regressions:
+        base = comparison.baseline.entries.get(finding.test)
+        cand = comparison.candidate.entries.get(finding.test)
+        spans = _span_divergence(base, cand)
+        note: Dict[str, Any] = {
+            "test": finding.test,
+            "metric": finding.metric,
+            "kind": finding.kind,
+            "diverging_spans": spans[:top],
+        }
+        if finding.kind in ("counter", "gauge"):
+            contributors = _labeled_deltas(base, cand, finding.metric)
+            note["has_labels"] = bool(contributors)
+            # Only contributors that actually moved explain a delta.
+            note["contributors"] = [
+                row for row in contributors if row["delta"]
+            ][:top]
+        explained.append(note)
+    return explained
+
+
+def _format_ns(value: Optional[int]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1e6:
+        return "%.2fms" % (value / 1e6)
+    return "%.1fus" % (value / 1e3)
+
+
+def _explain_lines(comparison: Comparison, markdown: bool) -> List[str]:
+    notes = explain_findings(comparison)
+    lines: List[str] = [""]
+    lines.append("## Why (attribution)" if markdown else "why (attribution):")
+    if not notes:
+        lines.append("")
+        lines.append("_no regressions to explain_" if markdown
+                     else "  no regressions to explain")
+        return lines
+    code = "`" if markdown else ""
+    for note in notes:
+        lines.append("")
+        lines.append(
+            "%s%s%s on %s%s%s:" % (code, note["metric"], code,
+                                   code, _short_test(note["test"]), code)
+        )
+        for row in note.get("contributors", ())[:3]:
+            lines.append(
+                "%s- top contributor %s%s%s: %s -> %s (%+g)"
+                % ("" if markdown else "  ", code, row["label_text"], code,
+                   "%g" % row["baseline"], "%g" % row["candidate"], row["delta"])
+            )
+        if not note.get("contributors") and note["kind"] in ("counter", "gauge"):
+            lines.append(
+                "%s- %s"
+                % (
+                    "" if markdown else "  ",
+                    "every labeled contributor is unchanged (the delta "
+                    "lives in unlabeled work)"
+                    if note.get("has_labels")
+                    else "no labeled attribution recorded for this metric "
+                    "(older run format?)",
+                )
+            )
+        for row in note.get("diverging_spans", ())[:1]:
+            lines.append(
+                "%s- hottest diverging span %s%s%s: %s -> %s (%s)"
+                % ("" if markdown else "  ", code, row["path"], code,
+                   _format_ns(row["baseline_ns"]), _format_ns(row["candidate_ns"]),
+                   row["status"] if row["status"] != "changed"
+                   else "%+.2fms" % (row["delta_ns"] / 1e6))
+            )
+        if not note.get("diverging_spans"):
+            lines.append(
+                "%s- no span profile stored on either side"
+                % ("" if markdown else "  ")
+            )
+    return lines
+
+
+def _render_text(
+    runs: List[BenchRun], comparison: Comparison, limit: int,
+    explain: bool = False,
+) -> str:
     lines: List[str] = []
     lines.append("benchmark trajectory: %d stored run%s"
                  % (len(runs), "" if len(runs) == 1 else "s"))
@@ -169,6 +322,8 @@ def _render_text(runs: List[BenchRun], comparison: Comparison, limit: int) -> st
                         "" if len(comparison.regressions) == 1 else "s"))
     else:
         lines.append("no regressions detected.")
+    if explain:
+        lines.extend(_explain_lines(comparison, markdown=False))
     return "\n".join(lines) + "\n"
 
 
@@ -194,7 +349,17 @@ def _markdown_findings(title: str, findings: List[Finding]) -> List[str]:
     return lines
 
 
-def _render_markdown(runs: List[BenchRun], comparison: Comparison, limit: int) -> str:
+def _run_id(run: BenchRun) -> str:
+    prov = run.provenance
+    return "%s@%s" % (prov.short_sha, prov.timestamp_iso)
+
+
+def _render_markdown(
+    runs: List[BenchRun], comparison: Comparison, limit: int,
+    explain: bool = False,
+    baseline_ref: Optional[str] = None,
+    candidate_ref: Optional[str] = None,
+) -> str:
     base, cand = comparison.baseline.provenance, comparison.candidate.provenance
     lines: List[str] = ["# Benchmark regression report", ""]
     lines.append("| run | sha | dirty | timestamp | python | repeats | tests |")
@@ -236,13 +401,28 @@ def _render_markdown(runs: List[BenchRun], comparison: Comparison, limit: int) -
                    comparison.candidate.entries[test].seconds,
                    sparkline(series.get(test, [])))
             )
+    if explain:
+        lines.extend(_explain_lines(comparison, markdown=True))
+    # Footer: name exactly what was compared, so an uploaded artifact
+    # is self-describing.
+    lines.extend(["", "---", ""])
+    lines.append(
+        "_Compared candidate `%s` (run `%s`) against baseline `%s` "
+        "(run `%s`)._"
+        % (candidate_ref or "latest", _run_id(comparison.candidate),
+           baseline_ref or "previous", _run_id(comparison.baseline))
+    )
     return "\n".join(lines) + "\n"
 
 
-def _render_json(runs: List[BenchRun], comparison: Comparison) -> str:
+def _render_json(
+    runs: List[BenchRun], comparison: Comparison, explain: bool = False
+) -> str:
     document: Dict[str, Any] = comparison.to_dict()
     document["runs_in_history"] = len(runs)
     document["trajectory"] = trajectory(runs)
+    if explain:
+        document["explain"] = explain_findings(comparison)
     return json.dumps(document, indent=2) + "\n"
 
 
@@ -251,10 +431,21 @@ def render_report(
     comparison: Comparison,
     fmt: str = "text",
     limit: int = 0,
+    explain: bool = False,
+    baseline_ref: Optional[str] = None,
+    candidate_ref: Optional[str] = None,
 ) -> str:
-    """Render the comparison (plus history context) in the format."""
+    """Render the comparison (plus history context) in the format.
+
+    ``explain`` appends the attribution section (labeled-counter
+    contributors and the hottest diverging span per regression);
+    ``baseline_ref``/``candidate_ref`` name the refs the markdown
+    footer reports.
+    """
     if fmt == "json":
-        return _render_json(runs, comparison)
+        return _render_json(runs, comparison, explain=explain)
     if fmt == "markdown":
-        return _render_markdown(runs, comparison, limit)
-    return _render_text(runs, comparison, limit)
+        return _render_markdown(runs, comparison, limit, explain=explain,
+                                baseline_ref=baseline_ref,
+                                candidate_ref=candidate_ref)
+    return _render_text(runs, comparison, limit, explain=explain)

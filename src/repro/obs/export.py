@@ -121,14 +121,18 @@ def span_from_dict(payload: Dict[str, Any]) -> Span:
 
 
 def to_dict(recorder: Recorder) -> Dict[str, Any]:
-    """A JSON-ready document of the whole run."""
+    """A JSON-ready document of the whole run.  Counter/gauge keys are
+    sorted so the export is byte-stable regardless of the order the
+    instrumented code happened to touch them in."""
     from .log import events_to_dicts
+    from .snapshot import labeled_to_jsonable
 
     return {
         "version": 1,
         "spans": [span_to_dict(root) for root in recorder.spans],
-        "counters": dict(recorder.counters),
-        "gauges": dict(recorder.gauges),
+        "counters": {name: recorder.counters[name] for name in sorted(recorder.counters)},
+        "gauges": {name: recorder.gauges[name] for name in sorted(recorder.gauges)},
+        "labeled": labeled_to_jsonable(recorder.labeled),
         "events": events_to_dicts(recorder),
     }
 
@@ -136,11 +140,13 @@ def to_dict(recorder: Recorder) -> Dict[str, Any]:
 def from_dict(payload: Dict[str, Any]) -> Recorder:
     """Rebuild a recorder from :func:`to_dict` output."""
     from .log import LogEvent
+    from .snapshot import labeled_from_jsonable
 
     rec = Recorder()
     rec.spans = [span_from_dict(span) for span in payload.get("spans", ())]
     rec.counters = dict(payload.get("counters", {}))
     rec.gauges = dict(payload.get("gauges", {}))
+    rec.labeled = labeled_from_jsonable(payload.get("labeled", {}))
     rec.events = [LogEvent.from_dict(event) for event in payload.get("events", ())]
     return rec
 
@@ -247,12 +253,30 @@ def to_chrome_trace(recorder: Recorder, process_name: str = "repro") -> Dict[str
                 "args": {"value": recorder.counters[name]},
             }
         )
+    if recorder.labeled:
+        from .snapshot import labeled_to_jsonable
+
+        # The attribution registry rides as one metadata event, so a
+        # ``--trace`` file is a complete ``trace-diff`` input; viewers
+        # that don't know the name ignore metadata events.
+        events.append(
+            {
+                "name": "repro_labeled",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "args": {"labeled": labeled_to_jsonable(recorder.labeled)},
+            }
+        )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(recorder: Recorder, path: str, process_name: str = "repro") -> None:
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(to_chrome_trace(recorder, process_name), handle, indent=2)
+        # sort_keys keeps the file byte-stable for golden diffs and CI
+        # greps; the trace_event format carries no key-order semantics.
+        json.dump(to_chrome_trace(recorder, process_name), handle,
+                  indent=2, sort_keys=True)
 
 
 def spans_from_chrome_trace(payload: Dict[str, Any]) -> List[Span]:

@@ -6,6 +6,13 @@ that a CI run can attach as an artifact and a human can open anywhere:
 * **span waterfall** from a Chrome ``--trace`` file (the recorder's own
   span ids shown, so ``--log`` lines join against the rows);
 * **counter / gauge tables** from the same trace;
+* **work attribution** from the trace's labeled-counter registry (the
+  ``repro_labeled`` metadata event): per-counter hot-rule tables with
+  coverage shares, the HTML twin of ``python -m repro explain``;
+* **trace diff** against a second (baseline) trace when
+  ``--baseline-trace`` is given — span/counter/attribution deltas,
+  worst divergence first, the HTML twin of ``python -m repro
+  trace-diff``;
 * **structured log excerpt** from a ``--log`` JSONL file, levels
   badged;
 * **benchmark sparklines** from the :mod:`repro.obs.bench` history
@@ -251,6 +258,130 @@ def _section_counters(counters: Dict[str, float]) -> str:
     )
 
 
+def _trace_labeled(trace: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """The labeled-counter registry a Chrome trace carries in its
+    ``repro_labeled`` metadata event (empty for pre-v3 traces)."""
+    if trace is None:
+        return {}
+    from .snapshot import labeled_from_jsonable
+
+    for event in trace.get("traceEvents", ()):
+        if event.get("ph") == "M" and event.get("name") == "repro_labeled":
+            args = event.get("args") or {}
+            return labeled_from_jsonable(args.get("labeled", {}))
+    return {}
+
+
+def _section_attribution(
+    counters: Dict[str, float], labeled: Dict[str, Any]
+) -> str:
+    if not labeled:
+        return _placeholder(
+            "No labeled counters in the trace — attribution is recorded "
+            "by instrumented runs (check/lint/profile/batch --trace)."
+        )
+    from .attr import attribution_tables, format_label_key
+
+    out: List[str] = []
+    for table in attribution_tables(counters, labeled, top=8):
+        out.append(
+            '<p class="note"><code>%s</code> — total %s, '
+            "%s/%s attributed (%.1f%%)</p>"
+            % (
+                _esc(table.counter),
+                _esc(_fmt_num(table.total)),
+                _esc(_fmt_num(table.attributed)),
+                _esc(_fmt_num(table.total)),
+                100.0 * table.coverage,
+            )
+        )
+        rows = "".join(
+            '<tr><td><code>%s</code></td><td class="num">%s</td>'
+            '<td class="num">%.1f%%</td></tr>'
+            % (
+                _esc(format_label_key(row.labels)),
+                _esc(_fmt_num(row.value)),
+                100.0 * row.share,
+            )
+            for row in table.rows
+        )
+        out.append(
+            '<table><tr><th>labels</th><th class="num">value</th>'
+            '<th class="num">share</th></tr>%s</table>' % rows
+        )
+        if table.hidden:
+            out.append(
+                '<p class="note">… %d more label combinations</p>'
+                % table.hidden
+            )
+    return "".join(out)
+
+
+def _fmt_delta_value(value: Optional[float], unit: str) -> str:
+    if value is None:
+        return "—"
+    if unit == "ns":
+        return _fmt_ns(value)
+    return _fmt_num(value)
+
+
+def _section_trace_diff(diff: Optional[Any], limit: int = 15) -> str:
+    if diff is None:
+        return _placeholder(
+            "No baseline supplied — pass --baseline-trace FILE.json "
+            "alongside --trace to diff the run against a reference."
+        )
+    diverging = diff.diverging
+    out: List[str] = [
+        '<p class="note">%s → %s · %d diverging metric%s</p>'
+        % (
+            _esc(diff.a_label),
+            _esc(diff.b_label),
+            len(diverging),
+            "" if len(diverging) == 1 else "s",
+        )
+    ]
+    sections = (
+        ("span durations", diff.spans),
+        ("counters", diff.counters),
+        ("gauges", diff.gauges),
+        ("attribution", diff.attribution),
+    )
+    for title, deltas in sections:
+        if not deltas:
+            continue
+        shown = deltas[:limit]
+        rows = "".join(
+            "<tr><td><code>%s</code></td>"
+            '<td class="num">%s</td><td class="num">%s</td>'
+            '<td class="num">%s</td></tr>'
+            % (
+                _esc(delta.key),
+                _esc(_fmt_delta_value(delta.a, delta.unit)),
+                _esc(_fmt_delta_value(delta.b, delta.unit)),
+                _esc(
+                    delta.status
+                    if delta.status in ("only-a", "only-b")
+                    else _fmt_delta_value(delta.delta, delta.unit)
+                ),
+            )
+            for delta in shown
+        )
+        out.append(
+            '<p class="note">%s (worst divergence first)</p>'
+            "<table><tr><th>metric</th>"
+            '<th class="num">baseline</th><th class="num">candidate</th>'
+            '<th class="num">Δ</th></tr>%s</table>'
+            % (_esc(title), rows)
+        )
+        if len(deltas) > len(shown):
+            out.append(
+                '<p class="note">showing %d of %d rows</p>'
+                % (len(shown), len(deltas))
+            )
+    return "".join(out)
+
+
 def _section_log(events: Optional[List[Dict[str, Any]]]) -> str:
     if events is None:
         return _placeholder(
@@ -412,14 +543,21 @@ def render_report_html(
     log_events: Optional[List[Dict[str, Any]]] = None,
     bench_runs: Optional[List[BenchRun]] = None,
     corpus: Optional[Dict[str, Any]] = None,
+    diff: Optional[Any] = None,
     title: str = "repro observability report",
     generated: str = "",
 ) -> str:
     """Assemble the full document from already-loaded inputs (each
-    ``None`` input renders as an explicit placeholder)."""
+    ``None`` input renders as an explicit placeholder).  ``diff`` is a
+    :class:`repro.obs.diff.ProfileDiff` against a baseline run."""
     sections = [
         ("Span waterfall", _section_waterfall(trace)),
         ("Counters", _section_counters(_trace_counters(trace))),
+        (
+            "Work attribution",
+            _section_attribution(_trace_counters(trace), _trace_labeled(trace)),
+        ),
+        ("Trace diff vs baseline", _section_trace_diff(diff)),
         ("Structured log", _section_log(log_events)),
         ("Benchmark trajectory", _section_bench(bench_runs or [])),
         ("Latest corpus audit", _section_corpus(corpus)),
@@ -467,6 +605,7 @@ def build_report(
     log_path: Optional[str] = None,
     history_dir: Optional[str] = None,
     corpus_path: Optional[str] = None,
+    baseline_trace_path: Optional[str] = None,
     title: str = "repro observability report",
     generated: str = "",
 ) -> str:
@@ -475,6 +614,8 @@ def build_report(
     An explicitly-named file that does not exist raises ``OSError``
     (the caller asked for it, so silence would lie); an absent
     *default* — no history directory yet — renders its placeholder.
+    ``baseline_trace_path`` (requires ``trace_path``) adds the trace
+    diff section against that reference run.
     """
     trace = None
     if trace_path:
@@ -492,11 +633,22 @@ def build_report(
     if history_dir and os.path.isdir(history_dir):
         bench_runs = BenchHistory(history_dir).load()
     corpus = _load_corpus_jsonl(corpus_path) if corpus_path else None
+    diff = None
+    if baseline_trace_path:
+        if trace is None:
+            raise ValueError("--baseline-trace needs --trace to diff against")
+        from .diff import diff_profiles, load_run_profile, profile_from_payload
+
+        diff = diff_profiles(
+            load_run_profile(baseline_trace_path),
+            profile_from_payload(trace, label=trace_path or "candidate"),
+        )
     return render_report_html(
         trace=trace,
         log_events=log_events,
         bench_runs=bench_runs,
         corpus=corpus,
+        diff=diff,
         title=title,
         generated=generated,
     )

@@ -29,11 +29,13 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "Span",
     "Recorder",
+    "LabelKey",
+    "label_key",
     "recording",
     "current",
     "enabled",
@@ -43,6 +45,17 @@ __all__ = [
     "gauge_max",
     "NULL_SPAN",
 ]
+
+#: The canonical key of one label combination: ``(("rule", "q0/recipe"),
+#: ("site", "copying_nfa"))`` — label items sorted by label name, values
+#: stringified, so the same combination always hashes (and serializes)
+#: identically regardless of call-site keyword order.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def label_key(labels: Dict[str, Any]) -> LabelKey:
+    """The canonical registry key for a label dict."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
 class Span:
@@ -136,13 +149,17 @@ class Recorder:
     purely for spans/counters never pays for event objects.
     """
 
-    __slots__ = ("spans", "counters", "gauges", "events", "log_level",
-                 "_stack", "_next_span_id")
+    __slots__ = ("spans", "counters", "gauges", "labeled", "events",
+                 "log_level", "_stack", "_next_span_id")
 
     def __init__(self, log_level: Optional[int] = None) -> None:
         self.spans: List[Span] = []  # top-level (root) spans, in order
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        # Labeled (dimensional) counters live in their own registry,
+        # keyed name -> label-combination -> value, so the flat
+        # ``counters`` table and everything reading it stay untouched.
+        self.labeled: Dict[str, Dict[LabelKey, float]] = {}
         self.events: List[Any] = []  # LogEvent, kept untyped to avoid a cycle
         self.log_level = log_level  # None = event logging off
         self._stack: List[Span] = []
@@ -188,8 +205,23 @@ class Recorder:
 
     # -- registries --------------------------------------------------------
 
-    def add(self, name: str, value: float = 1) -> None:
+    def add(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Increment the flat counter; with labels, also credit the
+        labeled registry.  The flat total is always the sum of every
+        ``add`` regardless of labels, so attribution never changes the
+        numbers the bench gate and golden files compare."""
         self.counters[name] = self.counters.get(name, 0) + value
+        if labels:
+            by_key = self.labeled.setdefault(name, {})
+            key = label_key(labels)
+            by_key[key] = by_key.get(key, 0) + value
+
+    def add_labeled_raw(self, name: str, key: LabelKey, value: float) -> None:
+        """Credit the labeled registry directly *without* touching the
+        flat counter — the merge path, where the flat totals already
+        include the labeled contributions."""
+        by_key = self.labeled.setdefault(name, {})
+        by_key[key] = by_key.get(key, 0) + value
 
     def set_gauge(self, name: str, value: float) -> None:
         self.gauges[name] = value
@@ -264,11 +296,18 @@ def span(name: str) -> Any:
     return rec._open(name)
 
 
-def add(name: str, value: float = 1) -> None:
-    """Increment a counter on the active recorder (no-op when off)."""
+def add(name: str, value: float = 1, **labels: Any) -> None:
+    """Increment a counter on the active recorder (no-op when off).
+
+    Keyword arguments beyond ``value`` are labels: the increment also
+    lands in the recorder's labeled registry under the (sorted,
+    stringified) label combination — ``obs.add("ptime.product_states",
+    n, rule="q0/recipe", site="copying_nfa")`` — while the flat counter
+    sees the same total it always did.
+    """
     rec = _RECORDER.get()
     if rec is not None:
-        rec.add(name, value)
+        rec.add(name, value, **labels)
 
 
 def set_gauge(name: str, value: float) -> None:

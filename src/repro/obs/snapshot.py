@@ -28,9 +28,56 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from .recorder import Recorder
+from .recorder import LabelKey, Recorder
 
-__all__ = ["Snapshot"]
+__all__ = [
+    "Snapshot",
+    "labeled_to_jsonable",
+    "labeled_from_jsonable",
+    "merge_labeled",
+]
+
+
+def labeled_to_jsonable(
+    labeled: Mapping[str, Mapping[LabelKey, float]]
+) -> Dict[str, List[Dict[str, Any]]]:
+    """The JSON form of a labeled-counter registry: per counter name, a
+    list of ``{"labels": {...}, "value": v}`` rows sorted by label key —
+    byte-stable regardless of insertion order."""
+    out: Dict[str, List[Dict[str, Any]]] = {}
+    for name in sorted(labeled):
+        out[name] = [
+            {"labels": dict(key), "value": labeled[name][key]}
+            for key in sorted(labeled[name])
+        ]
+    return out
+
+
+def labeled_from_jsonable(
+    payload: Mapping[str, Any]
+) -> Dict[str, Dict[LabelKey, float]]:
+    """Rebuild the registry form from :func:`labeled_to_jsonable`."""
+    out: Dict[str, Dict[LabelKey, float]] = {}
+    for name, rows in payload.items():
+        by_key: Dict[LabelKey, float] = {}
+        for row in rows:
+            key: LabelKey = tuple(
+                sorted((str(k), str(v)) for k, v in row.get("labels", {}).items())
+            )
+            by_key[key] = by_key.get(key, 0) + float(row.get("value", 0))
+        out[str(name)] = by_key
+    return out
+
+
+def merge_labeled(
+    into: Dict[str, Dict[LabelKey, float]],
+    other: Mapping[str, Mapping[LabelKey, float]],
+) -> None:
+    """Fold ``other`` into ``into`` in place (values add, like counters)."""
+    for name, by_key in other.items():
+        target = into.setdefault(name, {})
+        for key, value in by_key.items():
+            target[key] = target.get(key, 0) + value
 
 
 def _collect_ids(spans: List[Dict[str, Any]]) -> List[int]:
@@ -83,6 +130,7 @@ class Snapshot:
     wall_time_ns: int = 0
     events: List[Dict[str, Any]] = field(default_factory=list)
     spans: List[Dict[str, Any]] = field(default_factory=list)
+    labeled: Dict[str, Dict[LabelKey, float]] = field(default_factory=dict)
 
     @classmethod
     def from_recorder(cls, recorder: Recorder) -> "Snapshot":
@@ -97,16 +145,20 @@ class Snapshot:
             wall_time_ns=recorder.total_duration_ns(),
             events=events_to_dicts(recorder),
             spans=[span_to_dict(root) for root in recorder.spans],
+            labeled={name: dict(by_key) for name, by_key in recorder.labeled.items()},
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-ready document (``from_dict`` round-trips it)."""
+        """A JSON-ready document (``from_dict`` round-trips it).
+        Version 3 adds the ``labeled`` attribution registry."""
         out: Dict[str, Any] = {
-            "version": 2,
+            "version": 3,
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "wall_time_ns": int(self.wall_time_ns),
         }
+        if self.labeled:
+            out["labeled"] = labeled_to_jsonable(self.labeled)
         if self.events:
             out["events"] = [dict(event) for event in self.events]
         if self.spans:
@@ -115,24 +167,29 @@ class Snapshot:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Snapshot":
-        """Rebuild a snapshot from :meth:`to_dict` output (version 1
-        payloads — no events/spans — load fine)."""
+        """Rebuild a snapshot from :meth:`to_dict` output (version 1/2
+        payloads — no labeled registry, or no events/spans — load
+        fine)."""
         return cls(
             counters={str(k): float(v) for k, v in dict(payload.get("counters", {})).items()},
             gauges={str(k): float(v) for k, v in dict(payload.get("gauges", {})).items()},
             wall_time_ns=int(payload.get("wall_time_ns", 0)),
             events=[dict(event) for event in payload.get("events", ())],
             spans=[dict(span) for span in payload.get("spans", ())],
+            labeled=labeled_from_jsonable(payload.get("labeled", {})),
         )
 
     def without_replayable_state(self) -> "Snapshot":
         """A copy carrying only the registries — what a result cache
         should store, so a cache hit never replays stale log events or
-        span trees as if the work had happened again."""
+        span trees as if the work had happened again.  The labeled
+        registry *is* a registry (it merges like counters), so it stays:
+        a cache hit still explains where its states went."""
         return Snapshot(
             counters=dict(self.counters),
             gauges=dict(self.gauges),
             wall_time_ns=self.wall_time_ns,
+            labeled={name: dict(by_key) for name, by_key in self.labeled.items()},
         )
 
     def _id_map_for(self, taken: List[int]) -> Tuple[Dict[int, int], int]:
@@ -157,6 +214,8 @@ class Snapshot:
         for name, value in other.gauges.items():
             if name not in gauges or gauges[name] < value:
                 gauges[name] = value
+        labeled = {name: dict(by_key) for name, by_key in self.labeled.items()}
+        merge_labeled(labeled, other.labeled)
         id_map, _ = other._id_map_for(_collect_ids(self.spans))
         return Snapshot(
             counters=counters,
@@ -166,6 +225,7 @@ class Snapshot:
             + _remap_events(other.events, id_map),
             spans=[dict(span) for span in self.spans]
             + _remap_spans(other.spans, id_map),
+            labeled=labeled,
         )
 
     def merge_into(self, recorder: Recorder, prefix: str = "") -> None:
@@ -182,6 +242,12 @@ class Snapshot:
             recorder.add(prefix + name, value)
         for name, value in self.gauges.items():
             recorder.gauge_max(prefix + name, value)
+        # The flat counters above already include every labeled
+        # contribution, so the labeled registry merges through the raw
+        # path that leaves the flat table alone.
+        for name, by_key in self.labeled.items():
+            for key, value in by_key.items():
+                recorder.add_labeled_raw(prefix + name, key, value)
         if not self.events and not self.spans:
             return
         id_map: Dict[int, int] = {
