@@ -98,6 +98,7 @@ def benchmark_or_timer(benchmark, request):
         gauges = {}
         labeled = {}
         span_profile = []
+        histograms = {}
         for repeat in range(_repeats()):
             with obs.recording() as recorder:
                 memory = (
@@ -120,6 +121,12 @@ def benchmark_or_timer(benchmark, request):
                 # name the rules and spans behind a counter delta.
                 labeled = obs.labeled_to_jsonable(recorder.labeled)
                 span_profile = obs.span_profile_rows(recorder.spans)
+                # Distribution summaries (p50/p99/max), the input to the
+                # tail-latency detector of bench-report.
+                histograms = {
+                    name: histogram.summary()
+                    for name, histogram in recorder.histograms.items()
+                }
         _ENTRIES.append(
             BenchEntry(
                 test=request.node.nodeid,
@@ -128,6 +135,7 @@ def benchmark_or_timer(benchmark, request):
                 gauges=gauges,
                 labeled=labeled,
                 span_profile=span_profile,
+                histograms=histograms,
             )
         )
         return samples[0]

@@ -41,8 +41,13 @@ Commands::
                               [--format text|json|markdown]
                               [--fail-on SEVERITY] [--no-prefilter]
                               [--output FILE]
+                              [--progress | --no-progress]
+                              [--stall-after S] [--status-file FILE]
                               [--stats] [--trace FILE.json]
                               [--log FILE.jsonl] [--log-level LEVEL]
+                              [--metrics FILE]
+    python -m repro top       [CORPUS_DIR|STATUS_FILE] [--interval S]
+                              [--once]
     python -m repro bench-report [--baseline REF] [--candidate REF]
                               [--history DIR] [--format text|json|markdown]
                               [--fail-on-regression] [--threshold FRAC]
@@ -86,9 +91,21 @@ writes a Chrome ``trace_event`` file (open in ``chrome://tracing`` or
 Perfetto); ``--log FILE.jsonl`` writes the span-correlated structured
 event log (``--log-level`` sets the buffering threshold) — each line's
 ``span_id`` joins against the trace file's ``args.id``, including
-events emitted inside ``batch`` worker processes.  ``report`` bundles
-a trace, a log, the benchmark trajectory, and a corpus JSONL report
-into one dependency-free HTML file for CI artifacts.
+events emitted inside ``batch`` worker processes; ``--metrics FILE``
+writes the run's counters, gauges, latency histograms, and rate
+meters as Prometheus/OpenMetrics text exposition (any sampled time
+series additionally lands as ``FILE.timeline.jsonl``).  ``report``
+bundles a trace, a log, the benchmark trajectory, and a corpus JSONL
+report into one dependency-free HTML file for CI artifacts.
+
+``top`` is the live monitoring surface over a running ``batch``: the
+engine rewrites a small status JSON (``CORPUS_DIR/.repro-status.json``
+by default) every heartbeat tick, and ``top`` polls it to render
+per-worker in-flight state (job, elapsed, current span path, RSS),
+queue depth, cache hits, verdict counts, and the p50/p99 job latency.
+``batch --stall-after S`` arms the stall watchdog: a job silent past
+``S`` seconds gets a ``faulthandler`` stack dump captured inside the
+worker and folded into the ``--log`` JSONL as a structured WARNING.
 
 ``bench-report`` loads the benchmark trajectory recorded by ``pytest
 benchmarks/`` into ``benchmarks/history/``, compares a candidate run
@@ -145,7 +162,7 @@ import contextlib
 import os
 import sys
 import time
-from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from . import obs
 from .analysis import (
@@ -383,6 +400,7 @@ def _wants_observation(args: argparse.Namespace) -> bool:
         bool(getattr(args, "trace", None))
         or bool(getattr(args, "stats", False))
         or bool(getattr(args, "log", None))
+        or bool(getattr(args, "metrics", None))
     )
 
 
@@ -396,8 +414,28 @@ def _event_level(args: argparse.Namespace) -> Optional[int]:
     return None
 
 
+def _write_metrics(recorder: obs.Recorder, path: str) -> None:
+    """Write the run's registries as OpenMetrics text exposition; any
+    sampled time series additionally lands next to it as a
+    self-identifying JSONL timeline (``FILE.timeline.jsonl``)."""
+    text = obs.render_openmetrics(
+        recorder.counters, recorder.gauges, recorder.histograms, recorder.meters
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print("wrote OpenMetrics exposition to %s" % path, file=sys.stderr)
+    if recorder.samples:
+        timeline = path + ".timeline.jsonl"
+        count = obs.write_timeline_jsonl(recorder.samples, timeline)
+        print(
+            "wrote %d timeline samples to %s" % (count, timeline),
+            file=sys.stderr,
+        )
+
+
 def _finish_observation(recorder: Optional[obs.Recorder], args: argparse.Namespace) -> None:
-    """Emit the recorded run: log JSONL, trace file, stats to stderr."""
+    """Emit the recorded run: log JSONL, trace file, metrics exposition,
+    stats to stderr."""
     if recorder is None:
         return
     if getattr(args, "log", None):
@@ -406,6 +444,8 @@ def _finish_observation(recorder: Optional[obs.Recorder], args: argparse.Namespa
     if getattr(args, "trace", None):
         obs.write_chrome_trace(recorder, args.trace)
         print("wrote Chrome trace to %s" % args.trace, file=sys.stderr)
+    if getattr(args, "metrics", None):
+        _write_metrics(recorder, args.metrics)
     if getattr(args, "stats", False):
         sys.stderr.write(obs.render_text(recorder))
 
@@ -627,6 +667,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.trace:
         obs.write_chrome_trace(recorder, args.trace)
         print("wrote Chrome trace to %s" % args.trace, file=sys.stderr)
+    if getattr(args, "metrics", None):
+        _write_metrics(recorder, args.metrics)
     return 0
 
 
@@ -647,10 +689,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except corpus.CorpusError as error:
         raise CliError(str(error)) from None
     cache = None if args.no_cache else corpus.open_cache(args.corpus_dir, args.cache_dir)
+    if args.stall_after is not None and args.stall_after <= 0:
+        raise CliError(
+            "--stall-after must be positive, got %g" % args.stall_after
+        )
+    status_file = args.status_file
+    if status_file is None:
+        from .corpus.telemetry import STATUS_BASENAME
 
-    # Live TTY progress on stderr; automatically silent when stderr or
-    # stdout is piped, so `batch --format json > out.jsonl` stays clean.
-    reporter = corpus.ProgressReporter()
+        status_file = os.path.join(args.corpus_dir, STATUS_BASENAME)
+
+    # Live TTY progress on stderr; by default automatically silent when
+    # stderr or stdout is piped, so `batch --format json > out.jsonl`
+    # stays clean — --progress/--no-progress force it either way.
+    reporter = corpus.ProgressReporter(live=args.progress)
     with contextlib.ExitStack() as stack:
         recorder: Optional[obs.Recorder] = None
         if _wants_observation(args):
@@ -667,6 +719,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             cache=cache,
             progress=reporter,
+            stall_after=args.stall_after,
+            status_file=status_file,
         )
     rendered = corpus.render(summary, args.format)
     if args.output:
@@ -741,13 +795,39 @@ def _write_or_print(rendered: str, output: Optional[str]) -> None:
         sys.stdout.write(rendered)
 
 
+def _reject_observability_artifact(path: str, expected: str) -> None:
+    """Exit 2 with a named-format error when ``path`` is actually one
+    of the observability layer's own JSON/JSONL artifacts (a metrics
+    timeline, a batch status file, a log/trace export) passed where a
+    ``expected`` input belongs."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            head = handle.read(65536)
+    except (OSError, UnicodeDecodeError):
+        return
+    kind = obs.sniff_jsonl_kind(head)
+    if kind is not None:
+        raise CliError(
+            "%s is a %r JSONL artifact — expected %s" % (path, kind, expected)
+        )
+    stripped = head.lstrip()
+    if stripped.startswith("# TYPE ") or stripped.startswith("# HELP "):
+        raise CliError(
+            "%s looks like an OpenMetrics exposition (--metrics output), "
+            "not %s" % (path, expected)
+        )
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     """``explain``: run the full pair analysis and attribute the work
     counters to the rules/sites responsible (see :mod:`repro.obs.attr`)."""
     from .corpus import analyze_pair
 
     # Load up-front so malformed inputs exit 2 with a parse error
-    # instead of surfacing as a job-level 'error' verdict.
+    # instead of surfacing as a job-level 'error' verdict — and name
+    # the format when an observability artifact lands here by mistake.
+    _reject_observability_artifact(args.transducer, "a transducer (.tdx)")
+    _reject_observability_artifact(args.schema, "a schema (.schema)")
     load_transducer_ex(args.transducer)
     load_schema_ex(args.schema)
     result = analyze_pair(args.transducer, args.schema, args.protect or ())
@@ -780,6 +860,101 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
         obs.render_diff(diff, fmt=args.format, limit=args.limit), args.output
     )
     return 0
+
+
+def _render_top_frame(status: Dict[str, Any]) -> str:
+    """One dashboard frame from a batch status document."""
+    lines: List[str] = []
+    state = "finished" if status.get("finished") else "running"
+    lines.append(
+        "repro batch (pid %s) — %s" % (status.get("pid", "?"), state)
+    )
+    verdicts = status.get("verdicts") or {}
+    verdict_text = (
+        "  ".join("%s %d" % (k, v) for k, v in sorted(verdicts.items()) if v)
+        or "none yet"
+    )
+    lines.append(
+        "jobs: %d/%d done · %d cache hits · queue depth %d"
+        % (
+            int(status.get("done", 0)),
+            int(status.get("total", 0)),
+            int(status.get("cache_hits", 0)),
+            int(status.get("queue_depth", 0)),
+        )
+    )
+    lines.append("verdicts: %s" % verdict_text)
+    job_ms = status.get("job_ms")
+    if job_ms:
+        lines.append(
+            "job latency: p50 %.0fms · p90 %.0fms · p99 %.0fms · max %.0fms"
+            % (job_ms["p50"], job_ms["p90"], job_ms["p99"], job_ms["max"])
+        )
+    workers = status.get("workers") or []
+    lines.append("")
+    if workers:
+        lines.append("in-flight workers (slowest first):")
+        for worker in workers:
+            rss = worker.get("rss_kb")
+            lines.append(
+                "  pid %-7s %6.1fs  %s%s%s"
+                % (
+                    worker.get("pid", "?"),
+                    float(worker.get("elapsed", 0.0)),
+                    worker.get("job_id", "?"),
+                    "  [%s]" % worker["span_path"] if worker.get("span_path") else "",
+                    "  rss %d MiB" % (rss // 1024) if rss else "",
+                )
+            )
+            if worker.get("stalled"):
+                lines.append("      ^ STALLED — stack dump in the --log JSONL")
+    else:
+        lines.append("no in-flight worker telemetry")
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``top``: poll a running batch's status file and render the live
+    dashboard.  Exits when the batch reports itself finished."""
+    from .corpus.telemetry import STATUS_BASENAME, read_status_file
+
+    path = args.target
+    if os.path.isdir(path):
+        path = os.path.join(path, STATUS_BASENAME)
+    if args.interval <= 0:
+        raise CliError("--interval must be positive, got %g" % args.interval)
+    waited = False
+    try:
+        while True:
+            try:
+                status = read_status_file(path)
+            except FileNotFoundError:
+                if args.once:
+                    raise CliError(
+                        "no status file at %s — is a batch running with "
+                        "telemetry enabled?" % path
+                    )
+                if not waited:
+                    print("waiting for %s ..." % path, file=sys.stderr)
+                    waited = True
+                time.sleep(args.interval)
+                continue
+            except ValueError as error:
+                raise CliError(str(error)) from None
+            frame = _render_top_frame(status)
+            if args.once:
+                sys.stdout.write(frame)
+                return 0
+            # Full-screen repaint: cursor home + clear-below keeps the
+            # frame flicker-free on every ANSI terminal.
+            sys.stdout.write("\x1b[H\x1b[J" + frame)
+            sys.stdout.flush()
+            if status.get("finished"):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print("", file=sys.stderr)
+        return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -934,8 +1109,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", metavar="FILE",
         help="write the report to FILE instead of stdout",
     )
+    progress_group = batch.add_mutually_exclusive_group()
+    progress_group.add_argument(
+        "--progress", dest="progress", action="store_const", const=True,
+        default=None,
+        help="force the live status line on stderr even when piped "
+        "(default: auto — on only when stderr and stdout are TTYs)",
+    )
+    progress_group.add_argument(
+        "--no-progress", dest="progress", action="store_const", const=False,
+        help="suppress the live status line even on a TTY",
+    )
+    batch.add_argument(
+        "--stall-after", type=float, default=None, metavar="S",
+        help="stall watchdog: a job silent past S seconds gets a "
+        "faulthandler stack dump folded into the --log JSONL as a "
+        "structured WARNING (default: off)",
+    )
+    batch.add_argument(
+        "--status-file", metavar="FILE",
+        help="live status JSON rewritten each heartbeat for "
+        "'python -m repro top' (default: CORPUS_DIR/.repro-status.json)",
+    )
     _add_observation_flags(batch)
     batch.set_defaults(func=_cmd_batch)
+
+    top = sub.add_parser(
+        "top",
+        help="live TTY dashboard over a running batch (per-worker "
+        "state, queue depth, cache hits, verdicts, p99 job latency)",
+    )
+    top.add_argument(
+        "target", nargs="?", default=".", metavar="CORPUS_DIR|STATUS_FILE",
+        help="corpus directory of the running batch, or its status "
+        "file directly (default: .)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=0.5, metavar="S",
+        help="poll period in seconds (default: 0.5)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen control)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     bench_report = sub.add_parser(
         "bench-report",
@@ -1095,6 +1312,12 @@ def _add_log_flags(sub_parser: argparse.ArgumentParser) -> None:
         default="info",
         help="minimum level buffered while --log/--trace is active "
         "(default: info)",
+    )
+    sub_parser.add_argument(
+        "--metrics", metavar="FILE",
+        help="write the run's counters/gauges/histograms/meters as "
+        "Prometheus/OpenMetrics text exposition; sampled time series "
+        "additionally land as FILE.timeline.jsonl",
     )
 
 

@@ -164,6 +164,7 @@ def path_automaton(nta: NTA) -> NFA:
         sp.set("states", len(states))
         sp.set("transitions", len(transitions))
         obs.add("ptime.path_automaton_states", len(states))
+        obs.observe("ptime.path_automaton_size", len(states))
         obs.debug("ptime.path_automaton", "schema path automaton built",
                   states=len(states), transitions=len(transitions))
         return NFA(states, set(nta.alphabet) | {TEXT}, transitions, nta.initial, {_ACC})
@@ -189,6 +190,7 @@ def transducer_path_automaton(transducer: TopDownTransducer) -> NFA:
         sp.set("states", len(states))
         sp.set("transitions", len(transitions))
         obs.add("ptime.path_automaton_states", len(states))
+        obs.observe("ptime.path_automaton_size", len(states))
         obs.debug("ptime.path_automaton", "transducer path automaton built",
                   states=len(states), transitions=len(transitions))
         return NFA(states, alphabet, transitions, transducer.initial, {_ACC})
@@ -290,6 +292,11 @@ def copying_nfa(
             structural=(("(seed)", 1), ("(accept)", 1)),
         )
         obs.add("ptime.product_transitions", len(transitions))
+        # Distribution registries (separate from the exact counters):
+        # product sizes and build latency feed the p50/p99 summaries.
+        obs.observe("ptime.product_size", len(states))
+        if obs.enabled():
+            obs.observe("ptime.copying_product.ms", sp.duration_ns / 1e6)
         if productive is not None:
             sp.set("pruned", pruned)
             obs.add("ptime.product_pruned", pruned)
@@ -316,6 +323,8 @@ def is_copying(
         with obs.span("ptime.emptiness") as sp_empty:
             sp_empty.set("automaton", "copying_nfa")
             empty = product.is_empty()
+        if obs.enabled():
+            obs.observe("ptime.emptiness.ms", sp_empty.duration_ns / 1e6)
         sp.set("verdict", not empty)
         obs.info("ptime.copying", "copying decided",
                  copying=not empty, product_states=len(product.states))
@@ -455,6 +464,7 @@ def rearranging_nta(
         )
         sp.set("states", len(result.states))
         sp.set("rules", len(result.delta))
+        obs.observe("ptime.rearranging_nta_size", len(result.states))
         _add_attributed_states(
             rule_states, len(result.states), "rearranging_nta",
             structural=(("(seed)", 1), ("(sink)", 1)),
@@ -640,9 +650,14 @@ def is_rearranging(
         with obs.span("ptime.schema_product") as sp_product:
             product = intersect_nta(witness_nta, nta)
             sp_product.set("states", len(product.states))
+        obs.observe("ptime.schema_product_size", len(product.states))
+        if obs.enabled():
+            obs.observe("ptime.schema_product.ms", sp_product.duration_ns / 1e6)
         with obs.span("ptime.emptiness") as sp_empty:
             sp_empty.set("automaton", "rearranging_product")
             empty = product.is_empty()
+        if obs.enabled():
+            obs.observe("ptime.emptiness.ms", sp_empty.duration_ns / 1e6)
         sp.set("verdict", not empty)
         obs.info("ptime.rearranging", "rearranging decided",
                  rearranging=not empty, product_states=len(product.states))

@@ -268,10 +268,12 @@ def inverse_type_nta(
     with obs.span("typecheck.inverse_type") as sp, obs.track_peak_memory():
         result = _inverse_type_nta_impl(transducer, output_dtd, input_alphabet, accept_valid)
         sp.set("states", len(result.states))
+        obs.observe("typecheck.inverse_type_size", len(result.states))
         if obs.enabled():
             # The EXPTIME blow-up gauge: peak reachable-vector automaton
             # size across every inverse-type construction of the run.
             obs.gauge_max("typecheck.inverse_type_states", len(result.states))
+            obs.observe("typecheck.inverse_type.ms", sp.duration_ns / 1e6)
         obs.debug("typecheck", "inverse-type automaton built",
                   states=len(result.states), accept_valid=accept_valid)
         return result
@@ -467,6 +469,9 @@ def typechecks(
             product = intersect_nta(bad, input_schema)
             inner.set("states", len(product.states))
             verdict = product.is_empty()
+        obs.observe("typecheck.product_size", len(product.states))
+        if obs.enabled():
+            obs.observe("typecheck.emptiness.ms", inner.duration_ns / 1e6)
         sp.set("verdict", verdict)
         obs.info("typecheck", "typecheck decided",
                  typechecks=verdict, product_states=len(product.states))

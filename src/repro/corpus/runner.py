@@ -51,6 +51,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple,
 
 from .. import obs
 from ..lint import severity_order
+from . import telemetry
 from .cache import ENGINE_VERSION, ResultCache, job_cache_key
 from .manifest import JobSpec
 
@@ -101,6 +102,13 @@ class ProgressListener:
         self, done: int, to_run: int,
         in_flight: List[Tuple[str, float]],
     ) -> None:
+        pass
+
+    def worker_update(self, workers: List[Any]) -> None:
+        """Live sideband telemetry: one
+        :class:`repro.corpus.telemetry.WorkerState` per in-flight job,
+        slowest first.  Only fires when the run has the telemetry
+        channel enabled (a stall threshold or status file)."""
         pass
 
     def message(self, text: str) -> None:
@@ -340,12 +348,16 @@ def analyze_pair(
     transducer_name: Optional[str] = None,
     schema_name: Optional[str] = None,
     log_level: Optional[int] = None,
+    on_recording: Optional[Callable[[Any], None]] = None,
 ) -> JobResult:
     """Run the full single-pair analysis, catching per-pair failures
     into an ``error`` result (timeouts — :class:`_JobTimeout` — always
     propagate to the worker loop).  ``log_level`` turns on structured
     event buffering under the job's recorder; the events ship back in
-    ``result.observations``."""
+    ``result.observations``.  ``on_recording`` receives the job's
+    recorder right after installation — the telemetry sampler thread
+    cannot reach it through the (thread-local) ContextVar, so the
+    worker hands it over explicitly."""
     from ..cli import CliError
 
     spec = JobSpec(
@@ -363,6 +375,8 @@ def analyze_pair(
     )
     start = time.perf_counter()
     with obs.recording(log_level=log_level) as recorder:
+        if on_recording is not None:
+            on_recording(recorder)
         with obs.span("corpus.job") as job_span:
             job_span.set("job_id", result.job_id)
             obs.info(
@@ -461,6 +475,9 @@ def _worker(payload: Dict[str, Any]) -> Dict[str, Any]:
         previous = signal.signal(signal.SIGALRM, on_alarm)
         signal.setitimer(signal.ITIMER_REAL, float(timeout))
     start = time.perf_counter()
+    # The telemetry slot opens before the fault-injection sleep so a
+    # deliberately hung job is visible to the sampler while it hangs.
+    telemetry.job_started(payload.get("job_id") or payload["transducer_path"])
     try:
         _maybe_inject_delay(payload["transducer_path"])
         result = analyze_pair(
@@ -471,6 +488,7 @@ def _worker(payload: Dict[str, Any]) -> Dict[str, Any]:
             transducer_name=payload.get("transducer_name"),
             schema_name=payload.get("schema_name"),
             log_level=payload.get("log_level"),
+            on_recording=telemetry.attach_recorder,
         )
     except _JobTimeout:
         result = JobResult(
@@ -483,6 +501,7 @@ def _worker(payload: Dict[str, Any]) -> Dict[str, Any]:
             wall_time_s=time.perf_counter() - start,
         )
     finally:
+        telemetry.job_finished()
         if use_timer:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
@@ -615,6 +634,51 @@ def _inline_if_proven_safe(
     )
 
 
+class _StatusWriter:
+    """Writes the live status file (see :mod:`repro.corpus.telemetry`)
+    each heartbeat tick — the surface ``python -m repro top`` polls."""
+
+    def __init__(self, path: str, total: int, cache_hits: int, to_run: int) -> None:
+        self.path = path
+        self.total = total
+        self.cache_hits = cache_hits
+        self.to_run = to_run
+
+    def tick(
+        self,
+        results: Sequence["JobResult"],
+        done: int,
+        workers: Sequence[Any] = (),
+        queue_depth: int = 0,
+        finished: bool = False,
+    ) -> None:
+        histogram = obs.Histogram()
+        for result in results:
+            if not result.cache_hit:
+                histogram.observe(result.wall_time_s * 1000.0)
+        payload: Dict[str, Any] = {
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "total": self.total,
+            "cache_hits": self.cache_hits,
+            "to_run": self.to_run,
+            "done": done,
+            "queue_depth": max(0, queue_depth),
+            "verdicts": {k: v for k, v in sorted(_count_verdicts(results).items())},
+            "workers": [
+                state.to_dict() if hasattr(state, "to_dict") else dict(state)
+                for state in workers
+            ],
+            "job_ms": histogram.summary() if histogram.count else None,
+            "finished": finished,
+        }
+        try:
+            telemetry.write_status_file(self.path, payload)
+        except OSError:
+            # A vanished directory or full disk must not fail the run.
+            pass
+
+
 def run_corpus(
     jobs: Sequence[JobSpec],
     *,
@@ -624,6 +688,8 @@ def run_corpus(
     engine_version: str = ENGINE_VERSION,
     progress: Union[ProgressListener, Callable[[str], None], None] = None,
     heartbeat: float = 1.0,
+    stall_after: Optional[float] = None,
+    status_file: Optional[str] = None,
 ) -> RunSummary:
     """Execute all jobs — cached results resolve in the parent, the
     rest fan out over worker processes — and return the sorted summary
@@ -633,6 +699,14 @@ def run_corpus(
     backward compatibility, a plain ``callable(str)`` that receives the
     legacy message strings.  ``heartbeat`` is the listener's tick
     period in seconds while workers are busy.
+
+    ``stall_after`` and ``status_file`` enable the live telemetry
+    sideband (see :mod:`repro.corpus.telemetry`): workers stream
+    periodic in-flight state over a queue, a job silent past
+    ``stall_after`` seconds gets a faulthandler stack dump folded into
+    a structured WARNING event, and ``status_file`` is atomically
+    rewritten each tick for ``python -m repro top``.  Both default off,
+    in which case no telemetry machinery is started at all.
     """
     listener = _as_listener(progress)
     start = time.perf_counter()
@@ -656,6 +730,13 @@ def run_corpus(
         "corpus.runner", "corpus run started",
         jobs=len(jobs), cache_hits=hits, to_run=misses,
     )
+    status = (
+        _StatusWriter(status_file, len(jobs), hits, misses)
+        if status_file is not None
+        else None
+    )
+    if status is not None:
+        status.tick(results, done=0)
 
     log_level = None
     parent_recorder = obs.current()
@@ -690,6 +771,7 @@ def run_corpus(
                 _execute_pending(
                     pooled, workers, timeout, cache, listener, heartbeat,
                     done_offset=prefiltered, total=misses,
+                    stall_after=stall_after, status=status,
                 )
             )
     finally:
@@ -700,6 +782,10 @@ def run_corpus(
         for result in results:
             if result.observations:
                 obs.Snapshot.from_dict(result.observations).merge_into(recorder)
+            if not result.cache_hit:
+                # Per-job latency distribution: the batch-level p50/p99
+                # the dashboard and bench entries summarize.
+                recorder.observe("corpus.job.ms", result.wall_time_s * 1000.0)
             # Per-job rollups: the batch's wall time and work, labeled
             # by the job that spent it (worker labeled counters merged
             # above keep their own rule/pass attribution).
@@ -738,6 +824,8 @@ def run_corpus(
             for verdict, count in summary.verdict_counts().items() if count
         },
     )
+    if status is not None:
+        status.tick(results, done=len(results), finished=True)
     return summary
 
 
@@ -757,6 +845,8 @@ def _execute_pending(
     heartbeat: float,
     done_offset: int = 0,
     total: Optional[int] = None,
+    stall_after: Optional[float] = None,
+    status: Optional[_StatusWriter] = None,
 ) -> List[JobResult]:
     """Fan the cache misses out over a process pool; every failure mode
     (worker exception, dead worker, engine-level hang) degrades to a
@@ -765,6 +855,8 @@ def _execute_pending(
     The wait loop wakes at least every ``heartbeat`` seconds so the
     listener can render live progress — done counts plus the slowest
     job currently observed running — even while nothing completes.
+    With telemetry enabled (``stall_after``/``status``) the same loop
+    also drains the worker sideband queue into live per-job state.
     """
     log_level = None
     recorder = obs.current()
@@ -778,7 +870,31 @@ def _execute_pending(
     if timeout is not None:
         waves = (len(pending) + workers - 1) // workers
         deadline = time.monotonic() + timeout * waves + 30.0
-    pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+    channel = None
+    hub: Optional[telemetry.TelemetryHub] = None
+    manager = None
+    if stall_after is not None or status is not None:
+        import multiprocessing
+
+        # A Manager queue proxy (unlike a raw mp.Queue) pickles through
+        # the pool's initargs under both fork and spawn start methods.
+        manager = multiprocessing.Manager()
+        channel = manager.Queue()
+        hub = telemetry.TelemetryHub(
+            on_stall=lambda message: listener.message(
+                "stall: %s silent %.1fs (pid %s) — stack dumped to log"
+                % (message.get("job_id"), message.get("elapsed", 0.0),
+                   message.get("pid"))
+            )
+        )
+    if channel is not None:
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=telemetry.init_worker,
+            initargs=(channel, stall_after),
+        )
+    else:
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
     futures = {
         pool.submit(_worker, _spec_payload(spec, timeout, log_level)): (spec, key)
         for spec, key in pending
@@ -806,6 +922,8 @@ def _execute_pending(
                     )
                 _store_in_cache(cache, key, result)
                 results.append(result)
+                if hub is not None:
+                    hub.job_done(spec.job_id)
                 listener.job_done(result, done_offset + len(results), to_run)
                 if result.verdict != "safe":
                     obs.warning(
@@ -814,6 +932,19 @@ def _execute_pending(
                         wall_time_s=round(result.wall_time_s, 6),
                         error=result.error,
                     )
+            if hub is not None and channel is not None:
+                hub.poll(channel)
+                listener.worker_update(hub.in_flight())
+                obs.sample("corpus.in_flight", len(hub.workers))
+            if status is not None:
+                running_count = sum(1 for f in remaining if f.running())
+                status.tick(
+                    results,
+                    done=done_offset + len(results),
+                    workers=hub.in_flight() if hub is not None else (),
+                    queue_depth=len(remaining) - running_count,
+                    finished=False,
+                )
             if remaining:
                 in_flight = sorted(
                     (
@@ -856,4 +987,13 @@ def _execute_pending(
                     break
     finally:
         pool.shutdown(wait=not hung, cancel_futures=True)
+        if hub is not None and channel is not None:
+            # One last drain so a stall pushed during the final wave
+            # still reaches the log before the Manager goes away.
+            try:
+                hub.poll(channel)
+            except Exception:
+                pass
+        if manager is not None:
+            manager.shutdown()
     return results

@@ -290,6 +290,8 @@ def run_lint(
             with obs.span("lint.rule") as rule_span:
                 rule_span.set("code", rule.code)
                 diagnostics.extend(rule.check(context))
+            if obs.enabled():
+                obs.observe("lint.rule.ms", rule_span.duration_ns / 1e6)
         diagnostics.sort(key=_sort_key)
         if obs.enabled():
             sp.set("rules", len(selected))

@@ -98,6 +98,17 @@ from .diff import (
     span_profile_rows,
 )
 from .memory import PEAK_MEMORY_GAUGE, track_peak_memory
+from .metrics import (
+    Histogram,
+    Meter,
+    SampleSeries,
+    metric_family_name,
+    read_timeline_jsonl,
+    render_openmetrics,
+    sniff_jsonl_kind,
+    validate_openmetrics,
+    write_timeline_jsonl,
+)
 from .recorder import (
     NULL_SPAN,
     LabelKey,
@@ -108,9 +119,13 @@ from .recorder import (
     enabled,
     gauge_max,
     label_key,
+    mark,
+    observe,
     recording,
+    sample,
     set_gauge,
     span,
+    timed,
 )
 from .snapshot import (
     Snapshot,
@@ -164,6 +179,19 @@ __all__ = [
     "add",
     "set_gauge",
     "gauge_max",
+    "observe",
+    "mark",
+    "sample",
+    "timed",
+    "Histogram",
+    "Meter",
+    "SampleSeries",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "metric_family_name",
+    "write_timeline_jsonl",
+    "read_timeline_jsonl",
+    "sniff_jsonl_kind",
     "NULL_SPAN",
     "render_text",
     "to_dict",

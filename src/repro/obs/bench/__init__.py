@@ -20,6 +20,8 @@ Typical flow::
 
 from .detect import (
     DEFAULT_GAUGE_THRESHOLD,
+    DEFAULT_HISTOGRAM_FLOOR,
+    DEFAULT_HISTOGRAM_THRESHOLD,
     DEFAULT_IQR_FACTOR,
     DEFAULT_TIMING_FLOOR_S,
     DEFAULT_TIMING_THRESHOLD,
@@ -28,6 +30,7 @@ from .detect import (
     compare_runs,
     detect_counters,
     detect_gauges,
+    detect_histograms,
     detect_timing,
     iqr,
 )
@@ -64,6 +67,7 @@ __all__ = [
     "detect_timing",
     "detect_counters",
     "detect_gauges",
+    "detect_histograms",
     "render_report",
     "explain_findings",
     "sparkline",
@@ -73,4 +77,6 @@ __all__ = [
     "DEFAULT_IQR_FACTOR",
     "DEFAULT_TIMING_FLOOR_S",
     "DEFAULT_GAUGE_THRESHOLD",
+    "DEFAULT_HISTOGRAM_THRESHOLD",
+    "DEFAULT_HISTOGRAM_FLOOR",
 ]

@@ -19,6 +19,12 @@ Two detectors with deliberately different epistemics:
 Gauges (``mem.peak_kb``, ``mso.compile.automaton_states``) sit in
 between — allocator behaviour wobbles — so they use the relative
 threshold but no noise band.
+
+**Histogram summaries** (``lint.rule.ms``, ``ptime.product_size``)
+get a *tail* detector: a p99 that grew past the threshold while the
+p50 stayed flat is a tail-latency regression — a qualitatively
+different failure from a uniform slowdown (which moves both), and one
+the median-based timing detector is structurally blind to.
 """
 
 from __future__ import annotations
@@ -35,17 +41,22 @@ __all__ = [
     "detect_timing",
     "detect_counters",
     "detect_gauges",
+    "detect_histograms",
     "iqr",
     "DEFAULT_TIMING_THRESHOLD",
     "DEFAULT_IQR_FACTOR",
     "DEFAULT_TIMING_FLOOR_S",
     "DEFAULT_GAUGE_THRESHOLD",
+    "DEFAULT_HISTOGRAM_THRESHOLD",
+    "DEFAULT_HISTOGRAM_FLOOR",
 ]
 
 DEFAULT_TIMING_THRESHOLD = 0.25  # +25% on the median
 DEFAULT_IQR_FACTOR = 1.5  # Tukey's fence over the baseline spread
 DEFAULT_TIMING_FLOOR_S = 0.05  # medians under 50ms carry no timing signal
 DEFAULT_GAUGE_THRESHOLD = 0.25
+DEFAULT_HISTOGRAM_THRESHOLD = 0.5  # +50% on the p99
+DEFAULT_HISTOGRAM_FLOOR = 1.0  # p99 values under 1 (ms/state) carry no signal
 
 
 def _quantile(ordered: List[float], q: float) -> float:
@@ -181,6 +192,53 @@ def detect_gauges(
     return findings
 
 
+def detect_histograms(
+    test: str,
+    baseline: Dict[str, Dict[str, float]],
+    candidate: Dict[str, Dict[str, float]],
+    threshold: float = DEFAULT_HISTOGRAM_THRESHOLD,
+    floor: float = DEFAULT_HISTOGRAM_FLOOR,
+) -> List[Finding]:
+    """Tail comparison of distribution summaries.
+
+    Flags a p99 that grew past ``threshold``; the detail says whether
+    the p50 moved with it (uniform slowdown) or stayed flat (a genuine
+    tail regression — a few pathological inputs got much slower while
+    the typical case did not).  Distributions whose p99 sits under
+    ``floor`` on both sides are skipped as noise.
+    """
+    findings: List[Finding] = []
+    for name in sorted(set(baseline) & set(candidate)):
+        before, after = baseline[name], candidate[name]
+        base_p99 = float(before.get("p99", 0.0))
+        cand_p99 = float(after.get("p99", 0.0))
+        if base_p99 < floor and cand_p99 < floor:
+            continue
+        if base_p99 <= 0:
+            continue
+        base_p50 = float(before.get("p50", 0.0))
+        cand_p50 = float(after.get("p50", 0.0))
+        if cand_p99 > base_p99 * (1.0 + threshold):
+            p50_moved = base_p50 > 0 and cand_p50 > base_p50 * (1.0 + threshold)
+            detail = (
+                "uniform slowdown: p50 grew with p99 (%.3f -> %.3f)"
+                % (base_p50, cand_p50)
+                if p50_moved
+                else "tail regression: p99 grew while p50 stayed flat "
+                "(%.3f -> %.3f)" % (base_p50, cand_p50)
+            )
+            findings.append(
+                Finding(test, "histogram", name + ".p99", base_p99, cand_p99,
+                        "regression", detail)
+            )
+        elif cand_p99 < base_p99 * (1.0 - threshold):
+            findings.append(
+                Finding(test, "histogram", name + ".p99", base_p99, cand_p99,
+                        "improvement", "")
+            )
+    return findings
+
+
 @dataclass
 class Comparison:
     """A full candidate-vs-baseline comparison."""
@@ -222,7 +280,7 @@ class Comparison:
 def _worst_first(finding: Finding) -> tuple:
     # Regressions before improvements, then by how bad it is; exact
     # counter evidence outranks equally-sized timing wobble.
-    kind_rank = {"counter": 0, "gauge": 1, "timing": 2}
+    kind_rank = {"counter": 0, "gauge": 1, "histogram": 2, "timing": 3}
     ratio = finding.ratio if finding.ratio != float("inf") else 1e18
     badness = ratio if finding.severity == "regression" else 1.0 / max(ratio, 1e-18)
     return (
@@ -241,6 +299,7 @@ def compare_runs(
     iqr_factor: float = DEFAULT_IQR_FACTOR,
     timing_floor_s: float = DEFAULT_TIMING_FLOOR_S,
     gauge_threshold: float = DEFAULT_GAUGE_THRESHOLD,
+    histogram_threshold: float = DEFAULT_HISTOGRAM_THRESHOLD,
 ) -> Comparison:
     """Run both detectors over every test present in both runs."""
     comparison = Comparison(baseline=baseline, candidate=candidate)
@@ -263,6 +322,10 @@ def compare_runs(
         comparison.findings.extend(
             detect_gauges(test, before.gauges, after.gauges,
                           threshold=gauge_threshold)
+        )
+        comparison.findings.extend(
+            detect_histograms(test, before.histograms, after.histograms,
+                              threshold=histogram_threshold)
         )
     comparison.findings.sort(key=_worst_first)
     return comparison

@@ -58,6 +58,13 @@ class BenchEntry:
     ``span_profile`` its span name-path aggregates — both optional:
     runs recorded before attribution existed load with them empty, and
     ``bench-report --explain`` degrades to counter-only explanations.
+
+    ``histograms`` holds the first repeat's latency/size distribution
+    *summaries* (``{name: {count, min, p50, p90, p99, max, sum}}``, see
+    :meth:`repro.obs.Histogram.summary`) — summaries rather than raw
+    buckets, because the tail detector only needs the quantiles and the
+    stored run documents stay human-readable.  Optional like
+    ``labeled``: older runs load with it empty.
     """
 
     test: str
@@ -66,6 +73,7 @@ class BenchEntry:
     gauges: Dict[str, float] = field(default_factory=dict)
     labeled: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
     span_profile: List[Dict[str, Any]] = field(default_factory=list)
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def seconds(self) -> float:
@@ -86,6 +94,11 @@ class BenchEntry:
             }
         if self.span_profile:
             out["span_profile"] = [dict(row) for row in self.span_profile]
+        if self.histograms:
+            out["histograms"] = {
+                name: {key: summary[key] for key in sorted(summary)}
+                for name, summary in sorted(self.histograms.items())
+            }
         return out
 
     @classmethod
@@ -105,6 +118,10 @@ class BenchEntry:
                 for name, rows in (payload.get("labeled") or {}).items()
             },
             span_profile=[dict(row) for row in payload.get("span_profile", ())],
+            histograms={
+                str(name): {str(k): float(v) for k, v in summary.items()}
+                for name, summary in (payload.get("histograms") or {}).items()
+            },
         )
 
 

@@ -268,6 +268,19 @@ def _explain_lines(comparison: Comparison, markdown: bool) -> List[str]:
     return lines
 
 
+def _distribution_rows(
+    comparison: Comparison, shown: List[str]
+) -> List[tuple]:
+    """(test, metric, summary) rows of the candidate's histogram
+    summaries, in test order."""
+    rows: List[tuple] = []
+    for test in shown:
+        entry = comparison.candidate.entries[test]
+        for name in sorted(entry.histograms):
+            rows.append((test, name, entry.histograms[name]))
+    return rows
+
+
 def _render_text(
     runs: List[BenchRun], comparison: Comparison, limit: int,
     explain: bool = False,
@@ -295,6 +308,17 @@ def _render_text(
             lines.append(
                 "  %-*s  %10.4fs  %s"
                 % (width, _short_test(test, 60), latest, sparkline(values))
+            )
+    distribution_rows = _distribution_rows(comparison, shown)
+    if distribution_rows:
+        lines.append("")
+        lines.append("distributions (candidate, first repeat):")
+        for test, name, summary in distribution_rows[: limit or None]:
+            lines.append(
+                "  %-28s  n=%-4d p50=%-9.3f p99=%-9.3f max=%-9.3f %s"
+                % (name, int(summary.get("count", 0)),
+                   summary.get("p50", 0.0), summary.get("p99", 0.0),
+                   summary.get("max", 0.0), _short_test(test))
             )
     regressions = comparison.regressions
     improvements = comparison.improvements
@@ -400,6 +424,18 @@ def _render_markdown(
                 % (_short_test(test),
                    comparison.candidate.entries[test].seconds,
                    sparkline(series.get(test, [])))
+            )
+    distribution_rows = _distribution_rows(comparison, shown)
+    if distribution_rows:
+        lines.extend(["", "## Distributions (candidate, first repeat)", ""])
+        lines.append("| metric | test | n | p50 | p99 | max |")
+        lines.append("|--------|------|--:|----:|----:|----:|")
+        for test, name, summary in distribution_rows[: limit or None]:
+            lines.append(
+                "| `%s` | `%s` | %d | %.3f | %.3f | %.3f |"
+                % (name, _short_test(test), int(summary.get("count", 0)),
+                   summary.get("p50", 0.0), summary.get("p99", 0.0),
+                   summary.get("max", 0.0))
             )
     if explain:
         lines.extend(_explain_lines(comparison, markdown=True))

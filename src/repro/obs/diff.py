@@ -180,12 +180,63 @@ def profile_from_payload(payload: Mapping[str, Any], label: str = "") -> RunProf
 
 
 def load_run_profile(path: str, label: str = "") -> RunProfile:
-    """Read and sniff one exported-run JSON file."""
+    """Read and sniff one exported-run JSON file.
+
+    Accepts a Chrome trace, a profile/Snapshot export, or a bench run
+    JSON.  Anything else — notably the observability layer's *own*
+    line-oriented artifacts (a ``--metrics`` timeline, a ``--log``
+    JSONL, a batch status file) — raises a ValueError naming what the
+    file actually is and what formats are expected, instead of a
+    JSON-decode traceback."""
     with open(path, encoding="utf-8") as handle:
-        payload = json.load(handle)
+        text = handle.read()
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        raise ValueError(
+            "%s: %s" % (path, _describe_non_profile(text))
+        ) from None
     if not isinstance(payload, dict):
         raise ValueError("%s: not a JSON object" % path)
     return profile_from_payload(payload, label=label or path)
+
+
+def _describe_non_profile(text: str) -> str:
+    """Why a non-JSON file is not a run profile, by sniffing."""
+    from .metrics import TIMELINE_KIND, sniff_jsonl_kind
+
+    expected = (
+        "expected a Chrome trace, a profile/Snapshot export, or a "
+        "bench run JSON"
+    )
+    kind = sniff_jsonl_kind(text)
+    if kind == TIMELINE_KIND:
+        return (
+            "this is a metrics timeline JSONL (written next to a "
+            "--metrics file), not a run profile; %s" % expected
+        )
+    if kind is not None:
+        return "this is a %r JSONL artifact, not a run profile; %s" % (
+            kind, expected,
+        )
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        first = stripped.splitlines()[0] if stripped.splitlines() else ""
+        try:
+            json.loads(first)
+        except ValueError:
+            pass
+        else:
+            return (
+                "this looks like line-oriented JSONL (e.g. a --log "
+                "file), not a run profile; %s" % expected
+            )
+    if stripped.startswith("# TYPE ") or stripped.startswith("# HELP "):
+        return (
+            "this looks like an OpenMetrics exposition (--metrics "
+            "output), not a run profile; %s" % expected
+        )
+    return "not valid JSON; %s" % expected
 
 
 # ---------------------------------------------------------------------------

@@ -88,6 +88,26 @@ def render_text(recorder: Recorder) -> str:
         width = max(len(name) for name in recorder.gauges)
         for name in sorted(recorder.gauges):
             lines.append("  %-*s  %g" % (width, name, recorder.gauges[name]))
+    if recorder.histograms:
+        lines.append("")
+        lines.append("histograms:")
+        width = max(len(name) for name in recorder.histograms)
+        for name in sorted(recorder.histograms):
+            stats = recorder.histograms[name].summary()
+            lines.append(
+                "  %-*s  n=%d p50=%g p90=%g p99=%g max=%g"
+                % (width, name, int(stats["count"]), stats["p50"],
+                   stats["p90"], stats["p99"], stats["max"])
+            )
+    if recorder.meters:
+        lines.append("")
+        lines.append("meters:")
+        width = max(len(name) for name in recorder.meters)
+        for name in sorted(recorder.meters):
+            meter = recorder.meters[name]
+            lines.append(
+                "  %-*s  n=%g rate=%.3f/s" % (width, name, meter.count, meter.rate())
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -125,6 +145,7 @@ def to_dict(recorder: Recorder) -> Dict[str, Any]:
     sorted so the export is byte-stable regardless of the order the
     instrumented code happened to touch them in."""
     from .log import events_to_dicts
+    from .metrics import registry_to_jsonable
     from .snapshot import labeled_to_jsonable
 
     return {
@@ -133,6 +154,9 @@ def to_dict(recorder: Recorder) -> Dict[str, Any]:
         "counters": {name: recorder.counters[name] for name in sorted(recorder.counters)},
         "gauges": {name: recorder.gauges[name] for name in sorted(recorder.gauges)},
         "labeled": labeled_to_jsonable(recorder.labeled),
+        "histograms": registry_to_jsonable(recorder.histograms),
+        "meters": registry_to_jsonable(recorder.meters),
+        "samples": registry_to_jsonable(recorder.samples),
         "events": events_to_dicts(recorder),
     }
 
@@ -140,6 +164,11 @@ def to_dict(recorder: Recorder) -> Dict[str, Any]:
 def from_dict(payload: Dict[str, Any]) -> Recorder:
     """Rebuild a recorder from :func:`to_dict` output."""
     from .log import LogEvent
+    from .metrics import (
+        histograms_from_jsonable,
+        meters_from_jsonable,
+        samples_from_jsonable,
+    )
     from .snapshot import labeled_from_jsonable
 
     rec = Recorder()
@@ -147,6 +176,9 @@ def from_dict(payload: Dict[str, Any]) -> Recorder:
     rec.counters = dict(payload.get("counters", {}))
     rec.gauges = dict(payload.get("gauges", {}))
     rec.labeled = labeled_from_jsonable(payload.get("labeled", {}))
+    rec.histograms = histograms_from_jsonable(payload.get("histograms", {}))
+    rec.meters = meters_from_jsonable(payload.get("meters", {}))
+    rec.samples = samples_from_jsonable(payload.get("samples", {}))
     rec.events = [LogEvent.from_dict(event) for event in payload.get("events", ())]
     return rec
 
@@ -266,6 +298,26 @@ def to_chrome_trace(recorder: Recorder, process_name: str = "repro") -> Dict[str
                 "pid": 1,
                 "tid": 1,
                 "args": {"labeled": labeled_to_jsonable(recorder.labeled)},
+            }
+        )
+    if recorder.histograms:
+        # Distribution registry as a second metadata event: buckets
+        # travel whole, so the HTML report can draw the histogram bars
+        # rather than just quoting the quantiles.
+        events.append(
+            {
+                "name": "repro_histograms",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "args": {
+                    "histograms": {
+                        name: histogram.to_jsonable()
+                        for name, histogram in sorted(
+                            recorder.histograms.items()
+                        )
+                    }
+                },
             }
         )
     return {"traceEvents": events, "displayTimeUnit": "ms"}

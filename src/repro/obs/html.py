@@ -138,6 +138,11 @@ code { font-size: 0.85em; }
   stroke-linejoin: round; stroke-linecap: round;
 }
 .spark circle { fill: var(--accent); }
+.hstrip { display: inline-flex; align-items: flex-end; gap: 1px; height: 16px; }
+.hbar {
+  display: inline-block; width: 5px; background: var(--accent);
+  border-radius: 1px 1px 0 0;
+}
 """
 
 
@@ -255,6 +260,60 @@ def _section_counters(counters: Dict[str, float]) -> str:
     return (
         '<table><tr><th>counter</th><th class="num">value</th></tr>%s'
         "</table>" % rows
+    )
+
+
+def _trace_histograms(trace: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """The distribution registry a Chrome trace carries in its
+    ``repro_histograms`` metadata event (empty for older traces)."""
+    if trace is None:
+        return {}
+    from .metrics import histograms_from_jsonable
+
+    for event in trace.get("traceEvents", ()):
+        if event.get("ph") == "M" and event.get("name") == "repro_histograms":
+            args = event.get("args") or {}
+            return histograms_from_jsonable(args.get("histograms", {}))
+    return {}
+
+
+def _section_histograms(histograms: Dict[str, Any]) -> str:
+    """Latency/size distributions: one row per metric with the p50/p90/
+    p99/max summary and a bar strip over the log2 buckets."""
+    if not histograms:
+        return _placeholder(
+            "No distributions recorded in the trace (the run predates "
+            "histogram metrics, or no instrumented path executed)."
+        )
+    from .metrics import bucket_upper_bound
+
+    rows = []
+    for name in sorted(histograms):
+        histogram = histograms[name]
+        summary = histogram.summary()
+        buckets = sorted(histogram.buckets.items())
+        peak = max((count for _, count in buckets), default=1)
+        bars = "".join(
+            '<span class="hbar" style="height:%dpx" title="&le;%s: %d"></span>'
+            % (max(2, int(round(14.0 * count / peak))),
+               _esc(_fmt_num(bucket_upper_bound(index))), count)
+            for index, count in buckets
+        )
+        rows.append(
+            "<tr><td><code>%s</code></td>"
+            '<td class="num">%d</td><td class="num">%s</td>'
+            '<td class="num">%s</td><td class="num">%s</td>'
+            '<td class="num">%s</td><td><span class="hstrip">%s</span></td></tr>'
+            % (_esc(name), int(summary["count"]),
+               _esc(_fmt_num(summary["p50"])), _esc(_fmt_num(summary["p90"])),
+               _esc(_fmt_num(summary["p99"])), _esc(_fmt_num(summary["max"])),
+               bars)
+        )
+    return (
+        '<table><tr><th>metric</th><th class="num">n</th>'
+        '<th class="num">p50</th><th class="num">p90</th>'
+        '<th class="num">p99</th><th class="num">max</th>'
+        "<th>log&#8322; buckets</th></tr>%s</table>" % "".join(rows)
     )
 
 
@@ -553,6 +612,7 @@ def render_report_html(
     sections = [
         ("Span waterfall", _section_waterfall(trace)),
         ("Counters", _section_counters(_trace_counters(trace))),
+        ("Latency distributions", _section_histograms(_trace_histograms(trace))),
         (
             "Work attribution",
             _section_attribution(_trace_counters(trace), _trace_labeled(trace)),

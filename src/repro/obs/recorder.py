@@ -31,6 +31,8 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from .metrics import Histogram, Meter, SampleSeries
+
 __all__ = [
     "Span",
     "Recorder",
@@ -43,6 +45,10 @@ __all__ = [
     "add",
     "set_gauge",
     "gauge_max",
+    "observe",
+    "mark",
+    "sample",
+    "timed",
     "NULL_SPAN",
 ]
 
@@ -150,6 +156,7 @@ class Recorder:
     """
 
     __slots__ = ("spans", "counters", "gauges", "labeled", "events",
+                 "histograms", "meters", "samples",
                  "log_level", "_stack", "_next_span_id")
 
     def __init__(self, log_level: Optional[int] = None) -> None:
@@ -160,6 +167,12 @@ class Recorder:
         # keyed name -> label-combination -> value, so the flat
         # ``counters`` table and everything reading it stay untouched.
         self.labeled: Dict[str, Dict[LabelKey, float]] = {}
+        # Distribution registries (see repro.obs.metrics): separate
+        # from the flat counters so observing a histogram can never
+        # perturb the exact work-counter comparisons.
+        self.histograms: Dict[str, Histogram] = {}
+        self.meters: Dict[str, Meter] = {}
+        self.samples: Dict[str, SampleSeries] = {}
         self.events: List[Any] = []  # LogEvent, kept untyped to avoid a cycle
         self.log_level = log_level  # None = event logging off
         self._stack: List[Span] = []
@@ -229,6 +242,27 @@ class Recorder:
     def gauge_max(self, name: str, value: float) -> None:
         if name not in self.gauges or self.gauges[name] < value:
             self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the named log₂-bucket histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def mark(self, name: str, n: float = 1) -> None:
+        """Tick the named rate meter ``n`` events."""
+        meter = self.meters.get(name)
+        if meter is None:
+            meter = self.meters[name] = Meter()
+        meter.mark(n)
+
+    def sample(self, name: str, value: float, ts: Optional[float] = None) -> None:
+        """Append one periodic sample to the named time series."""
+        series = self.samples.get(name)
+        if series is None:
+            series = self.samples[name] = SampleSeries()
+        series.sample(value, ts)
 
     # -- convenience -------------------------------------------------------
 
@@ -322,3 +356,49 @@ def gauge_max(name: str, value: float) -> None:
     rec = _RECORDER.get()
     if rec is not None:
         rec.gauge_max(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a value into a latency/size histogram (no-op when off).
+
+    Same zero-overhead contract as :func:`add`: one ContextVar read and
+    a truthiness check when no recorder is installed.  Histograms live
+    in their own registry, so observing never changes the flat counters
+    the bench gate and golden files compare byte-for-byte.
+    """
+    rec = _RECORDER.get()
+    if rec is not None:
+        rec.observe(name, value)
+
+
+def mark(name: str, n: float = 1) -> None:
+    """Tick an event-rate meter (no-op when off)."""
+    rec = _RECORDER.get()
+    if rec is not None:
+        rec.mark(name, n)
+
+
+def sample(name: str, value: float) -> None:
+    """Append a periodic sample to a bounded time series (no-op when
+    off).  Sampled series feed the ``--metrics`` JSONL timeline."""
+    rec = _RECORDER.get()
+    if rec is not None:
+        rec.sample(name, value)
+
+
+@contextmanager
+def timed(name: str) -> Iterator[None]:
+    """Time the block into the named histogram, in milliseconds.
+
+    Disabled mode takes the no-recorder fast path before touching the
+    clock, so an uninstrumented run pays only the ContextVar read.
+    """
+    rec = _RECORDER.get()
+    if rec is None:
+        yield
+        return
+    start = time.perf_counter_ns()
+    try:
+        yield
+    finally:
+        rec.observe(name, (time.perf_counter_ns() - start) / 1e6)

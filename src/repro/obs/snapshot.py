@@ -28,6 +28,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from .metrics import (
+    Histogram,
+    Meter,
+    SampleSeries,
+    histograms_from_jsonable,
+    merge_registry,
+    meters_from_jsonable,
+    registry_to_jsonable,
+    samples_from_jsonable,
+)
 from .recorder import LabelKey, Recorder
 
 __all__ = [
@@ -78,6 +88,15 @@ def merge_labeled(
         target = into.setdefault(name, {})
         for key, value in by_key.items():
             target[key] = target.get(key, 0) + value
+
+
+def _copy_registry(registry: Mapping[str, Any]) -> Dict[str, Any]:
+    """A deep copy of a metrics registry (via the JSON round-trip, so
+    the copy never aliases the live recorder's mutable state)."""
+    return {
+        name: type(value).from_jsonable(value.to_jsonable())
+        for name, value in registry.items()
+    }
 
 
 def _collect_ids(spans: List[Dict[str, Any]]) -> List[int]:
@@ -131,6 +150,9 @@ class Snapshot:
     events: List[Dict[str, Any]] = field(default_factory=list)
     spans: List[Dict[str, Any]] = field(default_factory=list)
     labeled: Dict[str, Dict[LabelKey, float]] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    meters: Dict[str, Meter] = field(default_factory=dict)
+    samples: Dict[str, SampleSeries] = field(default_factory=dict)
 
     @classmethod
     def from_recorder(cls, recorder: Recorder) -> "Snapshot":
@@ -146,19 +168,29 @@ class Snapshot:
             events=events_to_dicts(recorder),
             spans=[span_to_dict(root) for root in recorder.spans],
             labeled={name: dict(by_key) for name, by_key in recorder.labeled.items()},
+            histograms=_copy_registry(recorder.histograms),
+            meters=_copy_registry(recorder.meters),
+            samples=_copy_registry(recorder.samples),
         )
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready document (``from_dict`` round-trips it).
-        Version 3 adds the ``labeled`` attribution registry."""
+        Version 4 adds the metrics registries (``histograms``,
+        ``meters``, ``samples``); version 3 added ``labeled``."""
         out: Dict[str, Any] = {
-            "version": 3,
+            "version": 4,
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "wall_time_ns": int(self.wall_time_ns),
         }
         if self.labeled:
             out["labeled"] = labeled_to_jsonable(self.labeled)
+        if self.histograms:
+            out["histograms"] = registry_to_jsonable(self.histograms)
+        if self.meters:
+            out["meters"] = registry_to_jsonable(self.meters)
+        if self.samples:
+            out["samples"] = registry_to_jsonable(self.samples)
         if self.events:
             out["events"] = [dict(event) for event in self.events]
         if self.spans:
@@ -167,9 +199,9 @@ class Snapshot:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Snapshot":
-        """Rebuild a snapshot from :meth:`to_dict` output (version 1/2
-        payloads — no labeled registry, or no events/spans — load
-        fine)."""
+        """Rebuild a snapshot from :meth:`to_dict` output (version 1–3
+        payloads — no metrics registries, no labeled registry, or no
+        events/spans — load fine)."""
         return cls(
             counters={str(k): float(v) for k, v in dict(payload.get("counters", {})).items()},
             gauges={str(k): float(v) for k, v in dict(payload.get("gauges", {})).items()},
@@ -177,19 +209,25 @@ class Snapshot:
             events=[dict(event) for event in payload.get("events", ())],
             spans=[dict(span) for span in payload.get("spans", ())],
             labeled=labeled_from_jsonable(payload.get("labeled", {})),
+            histograms=histograms_from_jsonable(payload.get("histograms", {})),
+            meters=meters_from_jsonable(payload.get("meters", {})),
+            samples=samples_from_jsonable(payload.get("samples", {})),
         )
 
     def without_replayable_state(self) -> "Snapshot":
         """A copy carrying only the registries — what a result cache
         should store, so a cache hit never replays stale log events or
-        span trees as if the work had happened again.  The labeled
-        registry *is* a registry (it merges like counters), so it stays:
-        a cache hit still explains where its states went."""
+        span trees as if the work had happened again.  The labeled,
+        histogram, and meter registries merge like counters, so they
+        stay; the sampled time series is replayable state (wall-clock
+        stamped), so it is dropped along with events and spans."""
         return Snapshot(
             counters=dict(self.counters),
             gauges=dict(self.gauges),
             wall_time_ns=self.wall_time_ns,
             labeled={name: dict(by_key) for name, by_key in self.labeled.items()},
+            histograms=_copy_registry(self.histograms),
+            meters=_copy_registry(self.meters),
         )
 
     def _id_map_for(self, taken: List[int]) -> Tuple[Dict[int, int], int]:
@@ -216,6 +254,12 @@ class Snapshot:
                 gauges[name] = value
         labeled = {name: dict(by_key) for name, by_key in self.labeled.items()}
         merge_labeled(labeled, other.labeled)
+        histograms = _copy_registry(self.histograms)
+        merge_registry(histograms, other.histograms)
+        meters = _copy_registry(self.meters)
+        merge_registry(meters, other.meters)
+        samples = _copy_registry(self.samples)
+        merge_registry(samples, other.samples)
         id_map, _ = other._id_map_for(_collect_ids(self.spans))
         return Snapshot(
             counters=counters,
@@ -226,6 +270,9 @@ class Snapshot:
             spans=[dict(span) for span in self.spans]
             + _remap_spans(other.spans, id_map),
             labeled=labeled,
+            histograms=histograms,
+            meters=meters,
+            samples=samples,
         )
 
     def merge_into(self, recorder: Recorder, prefix: str = "") -> None:
@@ -248,6 +295,27 @@ class Snapshot:
         for name, by_key in self.labeled.items():
             for key, value in by_key.items():
                 recorder.add_labeled_raw(prefix + name, key, value)
+        # The metrics registries merge by their own semantics: histogram
+        # buckets add, meter windows keep the longest, sampled series
+        # interleave by timestamp.  Prefixes namespace them like the
+        # flat registries.
+        if prefix:
+            merge_registry(
+                recorder.histograms,
+                {prefix + name: h for name, h in self.histograms.items()},
+            )
+            merge_registry(
+                recorder.meters,
+                {prefix + name: m for name, m in self.meters.items()},
+            )
+            merge_registry(
+                recorder.samples,
+                {prefix + name: s for name, s in self.samples.items()},
+            )
+        else:
+            merge_registry(recorder.histograms, self.histograms)
+            merge_registry(recorder.meters, self.meters)
+            merge_registry(recorder.samples, self.samples)
         if not self.events and not self.spans:
             return
         id_map: Dict[int, int] = {

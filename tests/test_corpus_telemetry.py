@@ -1,0 +1,255 @@
+"""Tests for the corpus live-telemetry sideband: the worker sampler
+protocol, the parent TelemetryHub fold, the stall watchdog, the status
+file, and the ``top`` / ``--progress`` CLI surface."""
+
+import json
+import os
+import queue
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.corpus import discover_jobs, run_corpus
+from repro.corpus import telemetry
+from repro.corpus.runner import FAULT_DELAY_ENV
+from repro.corpus.telemetry import (
+    STATUS_BASENAME,
+    STATUS_KIND,
+    TelemetryHub,
+    WorkerState,
+    read_status_file,
+    write_status_file,
+)
+
+RECIPES_SCHEMA = """
+start recipes
+recipes -> recipe*
+recipe -> description . comments
+description -> text
+comments -> comment*
+comment -> text
+"""
+
+SELECT_TDX = """
+initial q0
+rule q0 recipes -> recipes(q0)
+rule q0 recipe -> recipe(qsel)
+rule qsel description -> description(q)
+text q
+"""
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    root = tmp_path / "corpus"
+    root.mkdir()
+    (root / "recipes.schema").write_text(RECIPES_SCHEMA)
+    (root / "select.tdx").write_text(SELECT_TDX)
+    (root / "manifest.txt").write_text("select.tdx recipes.schema\n")
+    return root
+
+
+def _progress(job_id="j1", pid=42, elapsed=0.5, kind="progress", **extra):
+    message = {
+        "kind": kind,
+        "job_id": job_id,
+        "pid": pid,
+        "elapsed": elapsed,
+        "span_path": "batch.run/ptime.copying",
+        "counters": {"ptime.product_states": 7},
+        "rss_kb": 1024,
+        "ts": 123.0,
+    }
+    message.update(extra)
+    return message
+
+
+class TestTelemetryHub:
+    def test_poll_folds_progress_into_worker_state(self):
+        hub = TelemetryHub()
+        channel = queue.Queue()
+        channel.put(_progress(elapsed=0.25))
+        channel.put(_progress(elapsed=0.75))
+        assert hub.poll(channel) == 2
+        state = hub.workers["j1"]
+        assert state.elapsed == 0.75
+        assert state.span_path == "batch.run/ptime.copying"
+        assert state.rss_kb == 1024
+        assert not state.stalled
+
+    def test_stall_message_emits_one_warning_with_stack(self):
+        stalls = []
+        hub = TelemetryHub(on_stall=stalls.append)
+        channel = queue.Queue()
+        channel.put(_progress(kind="stall", stack="Thread 0x1 (most recent)"))
+        channel.put(_progress(kind="stall", stack="second dump"))
+        with obs.recording(log_level=obs.WARNING) as recorder:
+            hub.poll(channel)
+        warnings = [
+            event.to_dict() for event in recorder.events
+            if event.to_dict()["logger"] == "corpus.stall"
+        ]
+        # The second stall message for the same job folds silently.
+        assert len(warnings) == 1
+        assert "Thread 0x1" in warnings[0]["fields"]["stack"]
+        assert warnings[0]["fields"]["job_id"] == "j1"
+        assert len(stalls) == 1
+        assert hub.workers["j1"].stalled
+
+    def test_job_done_clears_state_and_in_flight_sorts_slowest_first(self):
+        hub = TelemetryHub()
+        channel = queue.Queue()
+        channel.put(_progress(job_id="fast", elapsed=0.1))
+        channel.put(_progress(job_id="slow", elapsed=9.0))
+        hub.poll(channel)
+        assert [state.job_id for state in hub.in_flight()] == ["slow", "fast"]
+        hub.job_done("slow")
+        assert [state.job_id for state in hub.in_flight()] == ["fast"]
+
+    def test_poll_survives_malformed_messages(self):
+        hub = TelemetryHub()
+        channel = queue.Queue()
+        channel.put({"kind": "progress"})  # no job_id: ignored
+        channel.put(_progress())
+        assert hub.poll(channel) == 2
+        assert list(hub.workers) == ["j1"]
+
+
+class TestStatusFile:
+    def test_write_read_round_trip(self, tmp_path):
+        path = str(tmp_path / STATUS_BASENAME)
+        write_status_file(path, {"done": 3, "total": 5})
+        payload = read_status_file(path)
+        assert payload["kind"] == STATUS_KIND
+        assert payload["done"] == 3
+
+    def test_read_rejects_foreign_json(self, tmp_path):
+        path = str(tmp_path / "other.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"kind": "something-else"}, handle)
+        with pytest.raises(ValueError, match=STATUS_KIND):
+            read_status_file(path)
+
+    def test_worker_state_to_dict_is_jsonable(self):
+        state = WorkerState("j1", 42)
+        state.elapsed = 1.5
+        json.dumps(state.to_dict())
+
+
+class TestStallWatchdogEndToEnd:
+    def test_injected_hang_produces_stall_warning_and_status_file(
+        self, corpus, tmp_path, monkeypatch
+    ):
+        # A per-job timeout forces the pool path (the parent-side
+        # prefilter would otherwise resolve this safe job inline), and
+        # the injected delay outlasts the stall threshold.
+        monkeypatch.setenv(FAULT_DELAY_ENV, "select:1.2")
+        status_path = str(tmp_path / STATUS_BASENAME)
+        jobs = discover_jobs(str(corpus))
+        with obs.recording(log_level=obs.WARNING) as recorder:
+            summary = run_corpus(
+                jobs,
+                max_workers=1,
+                timeout=30,
+                stall_after=0.4,
+                status_file=status_path,
+            )
+        assert summary.results[0].verdict != "timeout"
+        stalls = [
+            event.to_dict() for event in recorder.events
+            if event.to_dict()["logger"] == "corpus.stall"
+        ]
+        assert stalls, "stall watchdog never fired"
+        # The dump is a real faulthandler traceback of the hung worker,
+        # joined to a span id the --log JSONL can resolve.
+        assert "thread" in stalls[0]["fields"]["stack"].lower()
+        assert "span_id" in stalls[0]
+        status = read_status_file(status_path)
+        assert status["finished"] is True
+        assert status["total"] == 1
+        assert status["job_ms"]["count"] >= 1
+
+
+class TestCliSurface:
+    def test_top_once_renders_a_frame(self, tmp_path, capsys):
+        path = str(tmp_path / STATUS_BASENAME)
+        write_status_file(path, {
+            "ts": 100.0, "pid": 7, "total": 4, "cache_hits": 1,
+            "to_run": 3, "done": 2, "queue_depth": 1,
+            "verdicts": {"safe": 2},
+            "workers": [{
+                "job_id": "select.tdx x recipes.schema", "pid": 99,
+                "elapsed": 1.25, "span_path": "batch.run/ptime.copying",
+                "rss_kb": 2048, "stalled": True,
+            }],
+            "job_ms": {"count": 2, "p50": 10.0, "p90": 20.0,
+                       "p99": 30.0, "max": 31.0, "min": 5.0, "sum": 41.0},
+            "finished": False,
+        })
+        assert main(["top", path, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "2/4" in out
+        assert "STALLED" in out
+        assert "ptime.copying" in out
+
+    def test_top_once_without_status_file_errors(self, tmp_path, capsys):
+        missing = str(tmp_path / "nothing.json")
+        assert main(["top", missing, "--once"]) == 2
+        assert "status" in capsys.readouterr().err
+
+    def test_top_resolves_directory_to_default_basename(self, tmp_path, capsys):
+        write_status_file(
+            os.path.join(str(tmp_path), STATUS_BASENAME),
+            {"total": 1, "done": 1, "to_run": 0, "cache_hits": 0,
+             "verdicts": {}, "workers": [], "finished": True},
+        )
+        assert main(["top", str(tmp_path), "--once"]) == 0
+        assert "1/1" in capsys.readouterr().out
+
+    def test_batch_progress_flags_are_mutually_exclusive(self, corpus, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", str(corpus), "--progress", "--no-progress"])
+
+    def test_batch_no_progress_runs_and_writes_status(self, corpus, capsys):
+        code = main([
+            "batch", str(corpus), "--no-progress", "--no-cache",
+            "--format", "json",
+        ])
+        assert code == 0
+        status = read_status_file(os.path.join(str(corpus), STATUS_BASENAME))
+        assert status["finished"] is True
+
+    def test_batch_metrics_writes_openmetrics(self, corpus, tmp_path, capsys):
+        from repro.obs.metrics import validate_openmetrics
+
+        metrics_path = str(tmp_path / "metrics.prom")
+        code = main([
+            "batch", str(corpus), "--no-progress", "--no-cache",
+            "--format", "json", "--metrics", metrics_path,
+        ])
+        assert code == 0
+        with open(metrics_path, encoding="utf-8") as handle:
+            families = validate_openmetrics(handle.read())
+        assert any(name.startswith("repro_corpus") for name in families)
+
+
+class TestSamplerHelpers:
+    def test_current_rss_kb_is_positive_on_unix(self):
+        rss = telemetry.current_rss_kb()
+        assert rss is None or rss > 0
+
+    def test_dump_stack_contains_this_thread(self):
+        dump = telemetry._dump_stack()
+        assert "thread" in dump.lower()
+        assert "telemetry.py" in dump
+
+    def test_span_path_reads_open_span_stack(self):
+        with obs.recording() as recorder:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    assert telemetry._span_path(recorder) == "outer/inner"
+        assert telemetry._span_path(recorder) == ""
+
+    def test_span_path_tolerates_recorderless_input(self):
+        assert telemetry._span_path(object()) == ""

@@ -119,10 +119,10 @@ class TestSnapshotV3:
             event["pid"] = pid  # simulate distinct worker processes
         return snapshot
 
-    def test_to_dict_is_version_3_with_labeled(self):
+    def test_to_dict_is_version_4_with_labeled(self):
         snapshot = self._snapshot(pid=1, value=4)
         payload = snapshot.to_dict()
-        assert payload["version"] == 3
+        assert payload["version"] == 4
         assert payload["labeled"]["ptime.product_states"][0]["value"] == 4
         assert Snapshot.from_dict(payload).labeled == snapshot.labeled
 
