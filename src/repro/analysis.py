@@ -184,6 +184,7 @@ def audit_corpus(
     timeout: Optional[float] = None,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    shard: Optional[str] = None,
 ):
     """Batch front door (the :mod:`repro.corpus` engine): discover every
     (transducer, schema, protect) job of a corpus directory — from its
@@ -192,14 +193,23 @@ def audit_corpus(
     return the :class:`~repro.corpus.runner.RunSummary` (worst verdicts
     first).  Results are cached content-addressed under
     ``corpus_dir/.repro-cache`` unless ``use_cache`` is false.
+
+    ``shard="i/N"`` keeps only this process's deterministic slice of
+    the corpus (the same SHA-256 partition as ``batch --shard`` and the
+    serve-side splitter), so N calls with ``0/N``..``N-1/N`` together
+    cover exactly the full corpus.
     """
     # Imported lazily: corpus pulls in the CLI loaders, which import
     # this module.
-    from .corpus import discover_jobs, open_cache, run_corpus
+    from .corpus import discover_jobs, filter_shard, open_cache, parse_shard, run_corpus
 
+    jobs = discover_jobs(corpus_dir)
+    if shard is not None:
+        index, count = parse_shard(shard)
+        jobs = filter_shard(jobs, index, count)
     cache = open_cache(corpus_dir, cache_dir) if use_cache else None
     return run_corpus(
-        discover_jobs(corpus_dir),
+        jobs,
         max_workers=max_workers,
         timeout=timeout,
         cache=cache,

@@ -37,7 +37,7 @@ Commands::
                               [--trace FILE.json]
                               [--log FILE.jsonl] [--log-level LEVEL]
     python -m repro batch     CORPUS_DIR [--jobs N] [--timeout S]
-                              [--cache-dir D] [--no-cache]
+                              [--cache-dir D] [--no-cache] [--shard i/N]
                               [--format text|json|markdown]
                               [--fail-on SEVERITY] [--no-prefilter]
                               [--output FILE]
@@ -46,6 +46,15 @@ Commands::
                               [--stats] [--trace FILE.json]
                               [--log FILE.jsonl] [--log-level LEVEL]
                               [--metrics FILE]
+    python -m repro serve     (--socket PATH | --port N) [--jobs N]
+                              [--queue-limit N] [--timeout S]
+                              [--cache-dir D] [--status-file FILE]
+                              [--metrics FILE] [--drain-timeout S]
+    python -m repro submit    (--socket PATH | --port N)
+                              CORPUS_DIR | TRANSDUCER SCHEMA
+                              [--protect LABEL ...] [--shards N]
+                              [--timeout S] [--no-cache]
+                              [--format text|events]
     python -m repro top       [CORPUS_DIR|STATUS_FILE] [--interval S]
                               [--once]
     python -m repro bench-report [--baseline REF] [--candidate REF]
@@ -83,7 +92,22 @@ timeouts and failure isolation, and results are cached content-
 addressed under ``CORPUS_DIR/.repro-cache`` so re-runs only recompute
 changed pairs.  ``--format json`` streams JSONL (one job object per
 line plus a summary trailer); ``text``/``markdown`` render worst
-verdicts first with a cache/timing footer.
+verdicts first with a cache/timing footer.  ``--shard i/N`` keeps only
+this process's deterministic slice of the corpus (SHA-256 of the job
+id modulo N — see :mod:`repro.corpus.manifest`), so N independent
+``batch`` invocations partition one corpus with no coordination and
+their verdict sets union to the unsharded run's.
+
+``serve`` runs the resident audit daemon (see :mod:`repro.serve`):
+one warm worker pool and one hot result cache shared across requests,
+a bounded admission queue with explicit ``busy`` backpressure, per-
+request trace capture, and both the NDJSON and local-HTTP transports
+on a unix socket or 127.0.0.1 port.  ``submit`` is the matching
+client: it streams the server's per-job events — ``--format events``
+prints the raw JSONL (LogEvent-shaped, appendable to a ``--log``
+file), ``--format text`` renders the human lines — and exits 0 on an
+all-clear, 1 when jobs fail, 2 on bad input or an unreachable server,
+3 when the server answers ``busy``.
 
 Observability flags, shared across commands: ``--stats`` prints the
 recorded span tree and counters to stderr; ``--trace FILE.json``
@@ -146,7 +170,10 @@ Exit status, for CI use:
       threshold; ``bench-report --fail-on-regression``: confirmed
       regressions)
 2     bad input (malformed/missing files, missing history,
-      malformed corpus/manifest, ``CliError``)
+      malformed corpus/manifest, ``CliError``; ``submit``: also an
+      unreachable server or a server-side discovery failure)
+3     ``submit`` only: the server refused admission — the bounded
+      queue is at its high-water mark (HTTP's 429); retry later
 ====  ==========================================================
 
 Note the ``batch`` asymmetry, by design: a malformed *corpus* (missing
@@ -686,6 +713,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         os.environ[NO_PREFILTER_ENV] = "1"
     try:
         jobs = corpus.discover_jobs(args.corpus_dir)
+        if args.shard is not None:
+            index, count = corpus.parse_shard(args.shard)
+            total = len(jobs)
+            jobs = corpus.filter_shard(jobs, index, count)
+            print(
+                "shard %d/%d: %d of %d jobs" % (index, count, len(jobs), total),
+                file=sys.stderr,
+            )
     except corpus.CorpusError as error:
         raise CliError(str(error)) from None
     cache = None if args.no_cache else corpus.open_cache(args.corpus_dir, args.cache_dir)
@@ -731,6 +766,148 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         sys.stdout.write(rendered)
     _finish_observation(recorder, args)
     return 1 if summary.failing(args.fail_on) else 0
+
+
+def _require_one_endpoint(args: argparse.Namespace) -> None:
+    if (args.socket is None) == (args.port is None):
+        raise CliError("exactly one of --socket PATH or --port N is required")
+    if args.port is not None and not 0 < args.port < 65536:
+        raise CliError("--port must be in 1..65535, got %d" % args.port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeOptions, run_serve
+
+    _require_one_endpoint(args)
+    if args.jobs is not None and args.jobs < 1:
+        raise CliError("--jobs must be at least 1, got %d" % args.jobs)
+    if args.queue_limit < 0:
+        raise CliError("--queue-limit must be >= 0, got %d" % args.queue_limit)
+    if args.timeout is not None and args.timeout <= 0:
+        raise CliError("--timeout must be positive, got %g" % args.timeout)
+    if args.drain_timeout < 0:
+        raise CliError(
+            "--drain-timeout must be >= 0, got %g" % args.drain_timeout
+        )
+    from .corpus.telemetry import STATUS_BASENAME
+
+    options = ServeOptions(
+        socket_path=args.socket,
+        port=args.port,
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        timeout=args.timeout,
+        cache_dir=args.cache_dir,
+        status_file=args.status_file or STATUS_BASENAME,
+        metrics=args.metrics,
+        drain_timeout=args.drain_timeout,
+    )
+    return run_serve(options)
+
+
+def _submit_payload(args: argparse.Namespace) -> Dict[str, Any]:
+    """The submit request object from the CLI's positional target(s):
+    one argument = a corpus directory, two = a (transducer, schema)
+    pair."""
+    payload: Dict[str, Any] = {}
+    if len(args.target) == 1:
+        payload["corpus_dir"] = os.path.abspath(args.target[0])
+    elif len(args.target) == 2:
+        payload["transducer"] = os.path.abspath(args.target[0])
+        payload["schema"] = os.path.abspath(args.target[1])
+        if args.protect:
+            payload["protect"] = list(args.protect)
+    else:
+        raise CliError(
+            "submit takes CORPUS_DIR or TRANSDUCER SCHEMA, got %d arguments"
+            % len(args.target)
+        )
+    if args.shards < 1:
+        raise CliError("--shards must be at least 1, got %d" % args.shards)
+    if args.shards > 1:
+        payload["shards"] = args.shards
+    if args.timeout is not None:
+        if args.timeout <= 0:
+            raise CliError("--timeout must be positive, got %g" % args.timeout)
+        payload["timeout"] = args.timeout
+    if args.no_cache:
+        payload["no_cache"] = True
+    return payload
+
+
+def _render_submit_event(payload: Dict[str, Any]) -> Optional[str]:
+    """The ``--format text`` line for one stream event (None: silent)."""
+    fields = payload.get("fields", {})
+    message = payload.get("message")
+    if message == "request accepted":
+        return "accepted %s (%s)" % (
+            fields.get("request_id"), fields.get("target"),
+        )
+    if message == "run started":
+        line = "%s jobs" % fields.get("jobs")
+        if fields.get("shards", 1) > 1:
+            line += " across %s shards" % fields["shards"]
+        return line
+    if message == "job finished":
+        job = fields.get("job", {})
+        return "%-9s %s  [%s, %.3fs]" % (
+            job.get("verdict", "?"),
+            job.get("job_id", "?"),
+            "hit" if job.get("cache_hit") else "miss",
+            float(job.get("wall_time_s", 0.0)),
+        )
+    if message in ("request finished", "request cancelled"):
+        footer = fields.get("cache_footer", "")
+        pool = fields.get("pool", {})
+        lines = [
+            "%s: %d failing" % (message, int(fields.get("failing", 0))),
+            footer,
+            "pool: %s alive, %s spawned total"
+            % (pool.get("alive", "?"), pool.get("spawned_total", "?")),
+        ]
+        return "\n".join(line for line in lines if line)
+    if message == "request failed":
+        return None  # surfaced via the exit path below
+    return None
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ServeBusy, ServeClient, is_terminal
+
+    _require_one_endpoint(args)
+    payload = _submit_payload(args)
+    client = ServeClient(socket_path=args.socket, port=args.port, timeout=None)
+    terminal: Optional[Dict[str, Any]] = None
+    try:
+        for event in client.submit(payload):
+            if args.format == "events":
+                sys.stdout.write(json.dumps(event, sort_keys=False) + "\n")
+                sys.stdout.flush()
+            else:
+                line = _render_submit_event(event)
+                if line:
+                    print(line)
+            if is_terminal(event):
+                terminal = event
+    except ServeBusy as error:
+        print("busy: %s" % error, file=sys.stderr)
+        return 3
+    except (OSError, ValueError) as error:
+        raise CliError(
+            "cannot talk to the server at %s: %s"
+            % (args.socket or "127.0.0.1:%s" % args.port, error)
+        ) from None
+    if terminal is None:
+        raise CliError("server closed the stream without a terminal event")
+    fields = terminal.get("fields", {})
+    if terminal.get("message") == "request failed":
+        raise CliError(fields.get("error", "request failed"))
+    if terminal.get("message") == "request cancelled":
+        print("request cancelled", file=sys.stderr)
+        return 1
+    return 1 if int(fields.get("failing", 0)) else 0
 
 
 def _cmd_bench_report(args: argparse.Namespace) -> int:
@@ -862,8 +1039,67 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_serve_frame(status: Dict[str, Any]) -> str:
+    """One dashboard frame from a *serve* status document (the server
+    writes per-request rows instead of a single batch's counters)."""
+    lines: List[str] = []
+    server = status.get("server") or {}
+    pool = status.get("pool") or {}
+    lines.append(
+        "repro serve (pid %s) — %s active, queue limit %s, "
+        "%s busy rejections"
+        % (
+            status.get("pid", "?"),
+            server.get("active", 0),
+            server.get("queue_limit", "?"),
+            server.get("busy_rejections", 0),
+        )
+    )
+    lines.append(
+        "pool: %s/%s workers alive · %s spawned total · %s pool(s) created"
+        % (
+            pool.get("alive", 0),
+            pool.get("max_workers", "?"),
+            pool.get("spawned_total", 0),
+            pool.get("pools_created", 0),
+        )
+    )
+    lines.append("")
+    requests = status.get("requests") or []
+    if not requests:
+        lines.append("no requests yet")
+        return "\n".join(lines) + "\n"
+    lines.append("requests (newest last):")
+    for row in requests:
+        verdicts = row.get("verdicts") or {}
+        verdict_text = (
+            " ".join("%s %d" % (k, v) for k, v in sorted(verdicts.items()) if v)
+            or "-"
+        )
+        lines.append(
+            "  %-6s %-9s %3s/%-3s %6.1fs  %-28s %s"
+            % (
+                row.get("request_id", "?"),
+                row.get("state", "?"),
+                row.get("done", 0),
+                row.get("total", "?"),
+                float(row.get("elapsed", 0.0)),
+                verdict_text,
+                row.get("target", ""),
+            )
+        )
+        if row.get("error"):
+            lines.append("      ^ %s" % row["error"])
+    return "\n".join(lines) + "\n"
+
+
 def _render_top_frame(status: Dict[str, Any]) -> str:
     """One dashboard frame from a batch status document."""
+    if "requests" in status:
+        # A serve daemon's status file: per-request rows, not a single
+        # batch.  Dispatching here keeps `top --once` output for plain
+        # batch files byte-stable for scripts.
+        return _render_serve_frame(status)
     lines: List[str] = []
     state = "finished" if status.get("finished") else "running"
     lines.append(
@@ -1089,6 +1325,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute everything; neither read nor write the cache",
     )
     batch.add_argument(
+        "--shard", metavar="i/N", default=None,
+        help="run only this deterministic slice of the corpus "
+        "(SHA-256 of the job id mod N); N invocations 0/N..N-1/N "
+        "partition the corpus with no coordination (default: all jobs)",
+    )
+    batch.add_argument(
         "--format", choices=("text", "json", "markdown"), default="text",
         help="report format; json streams JSONL job objects plus a "
         "summary trailer (default: text)",
@@ -1133,6 +1375,95 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observation_flags(batch)
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident audit daemon: warm worker pool, hot "
+        "result cache, bounded admission queue, NDJSON + local HTTP",
+    )
+    endpoint = serve.add_mutually_exclusive_group(required=True)
+    endpoint.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="listen on a unix socket at PATH",
+    )
+    endpoint.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="listen on 127.0.0.1:N instead of a unix socket",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes in the shared pool "
+        "(default: min(cpu count, 8))",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=8, metavar="N",
+        help="admission high-water mark: submits past N queued+running "
+        "requests are refused with a busy event / HTTP 429 (default: 8)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="default per-job timeout applied to requests that do not "
+        "set their own (default: none)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="D",
+        help="pin one shared result cache directory (default: each "
+        "corpus's own .repro-cache)",
+    )
+    serve.add_argument(
+        "--status-file", metavar="FILE",
+        help="status JSON with per-request rows for 'python -m repro "
+        "top' (default: ./.repro-status.json)",
+    )
+    serve.add_argument(
+        "--metrics", metavar="FILE",
+        help="flush the server-lifetime OpenMetrics exposition to FILE "
+        "on graceful shutdown (live scrape: GET /metrics)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="grace period after the first SIGINT/SIGTERM before "
+        "in-flight requests are cancelled (default: 10)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit an audit to a running serve daemon and stream "
+        "its per-job events",
+    )
+    submit.add_argument(
+        "target", nargs="+", metavar="CORPUS_DIR | TRANSDUCER SCHEMA",
+        help="a corpus directory, or one transducer+schema pair",
+    )
+    submit.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="server unix socket path",
+    )
+    submit.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="server TCP port on 127.0.0.1",
+    )
+    submit.add_argument("--protect", action="append", metavar="LABEL")
+    submit.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="split the corpus into N deterministic shards executed "
+        "concurrently on the server's shared pool (default: 1)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-job timeout for this request (default: the server's)",
+    )
+    submit.add_argument(
+        "--no-cache", action="store_true",
+        help="ask the server to bypass the result cache for this request",
+    )
+    submit.add_argument(
+        "--format", choices=("text", "events"), default="text",
+        help="text renders human lines; events prints the raw JSONL "
+        "stream (LogEvent-shaped, --log compatible) (default: text)",
+    )
+    submit.set_defaults(func=_cmd_submit)
 
     top = sub.add_parser(
         "top",

@@ -41,14 +41,37 @@ from .cache import (
     canonical_transducer_text,
     job_cache_key,
 )
-from .manifest import MANIFEST_NAMES, CorpusError, JobSpec, discover_jobs, parse_manifest
-from .report import render, render_jsonl, render_markdown, render_text, summary_dict
+from .manifest import (
+    MANIFEST_NAMES,
+    CorpusError,
+    JobSpec,
+    discover_jobs,
+    filter_shard,
+    parse_manifest,
+    parse_shard,
+    shard_index,
+)
+from .report import (
+    JOB_OBJECT_KEYS,
+    JOB_OBJECT_VERSION,
+    JOB_OBJECT_VOLATILE_KEYS,
+    cache_footer,
+    job_object,
+    job_signature,
+    render,
+    render_jsonl,
+    render_markdown,
+    render_text,
+    summary_dict,
+    validate_job_object,
+)
 from .runner import (
     VERDICT_RANK,
     JobResult,
     ProgressListener,
     ProgressReporter,
     RunSummary,
+    WorkerPool,
     analyze_pair,
     job_fails,
     run_corpus,
@@ -61,17 +84,28 @@ __all__ = [
     "ProgressListener",
     "ProgressReporter",
     "RunSummary",
+    "WorkerPool",
     "MANIFEST_NAMES",
     "VERDICT_RANK",
     "ENGINE_VERSION",
     "DEFAULT_CACHE_DIRNAME",
+    "JOB_OBJECT_KEYS",
+    "JOB_OBJECT_VERSION",
+    "JOB_OBJECT_VOLATILE_KEYS",
     "ResultCache",
     "parse_manifest",
     "discover_jobs",
+    "parse_shard",
+    "shard_index",
+    "filter_shard",
     "analyze_pair",
     "run_corpus",
     "job_fails",
     "job_cache_key",
+    "job_object",
+    "job_signature",
+    "validate_job_object",
+    "cache_footer",
     "canonical_transducer_text",
     "canonical_schema_text",
     "open_cache",

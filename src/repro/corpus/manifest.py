@@ -28,11 +28,21 @@ results so one bad file never blocks the rest of the corpus.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
-__all__ = ["CorpusError", "JobSpec", "MANIFEST_NAMES", "parse_manifest", "discover_jobs"]
+__all__ = [
+    "CorpusError",
+    "JobSpec",
+    "MANIFEST_NAMES",
+    "parse_manifest",
+    "discover_jobs",
+    "parse_shard",
+    "shard_index",
+    "filter_shard",
+]
 
 #: Recognized manifest file names, tried in order.
 MANIFEST_NAMES: Tuple[str, ...] = ("manifest.txt", "corpus.manifest")
@@ -160,3 +170,54 @@ def discover_jobs(corpus_dir: str) -> List[JobSpec]:
             "corpus %s has no manifest and no *.tdx/*.schema pairs" % corpus_dir
         )
     return jobs
+
+
+# ---------------------------------------------------------------------------
+# Deterministic sharding
+# ---------------------------------------------------------------------------
+#
+# One corpus split across N independent processes (or machines) with no
+# coordination: every participant discovers the same job list and keeps
+# exactly the jobs whose shard index matches.  The assignment hashes
+# the *job id* (not list position), so adding or removing one manifest
+# line only moves that one job — the rest of the partition is stable —
+# and the same job lands on the same shard regardless of discovery
+# order, Python hash seed, or platform.
+
+
+def parse_shard(spec: str) -> Tuple[int, int]:
+    """Parse an ``i/N`` shard spec (``0/2``, ``1/2``, ...) into
+    ``(index, count)``, rejecting anything out of range."""
+    index_text, separator, count_text = spec.partition("/")
+    if not separator:
+        raise CorpusError("shard spec %r is not of the form i/N" % spec)
+    try:
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise CorpusError("shard spec %r is not of the form i/N" % spec) from None
+    if count < 1:
+        raise CorpusError("shard count must be at least 1, got %d" % count)
+    if not 0 <= index < count:
+        raise CorpusError(
+            "shard index %d out of range for %d shards (valid: 0..%d)"
+            % (index, count, count - 1)
+        )
+    return index, count
+
+
+def shard_index(job_id: str, count: int) -> int:
+    """The shard a job belongs to: SHA-256 of its job id modulo the
+    shard count.  Content-hash based, so every process computes the
+    same partition with no shared state."""
+    digest = hashlib.sha256(job_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % count
+
+
+def filter_shard(
+    jobs: Sequence[JobSpec], index: int, count: int
+) -> List[JobSpec]:
+    """The sub-list of ``jobs`` assigned to shard ``index`` of
+    ``count`` (order preserved; the N shards partition the input)."""
+    if count == 1:
+        return list(jobs)
+    return [job for job in jobs if shard_index(job.job_id, count) == index]

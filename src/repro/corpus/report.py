@@ -1,24 +1,153 @@
-"""Corpus run reports: text, markdown, and JSONL.
+"""Corpus run reports: text, markdown, and JSONL — and the one
+canonical *job-result object* every JSON surface shares.
 
-All three render the same :class:`~repro.corpus.runner.RunSummary`,
-worst verdicts first (``error`` > ``timeout`` > ``unsafe`` > ``safe``,
-then by finding counts), and end with the cache/timing footer the CI
+All three renderers take the same
+:class:`~repro.corpus.runner.RunSummary`, worst verdicts first
+(``error`` > ``timeout`` > ``cancelled`` > ``unsafe`` > ``safe``, then
+by finding counts), and end with the cache/timing footer the CI
 self-check greps — keep the ``N hits, M misses`` and ``hit rate``
 phrasing stable.
 
-The JSONL stream is one :meth:`JobResult.to_dict` object per line —
-byte-compatible with ``python -m repro check --format json`` on the
-same pair — followed by a single ``{"summary": ...}`` trailer object.
+:func:`job_object` is the single source of truth for the job-result
+JSON schema.  Three surfaces emit it and must never drift:
+
+* ``python -m repro check --format json`` (one object on stdout),
+* ``python -m repro batch --format json`` (one object per JSONL line),
+* the ``repro.serve`` protocol (one object inside each ``serve.job``
+  stream event and in the ``GET /trace`` corpus section).
+
+:func:`validate_job_object` is the drift gate — the round-trip test
+runs every surface's output through it — and :func:`job_signature`
+strips the volatile fields (timings, cache provenance, observations)
+so two runs of the same pair can be compared byte-for-byte.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Mapping
 
 from .runner import JobResult, RunSummary
 
-__all__ = ["render", "render_text", "render_markdown", "render_jsonl", "summary_dict"]
+__all__ = [
+    "JOB_OBJECT_VERSION",
+    "JOB_OBJECT_KEYS",
+    "JOB_OBJECT_VOLATILE_KEYS",
+    "job_object",
+    "validate_job_object",
+    "job_signature",
+    "cache_footer",
+    "render",
+    "render_text",
+    "render_markdown",
+    "render_jsonl",
+    "summary_dict",
+]
+
+#: Schema version stamped into every job-result object.
+JOB_OBJECT_VERSION = 1
+
+#: Every key a job-result object carries, in emission order (``error``
+#: is the only optional one — present exactly when the job failed).
+JOB_OBJECT_KEYS = (
+    "version",
+    "job_id",
+    "transducer",
+    "schema",
+    "protect",
+    "verdict",
+    "copying",
+    "rearranging",
+    "protected_deletions",
+    "summary",
+    "diagnostics",
+    "counter_example_xml",
+    "observations",
+    "wall_time_s",
+    "cache_hit",
+    "engine",
+)
+
+#: Keys that legitimately differ between two runs of the same pair
+#: (timings, cache provenance, per-run observability capture).
+#: :func:`job_signature` drops exactly these.
+JOB_OBJECT_VOLATILE_KEYS = ("observations", "wall_time_s", "cache_hit")
+
+#: The verdict vocabulary (see ``repro.corpus.runner.VERDICT_RANK``).
+_VERDICTS = ("error", "timeout", "cancelled", "unsafe", "safe")
+
+
+def job_object(result: JobResult) -> Dict[str, Any]:
+    """The canonical JSON form of one job result (see module doc).
+    ``JobResult.to_dict`` delegates here, so every emitting surface
+    goes through this one function."""
+    out: Dict[str, Any] = {
+        "version": JOB_OBJECT_VERSION,
+        "job_id": result.job_id,
+        "transducer": result.transducer,
+        "schema": result.schema,
+        "protect": list(result.protect),
+        "verdict": result.verdict,
+        "copying": result.copying,
+        "rearranging": result.rearranging,
+        "protected_deletions": list(result.protected_deletions),
+        "summary": result.severity_counts(),
+        "diagnostics": list(result.diagnostics),
+        "counter_example_xml": result.counter_example_xml,
+        "observations": dict(result.observations),
+        "wall_time_s": result.wall_time_s,
+        "cache_hit": result.cache_hit,
+        "engine": result.engine,
+    }
+    if result.error is not None:
+        out["error"] = result.error
+    return out
+
+
+def validate_job_object(payload: Mapping[str, Any]) -> List[str]:
+    """Structural problems with a claimed job-result object (empty list
+    = valid).  This is the schema contract the serve protocol and
+    ``check --format json`` are tested against, so the two surfaces
+    cannot drift apart silently."""
+    problems: List[str] = []
+    if not isinstance(payload, Mapping):
+        return ["not a JSON object"]
+    missing = [key for key in JOB_OBJECT_KEYS if key not in payload]
+    if missing:
+        problems.append("missing keys: %s" % ", ".join(missing))
+    unknown = sorted(set(payload) - set(JOB_OBJECT_KEYS) - {"error"})
+    if unknown:
+        problems.append("unknown keys: %s" % ", ".join(unknown))
+    if payload.get("version") != JOB_OBJECT_VERSION:
+        problems.append(
+            "version %r != %d" % (payload.get("version"), JOB_OBJECT_VERSION)
+        )
+    if payload.get("verdict") not in _VERDICTS:
+        problems.append("verdict %r not in %s" % (payload.get("verdict"), _VERDICTS))
+    for key, kind in (
+        ("job_id", str), ("protect", list), ("protected_deletions", list),
+        ("diagnostics", list), ("summary", dict), ("observations", dict),
+        ("cache_hit", bool), ("engine", str),
+    ):
+        if key in payload and not isinstance(payload[key], kind):
+            problems.append("%s is %s, expected %s"
+                            % (key, type(payload[key]).__name__, kind.__name__))
+    return problems
+
+
+def job_signature(payload: Mapping[str, Any]) -> str:
+    """A byte-stable serialization of the *deterministic* part of a
+    job-result object: everything except the volatile keys, key-sorted.
+    Two runs of the same pair under the same engine must produce
+    identical signatures — the serve end-to-end test compares the
+    streamed objects against one-shot ``repro.audit_corpus()`` exactly
+    this way."""
+    stable = {
+        key: value
+        for key, value in payload.items()
+        if key not in JOB_OBJECT_VOLATILE_KEYS
+    }
+    return json.dumps(stable, sort_keys=True)
 
 
 def _findings_phrase(result: JobResult) -> str:
@@ -65,13 +194,27 @@ def summary_dict(summary: RunSummary) -> Dict[str, Any]:
     }
 
 
+def cache_footer(summary: RunSummary) -> str:
+    """The one greppable cache line — shared verbatim by the text and
+    markdown reports and by the serve protocol's terminal stream event,
+    so the CI check (``grep 'hits, 0 misses'``) works against any of
+    them.  Keep the phrasing stable."""
+    return "cache: %d hits, %d misses (%.1f%% hit rate)" % (
+        summary.cache_hits, summary.cache_misses, 100.0 * summary.hit_rate()
+    )
+
+
 def _footer_lines(summary: RunSummary) -> List[str]:
     counts = summary.verdict_counts()
+    verdict_line = "verdicts: %d safe, %d unsafe, %d timeout, %d error" % (
+        counts["safe"], counts["unsafe"], counts["timeout"], counts["error"]
+    )
+    if counts.get("cancelled"):
+        # Appended (never reordered) so existing footer greps stay valid.
+        verdict_line += ", %d cancelled" % counts["cancelled"]
     lines = [
-        "verdicts: %d safe, %d unsafe, %d timeout, %d error"
-        % (counts["safe"], counts["unsafe"], counts["timeout"], counts["error"]),
-        "cache: %d hits, %d misses (%.1f%% hit rate)"
-        % (summary.cache_hits, summary.cache_misses, 100.0 * summary.hit_rate()),
+        verdict_line,
+        cache_footer(summary),
     ]
     timing = "wall time: %.3fs engine, %.3fs analysis across %d workers" % (
         summary.wall_time_s,

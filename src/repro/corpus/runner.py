@@ -60,14 +60,19 @@ __all__ = [
     "RunSummary",
     "ProgressListener",
     "ProgressReporter",
+    "WorkerPool",
     "VERDICT_RANK",
     "analyze_pair",
     "run_corpus",
     "job_fails",
 ]
 
-#: Report ordering: worst verdicts first.
-VERDICT_RANK: Dict[str, int] = {"error": 0, "timeout": 1, "unsafe": 2, "safe": 3}
+#: Report ordering: worst verdicts first.  ``cancelled`` (a request
+#: withdrawn while jobs were still queued — the serve surface) ranks
+#: between the engine-level failures and the analysis verdicts.
+VERDICT_RANK: Dict[str, int] = {
+    "error": 0, "timeout": 1, "cancelled": 2, "unsafe": 3, "safe": 4,
+}
 
 #: Test-only fault injection: ``"SUBSTR:SECONDS"`` makes workers sleep
 #: SECONDS before analysing any job whose transducer path contains
@@ -243,6 +248,101 @@ def _as_listener(
     return _CallableListener(progress)
 
 
+class WorkerPool:
+    """A reusable, lazily-started worker pool that outlives a single
+    :func:`run_corpus` call.
+
+    The one-shot CLI path creates a fresh ``ProcessPoolExecutor`` per
+    batch and tears it down at the end; a long-running service cannot
+    afford that — fork/spawn plus interpreter warm-up per request is
+    exactly the latency the ROADMAP's "warm pools" item is about.  The
+    serve dispatcher creates one ``WorkerPool`` and passes it to every
+    ``run_corpus(..., pool=...)`` call; the pool's worker processes
+    stay hot (imports done, code objects warm) across requests, and
+    :meth:`spawned_total` lets callers assert that an all-cache-hits
+    request started **zero** new workers.
+
+    Not used together with the corpus telemetry sideband: the sampler
+    initializer must be installed at pool-creation time, so a shared
+    pool runs without in-worker samplers (the serve dispatcher has its
+    own per-request status rows instead).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers or min(os.cpu_count() or 1, 8)
+        self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._spawned: set = set()  # every worker pid ever observed
+        self._pools_created = 0
+
+    @property
+    def executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        """The live executor, created on first use."""
+        if self._executor is None:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers
+            )
+            self._pools_created += 1
+        return self._executor
+
+    def worker_pids(self) -> Tuple[int, ...]:
+        """PIDs of the workers currently alive (empty before first use)."""
+        if self._executor is None:
+            return ()
+        processes = getattr(self._executor, "_processes", None) or {}
+        return tuple(sorted(processes))
+
+    def note_spawned(self) -> None:
+        """Fold the currently-alive pids into the spawn ledger (called
+        by the engine after each wave so :meth:`spawned_total` counts
+        every worker that ever existed, not just the survivors)."""
+        self._spawned.update(self.worker_pids())
+
+    def spawned_total(self) -> int:
+        """How many distinct worker processes this pool has ever
+        started — the serve acceptance check: a 100%-cache-hit request
+        must leave this number unchanged."""
+        self.note_spawned()
+        return len(self._spawned)
+
+    def reset_if_broken(self) -> bool:
+        """Replace the executor if a worker died hard enough to poison
+        it (``BrokenProcessPool`` marks the executor unusable); returns
+        whether a reset happened.  The dead pool is abandoned, not
+        joined — its processes are already gone."""
+        if self._executor is not None and getattr(self._executor, "_broken", False):
+            self.note_spawned()
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            return True
+        return False
+
+    def shutdown(self, hard: bool = False) -> None:
+        """Stop the pool.  ``hard`` additionally terminates the worker
+        processes (the second-signal path of the serve daemon) instead
+        of letting in-flight jobs finish."""
+        if self._executor is None:
+            return
+        self.note_spawned()
+        if hard:
+            processes = getattr(self._executor, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        self._executor.shutdown(wait=not hard, cancel_futures=True)
+        self._executor = None
+
+    def stats(self) -> Dict[str, Any]:
+        """The pool row for status files and the serve protocol."""
+        return {
+            "max_workers": self.max_workers,
+            "alive": len(self.worker_pids()),
+            "spawned_total": self.spawned_total(),
+            "pools_created": self._pools_created,
+        }
+
+
 @dataclass
 class JobResult:
     """The structured outcome of one (transducer, schema, protect) job."""
@@ -272,29 +372,14 @@ class JobResult:
         return counts
 
     def to_dict(self) -> Dict[str, Any]:
-        """The stable JSON object — also what ``check --format json``
-        prints, so one schema serves both paths."""
-        out: Dict[str, Any] = {
-            "version": 1,
-            "job_id": self.job_id,
-            "transducer": self.transducer,
-            "schema": self.schema,
-            "protect": list(self.protect),
-            "verdict": self.verdict,
-            "copying": self.copying,
-            "rearranging": self.rearranging,
-            "protected_deletions": list(self.protected_deletions),
-            "summary": self.severity_counts(),
-            "diagnostics": list(self.diagnostics),
-            "counter_example_xml": self.counter_example_xml,
-            "observations": dict(self.observations),
-            "wall_time_s": self.wall_time_s,
-            "cache_hit": self.cache_hit,
-            "engine": self.engine,
-        }
-        if self.error is not None:
-            out["error"] = self.error
-        return out
+        """The stable JSON object — what ``check --format json``
+        prints, what ``batch --format json`` streams, and what the
+        serve protocol's job events carry.  The schema itself lives in
+        :func:`repro.corpus.report.job_object` (one function, three
+        surfaces, no drift)."""
+        from .report import job_object
+
+        return job_object(self)
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "JobResult":
@@ -579,8 +664,9 @@ def _store_in_cache(
     cache: Optional[ResultCache], key: Optional[str], result: "JobResult"
 ) -> None:
     """Cache a freshly computed result (identically for parent-inline
-    and worker-pool jobs); timeouts are transient and never stored."""
-    if cache is None or key is None or result.verdict == "timeout":
+    and worker-pool jobs); timeouts and cancellations are transient
+    and never stored."""
+    if cache is None or key is None or result.verdict in ("timeout", "cancelled"):
         return
     stored = result.to_dict()
     stored["cache_hit"] = False
@@ -690,6 +776,8 @@ def run_corpus(
     heartbeat: float = 1.0,
     stall_after: Optional[float] = None,
     status_file: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> RunSummary:
     """Execute all jobs — cached results resolve in the parent, the
     rest fan out over worker processes — and return the sorted summary
@@ -707,6 +795,16 @@ def run_corpus(
     a structured WARNING event, and ``status_file`` is atomically
     rewritten each tick for ``python -m repro top``.  Both default off,
     in which case no telemetry machinery is started at all.
+
+    ``pool`` is a shared :class:`WorkerPool` to run on instead of a
+    private per-call executor; the pool is left running afterwards (the
+    serve dispatcher's warm-pool path).  A shared pool has no in-worker
+    telemetry sampler, so ``stall_after`` is ignored with it.
+
+    ``cancel`` is polled between waves: once it returns true, every
+    not-yet-started job is withdrawn as a ``cancelled`` result (never
+    cached) and the engine returns as soon as the already-running jobs
+    finish.
     """
     listener = _as_listener(progress)
     start = time.perf_counter()
@@ -751,6 +849,9 @@ def run_corpus(
     prefiltered = 0
     if timeout is None:
         for spec, key in pending:
+            if cancel is not None and cancel():
+                pooled.append((spec, key))
+                continue
             result = _inline_if_proven_safe(spec, log_level)
             if result is None:
                 pooled.append((spec, key))
@@ -764,14 +865,25 @@ def run_corpus(
 
     workers = 1
     try:
+        if pooled and cancel is not None and cancel():
+            # Withdrawn before anything was submitted: every pending
+            # job becomes a (never-cached) cancelled result.
+            for spec, _key in pooled:
+                results.append(
+                    _failure_result(spec, "cancelled", "cancelled by request")
+                )
+            pooled = []
         if pooled:
-            workers = max_workers or min(os.cpu_count() or 1, 8)
-            workers = max(1, min(workers, len(pooled)))
+            workers = pool.max_workers if pool is not None else (
+                max_workers or min(os.cpu_count() or 1, 8)
+            )
+            workers = max(1, min(workers, len(pooled))) if pool is None else workers
             results.extend(
                 _execute_pending(
                     pooled, workers, timeout, cache, listener, heartbeat,
                     done_offset=prefiltered, total=misses,
                     stall_after=stall_after, status=status,
+                    pool=pool, cancel=cancel,
                 )
             )
     finally:
@@ -847,6 +959,8 @@ def _execute_pending(
     total: Optional[int] = None,
     stall_after: Optional[float] = None,
     status: Optional[_StatusWriter] = None,
+    pool: Optional[WorkerPool] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> List[JobResult]:
     """Fan the cache misses out over a process pool; every failure mode
     (worker exception, dead worker, engine-level hang) degrades to a
@@ -873,7 +987,9 @@ def _execute_pending(
     channel = None
     hub: Optional[telemetry.TelemetryHub] = None
     manager = None
-    if stall_after is not None or status is not None:
+    # The in-worker sampler initializer must be installed at pool
+    # creation, so a shared (already-created) pool runs without it.
+    if pool is None and (stall_after is not None or status is not None):
         import multiprocessing
 
         # A Manager queue proxy (unlike a raw mp.Queue) pickles through
@@ -887,16 +1003,18 @@ def _execute_pending(
                    message.get("pid"))
             )
         )
-    if channel is not None:
-        pool = concurrent.futures.ProcessPoolExecutor(
+    if pool is not None:
+        executor = pool.executor
+    elif channel is not None:
+        executor = concurrent.futures.ProcessPoolExecutor(
             max_workers=workers,
             initializer=telemetry.init_worker,
             initargs=(channel, stall_after),
         )
     else:
-        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
     futures = {
-        pool.submit(_worker, _spec_payload(spec, timeout, log_level)): (spec, key)
+        executor.submit(_worker, _spec_payload(spec, timeout, log_level)): (spec, key)
         for spec, key in pending
     }
     remaining = set(futures)
@@ -932,6 +1050,26 @@ def _execute_pending(
                         wall_time_s=round(result.wall_time_s, 6),
                         error=result.error,
                     )
+            if cancel is not None and remaining and cancel():
+                # Withdraw everything not yet running; jobs already in
+                # a worker finish normally (their results still count).
+                still = set()
+                for future in remaining:
+                    spec, _key = futures[future]
+                    if future.cancel():
+                        result = _failure_result(
+                            spec, "cancelled", "cancelled by request"
+                        )
+                        results.append(result)
+                        listener.job_done(
+                            result, done_offset + len(results), to_run
+                        )
+                        obs.warning(
+                            "corpus.runner", "job cancelled", job_id=spec.job_id
+                        )
+                    else:
+                        still.add(future)
+                remaining = still
             if hub is not None and channel is not None:
                 hub.poll(channel)
                 listener.worker_update(hub.in_flight())
@@ -986,7 +1124,14 @@ def _execute_pending(
                         )
                     break
     finally:
-        pool.shutdown(wait=not hung, cancel_futures=True)
+        if pool is not None:
+            # A shared pool stays warm for the next request; it is only
+            # torn down by its owner (WorkerPool.shutdown).  Record the
+            # worker pids this wave used for the spawn ledger.
+            pool.note_spawned()
+            pool.reset_if_broken()
+        else:
+            executor.shutdown(wait=not hung, cancel_futures=True)
         if hub is not None and channel is not None:
             # One last drain so a stall pushed during the final wave
             # still reaches the log before the Manager goes away.

@@ -42,7 +42,7 @@ from .bench.report import trajectory
 from .export import spans_from_chrome_trace
 from .recorder import Span
 
-__all__ = ["build_report", "render_report_html"]
+__all__ = ["build_report", "render_report_html", "snapshot_report"]
 
 #: Row caps per section — the artifact must stay well under 1 MB.
 MAX_WATERFALL_ROWS = 400
@@ -638,6 +638,37 @@ def render_report_html(
         "<title>%s</title><style>%s</style></head>"
         "<body><h1>%s</h1>%s%s</body></html>\n"
         % (_esc(title), _CSS, _esc(title), meta, body)
+    )
+
+
+def snapshot_report(
+    snapshot: Any,
+    *,
+    corpus: Optional[Dict[str, Any]] = None,
+    title: str = "repro observability report",
+    generated: str = "",
+) -> str:
+    """Render the report straight from an in-memory
+    :class:`repro.obs.Snapshot` — the ``repro.serve`` daemon's
+    ``GET /trace/<request-id>`` artifact, no files involved.  The
+    snapshot is replayed into a throwaway recorder (so events and
+    spans keep their id joins) and exported exactly like a ``--trace``
+    file; ``corpus`` is the request's ``{"jobs": [...], "summary":
+    {...}}`` document for the verdict section."""
+    from .export import to_chrome_trace
+    from .log import DEBUG, events_to_dicts
+    from .recorder import Recorder
+
+    recorder = Recorder(log_level=DEBUG)
+    snapshot.merge_into(recorder)
+    return render_report_html(
+        trace=to_chrome_trace(recorder),
+        log_events=events_to_dicts(recorder),
+        bench_runs=None,
+        corpus=corpus,
+        diff=None,
+        title=title,
+        generated=generated,
     )
 
 

@@ -214,6 +214,17 @@ class Snapshot:
             samples=samples_from_jsonable(payload.get("samples", {})),
         )
 
+    @classmethod
+    def merge_all(cls, snapshots: List["Snapshot"]) -> "Snapshot":
+        """Fold many snapshots into one (left to right; the merge is
+        associative, so shard captures combined in any grouping give
+        the same counters).  An empty list merges to the empty
+        snapshot."""
+        merged = cls()
+        for snapshot in snapshots:
+            merged = merged.merge(snapshot)
+        return merged
+
     def without_replayable_state(self) -> "Snapshot":
         """A copy carrying only the registries — what a result cache
         should store, so a cache hit never replays stale log events or

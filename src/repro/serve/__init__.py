@@ -1,0 +1,66 @@
+"""The long-running safety-audit service.
+
+The ROADMAP's north star — a standing validation service over document
+pipelines, in the spirit of the typechecking servers of Martens–Neven–
+Gyssens — needs more than the one-shot CLI: a resident daemon with a
+hot result cache and warm worker pools, admission control under load,
+and per-request observability.  This package is that daemon, built on
+the :mod:`repro.corpus` engine and stdlib asyncio only:
+
+* :mod:`repro.serve.protocol` — the line-delimited JSON wire format
+  (requests in, :class:`repro.obs.LogEvent`-shaped events out);
+* :mod:`repro.serve.dispatcher` — admission queue with explicit
+  backpressure, one shared warm :class:`repro.corpus.WorkerPool`, the
+  deterministic shard splitter (work stealing over the shared pool),
+  per-request :class:`repro.obs.Snapshot` capture;
+* :mod:`repro.serve.server` — the asyncio listener (unix socket or
+  local HTTP on one port, sniffed per connection), graceful drain on
+  the first SIGINT/SIGTERM, hard pool kill on the second;
+* :mod:`repro.serve.client` — the blocking client behind
+  ``python -m repro submit`` and the end-to-end tests.
+
+CLI surface::
+
+    python -m repro serve  --socket /tmp/repro.sock [--jobs N]
+                           [--queue-limit N] [--timeout S]
+                           [--cache-dir D] [--status-file FILE]
+                           [--metrics FILE] [--drain-timeout S]
+    python -m repro serve  --port 8642 ...
+    python -m repro submit --socket /tmp/repro.sock CORPUS_DIR
+                           [--shards N] [--format events|text]
+    python -m repro submit --socket /tmp/repro.sock T.tdx S.schema
+
+``python -m repro top`` renders the server's ``.repro-status.json``
+(per-request rows + pool stats) with the same dashboard it uses for a
+one-shot batch.
+"""
+
+from .client import ServeBusy, ServeClient
+from .dispatcher import BusyError, Dispatcher, Request
+from .protocol import (
+    PROTOCOL_VERSION,
+    TERMINAL_MESSAGES,
+    ProtocolError,
+    event,
+    is_terminal,
+    parse_request,
+    validate_request,
+)
+from .server import ServeOptions, run_serve
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "TERMINAL_MESSAGES",
+    "ProtocolError",
+    "BusyError",
+    "ServeBusy",
+    "ServeClient",
+    "Dispatcher",
+    "Request",
+    "ServeOptions",
+    "event",
+    "is_terminal",
+    "parse_request",
+    "validate_request",
+    "run_serve",
+]

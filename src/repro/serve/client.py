@@ -1,0 +1,117 @@
+"""A blocking client for the serve protocol (CLI + tests).
+
+The client speaks the raw NDJSON transport over a unix socket or local
+TCP — no asyncio on the client side, because ``python -m repro
+submit`` is a plain synchronous CLI and the tests want deterministic
+line-at-a-time reads.
+
+>>> client = ServeClient(socket_path="/tmp/repro.sock")
+>>> for event in client.submit({"corpus_dir": "examples/files/corpus"}):
+...     handle(event)  # last event is terminal (see protocol module)
+
+:class:`ServeBusy` is raised on the admission-queue ``busy`` event so
+callers can map backpressure to their own retry/exit policy (the CLI
+exits 3).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterator, Optional
+
+from .protocol import ProtocolError, is_terminal
+
+__all__ = ["ServeBusy", "ServeClient"]
+
+
+class ServeBusy(RuntimeError):
+    """The server refused admission (queue past the high-water mark)."""
+
+
+class ServeClient:
+    """One connection per call; the protocol is line-delimited JSON, so
+    each method opens a socket, sends one request line, and reads
+    until its response is complete."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path/port is required")
+        self.socket_path = socket_path
+        self.port = port
+        self.timeout = timeout
+
+    def _connect(self) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection(
+                ("127.0.0.1", self.port), timeout=self.timeout
+            )
+        return sock
+
+    def _request_lines(self, payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Send one request object, yield response events until the
+        stream's terminal event (streamed ops) or the first event
+        (single-shot ops, handled by the callers below)."""
+        with self._connect() as sock:
+            sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            with sock.makefile("rb") as reader:
+                for raw in reader:
+                    line = raw.decode("utf-8").strip()
+                    if not line:
+                        continue
+                    event = json.loads(line)
+                    if not isinstance(event, dict):
+                        raise ProtocolError("server sent a non-object line")
+                    yield event
+                    if is_terminal(event):
+                        return
+
+    def submit(self, payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Stream a submit: yields every event including the terminal
+        one; raises :class:`ServeBusy` on admission refusal."""
+        request = dict(payload)
+        request["op"] = "submit"
+        for event in self._request_lines(request):
+            if (
+                event.get("logger") == "serve.admission"
+                and event.get("message") == "busy"
+            ):
+                raise ServeBusy(
+                    event.get("fields", {}).get("error", "server busy")
+                )
+            yield event
+
+    def _single(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        for event in self._request_lines(request):
+            return event
+        raise ProtocolError("server closed the connection without answering")
+
+    def ping(self) -> Dict[str, Any]:
+        return self._single({"op": "ping"})
+
+    def status(self) -> Dict[str, Any]:
+        """The server status document (requests table, pool stats)."""
+        event = self._single({"op": "status"})
+        return event.get("fields", {}).get("status", {})
+
+    def cancel(self, request_id: str) -> bool:
+        event = self._single({"op": "cancel", "request_id": request_id})
+        return bool(event.get("fields", {}).get("cancelled"))
+
+    def trace(self, request_id: str) -> Dict[str, Any]:
+        """The request's merged Snapshot dict + corpus document."""
+        event = self._single({"op": "trace", "request_id": request_id})
+        if event.get("message") == "request failed":
+            raise ProtocolError(
+                event.get("fields", {}).get("error", "trace unavailable")
+            )
+        return event.get("fields", {})

@@ -1,0 +1,186 @@
+"""The serve wire protocol: line-delimited JSON over a local socket.
+
+Both transports — raw NDJSON on a unix socket and local HTTP — speak
+the same two layers:
+
+**Requests** are one JSON object per line::
+
+    {"op": "submit", "corpus_dir": "examples/files/corpus"}
+    {"op": "submit", "transducer": "a.tdx", "schema": "a.schema",
+     "protect": ["comment"]}
+    {"op": "status"}
+    {"op": "cancel", "request_id": "r0003"}
+    {"op": "trace",  "request_id": "r0003"}
+    {"op": "ping"}
+
+A ``submit`` may carry ``"shards": N`` to split a corpus into N
+deterministic shards executed concurrently over the shared pool (work
+stealing: a shard that drains early frees its workers for the others),
+and ``"no_cache": true`` to bypass the content-addressed result cache.
+
+**Responses to** ``submit`` are a *stream* of events, one JSON object
+per line, in exactly the :class:`repro.obs.log.LogEvent` dict shape
+(``ts``/``level``/``logger``/``message``/``fields``/``span_id``/
+``parent_span_id``/``pid``) — the server's stream *is* a structured
+log, so it can be appended verbatim to a ``--log`` JSONL file, joined
+against a trace, or fed to any LogEvent reader.  The loggers:
+
+=====================  ====================================================
+``serve.request``      lifecycle: ``request accepted``, then exactly one
+                       terminal event (see :data:`TERMINAL_MESSAGES`)
+``serve.admission``    backpressure: ``busy`` when the admission queue is
+                       past the high-water mark (HTTP maps it to 429)
+``serve.job``          one ``job finished`` per job; ``fields["job"]`` is
+                       the canonical job-result object of
+                       :func:`repro.corpus.report.job_object` with the
+                       bulky ``observations`` stripped (the merged
+                       snapshot is downloadable via ``trace``)
+``serve.progress``     coarse progress: ``run started`` / shard rollups
+=====================  ====================================================
+
+The terminal ``request finished`` event's fields carry the run summary
+(:func:`repro.corpus.report.summary_dict`'s inner object), the
+greppable :func:`repro.corpus.report.cache_footer` line, the failing
+job count, and the shared pool's stats — which is how the acceptance
+check reads "100% cache hits, zero new workers" straight off the
+stream.
+
+Non-streaming ops get a single event line: ``status`` answers on
+``serve.status`` with the server document in ``fields``, ``cancel`` on
+``serve.request``, ``ping`` on ``serve.status`` with ``message:
+"pong"``.
+
+Everything here is transport-free pure data so the asyncio server, the
+blocking client, and the tests share one vocabulary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs import LEVELS
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "TERMINAL_MESSAGES",
+    "ProtocolError",
+    "event",
+    "is_terminal",
+    "parse_request",
+    "validate_request",
+    "encode_line",
+    "decode_line",
+]
+
+#: Bumped when the request vocabulary or event contract changes.
+PROTOCOL_VERSION = 1
+
+#: ``serve.request`` messages that end a submit stream — exactly one
+#: arrives per request, always as the last line.
+TERMINAL_MESSAGES = (
+    "request finished",
+    "request failed",
+    "request cancelled",
+    "busy",
+)
+
+#: The request vocabulary and each op's required keys.
+_OPS: Dict[str, Tuple[str, ...]] = {
+    "submit": (),
+    "status": (),
+    "cancel": ("request_id",),
+    "trace": ("request_id",),
+    "ping": (),
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed request line (the server answers with a
+    ``request failed`` event and keeps the connection)."""
+
+
+def event(
+    logger: str,
+    message: str,
+    level: str = "info",
+    request_id: Optional[str] = None,
+    **fields: Any,
+) -> Dict[str, Any]:
+    """One wire event in the LogEvent dict shape.  ``request_id`` lands
+    in ``fields`` so every line of a stream is self-identifying even
+    when streams are multiplexed into one file."""
+    if level not in LEVELS:
+        raise ValueError("unknown level %r" % (level,))
+    merged = dict(fields)
+    if request_id is not None:
+        merged["request_id"] = request_id
+    return {
+        "ts": time.time(),
+        "level": level,
+        "logger": logger,
+        "message": message,
+        "span_id": None,
+        "parent_span_id": None,
+        "pid": os.getpid(),
+        "fields": merged,
+    }
+
+
+def is_terminal(payload: Dict[str, Any]) -> bool:
+    """Whether this event ends a submit stream."""
+    return (
+        payload.get("logger") in ("serve.request", "serve.admission")
+        and payload.get("message") in TERMINAL_MESSAGES
+    )
+
+
+def parse_request(line: str) -> Dict[str, Any]:
+    """Validate one request line into its JSON object."""
+    try:
+        payload = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError("request is not valid JSON: %s" % error) from None
+    return validate_request(payload)
+
+
+def validate_request(payload: Any) -> Dict[str, Any]:
+    """Validate an already-decoded request object (the HTTP transport
+    lands here directly; the NDJSON transport via
+    :func:`parse_request`)."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = payload.get("op")
+    if op not in _OPS:
+        raise ProtocolError(
+            "unknown op %r (expected one of %s)" % (op, "/".join(sorted(_OPS)))
+        )
+    for key in _OPS[op]:
+        if not payload.get(key):
+            raise ProtocolError("op %r needs a %r" % (op, key))
+    if op == "submit":
+        has_corpus = bool(payload.get("corpus_dir"))
+        has_pair = bool(payload.get("transducer")) and bool(payload.get("schema"))
+        if has_corpus == has_pair:
+            raise ProtocolError(
+                "submit needs either corpus_dir or transducer+schema"
+            )
+        shards = payload.get("shards", 1)
+        if not isinstance(shards, int) or shards < 1:
+            raise ProtocolError("shards must be a positive integer")
+    return payload
+
+
+def encode_line(payload: Dict[str, Any]) -> bytes:
+    """One wire line: compact JSON + newline, UTF-8."""
+    return (json.dumps(payload, sort_keys=False) + "\n").encode("utf-8")
+
+
+def decode_line(raw: bytes) -> Dict[str, Any]:
+    """The inverse of :func:`encode_line` (transport reads feed here)."""
+    payload = json.loads(raw.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ProtocolError("wire line must be a JSON object")
+    return payload
