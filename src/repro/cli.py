@@ -45,11 +45,12 @@ Commands::
                               [--stall-after S] [--status-file FILE]
                               [--stats] [--trace FILE.json]
                               [--log FILE.jsonl] [--log-level LEVEL]
-                              [--metrics FILE]
+                              [--metrics FILE] [--journal DIR]
     python -m repro serve     (--socket PATH | --port N) [--jobs N]
                               [--queue-limit N] [--timeout S]
                               [--cache-dir D] [--status-file FILE]
                               [--metrics FILE] [--drain-timeout S]
+                              [--journal-dir DIR]
     python -m repro submit    (--socket PATH | --port N)
                               CORPUS_DIR | TRANSDUCER SCHEMA
                               [--protect LABEL ...] [--shards N]
@@ -72,7 +73,15 @@ Commands::
     python -m repro report    [--trace FILE.json] [--log FILE.jsonl]
                               [--history DIR] [--corpus FILE.jsonl]
                               [--baseline-trace FILE.json]
+                              [--journal DIR]
                               [--title T] [--output FILE.html]
+    python -m repro journal   ls JOURNAL
+    python -m repro journal   tail JOURNAL [--lines N] [-f]
+                              [--interval S]
+    python -m repro journal   show JOURNAL REQUEST_ID
+    python -m repro journal   replay JOURNAL [--trace FILE.json]
+                              [--metrics FILE] [--html FILE.html]
+                              [--title T]
 
 ``check`` prints the verdict (copying / rearranging / protected-label
 deletions), cites the responsible lint diagnostic for every unsafe
@@ -108,6 +117,14 @@ prints the raw JSONL (LogEvent-shaped, appendable to a ``--log``
 file), ``--format text`` renders the human lines — and exits 0 on an
 all-clear, 1 when jobs fail, 2 on bad input or an unreachable server,
 3 when the server answers ``busy``.
+
+``journal`` inspects the crash-safe write-ahead journal written by
+``serve --journal-dir`` / ``batch --journal`` (see
+:mod:`repro.obs.journal`): ``ls`` lists segments, ``tail`` prints the
+newest records (``-f`` follows), ``show`` filters one request's
+records, and ``replay`` reconstructs a Chrome trace, the HTML report,
+and an OpenMetrics snapshot from the journal alone — the postmortem
+path for a process that is already gone.
 
 Observability flags, shared across commands: ``--stats`` prints the
 recorded span tree and counters to stderr; ``--trace FILE.json``
@@ -738,9 +755,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     # stderr or stdout is piped, so `batch --format json > out.jsonl`
     # stays clean — --progress/--no-progress force it either way.
     reporter = corpus.ProgressReporter(live=args.progress)
+    journal = None
+    if args.journal:
+        from .obs import flight
+        from .obs.journal import Journal
+
+        journal = Journal(args.journal)
+        # Crash postmortems land next to the journal segments.
+        flight.install(args.journal)
+        flight.note("batch.starting", corpus_dir=args.corpus_dir,
+                    jobs=len(jobs))
     with contextlib.ExitStack() as stack:
         recorder: Optional[obs.Recorder] = None
-        if _wants_observation(args):
+        if _wants_observation(args) or journal is not None:
             recorder = stack.enter_context(
                 obs.recording(log_level=_event_level(args))
             )
@@ -756,7 +783,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             progress=reporter,
             stall_after=args.stall_after,
             status_file=status_file,
+            journal=journal,
         )
+    if journal is not None:
+        # The full run capture (spans now closed), journaled last so
+        # `journal replay` reconstructs the trace/metrics/report
+        # offline from the segments alone.
+        try:
+            if recorder is not None:
+                journal.append_snapshot(obs.Snapshot.from_recorder(recorder))
+        finally:
+            journal.close()
     rendered = corpus.render(summary, args.format)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -801,6 +838,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         status_file=args.status_file or STATUS_BASENAME,
         metrics=args.metrics,
         drain_timeout=args.drain_timeout,
+        journal_dir=args.journal_dir,
     )
     return run_serve(options)
 
@@ -1064,6 +1102,21 @@ def _render_serve_frame(status: Dict[str, Any]) -> str:
             pool.get("pools_created", 0),
         )
     )
+    journal = status.get("journal")
+    if journal:
+        # Journal health (serve --journal-dir): lag is records not yet
+        # fsynced — the crash-loss window under the interval policy.
+        lines.append(
+            "journal: %s (%.1f KiB, %s segment(s)) · lag %s · "
+            "%s interrupted recovered"
+            % (
+                journal.get("segment", "?"),
+                float(journal.get("segment_bytes", 0)) / 1024.0,
+                journal.get("segments", 0),
+                journal.get("lag", 0),
+                journal.get("interrupted_recovered", 0),
+            )
+        )
     lines.append("")
     requests = status.get("requests") or []
     if not requests:
@@ -1204,6 +1257,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             history_dir=args.history,
             corpus_path=args.corpus,
             baseline_trace_path=args.baseline_trace,
+            journal_path=args.journal,
             title=args.title,
             generated=generated,
         )
@@ -1216,6 +1270,130 @@ def _cmd_report(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    """``journal``: inspect and replay a crash-safe obs journal (see
+    :mod:`repro.obs.journal`)."""
+    import json
+
+    from .obs import journal as obs_journal
+
+    action = args.journal_command
+    try:
+        if action == "ls":
+            scan = obs_journal.scan_journal(args.path)
+            for info in scan.segments:
+                span = (
+                    "seq %d..%d" % (info.first_seq, info.last_seq)
+                    if info.first_seq is not None else "empty"
+                )
+                corrupt = (
+                    "  (%d corrupt/torn)" % info.corrupt if info.corrupt else ""
+                )
+                print(
+                    "%-24s %6d records  %8d bytes  %s%s"
+                    % (os.path.basename(info.path), info.records,
+                       info.size, span, corrupt)
+                )
+            print(
+                "%d segment(s), %d records, %d corrupt"
+                % (len(scan.segments), len(scan.records), scan.corrupt),
+                file=sys.stderr,
+            )
+            return 0
+        if action == "tail":
+            last_seq = 0
+            for record in obs_journal.tail_records(
+                args.path, limit=args.lines
+            ):
+                print(json.dumps(record.to_dict(), sort_keys=True))
+                last_seq = max(last_seq, record.seq)
+            if not args.follow:
+                return 0
+            try:
+                while True:
+                    time.sleep(args.interval)
+                    for record in obs_journal.tail_records(
+                        args.path, after_seq=last_seq
+                    ):
+                        print(json.dumps(record.to_dict(), sort_keys=True))
+                        last_seq = max(last_seq, record.seq)
+                    sys.stdout.flush()
+            except KeyboardInterrupt:
+                return 0
+        if action == "show":
+            shown = 0
+            for record in obs_journal.read_journal(args.path):
+                rid = record.data.get("request_id")
+                if rid != args.request_id:
+                    continue
+                shown += 1
+                stamp = time.strftime(
+                    "%H:%M:%S", time.localtime(record.ts)
+                )
+                detail = record.data.get("phase") or record.data.get(
+                    "verdict"
+                ) or ""
+                print(
+                    "seq %-6d %s  %-9s %-12s %s"
+                    % (record.seq, stamp, record.type, detail,
+                       json.dumps(record.data, sort_keys=True))
+                )
+            if not shown:
+                raise CliError(
+                    "no records for request %r in %s"
+                    % (args.request_id, args.path)
+                )
+            return 0
+        # replay: rebuild the artifacts from the journal alone
+        replay = obs_journal.replay_journal(args.path)
+        wrote = False
+        if args.trace:
+            with open(args.trace, "w", encoding="utf-8") as handle:
+                json.dump(replay.chrome_trace(), handle, indent=2,
+                          sort_keys=True)
+            print("wrote %s" % args.trace, file=sys.stderr)
+            wrote = True
+        if args.metrics:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(replay.openmetrics())
+            print("wrote %s" % args.metrics, file=sys.stderr)
+            wrote = True
+        if args.html:
+            generated = time.strftime(
+                "%Y-%m-%d %H:%M:%S UTC", time.gmtime()
+            )
+            rendered = replay.html_report(
+                title=args.title, generated=generated
+            )
+            with open(args.html, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print("wrote %s" % args.html, file=sys.stderr)
+            wrote = True
+        states: Dict[str, int] = {}
+        for info in replay.requests.values():
+            states[info["state"]] = states.get(info["state"], 0) + 1
+        state_text = (
+            " ".join(
+                "%s %d" % (k, v) for k, v in sorted(states.items())
+            ) or "none"
+        )
+        print(
+            "replayed %d records (%d corrupt/torn) from %d segment(s): "
+            "%d job(s), requests: %s"
+            % (replay.records, replay.corrupt, len(replay.segments),
+               len(replay.jobs), state_text)
+        )
+        if not wrote:
+            print(
+                "hint: --trace/--metrics/--html write the reconstructed "
+                "artifacts",
+                file=sys.stderr,
+            )
+        return 0
+    except ValueError as error:
+        raise CliError(str(error)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1373,6 +1551,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="live status JSON rewritten each heartbeat for "
         "'python -m repro top' (default: CORPUS_DIR/.repro-status.json)",
     )
+    batch.add_argument(
+        "--journal", metavar="DIR",
+        help="append every job verdict and the final run snapshot to a "
+        "crash-safe journal under DIR (inspect/replay with 'python -m "
+        "repro journal'); also arms the flight recorder's crash-*.json "
+        "postmortem dumps there",
+    )
     _add_observation_flags(batch)
     batch.set_defaults(func=_cmd_batch)
 
@@ -1424,6 +1609,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=10.0, metavar="S",
         help="grace period after the first SIGINT/SIGTERM before "
         "in-flight requests are cancelled (default: 10)",
+    )
+    serve.add_argument(
+        "--journal-dir", metavar="DIR",
+        help="write-ahead journal directory: every request's admission/"
+        "shard/verdict/terminal transition is journaled as it happens, "
+        "and a restart replays the journal to restore the request table "
+        "(requests that died in flight surface as 'interrupted'); also "
+        "arms flight-recorder crash-*.json postmortems there",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -1609,6 +1802,12 @@ def build_parser() -> argparse.ArgumentParser:
         "diff section; same inputs as trace-diff)",
     )
     report.add_argument(
+        "--journal", metavar="DIR",
+        help="build the report from a crash-safe journal (a serve "
+        "--journal-dir / batch --journal directory, or one segment "
+        "file) instead of --trace/--log/--corpus — the postmortem path",
+    )
+    report.add_argument(
         "--title", default="repro observability report",
         help="document title",
     )
@@ -1617,6 +1816,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the report (default: obs.html)",
     )
     report.set_defaults(func=_cmd_report)
+
+    journal = sub.add_parser(
+        "journal",
+        help="inspect and replay the crash-safe obs journal written by "
+        "'serve --journal-dir' / 'batch --journal'",
+    )
+    journal_sub = journal.add_subparsers(
+        dest="journal_command", required=True
+    )
+    journal_ls = journal_sub.add_parser(
+        "ls", help="list the journal's segments (records, bytes, seq span)"
+    )
+    journal_ls.add_argument(
+        "path", metavar="JOURNAL",
+        help="journal directory or one segment file",
+    )
+    journal_tail = journal_sub.add_parser(
+        "tail", help="print the newest records as JSONL; -f follows"
+    )
+    journal_tail.add_argument("path", metavar="JOURNAL")
+    journal_tail.add_argument(
+        "--lines", "-n", type=int, default=10, metavar="N",
+        help="records to print (default: 10)",
+    )
+    journal_tail.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep polling for new records until interrupted",
+    )
+    journal_tail.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="poll period with --follow (default: 1.0)",
+    )
+    journal_show = journal_sub.add_parser(
+        "show", help="print every record belonging to one request"
+    )
+    journal_show.add_argument("path", metavar="JOURNAL")
+    journal_show.add_argument("request_id", metavar="REQUEST_ID")
+    journal_replay = journal_sub.add_parser(
+        "replay",
+        help="reconstruct the Chrome trace, OpenMetrics snapshot, and "
+        "HTML report from the journal alone (no live process needed)",
+    )
+    journal_replay.add_argument("path", metavar="JOURNAL")
+    journal_replay.add_argument(
+        "--trace", metavar="FILE.json",
+        help="write the reconstructed Chrome trace_event file",
+    )
+    journal_replay.add_argument(
+        "--metrics", metavar="FILE",
+        help="write the reconstructed OpenMetrics exposition",
+    )
+    journal_replay.add_argument(
+        "--html", metavar="FILE.html",
+        help="write the reconstructed HTML observability report",
+    )
+    journal_replay.add_argument(
+        "--title", default="repro journal replay",
+        help="HTML document title",
+    )
+    journal.set_defaults(func=_cmd_journal)
     return parser
 
 

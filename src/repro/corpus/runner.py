@@ -141,6 +141,53 @@ class _CallableListener(ProgressListener):
         self._say(text)
 
 
+class _JournalTee(ProgressListener):
+    """Tees engine progress into a :class:`repro.obs.Journal` before
+    delegating to the real listener: one ``run`` record at begin, one
+    ``job`` record per completed job (the canonical job object with
+    the bulky observations stripped — the full Snapshot is journaled
+    once at the end of the run instead)."""
+
+    def __init__(self, inner: ProgressListener, journal: Any) -> None:
+        self._inner = inner
+        self._journal = journal
+
+    def _append(self, type: str, data: Dict[str, Any]) -> None:
+        try:
+            self._journal.append(type, data)
+        except (OSError, ValueError):
+            pass  # a full disk must not fail the run
+
+    def begin(self, total: int, cache_hits: int, to_run: int) -> None:
+        self._append("run", {
+            "phase": "begin", "total": total,
+            "cache_hits": cache_hits, "to_run": to_run,
+        })
+        self._inner.begin(total, cache_hits, to_run)
+
+    def job_done(self, result: "JobResult", done: int, to_run: int) -> None:
+        job = result.to_dict()
+        job["observations"] = {}
+        self._append("job", {"job": job, "verdict": result.verdict,
+                             "done": done})
+        self._inner.job_done(result, done, to_run)
+
+    def heartbeat(
+        self, done: int, to_run: int,
+        in_flight: List[Tuple[str, float]],
+    ) -> None:
+        self._inner.heartbeat(done, to_run, in_flight)
+
+    def worker_update(self, workers: List[Any]) -> None:
+        self._inner.worker_update(workers)
+
+    def message(self, text: str) -> None:
+        self._inner.message(text)
+
+    def finish(self) -> None:
+        self._inner.finish()
+
+
 class ProgressReporter(ProgressListener):
     """TTY progress: one live status line on ``stream`` (stderr),
     rewritten in place; non-``safe`` completions print as full lines
@@ -778,6 +825,7 @@ def run_corpus(
     status_file: Optional[str] = None,
     pool: Optional[WorkerPool] = None,
     cancel: Optional[Callable[[], bool]] = None,
+    journal: Optional[Any] = None,
 ) -> RunSummary:
     """Execute all jobs — cached results resolve in the parent, the
     rest fan out over worker processes — and return the sorted summary
@@ -805,8 +853,15 @@ def run_corpus(
     not-yet-started job is withdrawn as a ``cancelled`` result (never
     cached) and the engine returns as soon as the already-running jobs
     finish.
+
+    ``journal`` is an optional :class:`repro.obs.Journal`: the run's
+    begin, every completed job's verdict, and the final summary are
+    appended as they happen (the crash-safe record ``batch --journal``
+    and the serve dispatcher build on).
     """
     listener = _as_listener(progress)
+    if journal is not None:
+        listener = _JournalTee(listener, journal)
     start = time.perf_counter()
     results: List[JobResult] = []
     pending: List[Tuple[JobSpec, Optional[str]]] = []
@@ -938,6 +993,23 @@ def run_corpus(
     )
     if status is not None:
         status.tick(results, done=len(results), finished=True)
+    if journal is not None:
+        try:
+            journal.append("run", {
+                "phase": "finish",
+                # the summary shape the HTML report's corpus section
+                # and journal replay consume
+                "summary": {
+                    "jobs": len(results),
+                    "verdicts": summary.verdict_counts(),
+                    "cache": {"hits": hits, "misses": misses,
+                              "hit_rate": round(summary.hit_rate(), 4)},
+                    "wall_time_s": round(summary.wall_time_s, 6),
+                    "workers": workers,
+                },
+            })
+        except (OSError, ValueError):
+            pass
     return summary
 
 

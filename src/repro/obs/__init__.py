@@ -17,7 +17,12 @@ blow-up.  This package makes that growth observable:
   ``trace_event`` JSON for ``chrome://tracing`` / Perfetto;
 * ``obs.Snapshot`` — a picklable, mergeable view of a recorder's
   counters/gauges, used to ship per-job observations across the
-  :mod:`repro.corpus` worker-process boundary.
+  :mod:`repro.corpus` worker-process boundary;
+* ``obs.Journal`` / ``obs.replay_journal`` — the crash-safe on-disk
+  event journal (see :mod:`repro.obs.journal`) behind ``serve
+  --journal-dir``, ``batch --journal`` and ``python -m repro
+  journal``, with :mod:`repro.obs.flight` holding the in-memory
+  flight recorder dumped to ``crash-*.json`` postmortems.
 
 Nothing records unless a recorder is installed::
 
@@ -37,7 +42,7 @@ CLI surface: ``python -m repro profile TDX SCHEMA``, the
 (see :mod:`repro.obs.bench`).
 """
 
-from . import attr, bench, diff
+from . import attr, bench, diff, flight
 from .attr import (
     AttributionRow,
     AttributionTable,
@@ -97,6 +102,20 @@ from .diff import (
     render_diff,
     span_profile_rows,
 )
+from .flight import FlightRecorder
+from .journal import (
+    JOURNAL_KIND,
+    Journal,
+    JournalRecord,
+    JournalReplay,
+    JournalScan,
+    SegmentInfo,
+    journal_segments,
+    read_journal,
+    replay_journal,
+    scan_journal,
+    tail_records,
+)
 from .memory import PEAK_MEMORY_GAUGE, track_peak_memory
 from .metrics import (
     Histogram,
@@ -138,6 +157,19 @@ __all__ = [
     "attr",
     "bench",
     "diff",
+    "flight",
+    "FlightRecorder",
+    "JOURNAL_KIND",
+    "Journal",
+    "JournalRecord",
+    "JournalReplay",
+    "JournalScan",
+    "SegmentInfo",
+    "journal_segments",
+    "read_journal",
+    "replay_journal",
+    "scan_journal",
+    "tail_records",
     "AttributionRow",
     "AttributionTable",
     "attribution_tables",

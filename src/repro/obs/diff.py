@@ -22,6 +22,7 @@ aggregate).  :func:`load_run_profile` sniffs the format.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -180,24 +181,43 @@ def profile_from_payload(payload: Mapping[str, Any], label: str = "") -> RunProf
 
 
 def load_run_profile(path: str, label: str = "") -> RunProfile:
-    """Read and sniff one exported-run JSON file.
+    """Read and sniff one exported-run artifact.
 
-    Accepts a Chrome trace, a profile/Snapshot export, or a bench run
-    JSON.  Anything else — notably the observability layer's *own*
-    line-oriented artifacts (a ``--metrics`` timeline, a ``--log``
-    JSONL, a batch status file) — raises a ValueError naming what the
-    file actually is and what formats are expected, instead of a
-    JSON-decode traceback."""
+    Accepts a Chrome trace, a profile/Snapshot export, a bench run
+    JSON, or a crash-safe journal (a ``serve --journal-dir`` / ``batch
+    --journal`` directory, or one segment file) — a journal is
+    replayed through :func:`repro.obs.journal.replay_journal` and its
+    merged Snapshot profiled, so ``trace-diff`` can compare a dead
+    process's run against a live trace.  Anything else — notably the
+    observability layer's *own* line-oriented artifacts (a
+    ``--metrics`` timeline, a ``--log`` JSONL, a batch status file) —
+    raises a ValueError naming what the file actually is and what
+    formats are expected, instead of a JSON-decode traceback."""
+    if os.path.isdir(path):
+        return _profile_from_journal(path, label)
     with open(path, encoding="utf-8") as handle:
         text = handle.read()
     try:
         payload = json.loads(text)
     except ValueError:
+        from .metrics import sniff_jsonl_kind
+
+        if sniff_jsonl_kind(text) == "obs-journal":
+            return _profile_from_journal(path, label)
         raise ValueError(
             "%s: %s" % (path, _describe_non_profile(text))
         ) from None
     if not isinstance(payload, dict):
         raise ValueError("%s: not a JSON object" % path)
+    return profile_from_payload(payload, label=label or path)
+
+
+def _profile_from_journal(path: str, label: str = "") -> RunProfile:
+    """Replay a journal and profile its merged Snapshot."""
+    from .journal import replay_journal
+
+    replay = replay_journal(path)
+    payload = replay.snapshot.to_dict()
     return profile_from_payload(payload, label=label or path)
 
 

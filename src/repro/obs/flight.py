@@ -1,0 +1,189 @@
+"""The flight recorder: last-N events in memory, dumped on crash.
+
+The journal (:mod:`repro.obs.journal`) is the durable record of what
+the process *did*; the flight recorder is the cheap in-memory record
+of what it was doing *right now* — a bounded ring of breadcrumb
+events that costs one deque append per note and is dumped to a
+``crash-*.json`` postmortem file when the process dies unexpectedly:
+
+* an uncaught exception (``sys.excepthook`` is chained, not replaced);
+* a fatal signal — SIGSEGV/SIGFPE/SIGABRT/SIGBUS/SIGILL — for which
+  :mod:`faulthandler` writes every thread's stack into a sidecar
+  ``crash-stacks-<pid>.txt`` in the same directory (Python-level
+  handlers cannot run after a segfault, so the sidecar is pre-opened).
+
+SIGKILL cannot be caught by anything; that case is exactly what the
+journal's torn-tail recovery handles.
+
+The postmortem file is self-describing JSON::
+
+    {"kind": "repro-crash", "version": 1, "ts": ..., "pid": ...,
+     "argv": [...], "reason": "uncaught exception",
+     "exception": {"type": "...", "message": "...", "traceback": "..."},
+     "stack": "<faulthandler dump of all threads>",
+     "events": [{"ts": ..., "kind": "...", "fields": {...}}, ...]}
+
+``repro serve --journal-dir`` and ``repro batch --journal`` install a
+recorder into the journal directory automatically; :func:`note` is a
+no-op when nothing is installed, so call sites never need to guard.
+"""
+
+from __future__ import annotations
+
+import collections
+import faulthandler
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+import traceback
+from typing import Any, Deque, Dict, List, Optional
+
+CRASH_KIND = "repro-crash"
+CRASH_VERSION = 1
+
+
+class FlightRecorder:
+    """A bounded ring of breadcrumb events plus the dump machinery."""
+
+    def __init__(self, directory: str, *, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.directory = directory
+        self.capacity = capacity
+        self._events: Deque[Dict[str, Any]] = collections.deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def note(self, kind: str, **fields: Any) -> None:
+        """One breadcrumb; O(1), never raises."""
+        entry = {"ts": time.time(), "kind": kind, "fields": fields}
+        with self._lock:
+            self._events.append(entry)
+
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    def dump(self, reason: str, exc: Optional[BaseException] = None) -> str:
+        """Write the postmortem file; returns its path.
+
+        Best-effort by design: called from an excepthook, so it must
+        not raise — a failed dump returns ``""``.
+        """
+        payload: Dict[str, Any] = {
+            "kind": CRASH_KIND,
+            "version": CRASH_VERSION,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "argv": list(sys.argv),
+            "reason": reason,
+            "stack": _all_thread_stacks(),
+            "events": self.events(),
+        }
+        if exc is not None:
+            payload["exception"] = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": "".join(traceback.format_exception(
+                    type(exc), exc, exc.__traceback__)),
+            }
+        name = "crash-%d-%d.json" % (os.getpid(), int(time.time() * 1000))
+        path = os.path.join(self.directory, name)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, prefix=".crash-")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except OSError:
+            return ""
+        return path
+
+
+def _all_thread_stacks() -> str:
+    """Every thread's Python stack via faulthandler (the same trick
+    :mod:`repro.corpus.telemetry` uses for hang diagnostics)."""
+    try:
+        with tempfile.TemporaryFile(mode="w+") as handle:
+            faulthandler.dump_traceback(file=handle, all_threads=True)
+            handle.seek(0)
+            return handle.read()
+    except Exception:
+        return ""
+
+
+_RECORDER: Optional[FlightRecorder] = None
+_PREV_EXCEPTHOOK: Optional[Any] = None
+_FAULT_FILE: Optional[Any] = None
+
+
+def _excepthook(exc_type: Any, exc: BaseException, tb: Any) -> None:
+    recorder = _RECORDER
+    if recorder is not None and not issubclass(exc_type, KeyboardInterrupt):
+        try:
+            recorder.dump("uncaught exception", exc)
+        except Exception:
+            pass
+    prev = _PREV_EXCEPTHOOK or sys.__excepthook__
+    prev(exc_type, exc, tb)
+
+
+def install(directory: str, *, capacity: int = 256) -> FlightRecorder:
+    """Install (or return the already-installed) process-wide recorder.
+
+    Chains ``sys.excepthook`` and arms faulthandler's fatal-signal
+    dump into ``crash-stacks-<pid>.txt`` under ``directory``.
+    Idempotent per process; a second install with a different
+    directory re-points the dumps.
+    """
+    global _RECORDER, _PREV_EXCEPTHOOK, _FAULT_FILE
+    if _RECORDER is not None and _RECORDER.directory == directory:
+        return _RECORDER
+    os.makedirs(directory, exist_ok=True)
+    recorder = FlightRecorder(directory, capacity=capacity)
+    if _RECORDER is None:
+        _PREV_EXCEPTHOOK = sys.excepthook
+        sys.excepthook = _excepthook
+    _RECORDER = recorder
+    try:
+        fault_path = os.path.join(directory, "crash-stacks-%d.txt" % os.getpid())
+        handle = open(fault_path, "w", encoding="utf-8")
+        faulthandler.enable(file=handle, all_threads=True)
+        if _FAULT_FILE is not None:
+            _FAULT_FILE.close()
+        _FAULT_FILE = handle
+    except OSError:
+        pass
+    return recorder
+
+
+def uninstall() -> None:
+    """Undo :func:`install` (tests; live processes never need this)."""
+    global _RECORDER, _PREV_EXCEPTHOOK, _FAULT_FILE
+    if _RECORDER is None:
+        return
+    if _PREV_EXCEPTHOOK is not None:
+        sys.excepthook = _PREV_EXCEPTHOOK
+    _PREV_EXCEPTHOOK = None
+    _RECORDER = None
+    try:
+        faulthandler.disable()
+    except Exception:
+        pass
+    if _FAULT_FILE is not None:
+        _FAULT_FILE.close()
+        _FAULT_FILE = None
+
+
+def installed() -> Optional[FlightRecorder]:
+    return _RECORDER
+
+
+def note(kind: str, **fields: Any) -> None:
+    """Breadcrumb into the installed recorder; no-op when none is."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.note(kind, **fields)

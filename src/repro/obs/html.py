@@ -697,6 +697,7 @@ def build_report(
     history_dir: Optional[str] = None,
     corpus_path: Optional[str] = None,
     baseline_trace_path: Optional[str] = None,
+    journal_path: Optional[str] = None,
     title: str = "repro observability report",
     generated: str = "",
 ) -> str:
@@ -705,14 +706,37 @@ def build_report(
     An explicitly-named file that does not exist raises ``OSError``
     (the caller asked for it, so silence would lie); an absent
     *default* — no history directory yet — renders its placeholder.
-    ``baseline_trace_path`` (requires ``trace_path``) adds the trace
-    diff section against that reference run.
+    ``baseline_trace_path`` (requires ``trace_path`` or
+    ``journal_path``) adds the trace diff section against that
+    reference run.
+
+    ``journal_path`` names a crash-safe journal (directory or one
+    segment); its replayed Snapshot supplies the trace, log events,
+    and corpus section — the postmortem path, rendering a dead
+    process's run with zero live state.  Mutually exclusive with
+    ``trace_path``/``log_path``/``corpus_path``.
     """
     trace = None
+    log_events = None
+    corpus = None
+    if journal_path:
+        if trace_path or log_path or corpus_path:
+            raise ValueError(
+                "--journal replaces --trace/--log/--corpus: the journal "
+                "replay supplies all three"
+            )
+        from .export import to_chrome_trace
+        from .journal import replay_journal
+        from .log import events_to_dicts
+
+        replay = replay_journal(journal_path)
+        recorder = replay.to_recorder()
+        trace = to_chrome_trace(recorder)
+        log_events = events_to_dicts(recorder)
+        corpus = replay.corpus_doc()
     if trace_path:
         with open(trace_path, encoding="utf-8") as handle:
             trace = json.load(handle)
-    log_events = None
     if log_path:
         with open(log_path, encoding="utf-8") as handle:
             log_events = [
@@ -723,7 +747,8 @@ def build_report(
     bench_runs: List[BenchRun] = []
     if history_dir and os.path.isdir(history_dir):
         bench_runs = BenchHistory(history_dir).load()
-    corpus = _load_corpus_jsonl(corpus_path) if corpus_path else None
+    if corpus_path:
+        corpus = _load_corpus_jsonl(corpus_path)
     diff = None
     if baseline_trace_path:
         if trace is None:

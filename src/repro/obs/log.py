@@ -179,6 +179,13 @@ def log(level: int, logger: str, message: str, **fields: Any) -> None:
     if rec is None or rec.log_level is None or level < rec.log_level:
         return
     active = rec._stack[-1] if rec._stack else None
+    cap = rec.max_events
+    if cap is not None and cap > 0 and len(rec.events) >= cap:
+        # Bounded buffer: keep the recent tail (the interesting part
+        # of a long-running request) and count what was shed.
+        del rec.events[0]
+        rec.counters["obs.events.dropped"] = (
+            rec.counters.get("obs.events.dropped", 0) + 1)
     rec.events.append(
         LogEvent(
             ts=time.time(),

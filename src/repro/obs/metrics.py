@@ -633,8 +633,11 @@ def read_timeline_jsonl(
 
 def sniff_jsonl_kind(text: str) -> Optional[str]:
     """The ``kind`` of a JSONL artifact's first line, if it is one
-    (``"metrics-timeline"`` for a ``--metrics`` timeline; ``None`` for
-    anything that is not line-wise JSON objects)."""
+    (``"metrics-timeline"`` for a ``--metrics`` timeline,
+    ``"obs-journal"`` for a journal segment file — see
+    :data:`repro.obs.journal.JOURNAL_KIND` — ``"repro-batch-status"``
+    for a status file; ``None`` for anything that is not line-wise
+    JSON objects)."""
     first = ""
     for line in text.splitlines():
         if line.strip():

@@ -157,9 +157,10 @@ class Recorder:
 
     __slots__ = ("spans", "counters", "gauges", "labeled", "events",
                  "histograms", "meters", "samples",
-                 "log_level", "_stack", "_next_span_id")
+                 "log_level", "max_events", "_stack", "_next_span_id")
 
-    def __init__(self, log_level: Optional[int] = None) -> None:
+    def __init__(self, log_level: Optional[int] = None,
+                 max_events: Optional[int] = None) -> None:
         self.spans: List[Span] = []  # top-level (root) spans, in order
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
@@ -175,6 +176,10 @@ class Recorder:
         self.samples: Dict[str, SampleSeries] = {}
         self.events: List[Any] = []  # LogEvent, kept untyped to avoid a cycle
         self.log_level = log_level  # None = event logging off
+        # Event-buffer bound: with a cap, the oldest event is dropped
+        # (and ``obs.events.dropped`` counted) when a new one arrives
+        # at capacity — long-running daemons keep the recent tail.
+        self.max_events = max_events  # None = unbounded
         self._stack: List[Span] = []
         self._next_span_id = 0
 
@@ -291,16 +296,18 @@ _RECORDER: ContextVar[Optional[Recorder]] = ContextVar("repro_obs_recorder", def
 
 
 @contextmanager
-def recording(log_level: Optional[int] = None) -> Iterator[Recorder]:
+def recording(log_level: Optional[int] = None,
+              max_events: Optional[int] = None) -> Iterator[Recorder]:
     """Install a fresh recorder for the dynamic extent of the block.
 
     Nested ``recording()`` blocks shadow the outer recorder (the outer
     one sees nothing from the inner block), matching the context-local
     isolation the tests rely on.  Pass ``log_level`` (see
     :mod:`repro.obs.log`) to also buffer structured log events at or
-    above that level.
+    above that level; ``max_events`` bounds the event buffer (oldest
+    dropped, ``obs.events.dropped`` counted) for long-running scopes.
     """
-    rec = Recorder(log_level=log_level)
+    rec = Recorder(log_level=log_level, max_events=max_events)
     token = _RECORDER.set(rec)
     try:
         yield rec

@@ -25,14 +25,22 @@ CLI surface::
                            [--queue-limit N] [--timeout S]
                            [--cache-dir D] [--status-file FILE]
                            [--metrics FILE] [--drain-timeout S]
+                           [--journal-dir D]
     python -m repro serve  --port 8642 ...
     python -m repro submit --socket /tmp/repro.sock CORPUS_DIR
                            [--shards N] [--format events|text]
     python -m repro submit --socket /tmp/repro.sock T.tdx S.schema
 
 ``python -m repro top`` renders the server's ``.repro-status.json``
-(per-request rows + pool stats) with the same dashboard it uses for a
-one-shot batch.
+(per-request rows + pool stats + journal health) with the same
+dashboard it uses for a one-shot batch.
+
+With ``--journal-dir`` the daemon writes a crash-safe write-ahead
+journal (:mod:`repro.obs.journal`): a restart after ``kill -9``
+replays it to restore the request table — requests that died in
+flight surface with state ``interrupted`` — and ``python -m repro
+journal replay`` reconstructs the dead process's Chrome trace, HTML
+report, and OpenMetrics exposition offline.
 """
 
 from .client import ServeBusy, ServeClient

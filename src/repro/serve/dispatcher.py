@@ -39,6 +39,16 @@ The dispatcher also maintains the ``.repro-status.json`` document for
 ``python -m repro top``: same ``kind`` header as a batch status file,
 plus a ``requests`` table (one row per live/recent request) and the
 pool stats.
+
+With ``--journal-dir`` the dispatcher writes every request's
+admission → shard → verdict → terminal transition (plus the full
+per-request Snapshot) into a :class:`repro.obs.Journal` as it
+happens, and on construction replays whatever journal it finds:
+completed requests come back with their snapshots and corpus
+documents (``trace`` re-serves them with zero recomputation), while
+requests that were in flight when the previous process died are
+restored in the ``interrupted`` state — visible in ``status``,
+``repro top``, and the ``serve.requests.interrupted`` counter.
 """
 
 from __future__ import annotations
@@ -52,6 +62,8 @@ from dataclasses import dataclass, field
 from typing import Any, AsyncIterator, Callable, Dict, List, Optional, Tuple
 
 from .. import obs
+from ..obs import flight
+from ..obs.journal import Journal, replay_journal
 from ..corpus import (
     CorpusError,
     JobSpec,
@@ -76,6 +88,11 @@ __all__ = ["BusyError", "Request", "Dispatcher"]
 #: Finished requests kept for ``status``/``trace`` before aging out.
 KEEP_FINISHED = 32
 
+#: Per-request LogEvent buffer cap (oldest dropped past this; see the
+#: ``serve.events.dropped`` counter) — a long request on a chatty
+#: corpus can no longer grow the daemon's heap without bound.
+MAX_REQUEST_EVENTS = 2048
+
 
 class BusyError(Exception):
     """Admission refused: the queue is past the high-water mark."""
@@ -90,7 +107,10 @@ class Request:
     payload: Dict[str, Any]
     target: str
     shards: int = 1
-    state: str = "queued"  # queued | running | done | failed | cancelled
+    # queued | running | done | failed | cancelled | interrupted
+    # ("interrupted" only ever appears on rows recovered from a
+    # journal: the previous daemon process died with them in flight)
+    state: str = "queued"
     created: float = field(default_factory=time.monotonic)
     started: Optional[float] = None
     finished: Optional[float] = None
@@ -177,6 +197,14 @@ class _StreamListener(ProgressListener):
                 request_id=self._request.request_id, **fields,
             )
         )
+        journal_data: Dict[str, Any] = {
+            "request_id": self._request.request_id,
+            "job": job,
+            "verdict": result.verdict,
+        }
+        if self._shard is not None:
+            journal_data["shard"] = self._shard
+        self._dispatcher._journal("job", journal_data)
         self._dispatcher._write_status()
 
 
@@ -193,13 +221,18 @@ class Dispatcher:
         timeout: Optional[float] = None,
         cache_dir: Optional[str] = None,
         status_file: Optional[str] = None,
+        journal: Optional[Journal] = None,
+        max_request_events: int = MAX_REQUEST_EVENTS,
     ) -> None:
         self.pool = WorkerPool(jobs)
         self.queue_limit = queue_limit
         self.default_timeout = timeout
         self.cache_dir = cache_dir
         self.status_file = status_file
+        self.journal = journal
+        self.max_request_events = max_request_events
         self.busy_rejections = 0
+        self.recovered_interrupted = 0
         self._requests: Dict[str, Request] = {}
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -208,6 +241,100 @@ class Dispatcher:
         # their counters/gauges/histograms but never re-append events.
         self._recorder = obs.Recorder(log_level=None)
         self._started = time.monotonic()
+        if journal is not None:
+            self._recover_from_journal()
+            self._journal("meta", {
+                "phase": "serve-started",
+                "queue_limit": queue_limit,
+                "recovered_interrupted": self.recovered_interrupted,
+            })
+
+    def _journal(self, type: str, data: Dict[str, Any]) -> None:
+        """Best-effort append — disk trouble must never fail a request."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(type, data)
+        except (OSError, ValueError):
+            pass
+
+    def _recover_from_journal(self) -> None:
+        """Rebuild the request table from the journal left by the
+        previous process (see the module doc).  Requests whose last
+        journaled phase was non-terminal are marked ``interrupted``
+        and re-journaled as such, so the *next* restart sees them
+        settled rather than re-deriving the interruption."""
+        assert self.journal is not None
+        try:
+            replay = replay_journal(self.journal.directory)
+        except ValueError:
+            return  # fresh journal directory: nothing to recover
+        interrupted_rows: List[Dict[str, Any]] = []
+        max_id = 0
+        with self._lock:
+            for request_id in sorted(replay.requests):
+                info = replay.requests[request_id]
+                row = info.get("row") or {}
+                request = Request(
+                    request_id=request_id,
+                    payload=dict(info.get("payload") or {}),
+                    target=str(row.get("target") or ""),
+                    shards=int(row.get("shards") or 1),
+                )
+                request.jobs_total = int(row.get("total") or 0)
+                request.jobs_done = int(row.get("done") or 0)
+                request.verdicts = dict(row.get("verdicts") or {})
+                request.cache_hits = int(row.get("cache_hits") or 0)
+                request.error = row.get("error")
+                elapsed = float(row.get("elapsed") or 0.0)
+                if elapsed:
+                    # preserve the journaled elapsed through row()'s
+                    # monotonic recomputation
+                    request.finished = time.monotonic()
+                    request.started = request.finished - elapsed
+                if info["state"] == "interrupted":
+                    request.state = "interrupted"
+                    request.error = request.error or (
+                        "interrupted: daemon exited mid-request "
+                        "(recovered from journal)"
+                    )
+                    self.recovered_interrupted += 1
+                    self._recorder.add("serve.requests.interrupted", 1)
+                    interrupted_rows.append(request.row())
+                else:
+                    request.state = str(info["state"])
+                    snapshot = replay.snapshot_dicts.get(request_id)
+                    if snapshot is not None:
+                        request.snapshot = snapshot
+                    jobs = replay.jobs_by_request.get(request_id)
+                    if jobs:
+                        request.corpus_doc = {
+                            "jobs": list(jobs),
+                            "summary": dict(info.get("summary") or {}),
+                        }
+                self._requests[request_id] = request
+                digits = request_id.lstrip("r")
+                if digits.isdigit():
+                    max_id = max(max_id, int(digits))
+            if max_id:
+                self._ids = itertools.count(max_id + 1)
+            self._recorder.add("serve.journal.recovered", len(replay.requests))
+            self._prune_locked()
+        self._journal("meta", {
+            "phase": "recovered",
+            "requests": len(replay.requests),
+            "interrupted": self.recovered_interrupted,
+            "corrupt_records": replay.corrupt,
+        })
+        for row in interrupted_rows:
+            self._journal("request", {
+                "request_id": row["request_id"],
+                "phase": "interrupted",
+                "row": row,
+            })
+        flight.note("serve.recovered", requests=len(replay.requests),
+                    interrupted=self.recovered_interrupted)
+        self._write_status()
 
     # -- admission ---------------------------------------------------------
 
@@ -245,6 +372,14 @@ class Dispatcher:
             self._requests[request.request_id] = request
             self._recorder.add("serve.requests.accepted", 1)
             self._prune_locked()
+        self._journal("request", {
+            "request_id": request.request_id,
+            "phase": "admitted",
+            "row": request.row(),
+            "payload": dict(payload),
+        })
+        flight.note("serve.admitted", request_id=request.request_id,
+                    target=request.target)
         self._write_status()
         return request
 
@@ -292,6 +427,11 @@ class Dispatcher:
         with self._lock:
             request.state = "running"
             request.started = time.monotonic()
+        self._journal("request", {
+            "request_id": request.request_id,
+            "phase": "started",
+            "row": request.row(),
+        })
         emit(
             event(
                 "serve.request", "request accepted",
@@ -327,6 +467,13 @@ class Dispatcher:
                 request.error = "%s: %s" % (type(error).__name__, error)
                 request.finished = time.monotonic()
                 self._recorder.add("serve.requests.failed", 1)
+            self._journal("request", {
+                "request_id": request.request_id,
+                "phase": "failed",
+                "row": request.row(),
+            })
+            flight.note("serve.failed", request_id=request.request_id,
+                        error=request.error)
             emit(
                 event(
                     "serve.request", "request failed", level="error",
@@ -362,6 +509,18 @@ class Dispatcher:
             self._recorder.observe(
                 "serve.request.ms", request.elapsed() * 1000.0
             )
+        self._journal("snapshot", {
+            "request_id": request.request_id,
+            "snapshot": request.snapshot,
+        })
+        self._journal("request", {
+            "request_id": request.request_id,
+            "phase": "cancelled" if cancelled else "finished",
+            "row": request.row(),
+            "summary": corpus_doc["summary"],
+        })
+        flight.note("serve.finished", request_id=request.request_id,
+                    state=request.state)
         message = "request cancelled" if cancelled else "request finished"
         emit(
             event(
@@ -421,7 +580,8 @@ class Dispatcher:
         """One engine run under its own recorder; returns the summary
         plus the captured Snapshot."""
         listener = _StreamListener(self, request, emit, shard=shard)
-        with obs.recording(log_level=obs.INFO) as recorder:
+        with obs.recording(log_level=obs.INFO,
+                           max_events=self.max_request_events) as recorder:
             with obs.span("serve.request") as span:
                 span.set("request_id", request.request_id)
                 if shard is not None:
@@ -434,6 +594,10 @@ class Dispatcher:
                     pool=self.pool,
                     cancel=request.cancel_event.is_set,
                 )
+        dropped = recorder.counters.get("obs.events.dropped", 0)
+        if dropped:
+            with self._lock:
+                self._recorder.add("serve.events.dropped", dropped)
         return summary, obs.Snapshot.from_recorder(recorder)
 
     def _run_sharded(
@@ -467,6 +631,13 @@ class Dispatcher:
             for future in concurrent.futures.as_completed(futures):
                 summary, snapshot = future.result()
                 index = futures[future]
+                self._journal("request", {
+                    "request_id": request.request_id,
+                    "phase": "shard",
+                    "shard": index,
+                    "shards": count,
+                    "row": request.row(),
+                })
                 emit(
                     event(
                         "serve.progress", "shard finished",
@@ -510,6 +681,11 @@ class Dispatcher:
         if request is None or request.state not in ("queued", "running"):
             return False
         request.cancel_event.set()
+        self._journal("request", {
+            "request_id": request_id,
+            "phase": "cancel_requested",
+            "row": request.row(),
+        })
         return True
 
     def cancel_all(self) -> int:
@@ -525,7 +701,7 @@ class Dispatcher:
             rows = [request.row() for request in self._requests.values()]
             active = sum(1 for row in rows if row["state"] in ("queued", "running"))
             busy = self.busy_rejections
-        return {
+        document: Dict[str, Any] = {
             "ts": time.time(),
             "pid": os.getpid(),
             "protocol": PROTOCOL_VERSION,
@@ -539,6 +715,11 @@ class Dispatcher:
             "pool": self.pool.stats(),
             "requests": rows,
         }
+        if self.journal is not None:
+            health = self.journal.health()
+            health["interrupted_recovered"] = self.recovered_interrupted
+            document["journal"] = health
+        return document
 
     def trace_snapshot(self, request_id: str) -> Optional[obs.Snapshot]:
         request = self.get(request_id)
@@ -587,3 +768,9 @@ class Dispatcher:
 
     def shutdown(self, hard: bool = False) -> None:
         self.pool.shutdown(hard=hard)
+        if self.journal is not None:
+            self._journal("meta", {"phase": "shutdown", "hard": hard})
+            try:
+                self.journal.close()
+            except OSError:
+                pass

@@ -50,6 +50,15 @@ Non-streaming ops get a single event line: ``status`` answers on
 ``serve.request``, ``ping`` on ``serve.status`` with ``message:
 "pong"``.
 
+The ``status`` document's request rows carry ``state`` in ``queued``/
+``running``/``done``/``failed``/``cancelled``/``interrupted``.  The
+``interrupted`` state never occurs live: it marks rows recovered from
+the write-ahead journal (``serve --journal-dir``) of a previous
+daemon process that died — SIGKILL, power loss — with the request in
+flight.  A journaling server's status document also carries a
+``journal`` section (segment, lag, ``interrupted_recovered``) that
+``repro top`` renders.
+
 Everything here is transport-free pure data so the asyncio server, the
 blocking client, and the tests share one vocabulary.
 """

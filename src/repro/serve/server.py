@@ -36,6 +36,8 @@ import sys
 import time
 from typing import Any, Dict, Optional
 
+from ..obs import flight
+from ..obs.journal import Journal
 from .dispatcher import BusyError, Dispatcher
 from .protocol import (
     PROTOCOL_VERSION,
@@ -76,6 +78,7 @@ class ServeOptions:
         status_file: Optional[str] = None,
         metrics: Optional[str] = None,
         drain_timeout: float = 10.0,
+        journal_dir: Optional[str] = None,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise ValueError("exactly one of socket_path/port is required")
@@ -88,6 +91,7 @@ class ServeOptions:
         self.status_file = status_file
         self.metrics = metrics
         self.drain_timeout = drain_timeout
+        self.journal_dir = journal_dir
 
 
 class _Server:
@@ -95,12 +99,21 @@ class _Server:
 
     def __init__(self, options: ServeOptions) -> None:
         self.options = options
+        journal = None
+        if options.journal_dir is not None:
+            # The write-ahead journal + crash postmortems share one
+            # directory; the flight recorder arms excepthook/
+            # faulthandler dumps for anything the journal can't see.
+            journal = Journal(options.journal_dir)
+            flight.install(options.journal_dir)
+            flight.note("serve.starting", pid=os.getpid())
         self.dispatcher = Dispatcher(
             jobs=options.jobs,
             queue_limit=options.queue_limit,
             timeout=options.timeout,
             cache_dir=options.cache_dir,
             status_file=options.status_file,
+            journal=journal,
         )
         self.stop = asyncio.Event()
         self.hard = asyncio.Event()
